@@ -1,0 +1,29 @@
+"""Shared benchmark helpers.
+
+Every bench regenerates one of the paper's tables or figures.  Timing is
+handled by pytest-benchmark; the regenerated artifact itself (the rows /
+series the paper reports) is written to ``benchmarks/reports/<id>.txt``
+so it survives output capturing, and is also printed for ``-s`` runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture
+def report():
+    """Write one regenerated paper artifact to the reports directory."""
+
+    def write(artifact_id: str, text: str) -> None:
+        REPORTS_DIR.mkdir(exist_ok=True)
+        path = REPORTS_DIR / f"{artifact_id}.txt"
+        path.write_text(text.rstrip() + "\n", encoding="utf-8")
+        print(f"\n--- {artifact_id} (also at {path}) ---")
+        print(text)
+
+    return write

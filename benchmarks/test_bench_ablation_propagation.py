@@ -1,0 +1,82 @@
+"""Ablation: what the knowledge component's propagation rules buy.
+
+DESIGN.md calls propagation out as a design choice; the bench removes it
+and measures the consequence on a destructive workload (deleting every
+fifth type of a synthetic schema):
+
+* with propagation, every deletion succeeds and the schema stays valid;
+* without it, the bare operations are rejected outright whenever other
+  constructs still reference the type -- the designer would have to
+  hand-order every dependent deletion (we also count the dangling
+  references a non-validating system would have accumulated).
+"""
+
+from repro.model.validation import SEVERITY_ERROR, validate_schema
+from repro.ops.base import ConstraintViolation, OperationContext
+from repro.ops.type_ops import DeleteTypeDefinition
+from repro.knowledge.propagation import expand
+from repro.workload.generator import WorkloadSpec, generate_schema
+
+SCHEMA = generate_schema(WorkloadSpec(types=50, seed=13))
+VICTIMS = SCHEMA.type_names()[::5]
+
+
+def delete_with_propagation():
+    scratch = SCHEMA.copy("with")
+    context = OperationContext(reference=SCHEMA)
+    applied = 0
+    for name in VICTIMS:
+        for step in expand(scratch, DeleteTypeDefinition(name), context):
+            step.apply(scratch, context)
+            applied += 1
+    return scratch, applied
+
+
+def delete_without_propagation():
+    scratch = SCHEMA.copy("without")
+    context = OperationContext(reference=SCHEMA)
+    rejected = 0
+    forced_dangling = 0
+    for name in VICTIMS:
+        operation = DeleteTypeDefinition(name)
+        try:
+            operation.apply(scratch, context)
+        except ConstraintViolation:
+            rejected += 1
+            # What a non-validating tool would have done: rip the type
+            # out anyway and count the dangling references left behind.
+            probe = scratch.copy("probe")
+            probe.remove_interface(name)
+            forced_dangling += sum(
+                1
+                for issue in validate_schema(probe)
+                if issue.severity == SEVERITY_ERROR
+            )
+    return rejected, forced_dangling
+
+
+def test_bench_ablation_with_propagation(benchmark, report):
+    scratch, applied = benchmark(delete_with_propagation)
+    errors = [
+        issue
+        for issue in validate_schema(scratch)
+        if issue.severity == SEVERITY_ERROR
+    ]
+    report(
+        "ablation_propagation_on",
+        f"deleting {len(VICTIMS)} types with propagation: {applied} total "
+        f"steps, 0 rejections, {len(errors)} structural errors afterwards.",
+    )
+    assert errors == []
+
+
+def test_bench_ablation_without_propagation(benchmark, report):
+    rejected, forced_dangling = benchmark(delete_without_propagation)
+    report(
+        "ablation_propagation_off",
+        f"deleting {len(VICTIMS)} types without propagation: {rejected} of "
+        f"{len(VICTIMS)} rejected; forcing the deletions anyway would have "
+        f"left {forced_dangling} dangling-reference errors.",
+    )
+    assert rejected > 0
+    assert forced_dangling > 0

@@ -1,0 +1,30 @@
+"""Figure 3: the Course Offering wagon wheel concept schema.
+
+Extracts the wheel from the university shrink wrap schema and checks the
+figure's content: the focal point, the Syllabus / Book / Time Slot /
+Length spokes, and the dotted instance-of link to Course.
+"""
+
+from repro.catalog import university_schema
+from repro.concepts.wagon_wheel import extract_wagon_wheel
+from repro.designer.render import render_wagon_wheel
+from repro.model.relationships import RelationshipKind
+
+SCHEMA = university_schema()
+
+
+def test_bench_fig3_wagon_wheel(benchmark, report):
+    wheel = benchmark(extract_wagon_wheel, SCHEMA, "Course_Offering")
+    report("fig3_course_offering_wagon_wheel", render_wagon_wheel(wheel))
+
+    assert wheel.focal == "Course_Offering"
+    spokes = {spoke.target_type: spoke for spoke in wheel.spokes}
+    # The figure's spokes: described-by Syllabus, book-for Book,
+    # offered-during Time Slot, duration-of Length, instance-of Course.
+    assert spokes["Syllabus"].path_name == "described_by"
+    assert spokes["Book"].path_name == "book_for"
+    assert spokes["Time_Slot"].path_name == "offered_during"
+    assert spokes["Length"].path_name == "duration_of"
+    assert spokes["Course"].kind is RelationshipKind.INSTANCE_OF
+    # The wheel covers only distance-1 neighbours.
+    assert "Department" not in wheel.members

@@ -1,0 +1,28 @@
+"""Figure 4: the student generalization hierarchy.
+
+Extracts the rooted hierarchy and checks the figure's inheritance paths
+-- in particular that "a Non-thesis masters student object inherits the
+attributes and operations defined on a Graduate student object type".
+"""
+
+from repro.catalog import university_schema
+from repro.concepts.generalization import extract_generalization_hierarchy
+from repro.designer.render import render_generalization
+
+SCHEMA = university_schema()
+
+
+def test_bench_fig4_generalization(benchmark, report):
+    hierarchy = benchmark(extract_generalization_hierarchy, SCHEMA, "Person")
+    report("fig4_student_generalization", render_generalization(hierarchy))
+
+    assert {"Student", "Undergraduate", "Graduate", "Masters",
+            "Thesis_Masters", "Non_Thesis_Masters",
+            "Doctoral"} <= hierarchy.members
+    # The figure's point: Non-thesis masters inherits from Graduate.
+    path = ["Person", "Student", "Graduate", "Masters", "Non_Thesis_Masters"]
+    assert path in hierarchy.inheritance_paths()
+    inherited = SCHEMA.inherited_attributes("Non_Thesis_Masters")
+    assert inherited["advisor_name"] == "Graduate"
+    assert inherited["gpa"] == "Student"
+    assert inherited["name"] == "Person"

@@ -1,0 +1,29 @@
+"""Figure 5: the house aggregation hierarchy (lumber-yard parts explosion).
+
+Extracts the rooted aggregation concept schema and checks the figure's
+content: "the roof of the house consisting of plywood decking, tar
+paper, and shingles".
+"""
+
+from repro.catalog import house_schema
+from repro.concepts.aggregation import extract_aggregation_hierarchy
+from repro.designer.render import render_aggregation
+
+SCHEMA = house_schema()
+
+
+def test_bench_fig5_aggregation(benchmark, report):
+    hierarchy = benchmark(extract_aggregation_hierarchy, SCHEMA, "House")
+    report("fig5_house_aggregation", render_aggregation(hierarchy))
+
+    assert hierarchy.root == "House"
+    assert set(hierarchy.parts_of("House")) == {
+        "Structure", "Finish_Element", "Plumbing"
+    }
+    assert set(hierarchy.parts_of("Roof")) == {
+        "Plywood_Decking", "Tar_Paper", "Shingle"
+    }
+    # The explosion is a proper multi-level hierarchy.
+    levels = {name: level for level, name in hierarchy.bill_of_materials()}
+    assert levels["House"] == 0
+    assert levels["Shingle"] == 3

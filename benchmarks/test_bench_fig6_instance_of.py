@@ -1,0 +1,29 @@
+"""Figure 6: the EMSL software instance-of sequence.
+
+Extracts the instance-of hierarchy and checks the figure's linear chain:
+Application -> Version -> Compiled Version -> Installed Version.
+"""
+
+from repro.catalog import software_schema
+from repro.concepts.instance_of import extract_instance_of_hierarchy
+from repro.designer.render import render_instance_of
+
+SCHEMA = software_schema()
+
+
+def test_bench_fig6_instance_of(benchmark, report):
+    hierarchy = benchmark(extract_instance_of_hierarchy, SCHEMA, "Application")
+    report("fig6_software_instance_of", render_instance_of(hierarchy))
+
+    # "In our experience, the instance-of hierarchy has been linear."
+    assert hierarchy.is_linear()
+    assert hierarchy.chain() == [
+        "Application",
+        "Application_Version",
+        "Compiled_Version",
+        "Installed_Version",
+    ]
+    # Each link has the implicit 1:N shape.
+    for edge in hierarchy.edges:
+        end = SCHEMA.get(edge.generic).get_relationship(edge.path_name)
+        assert end.is_to_many

@@ -1,0 +1,65 @@
+"""Figure 7 + Section 3.4: elaborating and simplifying Course Offering.
+
+The elaboration adds a class Schedule aggregating course offerings
+(Figure 3 -> Figure 7); the simplification serves the correspondence-
+only school by removing the time slot entity and room attribute.  The
+bench runs both customizations through the repository and reports the
+operation counts and mapping outcomes.
+"""
+
+from repro.catalog import (
+    CORRESPONDENCE_SIMPLIFICATION_SCRIPT,
+    FIGURE7_ELABORATION_SCRIPT,
+    university_schema,
+)
+from repro.concepts.wagon_wheel import extract_wagon_wheel
+from repro.designer.render import render_wagon_wheel
+from repro.ops.language import parse_script
+from repro.repository.repository import SchemaRepository
+
+
+def customize(script: str, name: str) -> SchemaRepository:
+    repository = SchemaRepository(university_schema(), custom_name=name)
+    for operation in parse_script(script):
+        repository.apply(operation)
+    repository.generate_custom_schema()
+    repository.generate_mapping()
+    return repository
+
+
+def test_bench_fig7_elaboration(benchmark, report):
+    repository = benchmark(customize, FIGURE7_ELABORATION_SCRIPT, "fig7")
+    custom = repository.custom_schema
+    assert custom is not None
+    wheel = extract_wagon_wheel(custom, "Course_Offering")
+    report(
+        "fig7_elaborated_course_offering",
+        render_wagon_wheel(wheel)
+        + "\n\nmapping:\n"
+        + repository.mapping.render(),
+    )
+
+    # The elaborated wheel gains the aggregation spoke to Schedule.
+    spokes = {spoke.target_type: spoke for spoke in wheel.spokes}
+    assert spokes["Schedule"].kind.value == "part_of"
+    assert repository.mapping.reuse_ratio() == 1.0
+
+
+def test_bench_fig7_simplification(benchmark, report):
+    repository = benchmark(
+        customize, CORRESPONDENCE_SIMPLIFICATION_SCRIPT, "correspondence"
+    )
+    custom = repository.custom_schema
+    assert custom is not None
+    report(
+        "fig7_correspondence_simplification",
+        render_wagon_wheel(extract_wagon_wheel(custom, "Course_Offering"))
+        + "\n\nmapping:\n"
+        + repository.mapping.render(),
+    )
+
+    assert "Time_Slot" not in custom
+    assert "room" not in custom.get("Course_Offering").attributes
+    deleted = {entry.path for entry in repository.mapping.deleted()}
+    assert {"Time_Slot", "Course_Offering.room",
+            "Course_Offering.offered_during"} <= deleted

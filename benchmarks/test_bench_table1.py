@@ -1,0 +1,68 @@
+"""Table 1: operations on ODL schema definitions per concept schema type.
+
+Regenerates the admissibility matrix from the operation registry and
+checks the paper's structural claims: wagon wheels carry the largest
+share of modifications; supertype, attribute-move, operation-move, and
+relationship-retarget operations live in generalization hierarchies; the
+part-of and instance-of modify operations live in their own hierarchy
+concept schemas; and no concept schema offers a rename (name
+equivalence).
+"""
+
+from repro.concepts import ConceptKind
+from repro.ops.registry import (
+    admissible_operations,
+    format_table1,
+    table1_matrix,
+)
+
+
+def _cell(matrix, candidate, sub_candidate, kind):
+    for row in matrix:
+        if (row["candidate"], row["sub_candidate"]) == (candidate, sub_candidate):
+            return row[kind.value]
+    raise AssertionError(f"missing row {candidate}/{sub_candidate}")
+
+
+def test_bench_table1(benchmark, report):
+    matrix = benchmark(table1_matrix)
+    report("table1_operation_admissibility", format_table1())
+
+    ww, gh = ConceptKind.WAGON_WHEEL, ConceptKind.GENERALIZATION
+    ah, ih = ConceptKind.AGGREGATION, ConceptKind.INSTANCE_OF
+
+    # Object types can be added and deleted in every concept schema type.
+    assert _cell(matrix, "Interface Definition", "Type name", ww) == "AD"
+    assert _cell(matrix, "Interface Definition", "Type name", gh) == "AD"
+    assert _cell(matrix, "Interface Definition", "Type name", ah) == "AD"
+    assert _cell(matrix, "Interface Definition", "Type name", ih) == "AD"
+
+    # "The complete set of operations for the type properties, extent
+    # name and key list, are allowed" in wagon wheels.
+    assert _cell(matrix, "Type Properties", "Extent name", ww) == "ADM"
+    assert _cell(matrix, "Type Properties", "Key list", ww) == "ADM"
+
+    # Supertype re-wiring belongs to generalization hierarchies.
+    assert _cell(matrix, "Type Properties", "Supertype (ISA)", gh) == "ADM"
+    assert _cell(matrix, "Type Properties", "Supertype (ISA)", ww) == ""
+
+    # Moves (attribute, operation, relationship target) are
+    # generalization hierarchy operations.
+    assert _cell(matrix, "Attribute", "Name", gh) == "M"
+    assert _cell(matrix, "Operation", "Name", gh) == "M"
+    assert _cell(matrix, "Relationship", "Target type", gh) == "M"
+
+    # Part-of / instance-of adds live in wagon wheels AND their own
+    # hierarchies; their modifies only in the hierarchies.
+    assert _cell(matrix, "Part-of Relationship", "Traversal path name", ww) == "AD"
+    assert _cell(matrix, "Part-of Relationship", "Traversal path name", ah) == "AD"
+    assert _cell(matrix, "Part-of Relationship", "One way cardinality", ah) == "M"
+    assert _cell(matrix, "Part-of Relationship", "One way cardinality", ww) == ""
+    assert _cell(matrix, "Instance-of Relationship", "Target type", ih) == "M"
+
+    # "The largest portion of the modifications are supported in wagon
+    # wheel concept schemas."
+    counts = {
+        kind: len(admissible_operations(kind)) for kind in ConceptKind
+    }
+    assert counts[ww] == max(counts.values())

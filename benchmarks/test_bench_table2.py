@@ -1,0 +1,37 @@
+"""Table 2: addition (and mirrored deletion) coverage of ODL candidates.
+
+Every candidate for modification enumerated from the ODL syntax must be
+covered by an add operation, and "the deletion operations are identical,
+with the word 'add' changed to 'delete' in the operation name".
+"""
+
+from repro.analysis.completeness import format_table, table2_rows
+
+
+def test_bench_table2(benchmark, report):
+    add_rows = benchmark(table2_rows, "add")
+    delete_rows = table2_rows("delete")
+
+    report(
+        "table2_addition_coverage",
+        format_table(add_rows, "Table 2: addition operations on ODL candidates")
+        + "\n\n"
+        + format_table(
+            delete_rows,
+            "Table 2 (mirror): deletion operations on ODL candidates",
+        ),
+    )
+
+    assert len(add_rows) == 26
+    assert all(row.implemented for row in add_rows)
+    assert all(row.implemented for row in delete_rows)
+    for add_row, delete_row in zip(add_rows, delete_rows):
+        assert delete_row.operation == "delete" + add_row.operation[3:]
+
+    # Every construct family of the extended ODL appears.
+    candidates = {row.candidate for row in add_rows}
+    assert candidates == {
+        "Interface Definition", "Type Properties", "Attribute",
+        "Relationship", "Operation", "Part-of Relationship",
+        "Instance-of Relationship",
+    }

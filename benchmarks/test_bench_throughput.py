@@ -1,0 +1,66 @@
+"""Throughput characterisation (no paper counterpart).
+
+Operation apply+undo throughput (the workspace's inner loop), the
+propagation expansion, and the Appendix A language round-trip, over a
+seeded operation stream against a mid-sized synthetic schema.
+"""
+
+from repro.knowledge.propagation import expand
+from repro.ops.base import OperationContext
+from repro.ops.language import parse_operation
+from repro.workload.generator import (
+    WorkloadSpec,
+    generate_operations,
+    generate_schema,
+)
+
+SCHEMA = generate_schema(WorkloadSpec(types=60, seed=7))
+OPERATIONS = generate_operations(SCHEMA, 100, seed=11)
+TEXTS = [operation.to_text() for operation in OPERATIONS]
+
+
+def apply_and_undo_stream():
+    scratch = SCHEMA.copy("stream")
+    context = OperationContext(reference=SCHEMA)
+    undo_stack = []
+    for operation in OPERATIONS:
+        for step in expand(scratch, operation, context):
+            undo_stack.append(step.apply(scratch, context))
+    for undo in reversed(undo_stack):
+        undo()
+    return len(undo_stack)
+
+
+def test_bench_apply_undo_throughput(benchmark, report):
+    applied = benchmark(apply_and_undo_stream)
+    report(
+        "throughput_apply_undo",
+        f"{len(OPERATIONS)} requested operations expand to {applied} steps; "
+        "each run applies and fully undoes the stream.",
+    )
+    assert applied >= len(OPERATIONS)
+
+
+def parse_stream():
+    return [parse_operation(text) for text in TEXTS]
+
+
+def test_bench_language_parse_throughput(benchmark):
+    parsed = benchmark(parse_stream)
+    assert parsed == OPERATIONS
+
+
+def impact_stream():
+    scratch = SCHEMA.copy("impact")
+    context = OperationContext(reference=SCHEMA)
+    total = 0
+    for operation in OPERATIONS[:30]:
+        total += len(expand(scratch, operation, context))
+        for step in expand(scratch, operation, context):
+            step.apply(scratch, context)
+    return total
+
+
+def test_bench_propagation_expansion(benchmark):
+    total = benchmark(impact_stream)
+    assert total >= 30

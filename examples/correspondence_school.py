@@ -1,0 +1,69 @@
+"""Simplification scenario: a correspondence-only school (Section 3.4).
+
+"Consider another situation where courses are offered by correspondence
+only.  In this case, the course offering concept schema is simplified by
+removing the time slot entity and room attribute."
+
+The example shows the knowledge component at work: the impact report is
+previewed *before* each destructive operation (what will cascade, which
+other concept schemas are touched, what the cautionary statements say),
+and the same deletion is attempted with propagation disabled to show why
+the rules exist.
+
+Run with::
+
+    python examples/correspondence_school.py
+"""
+
+from repro.catalog import university_schema
+from repro.designer import DesignSession
+from repro.ops import ConstraintViolation, parse_operation
+from repro.repository import SchemaRepository
+
+
+def main() -> None:
+    session = DesignSession(
+        SchemaRepository(
+            university_schema(), custom_name="correspondence_university"
+        )
+    )
+    session.select("ww:Course_Offering")
+
+    print("=== previewing the impact before committing ===")
+    print(session.preview("delete_type_definition(Time_Slot)"))
+
+    print()
+    print("=== what happens without propagation rules ===")
+    try:
+        session.repository.apply(
+            parse_operation("delete_type_definition(Time_Slot)"),
+            propagate=False,
+        )
+    except ConstraintViolation as exc:
+        print(f"  rejected: {exc}")
+
+    print()
+    print("=== applying the simplification (with propagation) ===")
+    for text in (
+        "delete_attribute(Course_Offering, room)",
+        "delete_type_definition(Time_Slot)",
+    ):
+        applied = session.modify(text)
+        print(f"  [{'ok ' if applied else 'REJ'}] {text}")
+
+    print()
+    print("=== feedback the designer received ===")
+    print(session.feedback.render())
+
+    deliverables = session.finish()
+    print()
+    print("=== the simplified Course Offering ===")
+    print(session.show_odl("Course_Offering"))
+
+    print()
+    print("=== mapping summary ===")
+    print(deliverables.mapping.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""A scripted run of the interactive schema designer REPL.
+
+The paper's tool is an interactive system; this example drives the same
+command loop programmatically so the whole designer dialogue -- browse,
+select, preview impact, apply, undo, check, finish -- is visible in one
+transcript.  To drive it by hand instead, write any catalog schema to a
+file and run ``python -m repro.designer.cli <schema.odl>``.
+
+Run with::
+
+    python examples/interactive_session.py
+"""
+
+from repro.catalog import university_schema
+from repro.designer import DesignSession
+from repro.designer.cli import execute
+from repro.repository import SchemaRepository
+
+COMMANDS = [
+    "concepts",
+    "select gh:Person",
+    "show",
+    "explain",
+    "ops",
+    # Move the advisor name up from Graduate so every student has one.
+    "apply modify_attribute(Graduate, advisor_name, Student)",
+    # Semantic stability in action: Faculty and Graduate are not on one
+    # generalization path, so this is rejected with feedback.
+    "apply modify_attribute(Graduate, program, Faculty)",
+    # A composite restructuring: honors students split off from
+    # undergraduates, taking the class year with them.
+    "refactor split_by_subtyping(Undergraduate, Honors_Student, (class_year))",
+    "select ww:Course_Offering",
+    "impact delete_type_definition(Length)",
+    "apply delete_type_definition(Length)",
+    "undo",
+    "apply add_attribute(Course_Offering, string(20), delivery_mode)",
+    # Local names: the registrar calls offerings "class meetings".
+    "alias Course_Offering Class_Meeting",
+    "aliases",
+    "odl local Course_Offering",
+    "script",
+    "check",
+    "suggest",
+    "finish scripted_university",
+]
+
+
+def main() -> None:
+    session = DesignSession(
+        SchemaRepository(university_schema(), custom_name="scripted")
+    )
+    for command in COMMANDS:
+        print(f"designer> {command}")
+        output = execute(session, command)
+        if output:
+            print("\n".join(f"  {line}" for line in output.splitlines()))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Aggregation and instance-of concept schemas (Figures 5 and 6).
+
+Two points of view that wagon wheels cannot show: the lumber yard's
+house parts explosion (a rooted aggregation hierarchy) and the EMSL
+software version chain (an instance-of hierarchy).  The example renders
+both, customizes each through its own concept schema -- re-wiring the
+parts explosion and extending the version chain -- and exports the
+schemas as Graphviz DOT for anyone who wants pictures.
+
+Run with::
+
+    python examples/parts_and_versions.py
+"""
+
+from repro.catalog import house_schema, software_schema
+from repro.concepts import decompose
+from repro.designer import (
+    DesignSession,
+    render_aggregation,
+    render_instance_of,
+    to_dot,
+)
+from repro.repository import SchemaRepository
+
+
+def parts_explosion() -> None:
+    session = DesignSession(
+        SchemaRepository(house_schema(), custom_name="custom_house")
+    )
+    print("=== the house parts explosion (Figure 5) ===")
+    print(session.select("ah:House"))
+
+    print()
+    print("=== re-wiring: gutters join the roof ===")
+    for text in (
+        "add_type_definition(Gutter)",
+        "add_attribute(Gutter, string(20), material)",
+        "add_part_of_relationship(Roof, set<Gutter>, gutters, Gutter::of_roof)",
+    ):
+        applied = session.modify(text)
+        print(f"  [{'ok ' if applied else 'REJ'}] {text}")
+
+    custom = session.finish().custom_schema
+    print()
+    print(render_aggregation(decompose(custom).by_identifier("ah:House")))
+
+
+def version_chain() -> None:
+    session = DesignSession(
+        SchemaRepository(software_schema(), custom_name="custom_software")
+    )
+    print()
+    print("=== the software version chain (Figure 6) ===")
+    print(session.select("ih:Application"))
+
+    print()
+    print("=== extending the chain: configured installations ===")
+    for text in (
+        "add_type_definition(Configured_Installation)",
+        "add_attribute(Configured_Installation, string(120), config_path)",
+        "add_instance_of_relationship(Installed_Version, "
+        "set<Configured_Installation>, configurations, "
+        "Configured_Installation::of_installation)",
+    ):
+        applied = session.modify(text)
+        print(f"  [{'ok ' if applied else 'REJ'}] {text}")
+
+    custom = session.finish().custom_schema
+    print()
+    print(render_instance_of(decompose(custom).by_identifier("ih:Application")))
+
+    print()
+    print("=== Graphviz export (first lines) ===")
+    for line in to_dot(custom).splitlines()[:6]:
+        print(f"  {line}")
+
+
+def main() -> None:
+    parts_explosion()
+    version_chain()
+
+
+if __name__ == "__main__":
+    main()

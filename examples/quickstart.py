@@ -1,0 +1,56 @@
+"""Quickstart: shrink-wrap-based design in a dozen lines.
+
+Loads the university shrink wrap schema (the paper's running example),
+browses its concept schemas, elaborates the Course Offering wagon wheel
+into the Figure 7 shape (a class Schedule consisting of course
+offerings), and generates the deliverables: the custom schema as
+extended ODL, the original-to-custom mapping, and the consistency
+report.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.catalog import FIGURE7_ELABORATION_SCRIPT, university_schema
+from repro.designer import DesignSession
+from repro.ops import parse_script
+from repro.repository import SchemaRepository
+
+
+def main() -> None:
+    session = DesignSession(
+        SchemaRepository(university_schema(), custom_name="my_university")
+    )
+
+    print("=== concept schemas of the shrink wrap schema ===")
+    print(session.list_concepts())
+
+    print()
+    print("=== the Course Offering point of view (Figure 3) ===")
+    print(session.select("ww:Course_Offering"))
+
+    print()
+    print("=== elaborating it into Figure 7 ===")
+    for operation in parse_script(FIGURE7_ELABORATION_SCRIPT):
+        applied = session.modify(operation.to_text())
+        marker = "ok " if applied else "REJ"
+        print(f"  [{marker}] {operation.to_text()}")
+
+    deliverables = session.finish()
+
+    print()
+    print("=== custom schema: the new Schedule type ===")
+    print(session.show_odl("Schedule"))
+
+    print()
+    print("=== mapping (original -> custom) ===")
+    print(deliverables.mapping.render())
+
+    print()
+    print("=== consistency report ===")
+    print(session.check())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro: shrink wrap schema reuse via concept schema modification.
+
+A faithful, from-scratch reproduction of Delcambre & Langston, "Reusing
+(Shrink Wrap) Schemas by Modifying Concept Schemas" (OGI TR CS/E 95-009;
+ICDE 1996).  The library provides:
+
+* an extended ODMG object model with part-of and instance-of
+  relationships (:mod:`repro.model`) and its ODL front end
+  (:mod:`repro.odl`);
+* the four concept schema types and the decomposition algorithm
+  (:mod:`repro.concepts`);
+* the complete Appendix A modification-operation language
+  (:mod:`repro.ops`);
+* the schema repository, workspace, and mapping (:mod:`repro.repository`);
+* the knowledge component -- constraints, propagation, consistency,
+  impact reports (:mod:`repro.knowledge`);
+* the interactive schema designer (:mod:`repro.designer`);
+* the paper's example schemas (:mod:`repro.catalog`) and analyses
+  (:mod:`repro.analysis`).
+
+Quick start::
+
+    from repro.catalog import university_schema
+    from repro.designer import DesignSession
+    from repro.repository import SchemaRepository
+
+    session = DesignSession(SchemaRepository(university_schema()))
+    print(session.list_concepts())
+    session.select("ww:Course_Offering")
+    session.modify("delete_attribute(Course_Offering, room)")
+    deliverables = session.finish("my_university")
+    print(deliverables.mapping.render())
+"""
+
+from repro.concepts import ConceptKind, decompose, reconstruct
+from repro.designer import DesignSession
+from repro.model import Schema
+from repro.odl import parse_schema, print_schema
+from repro.ops import parse_operation, parse_script
+from repro.repository import SchemaRepository, Workspace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConceptKind",
+    "DesignSession",
+    "Schema",
+    "SchemaRepository",
+    "Workspace",
+    "__version__",
+    "decompose",
+    "parse_operation",
+    "parse_schema",
+    "parse_script",
+    "print_schema",
+    "reconstruct",
+]

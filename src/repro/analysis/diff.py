@@ -1,0 +1,329 @@
+"""Construct-level diff between two schemas.
+
+The diff is the machine behind the repository's *mapping* deliverable:
+"a mapping representation that records the semantic correspondence
+between the shrink wrap and customized schema" (Section 5, activity 10).
+Under the paper's name-equivalence and stability assumptions the
+correspondence is computable purely structurally:
+
+* a construct present in both schemas under the same name corresponds to
+  itself -- ``UNCHANGED`` when identical, ``MODIFIED`` otherwise;
+* an attribute / relationship end / operation that disappeared from one
+  type but appears under the same name in a generalization relative is
+  the *same* construct after a move -- ``MOVED`` (semantic stability
+  guarantees moves only happen along ISA paths);
+* anything else present only in the original is ``DELETED``, and present
+  only in the custom schema is ``ADDED``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.model.interface import InterfaceDef
+from repro.model.schema import Schema
+
+
+class ChangeStatus(enum.Enum):
+    """Correspondence status of one construct."""
+
+    UNCHANGED = "unchanged"
+    MODIFIED = "modified"
+    ADDED = "added"
+    DELETED = "deleted"
+    MOVED = "moved"
+
+
+#: Construct categories a diff entry can refer to.
+CATEGORIES = (
+    "type", "supertype", "extent", "key",
+    "attribute", "relationship", "operation",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeEntry:
+    """One construct correspondence between original and custom schema.
+
+    ``path`` is ``Type`` / ``Type.name`` / ``Type.keys(a,b)`` style;
+    for ``MOVED`` entries ``moved_to`` names the new owning type.
+    """
+
+    category: str
+    path: str
+    status: ChangeStatus
+    detail: str = ""
+    moved_to: str | None = None
+
+    def __str__(self) -> str:
+        text = f"{self.status.value:9s} {self.category:12s} {self.path}"
+        if self.moved_to:
+            text += f" -> {self.moved_to}"
+        if self.detail:
+            text += f"  ({self.detail})"
+        return text
+
+
+@dataclass
+class SchemaDiff:
+    """All construct correspondences between two schemas."""
+
+    original_name: str
+    custom_name: str
+    entries: list[ChangeEntry]
+
+    def of_status(self, status: ChangeStatus) -> list[ChangeEntry]:
+        """Entries with one status, in diff order."""
+        return [entry for entry in self.entries if entry.status is status]
+
+    def changed(self) -> list[ChangeEntry]:
+        """Every entry that is not ``UNCHANGED``."""
+        return [
+            entry
+            for entry in self.entries
+            if entry.status is not ChangeStatus.UNCHANGED
+        ]
+
+    def is_empty(self) -> bool:
+        """True when the two schemas are identical."""
+        return not self.changed()
+
+    def counts(self) -> dict[str, int]:
+        """Entry counts per status (used by reports and benches)."""
+        result = {status.value: 0 for status in ChangeStatus}
+        for entry in self.entries:
+            result[entry.status.value] += 1
+        return result
+
+    def summary(self) -> str:
+        """Multi-line listing of every non-unchanged entry."""
+        lines = [
+            f"diff {self.original_name!r} -> {self.custom_name!r}:",
+        ]
+        changed = self.changed()
+        if not changed:
+            lines.append("  (schemas are identical)")
+        lines.extend(f"  {entry}" for entry in changed)
+        return "\n".join(lines)
+
+
+def diff_schemas(original: Schema, custom: Schema) -> SchemaDiff:
+    """Compute the construct-level diff from *original* to *custom*."""
+    entries: list[ChangeEntry] = []
+    original_types = set(original.type_names())
+    custom_types = set(custom.type_names())
+
+    for name in original.type_names():
+        if name in custom_types:
+            entries.append(
+                ChangeEntry(
+                    "type", name,
+                    ChangeStatus.UNCHANGED
+                    if _interfaces_equal(original.get(name), custom.get(name))
+                    else ChangeStatus.MODIFIED,
+                )
+            )
+            entries.extend(
+                _diff_interface(original, custom, name)
+            )
+        else:
+            entries.append(ChangeEntry("type", name, ChangeStatus.DELETED))
+            entries.extend(
+                _members_as(original.get(name), original, custom,
+                            ChangeStatus.DELETED, moved_check=True)
+            )
+    for name in custom.type_names():
+        if name not in original_types:
+            entries.append(ChangeEntry("type", name, ChangeStatus.ADDED))
+            entries.extend(
+                _members_as(custom.get(name), custom, original,
+                            ChangeStatus.ADDED, moved_check=False)
+            )
+    return SchemaDiff(original.name, custom.name, entries)
+
+
+def _interfaces_equal(first: InterfaceDef, second: InterfaceDef) -> bool:
+    from repro.model.fingerprint import interface_fingerprint
+
+    return interface_fingerprint(first) == interface_fingerprint(second)
+
+
+def _diff_interface(
+    original: Schema, custom: Schema, name: str
+) -> Iterator[ChangeEntry]:
+    """Diff the members of a type present in both schemas."""
+    old = original.get(name)
+    new = custom.get(name)
+
+    for supertype in old.supertypes:
+        if supertype in new.supertypes:
+            yield ChangeEntry(
+                "supertype", f"{name} ISA {supertype}", ChangeStatus.UNCHANGED
+            )
+        else:
+            yield ChangeEntry(
+                "supertype", f"{name} ISA {supertype}", ChangeStatus.DELETED
+            )
+    for supertype in new.supertypes:
+        if supertype not in old.supertypes:
+            yield ChangeEntry(
+                "supertype", f"{name} ISA {supertype}", ChangeStatus.ADDED
+            )
+
+    if old.extent != new.extent:
+        if old.extent is None:
+            yield ChangeEntry(
+                "extent", f"{name}.extent={new.extent}", ChangeStatus.ADDED
+            )
+        elif new.extent is None:
+            yield ChangeEntry(
+                "extent", f"{name}.extent={old.extent}", ChangeStatus.DELETED
+            )
+        else:
+            yield ChangeEntry(
+                "extent", f"{name}.extent", ChangeStatus.MODIFIED,
+                detail=f"{old.extent} -> {new.extent}",
+            )
+    elif old.extent is not None:
+        yield ChangeEntry(
+            "extent", f"{name}.extent={old.extent}", ChangeStatus.UNCHANGED
+        )
+
+    for key in old.keys:
+        status = (
+            ChangeStatus.UNCHANGED if key in new.keys else ChangeStatus.DELETED
+        )
+        yield ChangeEntry("key", f"{name}.keys({', '.join(key)})", status)
+    for key in new.keys:
+        if key not in old.keys:
+            yield ChangeEntry(
+                "key", f"{name}.keys({', '.join(key)})", ChangeStatus.ADDED
+            )
+
+    yield from _diff_members(
+        "attribute", old.attributes, new.attributes, name, original, custom
+    )
+    yield from _diff_members(
+        "relationship", old.relationships, new.relationships, name,
+        original, custom,
+    )
+    yield from _diff_members(
+        "operation", old.operations, new.operations, name, original, custom
+    )
+
+
+def _diff_members(
+    category: str, old_members: dict, new_members: dict, owner: str,
+    original: Schema, custom: Schema,
+) -> Iterator[ChangeEntry]:
+    for member_name, old_value in old_members.items():
+        path = f"{owner}.{member_name}"
+        if member_name in new_members:
+            new_value = new_members[member_name]
+            if _member_equal(category, old_value, new_value):
+                yield ChangeEntry(category, path, ChangeStatus.UNCHANGED)
+            else:
+                yield ChangeEntry(
+                    category, path, ChangeStatus.MODIFIED,
+                    detail=f"{old_value} -> {new_value}",
+                )
+        else:
+            new_owner = _find_move_target(
+                category, member_name, owner, original, custom
+            )
+            if new_owner is not None:
+                yield ChangeEntry(
+                    category, path, ChangeStatus.MOVED, moved_to=new_owner
+                )
+            else:
+                yield ChangeEntry(category, path, ChangeStatus.DELETED)
+    for member_name, new_value in new_members.items():
+        if member_name in old_members:
+            continue
+        old_owner = _find_move_target(
+            category, member_name, owner, custom, original
+        )
+        if old_owner is not None:
+            continue  # reported as MOVED from the other side
+        yield ChangeEntry(
+            category, f"{owner}.{member_name}", ChangeStatus.ADDED
+        )
+
+
+def _member_equal(category: str, old_value, new_value) -> bool:
+    if category == "relationship":
+        # Ends compare by full value; retargets show as MODIFIED here and
+        # the moved inverse declaration as MOVED on the other type.
+        return old_value == new_value
+    return old_value == new_value
+
+
+def _find_move_target(
+    category: str, member_name: str, owner: str,
+    source: Schema, destination: Schema,
+) -> str | None:
+    """Find the ISA relative of *owner* now holding *member_name*.
+
+    ISA relatives are gathered from both schemas: *owner* may have been
+    deleted from one side (a type deletion after moving its information
+    up the hierarchy), so either hierarchy may hold the relating edges.
+    """
+    relatives: set[str] = set()
+    for schema in (source, destination):
+        if owner in schema:
+            relatives |= schema.ancestors(owner) | schema.descendants(owner)
+    if not relatives:
+        return None
+    for candidate in sorted(relatives):
+        if candidate == owner or candidate not in destination:
+            continue
+        if member_name not in _members_of(destination.get(candidate), category):
+            continue
+        # The member must be new to the candidate: a genuine move, not a
+        # same-named construct that already existed there.
+        already_there = candidate in source and member_name in _members_of(
+            source.get(candidate), category
+        )
+        if not already_there:
+            return candidate
+    return None
+
+
+def _members_of(interface: InterfaceDef, category: str) -> dict:
+    return {
+        "attribute": interface.attributes,
+        "relationship": interface.relationships,
+        "operation": interface.operations,
+    }[category]
+
+
+def _members_as(
+    interface: InterfaceDef, owning_schema: Schema, other_schema: Schema,
+    status: ChangeStatus, moved_check: bool,
+) -> Iterator[ChangeEntry]:
+    """Report every member of a type that exists on only one side.
+
+    With ``moved_check`` set, members that reappear under the same name in
+    an ISA relative on the other side are reported as ``MOVED`` instead
+    of *status* -- a type deletion often follows moving its information
+    up the hierarchy.
+    """
+    for category in ("attribute", "relationship", "operation"):
+        for member_name in _members_of(interface, category):
+            moved_to = None
+            if moved_check:
+                moved_to = _find_move_target(
+                    category, member_name, interface.name,
+                    owning_schema, other_schema,
+                )
+            if moved_to is not None:
+                yield ChangeEntry(
+                    category, f"{interface.name}.{member_name}",
+                    ChangeStatus.MOVED, moved_to=moved_to,
+                )
+            else:
+                yield ChangeEntry(
+                    category, f"{interface.name}.{member_name}", status
+                )

@@ -1,0 +1,135 @@
+"""Schema families: the descendants of one shrink wrap schema.
+
+Section 4 describes ACEDB spawning "a family of related, customized
+schemas based on the original schema"; Section 5 adds that systems
+built from one shrink wrap schema interoperate through their common
+objects.  A :class:`SchemaFamily` manages exactly that: one root shrink
+wrap schema, any number of derived members (each a full repository with
+its own script and mapping), the pairwise common objects, and the
+family-wide affinity picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.diff import ChangeStatus
+from repro.analysis.similarity import affinity_matrix, schema_affinity
+from repro.model.errors import SchemaError
+from repro.model.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - the import cycle is runtime-only
+    from repro.repository.repository import SchemaRepository
+
+
+@dataclass
+class FamilyMember:
+    """One derived schema with its derivation record."""
+
+    name: str
+    repository: "SchemaRepository"
+
+    @property
+    def schema(self) -> Schema:
+        assert self.repository.custom_schema is not None
+        return self.repository.custom_schema
+
+    @property
+    def operation_count(self) -> int:
+        return len(self.repository.workspace.log)
+
+    @property
+    def reuse_ratio(self) -> float:
+        assert self.repository.mapping is not None
+        return self.repository.mapping.reuse_ratio()
+
+
+@dataclass
+class SchemaFamily:
+    """A shrink wrap schema and every system derived from it."""
+
+    root: Schema
+    members: dict[str, FamilyMember] = field(default_factory=dict)
+
+    def derive(self, name: str, script: str) -> FamilyMember:
+        """Create a member by applying a customization script to the root."""
+        # Imported here: the repository layer itself builds on the
+        # analysis layer (diff -> mapping), so the dependency must stay
+        # one-way at import time.
+        from repro.ops.language import parse_script
+        from repro.repository.repository import SchemaRepository
+
+        if name in self.members:
+            raise SchemaError(f"family already has a member {name!r}")
+        repository = SchemaRepository(self.root.copy(), custom_name=name)
+        for operation in parse_script(script):
+            repository.apply(operation)
+        repository.generate_custom_schema()
+        repository.generate_mapping()
+        member = FamilyMember(name, repository)
+        self.members[name] = member
+        return member
+
+    def member(self, name: str) -> FamilyMember:
+        try:
+            return self.members[name]
+        except KeyError:
+            raise SchemaError(f"no family member {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Interoperation analysis
+    # ------------------------------------------------------------------
+
+    def common_objects(self, first: str, second: str) -> set[str]:
+        """Construct paths semantically shared by two members.
+
+        A construct is common when both members' mappings relate it back
+        to the same shrink wrap construct (unchanged, modified, or
+        moved) -- the "semantically identical constructs [that] have
+        already been identified" of Section 5.
+        """
+        def surviving(member: FamilyMember) -> set[str]:
+            mapping = member.repository.mapping
+            assert mapping is not None
+            return {
+                entry.path
+                for entry in mapping.corresponding()
+                if entry.status is not ChangeStatus.MOVED
+            }
+
+        return surviving(self.member(first)) & surviving(self.member(second))
+
+    def family_common_objects(self) -> set[str]:
+        """Constructs shared by *every* member of the family."""
+        names = list(self.members)
+        if not names:
+            return set()
+        shared = self.common_objects(names[0], names[0])
+        for name in names[1:]:
+            shared &= self.common_objects(names[0], name)
+        return shared
+
+    def affinities(self) -> list[list[float]]:
+        """Pairwise schema affinities (root first, then members)."""
+        schemas = [self.root] + [m.schema for m in self.members.values()]
+        return affinity_matrix(schemas)
+
+    def render(self) -> str:
+        """Family tree with derivation stats and pairwise affinities."""
+        lines = [f"schema family rooted at {self.root.name!r}:"]
+        for member in self.members.values():
+            lines.append(
+                f"  +- {member.name}: {member.operation_count} operations, "
+                f"reuse ratio {member.reuse_ratio:.2f}, affinity to root "
+                f"{schema_affinity(self.root, member.schema):.2f}"
+            )
+        names = list(self.members)
+        for index, first in enumerate(names):
+            for second in names[index + 1:]:
+                shared = self.common_objects(first, second)
+                lines.append(
+                    f"  {first} <-> {second}: {len(shared)} common objects"
+                )
+        return "\n".join(lines)

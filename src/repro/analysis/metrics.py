@@ -1,0 +1,146 @@
+"""Schema complexity metrics.
+
+The introduction motivates the whole approach with schema complexity:
+"a global schema, by its very nature, integrates all views ... global
+schemas can be difficult to understand and to modify."  These metrics
+quantify that complexity -- and, by comparing a whole schema against its
+concept schemas, quantify how much smaller each point of view is than
+the global schema the designer would otherwise face (the decomposition
+payoff the paper argues for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.concepts.decompose import Decomposition, decompose
+from repro.model.schema import Schema
+
+
+@dataclass(frozen=True, slots=True)
+class SchemaMetrics:
+    """Size and shape numbers for one schema."""
+
+    interfaces: int
+    attributes: int
+    relationship_ends: int
+    operations: int
+    supertype_links: int
+    part_of_links: int
+    instance_of_links: int
+    constructs: int
+    max_generalization_depth: int
+    max_relationship_fanout: int
+    isolated_types: int
+
+    def render(self) -> str:
+        """Aligned one-metric-per-line rendering."""
+        rows = [
+            ("interfaces", self.interfaces),
+            ("attributes", self.attributes),
+            ("relationship ends", self.relationship_ends),
+            ("operations", self.operations),
+            ("supertype links", self.supertype_links),
+            ("part-of links", self.part_of_links),
+            ("instance-of links", self.instance_of_links),
+            ("total constructs", self.constructs),
+            ("max generalization depth", self.max_generalization_depth),
+            ("max relationship fan-out", self.max_relationship_fanout),
+            ("isolated types", self.isolated_types),
+        ]
+        width = max(len(label) for label, _ in rows)
+        return "\n".join(
+            f"{label.ljust(width)}  {value}" for label, value in rows
+        )
+
+
+def schema_metrics(schema: Schema) -> SchemaMetrics:
+    """Compute the complexity metrics of *schema*."""
+    stats = schema.stats()
+    constructs = (
+        stats["interfaces"]
+        + stats["attributes"]
+        + stats["relationship_ends"]
+        + stats["operations"]
+        + stats["supertype_links"]
+        + sum(len(i.keys) for i in schema)
+        + sum(1 for i in schema if i.extent is not None)
+    )
+    depth = 0
+    for root in schema.generalization_roots():
+        depth = max(depth, _depth_below(schema, root))
+    fanout = max(
+        (len(i.relationships) for i in schema), default=0
+    )
+    isolated = sum(
+        1
+        for i in schema
+        if not i.relationships
+        and not i.supertypes
+        and not schema.subtypes(i.name)
+    )
+    return SchemaMetrics(
+        interfaces=stats["interfaces"],
+        attributes=stats["attributes"],
+        relationship_ends=stats["relationship_ends"],
+        operations=stats["operations"],
+        supertype_links=stats["supertype_links"],
+        part_of_links=stats["part_of_links"],
+        instance_of_links=stats["instance_of_links"],
+        constructs=constructs,
+        max_generalization_depth=depth,
+        max_relationship_fanout=fanout,
+        isolated_types=isolated,
+    )
+
+
+def _depth_below(schema: Schema, node: str, seen: frozenset[str] = frozenset()) -> int:
+    subtypes = [s for s in schema.subtypes(node) if s not in seen]
+    if not subtypes:
+        return 0
+    return 1 + max(
+        _depth_below(schema, s, seen | {node}) for s in subtypes
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class DecompositionPayoff:
+    """How much smaller the points of view are than the global schema.
+
+    ``mean_concept_fraction`` is the average number of types a designer
+    faces per concept schema divided by the global type count -- the
+    paper's "consider the shrink wrap schema a piece at a time" benefit,
+    as a number.
+    """
+
+    global_types: int
+    concept_count: int
+    mean_concept_types: float
+    largest_concept_types: int
+    mean_concept_fraction: float
+
+    def render(self) -> str:
+        return (
+            f"global schema: {self.global_types} types; "
+            f"{self.concept_count} concept schemas averaging "
+            f"{self.mean_concept_types:.1f} types each "
+            f"({self.mean_concept_fraction:.0%} of the global schema; "
+            f"largest {self.largest_concept_types})"
+        )
+
+
+def decomposition_payoff(
+    schema: Schema, decomposition: Decomposition | None = None
+) -> DecompositionPayoff:
+    """Quantify the per-concept-schema size relative to the whole."""
+    decomposition = decomposition or decompose(schema)
+    sizes = [len(c.members) for c in decomposition.all_concepts()]
+    global_types = max(len(schema), 1)
+    mean_size = sum(sizes) / len(sizes) if sizes else 0.0
+    return DecompositionPayoff(
+        global_types=len(schema),
+        concept_count=len(sizes),
+        mean_concept_types=mean_size,
+        largest_concept_types=max(sizes, default=0),
+        mean_concept_fraction=mean_size / global_types,
+    )

@@ -1,0 +1,128 @@
+"""Relationship paths between object types.
+
+A designer reading an unfamiliar shrink wrap schema often asks "how is X
+related to Y?" -- the wagon wheel shows distance one, but longer chains
+span several concept schemas.  :func:`find_path` answers with the
+shortest chain of relationship traversals and ISA links connecting two
+object types, and :func:`render_path` verbalises it.
+
+The designer CLI exposes this as ``relate <X> <Y>``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.model.relationships import RelationshipKind
+from repro.model.schema import Schema
+
+
+@dataclass(frozen=True, slots=True)
+class PathStep:
+    """One hop of a relationship path."""
+
+    source: str
+    target: str
+    label: str
+    kind: str  # "relationship" | "part_of" | "instance_of" | "isa" | "inherits"
+
+    def describe(self) -> str:
+        if self.kind == "isa":
+            return f"{self.source} is a kind of {self.target}"
+        if self.kind == "inherits":
+            return f"{self.target} is a kind of {self.source}"
+        connector = {
+            "relationship": "relates to",
+            "part_of": "has part / is part of",
+            "instance_of": "is instance-of-linked to",
+        }[self.kind]
+        return f"{self.source} {connector} {self.target} via {self.label}"
+
+
+_KIND_LABEL = {
+    RelationshipKind.ASSOCIATION: "relationship",
+    RelationshipKind.PART_OF: "part_of",
+    RelationshipKind.INSTANCE_OF: "instance_of",
+}
+
+
+def _edges(schema: Schema, follow_isa: bool) -> dict[str, list[PathStep]]:
+    adjacency: dict[str, list[PathStep]] = {
+        name: [] for name in schema.type_names()
+    }
+    for owner, end in schema.relationship_pairs():
+        if end.target_type in adjacency:
+            adjacency[owner].append(
+                PathStep(owner, end.target_type, end.name,
+                         _KIND_LABEL[end.kind])
+            )
+    if follow_isa:
+        for interface in schema:
+            for supertype in interface.supertypes:
+                if supertype in adjacency:
+                    adjacency[interface.name].append(
+                        PathStep(interface.name, supertype, "ISA", "isa")
+                    )
+                    adjacency[supertype].append(
+                        PathStep(supertype, interface.name, "ISA", "inherits")
+                    )
+    return adjacency
+
+
+def find_path(
+    schema: Schema, source: str, target: str, follow_isa: bool = True
+) -> list[PathStep] | None:
+    """Shortest relationship path from *source* to *target*.
+
+    Relationship ends are directed by their declarations, but every
+    relationship is declared in both participants, so connectivity is
+    effectively symmetric.  With ``follow_isa`` set (the default),
+    generalization links may be traversed in both directions --
+    a Student reaches a Course_Offering either directly (takes) or
+    through Person/Faculty (teaches).  Returns ``None`` when no path
+    exists; an empty list when source and target coincide.
+    """
+    schema.get(source)
+    schema.get(target)
+    if source == target:
+        return []
+    adjacency = _edges(schema, follow_isa)
+    frontier: deque[str] = deque([source])
+    parents: dict[str, PathStep] = {}
+    seen = {source}
+    while frontier:
+        current = frontier.popleft()
+        for step in adjacency[current]:
+            if step.target in seen:
+                continue
+            parents[step.target] = step
+            if step.target == target:
+                return _reconstruct(parents, source, target)
+            seen.add(step.target)
+            frontier.append(step.target)
+    return None
+
+
+def _reconstruct(
+    parents: dict[str, PathStep], source: str, target: str
+) -> list[PathStep]:
+    path: list[PathStep] = []
+    current = target
+    while current != source:
+        step = parents[current]
+        path.append(step)
+        current = step.source
+    path.reverse()
+    return path
+
+
+def render_path(path: list[PathStep] | None, source: str, target: str) -> str:
+    """Verbalise a path result for the designer."""
+    if path is None:
+        return f"{source} and {target} are not connected"
+    if not path:
+        return f"{source} is {target}"
+    lines = [f"{source} reaches {target} in {len(path)} step(s):"]
+    lines.extend(f"  {step.describe()}" for step in path)
+    return "\n".join(lines)

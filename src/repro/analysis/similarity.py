@@ -1,0 +1,126 @@
+"""Schema similarity metrics for the ACEDB family study (Section 4).
+
+The paper examines "the common classes in the three schemas to determine
+the similarity of the system schemas" and observes that "the object
+types have the same name and further study of the type definitions
+reveals that much of the structure is the same."  These metrics put
+numbers on that observation, in the spirit of the *semantic affinity*
+measure of Castano et al. that the related-work section discusses:
+
+* :func:`name_affinity` -- Jaccard similarity of the type-name sets;
+* :func:`type_affinity` -- structural similarity of two same-named
+  types (shared attributes / relationships / operations / supertypes);
+* :func:`schema_affinity` -- name affinity combined with the mean
+  structural affinity of the shared types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.interface import InterfaceDef
+from repro.model.schema import Schema
+
+
+def _jaccard(first: set, second: set) -> float:
+    """Jaccard similarity; two empty sets count as identical."""
+    if not first and not second:
+        return 1.0
+    return len(first & second) / len(first | second)
+
+
+def name_affinity(first: Schema, second: Schema) -> float:
+    """Jaccard similarity of the two schemas' type-name sets."""
+    return _jaccard(set(first.type_names()), set(second.type_names()))
+
+
+def type_affinity(first: InterfaceDef, second: InterfaceDef) -> float:
+    """Structural similarity of two (usually same-named) types.
+
+    The mean of four Jaccard scores: attribute names, relationship
+    traversal paths, operation names, and supertype names.  1.0 means
+    structurally identical property sets (values may still differ).
+    """
+    scores = [
+        _jaccard(set(first.attributes), set(second.attributes)),
+        _jaccard(set(first.relationships), set(second.relationships)),
+        _jaccard(set(first.operations), set(second.operations)),
+        _jaccard(set(first.supertypes), set(second.supertypes)),
+    ]
+    return sum(scores) / len(scores)
+
+
+@dataclass(frozen=True, slots=True)
+class AffinityReport:
+    """Similarity of two schemas, with per-shared-type detail."""
+
+    first_name: str
+    second_name: str
+    name_affinity: float
+    shared_types: tuple[str, ...]
+    type_affinities: tuple[tuple[str, float], ...]
+
+    @property
+    def mean_type_affinity(self) -> float:
+        """Mean structural affinity over the shared types."""
+        if not self.type_affinities:
+            return 0.0
+        return sum(score for _, score in self.type_affinities) / len(
+            self.type_affinities
+        )
+
+    @property
+    def schema_affinity(self) -> float:
+        """Equal-weight combination of name and structural affinity."""
+        return (self.name_affinity + self.mean_type_affinity) / 2
+
+    def render(self) -> str:
+        """Multi-line affinity report."""
+        lines = [
+            f"affinity {self.first_name!r} vs {self.second_name!r}:",
+            f"  shared types ({len(self.shared_types)}): "
+            + ", ".join(self.shared_types),
+            f"  name affinity:       {self.name_affinity:.3f}",
+            f"  mean type affinity:  {self.mean_type_affinity:.3f}",
+            f"  schema affinity:     {self.schema_affinity:.3f}",
+        ]
+        for type_name, score in self.type_affinities:
+            lines.append(f"    {type_name:20s} {score:.3f}")
+        return "\n".join(lines)
+
+
+def affinity_report(first: Schema, second: Schema) -> AffinityReport:
+    """Compute the full affinity report between two schemas."""
+    shared = tuple(
+        name for name in first.type_names() if name in second.interfaces
+    )
+    type_affinities = tuple(
+        (name, type_affinity(first.get(name), second.get(name)))
+        for name in shared
+    )
+    return AffinityReport(
+        first_name=first.name,
+        second_name=second.name,
+        name_affinity=name_affinity(first, second),
+        shared_types=shared,
+        type_affinities=type_affinities,
+    )
+
+
+def schema_affinity(first: Schema, second: Schema) -> float:
+    """Shorthand for ``affinity_report(...).schema_affinity``."""
+    return affinity_report(first, second).schema_affinity
+
+
+def affinity_matrix(schemas: list[Schema]) -> list[list[float]]:
+    """Pairwise schema affinities (symmetric, 1.0 on the diagonal)."""
+    matrix = []
+    for row_schema in schemas:
+        row = []
+        for col_schema in schemas:
+            if row_schema is col_schema:
+                row.append(1.0)
+            else:
+                row.append(schema_affinity(row_schema, col_schema))
+        matrix.append(row)
+    return matrix

@@ -1,0 +1,102 @@
+"""The catalog of example shrink wrap schemas from the paper.
+
+==================  ==========================================
+schema              paper artifact
+==================  ==========================================
+``university``      Figures 3, 4, 7 (course offerings, students)
+``lumber_yard``     Figure 5 (house parts explosion)
+``emsl_software``   Figure 6 (software version instance-of chain)
+``company``         Figure 8 (modify-target-type example)
+``acedb``           Figure 9 / Section 4 (nematode genome database)
+==================  ==========================================
+
+AAtDB (Figure 11) and SacchDB (Figure 10) are *derived* schemas: they
+are produced by applying the recorded customization scripts to the ACEDB
+shrink wrap schema, demonstrating the Section 4 case study.
+"""
+
+from typing import Callable
+
+from repro.catalog.business import BUSINESS_ODL, business_schema
+from repro.catalog.company import (
+    COMPANY_ODL,
+    FIGURE8_AFTER,
+    FIGURE8_BEFORE,
+    FIGURE8_OPERATION,
+    company_schema,
+)
+from repro.catalog.genome import (
+    AATDB_SCRIPT,
+    ACEDB_ODL,
+    SACCHDB_SCRIPT,
+    aatdb_repository,
+    aatdb_schema,
+    acedb_schema,
+    common_classes,
+    sacchdb_repository,
+    sacchdb_schema,
+)
+from repro.catalog.house import HOUSE_ODL, house_schema
+from repro.catalog.software import SOFTWARE_ODL, software_schema
+from repro.catalog.university import (
+    CORRESPONDENCE_SIMPLIFICATION_SCRIPT,
+    FIGURE7_ELABORATION_SCRIPT,
+    UNIVERSITY_ODL,
+    university_schema,
+)
+from repro.model.errors import SchemaError
+from repro.model.schema import Schema
+
+#: Loadable shrink wrap schemas by name.
+SCHEMA_BUILDERS: dict[str, Callable[[], Schema]] = {
+    "university": university_schema,
+    "lumber_yard": house_schema,
+    "emsl_software": software_schema,
+    "company": company_schema,
+    "acedb": acedb_schema,
+    "business_objects": business_schema,
+    "aatdb": aatdb_schema,
+    "sacchdb": sacchdb_schema,
+}
+
+
+def load(name: str) -> Schema:
+    """Build one catalog schema by name."""
+    try:
+        builder = SCHEMA_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEMA_BUILDERS))
+        raise SchemaError(
+            f"unknown catalog schema {name!r} (known: {known})"
+        ) from None
+    return builder()
+
+
+__all__ = [
+    "AATDB_SCRIPT",
+    "BUSINESS_ODL",
+    "ACEDB_ODL",
+    "COMPANY_ODL",
+    "CORRESPONDENCE_SIMPLIFICATION_SCRIPT",
+    "FIGURE7_ELABORATION_SCRIPT",
+    "FIGURE8_AFTER",
+    "FIGURE8_BEFORE",
+    "FIGURE8_OPERATION",
+    "HOUSE_ODL",
+    "SACCHDB_SCRIPT",
+    "SCHEMA_BUILDERS",
+    "SOFTWARE_ODL",
+    "UNIVERSITY_ODL",
+    "aatdb_repository",
+    "aatdb_schema",
+    "acedb_schema",
+    "business_schema",
+    "common_classes",
+    "company_schema",
+    "house_schema",
+    "load",
+    "sacchdb_repository",
+    "sacchdb_schema",
+    "software_schema",
+    "university_schema",
+]

@@ -1,0 +1,115 @@
+"""A business-objects shrink wrap schema (the Section 5 application).
+
+The paper closes with an application of shrink wrap schemas to
+interoperation: "Work in progress [OMG BOMSIG] is attempting to
+establish a Business Object Model to promote the conduct of business
+over the network.  In general, systems built from the same shrink wrap
+schema (i.e., common objects) can be integrated for information
+interchange because the semantically identical constructs have already
+been identified."
+
+This schema is a plausible such business object model -- parties,
+orders, products, invoices -- exercising every construct of the extended
+model: a generalization hierarchy of parties, an order/line-item parts
+explosion, and a product/catalogue-item instance-of link.
+"""
+
+from __future__ import annotations
+
+from repro.model.schema import Schema
+from repro.odl.parser import parse_schema
+
+BUSINESS_ODL = """
+// A Business Object Model shrink wrap schema (Section 5's application).
+
+interface Party {
+    extent parties;
+    keys (party_id);
+    attribute long party_id;
+    attribute string(60) name;
+    string(60) display_name();
+};
+
+interface Person : Party {
+    attribute date born;
+};
+
+interface Organization : Party {
+    attribute string(20) registration_number;
+    relationship set<Person> contacts inverse Person::contact_for;
+};
+
+interface Customer : Party {
+    attribute string(10) rating;
+    relationship set<Order> places inverse Order::placed_by order_by (number);
+};
+
+interface Supplier : Organization {
+    relationship set<Product> supplies inverse Product::supplied_by;
+};
+
+interface Order {
+    extent orders;
+    keys (number);
+    attribute string(12) number;
+    attribute date placed_on;
+    attribute string(10) status;
+    relationship Customer placed_by inverse Customer::places;
+    part_of relationship set<Line_Item> lines inverse Line_Item::line_of;
+    relationship Invoice billed_by inverse Invoice::bills;
+    float total();
+};
+
+interface Line_Item {
+    attribute short quantity;
+    attribute float unit_price;
+    part_of relationship Order line_of inverse Order::lines;
+    relationship Product item inverse Product::ordered_in;
+};
+
+interface Product {
+    extent products;
+    keys (sku);
+    attribute string(16) sku;
+    attribute string(60) description;
+    relationship Supplier supplied_by inverse Supplier::supplies;
+    relationship set<Line_Item> ordered_in inverse Line_Item::item;
+    instance_of relationship set<Catalogue_Item> listings
+        inverse Catalogue_Item::listing_of;
+};
+
+interface Catalogue_Item {
+    attribute string(12) catalogue_code;
+    attribute float list_price;
+    attribute date valid_from;
+    instance_of relationship Product listing_of inverse Product::listings;
+};
+
+interface Invoice {
+    extent invoices;
+    keys (invoice_number);
+    attribute string(12) invoice_number;
+    attribute date issued_on;
+    attribute float amount;
+    relationship Order bills inverse Order::billed_by;
+};
+"""
+
+def business_schema(name: str = "business_objects") -> Schema:
+    """Parse and return the business-objects shrink wrap schema."""
+    schema = parse_schema(BUSINESS_ODL, name=name)
+    # The Person::contact_for inverse end, declared programmatically to
+    # show the model API beside the ODL surface.
+    from repro.model.relationships import association
+    from repro.model.types import named
+
+    person = schema.get("Person")
+    if "contact_for" not in person.relationships:
+        person.add_relationship(
+            association(
+                "contact_for", named("Organization"),
+                "Organization", "contacts",
+            )
+        )
+    schema.validate()
+    return schema

@@ -1,0 +1,59 @@
+"""The department/employee schema of the Figure 8 example.
+
+Section 3.4 uses it to demonstrate ``modify_relationship_target_type``:
+"a department has an employee and the employee works in a department.
+Now suppose that students also work in departments, so modify the target
+type of works_in_a from employee to person."
+"""
+
+from __future__ import annotations
+
+from repro.model.schema import Schema
+from repro.odl.parser import parse_schema
+
+COMPANY_ODL = """
+// Figure 8: the modify-target-type example schema.
+
+interface Person {
+    extent people;
+    keys (id);
+    attribute long id;
+    attribute string(40) name;
+};
+
+interface Employee : Person {
+    attribute float salary;
+    relationship Department works_in_a inverse Department::has;
+};
+
+interface Student : Person {
+    attribute float gpa;
+};
+
+interface Department {
+    extent departments;
+    keys (code);
+    attribute string(10) code;
+    relationship set<Employee> has inverse Employee::works_in_a;
+};
+"""
+
+#: The Section 3.4 operation, in the prose's own three-argument form.
+FIGURE8_OPERATION = "modify_relationship_target_type(Employee, works_in_a, Person)"
+
+#: The paper's before/after ODL listings for the two relationship ends.
+FIGURE8_BEFORE = {
+    "Department": "relationship set<Employee> has inverse Employee::works_in_a",
+    "Employee": "relationship Department works_in_a inverse Department::has",
+}
+FIGURE8_AFTER = {
+    "Department": "relationship set<Person> has inverse Person::works_in_a",
+    "Person": "relationship Department works_in_a inverse Department::has",
+}
+
+
+def company_schema(name: str = "company") -> Schema:
+    """Parse and return the Figure 8 example schema."""
+    schema = parse_schema(COMPANY_ODL, name=name)
+    schema.validate()
+    return schema

@@ -1,0 +1,124 @@
+"""The lumber-yard house schema (Figure 5): a parts explosion.
+
+"The construction supplies necessary to build a house, for instance, can
+be recorded with the roof of the house consisting of plywood decking,
+tar paper, and shingles."  The aggregation hierarchy rooted at ``House``
+is the paper's example of the rooted-aggregation concept schema pattern
+(VLSI/CAD-style part-of structures).
+"""
+
+from __future__ import annotations
+
+from repro.model.schema import Schema
+from repro.odl.parser import parse_schema
+
+HOUSE_ODL = """
+// Figure 5: the house aggregation hierarchy for a lumber yard.
+
+interface House {
+    extent houses;
+    keys (lot_number);
+    attribute string(20) lot_number;
+    attribute long square_feet;
+    part_of relationship set<Structure> structure inverse Structure::of_house;
+    part_of relationship set<Finish_Element> finish inverse Finish_Element::of_house;
+    part_of relationship set<Plumbing> plumbing inverse Plumbing::of_house;
+};
+
+interface Structure {
+    attribute string(30) kind;
+    part_of relationship House of_house inverse House::structure;
+    part_of relationship set<Roof> roof inverse Roof::of_structure;
+    part_of relationship set<Frame> frame inverse Frame::of_structure;
+    part_of relationship set<Foundation> foundation
+        inverse Foundation::of_structure;
+};
+
+interface Roof {
+    attribute float pitch;
+    part_of relationship Structure of_structure inverse Structure::roof;
+    part_of relationship set<Plywood_Decking> decking
+        inverse Plywood_Decking::of_roof;
+    part_of relationship set<Tar_Paper> tar_paper inverse Tar_Paper::of_roof;
+    part_of relationship set<Shingle> shingles inverse Shingle::of_roof;
+};
+
+interface Plywood_Decking {
+    attribute float thickness;
+    part_of relationship Roof of_roof inverse Roof::decking;
+};
+
+interface Tar_Paper {
+    attribute short weight;
+    part_of relationship Roof of_roof inverse Roof::tar_paper;
+};
+
+interface Shingle {
+    attribute string(20) material;
+    part_of relationship Roof of_roof inverse Roof::shingles;
+};
+
+interface Frame {
+    attribute string(20) lumber_grade;
+    part_of relationship Structure of_structure inverse Structure::frame;
+    part_of relationship set<Stud> studs inverse Stud::of_frame;
+    part_of relationship set<Joist> joists inverse Joist::of_frame;
+};
+
+interface Stud {
+    attribute short length_inches;
+    part_of relationship Frame of_frame inverse Frame::studs;
+};
+
+interface Joist {
+    attribute short span_inches;
+    part_of relationship Frame of_frame inverse Frame::joists;
+};
+
+interface Foundation {
+    attribute string(20) kind;
+    part_of relationship Structure of_structure inverse Structure::foundation;
+    part_of relationship set<Concrete> concrete inverse Concrete::of_foundation;
+    part_of relationship set<Re_Bar> re_bar inverse Re_Bar::of_foundation;
+};
+
+interface Concrete {
+    attribute float cubic_yards;
+    part_of relationship Foundation of_foundation inverse Foundation::concrete;
+};
+
+interface Re_Bar {
+    attribute short gauge;
+    part_of relationship Foundation of_foundation inverse Foundation::re_bar;
+};
+
+interface Finish_Element {
+    attribute string(30) kind;
+    part_of relationship House of_house inverse House::finish;
+    part_of relationship set<Window> windows inverse Window::of_finish;
+    part_of relationship set<Door> doors inverse Door::of_finish;
+};
+
+interface Window {
+    attribute short width_inches;
+    attribute short height_inches;
+    part_of relationship Finish_Element of_finish inverse Finish_Element::windows;
+};
+
+interface Door {
+    attribute string(20) style;
+    part_of relationship Finish_Element of_finish inverse Finish_Element::doors;
+};
+
+interface Plumbing {
+    attribute string(20) material;
+    part_of relationship House of_house inverse House::plumbing;
+};
+"""
+
+
+def house_schema(name: str = "lumber_yard") -> Schema:
+    """Parse and return the house aggregation schema."""
+    schema = parse_schema(HOUSE_ODL, name=name)
+    schema.validate()
+    return schema

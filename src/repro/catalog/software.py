@@ -1,0 +1,65 @@
+"""The EMSL software-version schema (Figure 6): an instance-of chain.
+
+"The C compiler is an application object that is related to many
+versions of C compilers including version 3.0.  The version 3.0 may have
+been compiled on many different machines, each compilation creating a
+compiled version 3.0 executable ... The executable is in turn installed
+on many machines, each installation creating an installed version 3.0."
+
+The chain Application -> Application_Version -> Compiled_Version ->
+Installed_Version is linear, matching the paper's experience that
+instance-of hierarchies "have been linear with no branches".
+"""
+
+from __future__ import annotations
+
+from repro.model.schema import Schema
+from repro.odl.parser import parse_schema
+
+SOFTWARE_ODL = """
+// Figure 6: the EMSL software instance-of sequence.
+
+interface Application {
+    extent applications;
+    keys (name);
+    attribute string(40) name;
+    attribute string(200) description;
+    instance_of relationship set<Application_Version> versions
+        inverse Application_Version::version_of;
+};
+
+interface Application_Version {
+    extent application_versions;
+    attribute string(10) version_number;
+    attribute date released;
+    instance_of relationship Application version_of
+        inverse Application::versions;
+    instance_of relationship set<Compiled_Version> compilations
+        inverse Compiled_Version::compiled_version_of;
+};
+
+interface Compiled_Version {
+    attribute string(30) target_architecture;
+    attribute string(30) compiler_used;
+    attribute date compiled_on;
+    instance_of relationship Application_Version compiled_version_of
+        inverse Application_Version::compilations;
+    instance_of relationship set<Installed_Version> installations
+        inverse Installed_Version::installed_version_of;
+};
+
+interface Installed_Version {
+    attribute string(40) machine;
+    attribute string(120) path;
+    attribute date installed_on;
+    instance_of relationship Compiled_Version installed_version_of
+        inverse Compiled_Version::installations;
+};
+"""
+
+
+def software_schema(name: str = "emsl_software") -> Schema:
+    """Parse and return the software-version schema."""
+    schema = parse_schema(SOFTWARE_ODL, name=name)
+    schema.validate()
+    return schema

@@ -1,0 +1,157 @@
+"""The university shrink wrap schema (Figures 3, 4, and 7).
+
+This is the paper's running example: the Course Offering wagon wheel
+(Figure 3) with its Syllabus / Book / Time Slot / Length spokes and the
+dotted instance-of link to Course; the Student generalization hierarchy
+(Figure 4) down to non-thesis masters students; and the elaboration
+material of Figure 7 (Schedule, Student, Faculty) that the quickstart
+example adds during customization.
+
+The schema is written in extended ODL so loading it also exercises the
+parser front end.
+"""
+
+from __future__ import annotations
+
+from repro.model.schema import Schema
+from repro.odl.parser import parse_schema
+
+UNIVERSITY_ODL = """
+// The university shrink wrap schema: the paper's running example.
+
+interface Person {
+    extent people;
+    keys (id);
+    attribute long id;
+    attribute string(40) name;
+    attribute string(60) address;
+    string(40) display_name();
+};
+
+interface Student : Person {
+    extent students;
+    attribute float gpa;
+    relationship set<Course_Offering> takes inverse Course_Offering::taken_by;
+    void enroll(in Course_Offering offering) raises (OfferingFull);
+};
+
+interface Undergraduate : Student {
+    attribute short class_year;
+};
+
+interface Graduate : Student {
+    attribute string(40) advisor_name;
+    relationship Department studies_in inverse Department::graduate_students;
+};
+
+interface Masters : Graduate {
+    attribute string(20) program;
+};
+
+interface Thesis_Masters : Masters {
+    attribute string(80) thesis_title;
+};
+
+interface Non_Thesis_Masters : Masters {
+    attribute short project_credits;
+};
+
+interface Doctoral : Graduate {
+    attribute string(80) dissertation_title;
+    attribute boolean candidacy;
+};
+
+interface Faculty : Person {
+    extent faculty;
+    attribute string(20) rank;
+    relationship set<Course_Offering> teaches inverse Course_Offering::taught_by;
+    relationship Department member_of inverse Department::members;
+};
+
+interface Department {
+    extent departments;
+    keys (code);
+    attribute string(10) code;
+    attribute string(40) title;
+    relationship set<Faculty> members inverse Faculty::member_of;
+    relationship set<Graduate> graduate_students inverse Graduate::studies_in;
+    relationship set<Course> offers inverse Course::offered_by;
+};
+
+interface Course {
+    extent courses;
+    keys (number);
+    attribute string(10) number;
+    attribute string(60) title;
+    attribute short credits;
+    relationship Department offered_by inverse Department::offers;
+    instance_of relationship set<Course_Offering> offerings
+        inverse Course_Offering::offering_of;
+};
+
+// Figure 3: the Course Offering wagon wheel.
+interface Course_Offering {
+    extent course_offerings;
+    attribute short year;
+    attribute string(10) term;
+    attribute string(10) room;
+    instance_of relationship Course offering_of inverse Course::offerings;
+    relationship Syllabus described_by inverse Syllabus::describes;
+    relationship set<Book> book_for inverse Book::used_in order_by (title);
+    relationship Time_Slot offered_during inverse Time_Slot::schedules;
+    relationship Length duration_of inverse Length::duration_for;
+    relationship Faculty taught_by inverse Faculty::teaches;
+    relationship set<Student> taken_by inverse Student::takes;
+    short enrollment();
+};
+
+interface Syllabus {
+    attribute string(120) topics;
+    relationship Course_Offering describes inverse Course_Offering::described_by;
+};
+
+interface Book {
+    keys (isbn);
+    attribute string(20) isbn;
+    attribute string(60) title;
+    attribute string(40) author_name;
+    relationship set<Course_Offering> used_in inverse Course_Offering::book_for;
+};
+
+interface Time_Slot {
+    attribute string(20) days;
+    attribute time starts;
+    relationship set<Course_Offering> schedules
+        inverse Course_Offering::offered_during;
+};
+
+interface Length {
+    attribute short weeks;
+    relationship set<Course_Offering> duration_for
+        inverse Course_Offering::duration_of;
+};
+"""
+
+#: The Figure 7 elaboration: a Schedule consisting of course offerings,
+#: expressed in the Appendix A modification language.
+FIGURE7_ELABORATION_SCRIPT = """
+add_type_definition(Schedule)
+add_attribute(Schedule, string(10), term)
+add_part_of_relationship(Schedule, set<Course_Offering>, consists_of,
+                         Course_Offering::scheduled_in)
+"""
+
+#: The correspondence-course simplification of Section 3.4: "courses are
+#: offered by correspondence only ... the course offering concept schema
+#: is simplified by removing the time slot entity and room attribute."
+CORRESPONDENCE_SIMPLIFICATION_SCRIPT = """
+delete_attribute(Course_Offering, room)
+delete_type_definition(Time_Slot)
+"""
+
+
+def university_schema(name: str = "university") -> Schema:
+    """Parse and return the university shrink wrap schema."""
+    schema = parse_schema(UNIVERSITY_ODL, name=name)
+    schema.validate()
+    return schema

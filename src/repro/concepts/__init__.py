@@ -1,0 +1,63 @@
+"""Concept schemas: the paper's decomposition of shrink wrap schemas.
+
+Four generic structure patterns (Section 3.3) -- wagon wheel,
+generalization hierarchy, aggregation hierarchy, instance-of hierarchy --
+plus the decomposition algorithm and its union-reconstruction inverse.
+"""
+
+from repro.concepts.aggregation import (
+    AggregationHierarchy,
+    PartEdge,
+    aggregation_roots_with_constructors,
+    constructor_edges,
+    extract_aggregation_hierarchy,
+    extract_all_aggregation_hierarchies,
+)
+from repro.concepts.base import ConceptKind, ConceptSchema
+from repro.concepts.decompose import Decomposition, decompose, reconstruct
+from repro.concepts.generalization import (
+    GeneralizationHierarchy,
+    IsaEdge,
+    extract_all_generalization_hierarchies,
+    extract_generalization_hierarchy,
+)
+from repro.concepts.instance_of import (
+    InstanceEdge,
+    InstanceOfHierarchy,
+    extract_all_instance_of_hierarchies,
+    extract_instance_of_hierarchy,
+)
+from repro.concepts.wagon_wheel import (
+    Spoke,
+    WagonWheel,
+    extract_all_wagon_wheels,
+    extract_wagon_wheel,
+    extract_wagon_wheel_view,
+)
+
+__all__ = [
+    "AggregationHierarchy",
+    "ConceptKind",
+    "ConceptSchema",
+    "Decomposition",
+    "GeneralizationHierarchy",
+    "InstanceEdge",
+    "InstanceOfHierarchy",
+    "IsaEdge",
+    "PartEdge",
+    "Spoke",
+    "WagonWheel",
+    "aggregation_roots_with_constructors",
+    "constructor_edges",
+    "decompose",
+    "extract_aggregation_hierarchy",
+    "extract_all_aggregation_hierarchies",
+    "extract_all_generalization_hierarchies",
+    "extract_all_instance_of_hierarchies",
+    "extract_all_wagon_wheels",
+    "extract_generalization_hierarchy",
+    "extract_instance_of_hierarchy",
+    "extract_wagon_wheel",
+    "extract_wagon_wheel_view",
+    "reconstruct",
+]

@@ -1,0 +1,207 @@
+"""Algorithmic decomposition of a schema into concept schemas.
+
+"It is possible to algorithmically decompose a schema defined in extended
+ODL into concept schemas" and "the union of all the initial concept
+schemas gives the original shrink wrap schema" (Section 3.3).  This
+module implements both directions:
+
+* :func:`decompose` extracts one wagon wheel per object type plus one
+  generalization / aggregation / instance-of hierarchy per root;
+* :func:`reconstruct` unions a decomposition back into a schema, and the
+  round-trip is the identity (verified by property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.concepts.aggregation import (
+    AggregationHierarchy,
+    extract_all_aggregation_hierarchies,
+)
+from repro.concepts.base import ConceptKind, ConceptSchema
+from repro.concepts.generalization import (
+    GeneralizationHierarchy,
+    extract_all_generalization_hierarchies,
+)
+from repro.concepts.instance_of import (
+    InstanceOfHierarchy,
+    extract_all_instance_of_hierarchies,
+)
+from repro.concepts.wagon_wheel import WagonWheel, extract_all_wagon_wheels
+from repro.model.errors import SchemaError
+from repro.model.interface import InterfaceDef
+from repro.model.schema import Schema
+
+
+@dataclass
+class Decomposition:
+    """The complete concept-schema view of one schema."""
+
+    schema_name: str
+    wagon_wheels: list[WagonWheel] = field(default_factory=list)
+    generalizations: list[GeneralizationHierarchy] = field(default_factory=list)
+    aggregations: list[AggregationHierarchy] = field(default_factory=list)
+    instance_ofs: list[InstanceOfHierarchy] = field(default_factory=list)
+
+    def all_concepts(self) -> list[ConceptSchema]:
+        """Every concept schema, wagon wheels first."""
+        return [
+            *self.wagon_wheels,
+            *self.generalizations,
+            *self.aggregations,
+            *self.instance_ofs,
+        ]
+
+    def add_concept(self, concept: ConceptSchema) -> None:
+        """Register an additional concept schema (e.g. a wagon wheel view).
+
+        Identifiers must stay unique across the decomposition.
+        """
+        if not isinstance(concept, ConceptSchema):
+            raise SchemaError(
+                f"not a concept schema: {type(concept).__name__!r}"
+            )
+        existing = {c.identifier for c in self.all_concepts()}
+        if concept.identifier in existing:
+            raise SchemaError(
+                f"decomposition already has a concept schema "
+                f"{concept.identifier!r}"
+            )
+        from repro.concepts.wagon_wheel import WagonWheel
+
+        if isinstance(concept, WagonWheel):
+            self.wagon_wheels.append(concept)
+        elif isinstance(concept, GeneralizationHierarchy):
+            self.generalizations.append(concept)
+        elif isinstance(concept, AggregationHierarchy):
+            self.aggregations.append(concept)
+        elif isinstance(concept, InstanceOfHierarchy):
+            self.instance_ofs.append(concept)
+        else:
+            raise SchemaError(
+                f"unknown concept schema type {type(concept).__name__!r}"
+            )
+
+    def by_identifier(self, identifier: str) -> ConceptSchema:
+        """Look a concept schema up by its ``ww:Type``-style identifier."""
+        for concept in self.all_concepts():
+            if concept.identifier == identifier:
+                return concept
+        raise SchemaError(
+            f"decomposition of {self.schema_name!r} has no concept schema "
+            f"{identifier!r}"
+        )
+
+    def of_kind(self, kind: ConceptKind) -> list[ConceptSchema]:
+        """All concept schemas of one kind."""
+        return [c for c in self.all_concepts() if c.kind is kind]
+
+    def concepts_covering(self, type_name: str) -> list[ConceptSchema]:
+        """Every concept schema in which *type_name* participates.
+
+        The knowledge component uses this to warn the designer about
+        interactions: a change made through one concept schema touches a
+        type that other concept schemas also present.
+        """
+        return [c for c in self.all_concepts() if c.covers_type(type_name)]
+
+    def summary(self) -> str:
+        """Multi-line listing of every concept schema."""
+        lines = [f"decomposition of {self.schema_name}:"]
+        lines.extend("  " + c.describe() for c in self.all_concepts())
+        return "\n".join(lines)
+
+
+def decompose(schema: Schema) -> Decomposition:
+    """Extract the initial concept schemas of *schema*.
+
+    One wagon wheel per object type guarantees full coverage; hierarchy
+    concept schemas add the integrated generalization / aggregation /
+    instance-of points of view wherever those structures exist.
+    """
+    return Decomposition(
+        schema_name=schema.name,
+        wagon_wheels=extract_all_wagon_wheels(schema),
+        generalizations=extract_all_generalization_hierarchies(schema),
+        aggregations=extract_all_aggregation_hierarchies(schema),
+        instance_ofs=extract_all_instance_of_hierarchies(schema),
+    )
+
+
+def reconstruct(decomposition: Decomposition, name: str | None = None) -> Schema:
+    """Union the concept schemas back into a global schema.
+
+    Wagon wheels contribute each focal type's complete interface
+    definition (instance properties, extent, keys); generalization
+    hierarchies contribute the ISA links.  Because every object type has
+    a wagon wheel and every ISA edge lies in the hierarchy of its root,
+    the union equals the decomposed schema exactly (the paper's
+    Section 3.3.1 property).
+    """
+    schema = Schema(name or decomposition.schema_name)
+    for wheel in decomposition.wagon_wheels:
+        if wheel.focal_interface is None:
+            raise SchemaError(
+                f"wagon wheel {wheel.identifier} carries no interface; "
+                "cannot reconstruct"
+            )
+        if wheel.focal in schema:
+            _merge_interface(schema.get(wheel.focal), wheel.focal_interface)
+        else:
+            contribution = wheel.focal_interface.copy()
+            contribution.supertypes = []  # ISA comes from the hierarchies
+            schema.add_interface(contribution)
+    for hierarchy in decomposition.generalizations:
+        for edge in hierarchy.edges:
+            if edge.subtype not in schema:
+                schema.add_interface(InterfaceDef(edge.subtype))
+            if edge.supertype not in schema:
+                schema.add_interface(InterfaceDef(edge.supertype))
+            subtype = schema.get(edge.subtype)
+            if edge.supertype not in subtype.supertypes:
+                subtype.add_supertype(edge.supertype)
+    return schema
+
+
+def _merge_interface(existing: InterfaceDef, incoming: InterfaceDef) -> None:
+    """Union a second wagon wheel's view of a type into *existing*.
+
+    Several wheels may share a focal point ("different points of view of
+    an object type [may] result in more than one concept schema having
+    the same focal point"); their union must agree wherever they overlap.
+    """
+    if incoming.extent is not None:
+        if existing.extent is not None and existing.extent != incoming.extent:
+            raise SchemaError(
+                f"conflicting extents for {existing.name!r}: "
+                f"{existing.extent!r} vs {incoming.extent!r}"
+            )
+        existing.extent = incoming.extent
+    for key in incoming.keys:
+        if key not in existing.keys:
+            existing.add_key(key)
+    for attr_name, attribute in incoming.attributes.items():
+        if attr_name in existing.attributes:
+            if existing.attributes[attr_name] != attribute:
+                raise SchemaError(
+                    f"conflicting definitions of {existing.name}.{attr_name}"
+                )
+        else:
+            existing.add_attribute(attribute)
+    for end_name, end in incoming.relationships.items():
+        if end_name in existing.relationships:
+            if existing.relationships[end_name] != end:
+                raise SchemaError(
+                    f"conflicting definitions of {existing.name}.{end_name}"
+                )
+        else:
+            existing.add_relationship(end)
+    for op_name, operation in incoming.operations.items():
+        if op_name in existing.operations:
+            if existing.operations[op_name] != operation:
+                raise SchemaError(
+                    f"conflicting definitions of {existing.name}.{op_name}()"
+                )
+        else:
+            existing.add_operation(operation)

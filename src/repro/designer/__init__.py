@@ -1,0 +1,45 @@
+"""The interactive schema designer: sessions, REPL, and renderers."""
+
+from repro.designer.cli import execute, main, run_commands
+from repro.designer.docgen import document_repository, document_schema
+from repro.designer.explain import (
+    explain_aggregation,
+    explain_concept,
+    explain_generalization,
+    explain_instance_of,
+    explain_wagon_wheel,
+)
+from repro.designer.render import (
+    concept_listing,
+    render_aggregation,
+    render_concept,
+    render_generalization,
+    render_instance_of,
+    render_object_graph,
+    render_wagon_wheel,
+    to_dot,
+)
+from repro.designer.session import Deliverables, DesignSession
+
+__all__ = [
+    "Deliverables",
+    "DesignSession",
+    "concept_listing",
+    "document_repository",
+    "document_schema",
+    "execute",
+    "explain_aggregation",
+    "explain_concept",
+    "explain_generalization",
+    "explain_instance_of",
+    "explain_wagon_wheel",
+    "main",
+    "render_aggregation",
+    "render_concept",
+    "render_generalization",
+    "render_instance_of",
+    "render_object_graph",
+    "render_wagon_wheel",
+    "run_commands",
+    "to_dot",
+]

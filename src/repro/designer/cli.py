@@ -1,0 +1,189 @@
+"""A line-oriented REPL for shrink-wrap-based schema design.
+
+Substitutes for the paper's window/menu interface (DESIGN.md records the
+substitution): the interaction protocol -- pick a concept schema, issue
+restricted operations, receive feedback and impact reports, generate the
+custom schema and mapping -- is identical; only the surface is text.
+
+Commands::
+
+    concepts                 list every concept schema
+    select <id>              choose a concept schema (e.g. ww:Course)
+    view <focal> <name> [<spoke,...>]  register an extra wagon wheel view
+    show [<id>]              render a concept schema
+    ops [<id>]               list the operations admissible there
+    apply <operation(...)>   apply one operation in the current concept
+    refactor <composite(...)>  apply a composite (macro) operation
+    impact <operation(...)>  preview an operation's impact
+    explain [<id>]           plain-prose explanation of a concept schema
+    suggest                  repair suggestions for current findings
+    alias <path> <name>      record a local name (Type or Type.member)
+    aliases                  show the local-name mapping
+    relate <X> <Y>           shortest relationship path between two types
+    sql                      export the workspace as relational DDL
+    er                       export the workspace as an ER model
+    document                 generate the Markdown design document
+    undo                     undo the last operation
+    check                    run the consistency report
+    odl [<type>]             print workspace ODL (canonical names)
+    odl local [<type>]       print workspace ODL with local names
+    script                   print the customization so far
+    finish [<name>]          generate custom schema + mapping + report
+    help                     this text
+    quit                     leave
+
+Run ``python -m repro.designer.cli <schema.odl>`` for an interactive
+session, or drive :func:`run_commands` programmatically (the tests and
+examples do).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Iterable
+
+from repro.designer.session import DesignSession
+from repro.model.errors import ReproError
+
+_HELP = __doc__.split("Commands::", 1)[1].split("Run ``", 1)[0]
+
+
+def execute(session: DesignSession, line: str) -> str:
+    """Execute one command line against *session*; returns the output."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return ""
+    command, _, argument = line.partition(" ")
+    command = command.lower()
+    argument = argument.strip()
+    try:
+        if command == "concepts":
+            return session.list_concepts()
+        if command == "select":
+            return session.select(argument)
+        if command == "view":
+            parts = argument.split()
+            if len(parts) < 2:
+                return "usage: view <focal> <name> [<spoke,spoke,...>]"
+            focal, view_name = parts[0], parts[1]
+            spokes = tuple(parts[2].split(",")) if len(parts) > 2 else None
+            concept = session.repository.create_wagon_wheel_view(
+                focal, view_name, spoke_paths=spokes
+            )
+            return f"registered {concept.identifier}"
+        if command == "show":
+            return session.show(argument or None)
+        if command == "ops":
+            return session.show_operations(argument or None)
+        if command == "apply":
+            applied = session.modify(argument)
+            recent = session.feedback.messages[-1]
+            status = "ok" if applied else "REJECTED"
+            return f"{status}: {recent.message}"
+        if command == "refactor":
+            applied = session.refactor(argument)
+            recent = session.feedback.messages[-1]
+            status = "ok" if applied else "REJECTED"
+            return f"{status}: {recent.message}"
+        if command == "impact":
+            return session.preview(argument)
+        if command == "explain":
+            return session.explain(argument or None)
+        if command == "suggest":
+            return session.suggest()
+        if command == "alias":
+            path, _, local_name = argument.partition(" ")
+            return session.set_alias(path.strip(), local_name.strip())
+        if command == "aliases":
+            return session.aliases()
+        if command == "relate":
+            from repro.analysis.paths import find_path, render_path
+
+            source, _, target = argument.partition(" ")
+            source, target = source.strip(), target.strip()
+            schema = session.repository.workspace.schema
+            return render_path(
+                find_path(schema, source, target), source, target
+            )
+        if command == "sql":
+            from repro.translate.relational import to_sql
+
+            return to_sql(session.repository.workspace.schema)
+        if command == "er":
+            from repro.translate.er import to_er_text
+
+            return to_er_text(session.repository.workspace.schema)
+        if command == "document":
+            from repro.designer.docgen import document_repository
+
+            return document_repository(session.repository)
+        if command == "undo":
+            return session.undo()
+        if command == "check":
+            return session.check()
+        if command == "odl":
+            if argument.split()[:1] == ["local"]:
+                from repro.odl.printer import print_interface, print_schema
+
+                display = session.repository.display_schema()
+                remainder = argument.partition(" ")[2].strip()
+                if remainder:
+                    if remainder not in display:
+                        remainder = session.repository.local_names.local_type_name(
+                            remainder
+                        )
+                    return print_interface(display.get(remainder))
+                return print_schema(display)
+            return session.show_odl(argument or None)
+        if command == "script":
+            return session.repository.customization_script() or "(no changes)"
+        if command == "finish":
+            return session.finish(argument or None).render()
+        if command == "help":
+            return _HELP.strip()
+        if command in ("quit", "exit"):
+            raise EOFError
+        return f"unknown command {command!r}; try 'help'"
+    except EOFError:
+        raise
+    except ReproError as exc:
+        return f"error: {exc}"
+
+
+def run_commands(session: DesignSession, lines: Iterable[str]) -> list[str]:
+    """Run a scripted command sequence; returns per-command outputs."""
+    outputs: list[str] = []
+    for line in lines:
+        try:
+            outputs.append(execute(session, line))
+        except EOFError:
+            break
+    return outputs
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Interactive entry point: ``python -m repro.designer.cli file.odl``."""
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: python -m repro.designer.cli <schema.odl>")
+        return 2
+    text = Path(args[0]).read_text(encoding="utf-8")
+    session = DesignSession.from_odl(text, name=Path(args[0]).stem)
+    print(f"loaded shrink wrap schema {Path(args[0]).stem!r}; try 'concepts'")
+    while True:
+        try:
+            line = input("designer> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        try:
+            output = execute(session, line)
+        except EOFError:
+            return 0
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

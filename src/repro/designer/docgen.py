@@ -1,0 +1,140 @@
+"""Design-document generation: the written deliverable of a session.
+
+Activity 11 of the paper's project list: "Specification of an approach
+to generating deliverables for designer feedback as a result of shrink
+wrap schema customization."  Besides the custom schema and the mapping,
+a design effort wants a *document*: this module renders a complete
+Markdown design document for a schema or a whole repository -- overview
+metrics, the concept schema inventory with explanations, per-type
+reference, the customization record, and the extended-ODL appendix.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import decomposition_payoff, schema_metrics
+from repro.concepts.decompose import Decomposition, decompose
+from repro.designer.explain import explain_concept
+from repro.model.schema import Schema
+from repro.odl.printer import print_schema
+
+
+def document_schema(
+    schema: Schema, decomposition: Decomposition | None = None
+) -> str:
+    """A Markdown design document for one schema."""
+    decomposition = decomposition or decompose(schema)
+    sections = [
+        f"# Schema design document: {schema.name}",
+        "",
+        "## Overview",
+        "",
+        "```",
+        schema_metrics(schema).render(),
+        "```",
+        "",
+        decomposition_payoff(schema, decomposition).render(),
+        "",
+        "## Concept schemas",
+        "",
+    ]
+    for concept in decomposition.all_concepts():
+        sections.append(f"### {concept.identifier} — {concept.kind.label()}")
+        sections.append("")
+        sections.append(explain_concept(concept, schema))
+        sections.append("")
+    sections.extend(
+        [
+            "## Object type reference",
+            "",
+        ]
+    )
+    for interface in schema:
+        sections.append(f"### {interface.name}")
+        sections.append("")
+        rows = ["| member | kind | detail |", "|---|---|---|"]
+        for attribute in interface.attributes.values():
+            rows.append(
+                f"| {attribute.name} | attribute | {attribute.type} |"
+            )
+        for end in interface.relationships.values():
+            many = "many" if end.is_to_many else "one"
+            rows.append(
+                f"| {end.name} | {end.kind.value} | to {many} "
+                f"{end.target_type} (inverse "
+                f"{end.inverse_type}::{end.inverse_name}) |"
+            )
+        for operation in interface.operations.values():
+            rows.append(
+                f"| {operation.name} | operation | "
+                f"`{operation.signature()}` |"
+            )
+        if len(rows) == 2:
+            rows.append("| *(no members)* | | |")
+        sections.extend(rows)
+        sections.append("")
+    sections.extend(
+        [
+            "## Appendix: extended ODL",
+            "",
+            "```",
+            print_schema(schema).rstrip(),
+            "```",
+            "",
+        ]
+    )
+    return "\n".join(sections)
+
+
+def document_repository(repository) -> str:
+    """A Markdown document for a whole customization effort.
+
+    Covers the shrink wrap schema, the customization record (requested
+    operations with their concept schema context), the mapping summary,
+    any local names, and the resulting custom schema document.
+    """
+    workspace = repository.workspace
+    sections = [
+        f"# Customization record: {repository.shrink_wrap.name} -> "
+        f"{workspace.schema.name}",
+        "",
+        "## Customization steps",
+        "",
+    ]
+    if workspace.log:
+        sections.append("| # | concept schema | operation | cascades |")
+        sections.append("|---|---|---|---|")
+        for index, entry in enumerate(workspace.log, start=1):
+            sections.append(
+                f"| {index} | {entry.concept_id or '-'} | "
+                f"`{entry.requested.to_text()}` | {len(entry.plan) - 1} |"
+            )
+    else:
+        sections.append("*(no changes applied)*")
+    sections.append("")
+    mapping = repository.mapping
+    if mapping is None and repository.custom_schema is not None:
+        mapping = repository.generate_mapping()
+    if mapping is not None:
+        sections.extend(
+            [
+                "## Mapping summary",
+                "",
+                "```",
+                mapping.render(),
+                "```",
+                "",
+            ]
+        )
+    if repository.local_names.aliases:
+        sections.extend(
+            [
+                "## Local names",
+                "",
+                "```",
+                repository.local_names.render(),
+                "```",
+                "",
+            ]
+        )
+    sections.append(document_schema(workspace.schema))
+    return "\n".join(sections)

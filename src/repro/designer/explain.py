@@ -1,0 +1,184 @@
+"""The explanation facility for concept schemas.
+
+One of the paper's proposed extensions (Section 5): "An explanation
+facility for the existing concept schemas can be created to explain the
+information represented in the concept schema to the designer."  The
+functions here verbalise each concept schema kind -- and individual
+modification operations -- in plain prose, so a designer reading an
+unfamiliar shrink wrap schema gets the modelling told back in sentences
+rather than notation.
+"""
+
+from __future__ import annotations
+
+from repro.concepts.aggregation import AggregationHierarchy
+from repro.concepts.base import ConceptSchema
+from repro.concepts.generalization import GeneralizationHierarchy
+from repro.concepts.instance_of import InstanceOfHierarchy
+from repro.concepts.wagon_wheel import WagonWheel
+from repro.model.relationships import RelationshipKind
+from repro.model.schema import Schema
+
+
+def _list_phrase(items: list[str]) -> str:
+    """Join names into an English list: 'a', 'a and b', 'a, b, and c'."""
+    if not items:
+        return ""
+    if len(items) == 1:
+        return items[0]
+    if len(items) == 2:
+        return f"{items[0]} and {items[1]}"
+    return ", ".join(items[:-1]) + f", and {items[-1]}"
+
+
+def explain_wagon_wheel(wheel: WagonWheel) -> str:
+    """Verbalise one wagon wheel: the focal type and its spokes."""
+    interface = wheel.focal_interface
+    sentences: list[str] = []
+    opening = f"{wheel.focal} is an object type"
+    if wheel.supertype_rim:
+        opening += f"; it is a kind of {_list_phrase(list(wheel.supertype_rim))}"
+    sentences.append(opening + ".")
+    if interface is not None:
+        if interface.attributes:
+            described = [
+                f"{attribute.name} ({attribute.type})"
+                for attribute in interface.attributes.values()
+            ]
+            sentences.append(
+                f"It records {_list_phrase(described)}."
+            )
+        if interface.extent:
+            key_phrase = ""
+            if interface.keys:
+                keys = _list_phrase(
+                    ["(" + ", ".join(key) + ")" for key in interface.keys]
+                )
+                key_phrase = f", identified by key {keys}"
+            sentences.append(
+                f"All instances are collected in the extent "
+                f"{interface.extent!r}{key_phrase}."
+            )
+        for operation in interface.operations.values():
+            sentences.append(
+                f"It offers the operation {operation.signature()}."
+            )
+    for spoke in wheel.spokes:
+        many = "many" if spoke.to_many else "exactly one"
+        if spoke.kind is RelationshipKind.PART_OF:
+            if spoke.to_many:
+                sentences.append(
+                    f"It is a whole consisting of {spoke.target_type} parts "
+                    f"(via {spoke.path_name})."
+                )
+            else:
+                sentences.append(
+                    f"It is a component part of {spoke.target_type} "
+                    f"(via {spoke.path_name})."
+                )
+        elif spoke.kind is RelationshipKind.INSTANCE_OF:
+            if spoke.to_many:
+                sentences.append(
+                    f"It is a generic specification with many "
+                    f"{spoke.target_type} instances (via {spoke.path_name})."
+                )
+            else:
+                sentences.append(
+                    f"Each one is an instance of {spoke.target_type} "
+                    f"(via {spoke.path_name})."
+                )
+        else:
+            sentences.append(
+                f"It is related to {many} {spoke.target_type} through "
+                f"{spoke.path_name}."
+            )
+    if wheel.subtype_rim:
+        sentences.append(
+            f"Its specialisations are {_list_phrase(list(wheel.subtype_rim))}."
+        )
+    return " ".join(sentences)
+
+
+def explain_generalization(
+    hierarchy: GeneralizationHierarchy, schema: Schema | None = None
+) -> str:
+    """Verbalise one generalization hierarchy and its inheritance."""
+    sentences = [
+        f"{hierarchy.root} is the root of a generalization hierarchy of "
+        f"{len(hierarchy.members)} object types."
+    ]
+    for member in sorted(hierarchy.members):
+        children = hierarchy.children(member)
+        if children:
+            sentences.append(
+                f"{member} is specialised into {_list_phrase(sorted(children))}."
+            )
+    if schema is not None:
+        leaves = sorted(
+            member
+            for member in hierarchy.members
+            if not hierarchy.children(member)
+        )
+        for leaf in leaves[:3]:  # a few concrete inheritance examples
+            inherited = schema.inherited_attributes(leaf)
+            foreign = sorted(
+                f"{attr} (from {owner})"
+                for attr, owner in inherited.items()
+                if owner != leaf
+            )
+            if foreign:
+                sentences.append(
+                    f"A {leaf} inherits {_list_phrase(foreign)}."
+                )
+    return " ".join(sentences)
+
+
+def explain_aggregation(hierarchy: AggregationHierarchy) -> str:
+    """Verbalise one parts explosion."""
+    sentences = [
+        f"{hierarchy.root} is the root of an aggregation (part-of) "
+        f"hierarchy of {len(hierarchy.members)} object types."
+    ]
+    for member in sorted(hierarchy.members):
+        parts = hierarchy.parts_of(member)
+        if parts:
+            sentences.append(
+                f"A {member} consists of {_list_phrase(sorted(parts))}."
+            )
+    return " ".join(sentences)
+
+
+def explain_instance_of(hierarchy: InstanceOfHierarchy) -> str:
+    """Verbalise one instance-of chain."""
+    sentences = [
+        f"{hierarchy.root} heads an instance-of hierarchy of "
+        f"{len(hierarchy.members)} object types."
+    ]
+    if hierarchy.is_linear():
+        chain = hierarchy.chain()
+        for generic, instance in zip(chain, chain[1:]):
+            sentences.append(
+                f"Each {generic} is a generic specification with many "
+                f"{instance} instances."
+            )
+    else:
+        for edge in hierarchy.edges:
+            sentences.append(
+                f"Each {edge.generic} has many {edge.instance} instances."
+            )
+    return " ".join(sentences)
+
+
+def explain_concept(
+    concept: ConceptSchema, schema: Schema | None = None
+) -> str:
+    """Dispatch to the kind-specific explainer."""
+    if isinstance(concept, WagonWheel):
+        return explain_wagon_wheel(concept)
+    if isinstance(concept, GeneralizationHierarchy):
+        return explain_generalization(concept, schema)
+    if isinstance(concept, AggregationHierarchy):
+        return explain_aggregation(concept)
+    if isinstance(concept, InstanceOfHierarchy):
+        return explain_instance_of(concept)
+    raise TypeError(f"unknown concept schema type: {type(concept).__name__}")

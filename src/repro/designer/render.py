@@ -1,0 +1,179 @@
+"""Text renderers for schemas and concept schemas.
+
+The paper's tool is graphical (OMT notation, Figure 2); we substitute
+ASCII renderings with the same information content -- focal points,
+spokes, ISA trees, parts explosions, instance-of chains -- plus a
+Graphviz DOT exporter for anyone who wants pictures.  Each renderer
+corresponds to one of the paper's figures:
+
+* :func:`render_wagon_wheel` -- Figure 3 (Course Offering wagon wheel);
+* :func:`render_generalization` -- Figure 4 (Student hierarchy);
+* :func:`render_aggregation` -- Figure 5 (House parts explosion);
+* :func:`render_instance_of` -- Figure 6 (software version chain);
+* :func:`render_object_graph` -- Figures 9-11 (object types and their
+  interconnections).
+"""
+
+from __future__ import annotations
+
+from repro.concepts.aggregation import AggregationHierarchy
+from repro.concepts.base import ConceptKind, ConceptSchema
+from repro.concepts.generalization import GeneralizationHierarchy
+from repro.concepts.instance_of import InstanceOfHierarchy
+from repro.concepts.wagon_wheel import WagonWheel
+from repro.model.relationships import RelationshipKind
+from repro.model.schema import Schema
+
+_KIND_ARROW = {
+    RelationshipKind.ASSOCIATION: "--",
+    RelationshipKind.PART_OF: "<>-",
+    RelationshipKind.INSTANCE_OF: "..",
+}
+
+
+def render_wagon_wheel(wheel: WagonWheel) -> str:
+    """The focal type with its attribute and relationship spokes."""
+    lines = [f"wagon wheel: {wheel.focal}"]
+    interface = wheel.focal_interface
+    if interface is not None:
+        if interface.extent:
+            lines.append(f"  extent: {interface.extent}")
+        for key in interface.keys:
+            lines.append(f"  key: ({', '.join(key)})")
+        for attribute in interface.attributes.values():
+            lines.append(f"  o {attribute.name}: {attribute.type}")
+        for operation in interface.operations.values():
+            lines.append(f"  () {operation.signature()}")
+    for spoke in wheel.spokes:
+        arrow = _KIND_ARROW[spoke.kind]
+        many = "*" if spoke.to_many else "1"
+        lines.append(
+            f"  {arrow}{spoke.path_name}[{many}]--> {spoke.target_type}"
+        )
+    if wheel.supertype_rim:
+        lines.append("  ISA: " + ", ".join(wheel.supertype_rim))
+    if wheel.subtype_rim:
+        lines.append("  subtypes: " + ", ".join(wheel.subtype_rim))
+    return "\n".join(lines)
+
+
+def render_generalization(hierarchy: GeneralizationHierarchy) -> str:
+    """The ISA tree, root on top, subtypes indented (Figure 4 style)."""
+    lines = [f"generalization hierarchy: {hierarchy.root}"]
+
+    def walk(node: str, depth: int, seen: frozenset[str]) -> None:
+        lines.append("  " * depth + f"  {node}")
+        for child in hierarchy.children(node):
+            if child not in seen:
+                walk(child, depth + 1, seen | {child})
+
+    walk(hierarchy.root, 0, frozenset({hierarchy.root}))
+    return "\n".join(lines)
+
+
+def render_aggregation(hierarchy: AggregationHierarchy) -> str:
+    """The indented parts explosion (Figure 5 style)."""
+    lines = [f"aggregation hierarchy: {hierarchy.root}"]
+    for level, type_name in hierarchy.bill_of_materials():
+        lines.append("  " * level + f"  <> {type_name}")
+    return "\n".join(lines)
+
+
+def render_instance_of(hierarchy: InstanceOfHierarchy) -> str:
+    """The instance-of chain, most generic first (Figure 6 style)."""
+    lines = [f"instance-of hierarchy: {hierarchy.root}"]
+    if hierarchy.is_linear():
+        lines.append("  " + " ..> ".join(hierarchy.chain()))
+    else:
+        for edge in hierarchy.edges:
+            lines.append(f"  {edge.generic} ..> {edge.instance}")
+    return "\n".join(lines)
+
+
+def render_concept(concept: ConceptSchema) -> str:
+    """Dispatch to the kind-specific renderer."""
+    if isinstance(concept, WagonWheel):
+        return render_wagon_wheel(concept)
+    if isinstance(concept, GeneralizationHierarchy):
+        return render_generalization(concept)
+    if isinstance(concept, AggregationHierarchy):
+        return render_aggregation(concept)
+    if isinstance(concept, InstanceOfHierarchy):
+        return render_instance_of(concept)
+    raise TypeError(f"unknown concept schema type: {type(concept).__name__}")
+
+
+def render_object_graph(schema: Schema) -> str:
+    """Object types and their interconnections (Figures 9-11 style).
+
+    One line per type, listing outgoing links; each relationship pair is
+    listed once, from the end that declares the to-many direction (or
+    the alphabetically first owner for one-one / many-many pairs).
+    """
+    lines = [f"object types of {schema.name}:"]
+    listed: set[frozenset[tuple[str, str]]] = set()
+    for interface in schema:
+        links: list[str] = []
+        if interface.supertypes:
+            links.append("ISA " + ", ".join(interface.supertypes))
+        for end in interface.relationships.values():
+            pair = frozenset(
+                {(interface.name, end.name), (end.inverse_type, end.inverse_name)}
+            )
+            if pair in listed:
+                continue
+            listed.add(pair)
+            arrow = _KIND_ARROW[end.kind]
+            many = "*" if end.is_to_many else "1"
+            links.append(f"{arrow}{end.name}[{many}]--> {end.target_type}")
+        suffix = f"  ({'; '.join(links)})" if links else ""
+        lines.append(f"  {interface.name}{suffix}")
+    return "\n".join(lines)
+
+
+def to_dot(schema: Schema, graph_name: str | None = None) -> str:
+    """Export the object-type graph as Graphviz DOT.
+
+    Generalization edges are drawn with empty arrowheads (OMT triangle),
+    part-of with diamonds, instance-of dashed -- mirroring the Figure 2
+    notation legend.
+    """
+    name = graph_name or schema.name
+    lines = [f'digraph "{name}" {{', "  node [shape=box];"]
+    for interface in schema:
+        lines.append(f'  "{interface.name}";')
+    for interface in schema:
+        for supertype in interface.supertypes:
+            lines.append(
+                f'  "{interface.name}" -> "{supertype}" '
+                "[arrowhead=empty, label=ISA];"
+            )
+    listed: set[frozenset[tuple[str, str]]] = set()
+    for owner, end in schema.relationship_pairs():
+        pair = frozenset({(owner, end.name), (end.inverse_type, end.inverse_name)})
+        if pair in listed:
+            continue
+        listed.add(pair)
+        style = {
+            RelationshipKind.ASSOCIATION: "",
+            RelationshipKind.PART_OF: ", arrowtail=diamond, dir=both",
+            RelationshipKind.INSTANCE_OF: ", style=dashed",
+        }[end.kind]
+        lines.append(
+            f'  "{owner}" -> "{end.target_type}" '
+            f'[label="{end.name}"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def concept_listing(concepts: list[ConceptSchema]) -> str:
+    """Tabular listing of concept schemas, grouped by kind."""
+    lines: list[str] = []
+    for kind in ConceptKind:
+        group = [c for c in concepts if c.kind is kind]
+        if not group:
+            continue
+        lines.append(f"{kind.label()} concept schemas:")
+        lines.extend(f"  {c.describe()}" for c in group)
+    return "\n".join(lines)

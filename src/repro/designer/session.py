@@ -1,0 +1,241 @@
+"""The interactive design session.
+
+A :class:`DesignSession` wraps one :class:`~repro.repository.
+SchemaRepository` with the designer-facing loop of Section 3: browse the
+concept schemas one by one, issue textual modification operations
+against a chosen concept schema (restricted per Table 1), receive
+feedback, preview impact, and finally generate the deliverables --
+custom schema, mapping, and consistency report.
+
+The session is fully scriptable (the CLI in :mod:`repro.designer.cli`
+feeds it line by line), which substitutes for the paper's window/menu
+interface while exercising the identical interaction protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.designer.render import concept_listing, render_concept
+from repro.knowledge.feedback import Feedback, FeedbackLog, error, info
+from repro.model.errors import ReproError
+from repro.model.schema import Schema
+from repro.odl.printer import print_interface, print_schema
+from repro.ops.language import parse_operation
+from repro.ops.registry import admissible_operations
+from repro.repository.mapping import SchemaMapping
+from repro.repository.repository import SchemaRepository
+
+
+@dataclass
+class Deliverables:
+    """What the designer takes away from a finished session."""
+
+    custom_schema: Schema
+    mapping: SchemaMapping
+    consistency: list[Feedback]
+    script: str
+
+    def render(self) -> str:
+        """The full deliverables report."""
+        sections = [
+            "=== custom schema (extended ODL) ===",
+            print_schema(self.custom_schema),
+            "=== mapping ===",
+            self.mapping.render(),
+            "=== consistency report ===",
+            "\n".join(str(m) for m in self.consistency) or "(clean)",
+            "=== customization script ===",
+            self.script or "(no changes)",
+        ]
+        return "\n".join(sections)
+
+
+class DesignSession:
+    """One designer's pass over a shrink wrap schema."""
+
+    def __init__(self, repository: SchemaRepository) -> None:
+        self.repository = repository
+        self.feedback = FeedbackLog()
+        self.current_concept_id: str | None = None
+
+    @classmethod
+    def from_odl(
+        cls, text: str, name: str = "shrink_wrap",
+        custom_name: str | None = None,
+    ) -> "DesignSession":
+        """Start a session directly from extended-ODL text."""
+        return cls(SchemaRepository.from_odl(text, name, custom_name))
+
+    # ------------------------------------------------------------------
+    # Browsing
+    # ------------------------------------------------------------------
+
+    def list_concepts(self) -> str:
+        """Listing of every concept schema, grouped by kind."""
+        return concept_listing(self.repository.concept_schemas())
+
+    def select(self, concept_id: str) -> str:
+        """Make *concept_id* the current point of view and render it."""
+        concept = self.repository.concept(concept_id)  # raises if unknown
+        self.current_concept_id = concept_id
+        return render_concept(concept)
+
+    def show(self, concept_id: str | None = None) -> str:
+        """Render one concept schema (default: the current one)."""
+        identifier = concept_id or self.current_concept_id
+        if identifier is None:
+            raise ReproError("no concept schema selected")
+        return render_concept(self.repository.concept(identifier))
+
+    def show_operations(self, concept_id: str | None = None) -> str:
+        """The operations admissible in one concept schema (Table 1)."""
+        identifier = concept_id or self.current_concept_id
+        if identifier is None:
+            raise ReproError("no concept schema selected")
+        concept = self.repository.concept(identifier)
+        names = [cls.op_name for cls in admissible_operations(concept.kind)]
+        return "\n".join(names)
+
+    def show_odl(self, typename: str | None = None) -> str:
+        """The workspace as extended ODL (one type or the whole schema)."""
+        schema = self.repository.workspace.schema
+        if typename is None:
+            return print_schema(schema)
+        return print_interface(schema.get(typename))
+
+    # ------------------------------------------------------------------
+    # Modifying
+    # ------------------------------------------------------------------
+
+    def modify(self, operation_text: str, concept_id: str | None = None) -> bool:
+        """Parse and apply one textual operation; returns success.
+
+        All feedback -- cautions, cascade notices, or the rejection
+        error -- lands in :attr:`feedback`, mirroring the designer
+        receiving messages from the interactive tool.
+        """
+        identifier = concept_id or self.current_concept_id
+        try:
+            operation = parse_operation(operation_text)
+            entry = self.repository.apply(operation, concept_id=identifier)
+        except ReproError as exc:
+            self.feedback.add(
+                error("operation-rejected", operation_text, str(exc))
+            )
+            return False
+        self.feedback.extend(entry.feedback)
+        self.feedback.add(
+            info("operation-applied", entry.requested.to_text(),
+                 entry.describe())
+        )
+        return True
+
+    def preview(self, operation_text: str, concept_id: str | None = None) -> str:
+        """Impact report for one operation without applying it."""
+        identifier = concept_id or self.current_concept_id
+        operation = parse_operation(operation_text)
+        return self.repository.impact(operation, concept_id=identifier).render()
+
+    def refactor(self, composite_text: str, concept_id: str | None = None) -> bool:
+        """Parse and apply one composite (macro) operation; returns success."""
+        from repro.ops.language import parse_composite
+
+        identifier = concept_id or self.current_concept_id
+        try:
+            composite = parse_composite(composite_text)
+            entries = self.repository.apply_composite(
+                composite, concept_id=identifier
+            )
+        except ReproError as exc:
+            self.feedback.add(
+                error("composite-rejected", composite_text, str(exc))
+            )
+            return False
+        for entry in entries:
+            self.feedback.extend(entry.feedback)
+        self.feedback.add(
+            info(
+                "composite-applied", composite.composite_name,
+                f"{composite.describe()} ({len(entries)} primitive steps)",
+            )
+        )
+        return True
+
+    def explain(self, concept_id: str | None = None) -> str:
+        """Plain-prose explanation of one concept schema (extension)."""
+        from repro.designer.explain import explain_concept
+
+        identifier = concept_id or self.current_concept_id
+        if identifier is None:
+            raise ReproError("no concept schema selected")
+        return explain_concept(
+            self.repository.concept(identifier), self.repository.shrink_wrap
+        )
+
+    def suggest(self) -> str:
+        """Repair suggestions for the current workspace's findings."""
+        from repro.knowledge.suggestions import suggest_repairs
+
+        suggestions = suggest_repairs(self.repository.workspace.schema)
+        if not suggestions:
+            return "no repairs to suggest"
+        return "\n".join(str(s) for s in suggestions)
+
+    def set_alias(self, path: str, local_name: str) -> str:
+        """Record a local name for a construct (the Section 5 extension)."""
+        self.repository.local_names.set_alias(
+            path, local_name, self.repository.workspace.schema
+        )
+        return f"{path} is locally known as {local_name}"
+
+    def aliases(self) -> str:
+        """Render the shrink-wrap-to-local name mapping."""
+        return self.repository.local_names.render()
+
+    def undo(self) -> str:
+        """Undo the last modification; returns a description."""
+        entry = self.repository.undo()
+        if entry is None:
+            return "nothing to undo"
+        return f"undid {entry.describe()}"
+
+    # ------------------------------------------------------------------
+    # Deliverables
+    # ------------------------------------------------------------------
+
+    def check(self) -> str:
+        """On-demand consistency report over the workspace."""
+        messages = self.repository.consistency()
+        if not messages:
+            return "consistency: clean"
+        return "\n".join(str(m) for m in messages)
+
+    #: Below this reuse ratio the session warns that shrink wrap design
+    #: benefits are being lost (the Section 3.2 good-faith-use
+    #: assumption: deleting the whole schema and adding a new one
+    #: "can lose many of the benefits that our approach provides").
+    GOOD_FAITH_REUSE_THRESHOLD = 0.3
+
+    def finish(self, custom_name: str | None = None) -> Deliverables:
+        """Generate the deliverables of the session."""
+        custom = self.repository.generate_custom_schema(custom_name)
+        mapping = self.repository.generate_mapping()
+        consistency = self.repository.consistency()
+        if mapping.reuse_ratio() < self.GOOD_FAITH_REUSE_THRESHOLD:
+            from repro.knowledge.feedback import caution
+
+            consistency.append(
+                caution(
+                    "good-faith-use", custom.name,
+                    f"only {mapping.reuse_ratio():.0%} of the shrink wrap "
+                    "schema survives; replacing most of it forfeits the "
+                    "benefits of shrink-wrap-based design (Section 3.2)",
+                )
+            )
+        return Deliverables(
+            custom_schema=custom,
+            mapping=mapping,
+            consistency=consistency,
+            script=self.repository.customization_script(),
+        )

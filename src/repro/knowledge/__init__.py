@@ -1,0 +1,47 @@
+"""The knowledge component of the interactive schema designer.
+
+Figure 1's "Knowledge Component": consistency checks, propagation rules,
+and constraints, all of which "generate feedback for the designer".
+"""
+
+from repro.knowledge.consistency import (
+    concept_interaction_feedback,
+    consistency_report,
+    design_quality_feedback,
+    structural_feedback,
+)
+from repro.knowledge.constraints import CAUTION_CHECKS, cautions_for
+from repro.knowledge.feedback import (
+    Feedback,
+    FeedbackLevel,
+    FeedbackLog,
+    caution,
+    error,
+    info,
+    warning,
+)
+from repro.knowledge.impact import ImpactReport, impact_of
+from repro.knowledge.propagation import direct_cascades, expand
+from repro.knowledge.suggestions import Suggestion, suggest_repairs
+
+__all__ = [
+    "CAUTION_CHECKS",
+    "Feedback",
+    "FeedbackLevel",
+    "FeedbackLog",
+    "ImpactReport",
+    "caution",
+    "cautions_for",
+    "concept_interaction_feedback",
+    "consistency_report",
+    "design_quality_feedback",
+    "direct_cascades",
+    "error",
+    "expand",
+    "impact_of",
+    "info",
+    "structural_feedback",
+    "Suggestion",
+    "suggest_repairs",
+    "warning",
+]

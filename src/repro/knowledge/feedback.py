@@ -1,0 +1,97 @@
+"""Designer feedback messages.
+
+"The feedback consists of error or informational messages about the
+requested operations" (Section 3) and the knowledge component adds
+"cautionary statements to the user in the form of feedback" (Section 5,
+activity 9).  Four levels, in decreasing severity:
+
+* ``error`` -- the operation was rejected;
+* ``caution`` -- the operation is legal but has consequences the
+  designer should weigh (the paper's cautionary statements);
+* ``warning`` -- a schema-level design smell;
+* ``info`` -- neutral information (e.g. cascaded changes performed).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FeedbackLevel(enum.Enum):
+    """Severity of one feedback message."""
+
+    ERROR = "error"
+    CAUTION = "caution"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True, slots=True)
+class Feedback:
+    """One message shown to the designer.
+
+    ``code`` is a stable machine identifier; ``subject`` names the
+    construct or operation the message concerns.
+    """
+
+    level: FeedbackLevel
+    code: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.level.value}] {self.code} ({self.subject}): {self.message}"
+
+
+def error(code: str, subject: str, message: str) -> Feedback:
+    """Build an error-level message."""
+    return Feedback(FeedbackLevel.ERROR, code, subject, message)
+
+
+def caution(code: str, subject: str, message: str) -> Feedback:
+    """Build a cautionary statement."""
+    return Feedback(FeedbackLevel.CAUTION, code, subject, message)
+
+
+def warning(code: str, subject: str, message: str) -> Feedback:
+    """Build a warning-level message."""
+    return Feedback(FeedbackLevel.WARNING, code, subject, message)
+
+
+def info(code: str, subject: str, message: str) -> Feedback:
+    """Build an informational message."""
+    return Feedback(FeedbackLevel.INFO, code, subject, message)
+
+
+@dataclass
+class FeedbackLog:
+    """An accumulating, filterable log of feedback messages."""
+
+    messages: list[Feedback] = field(default_factory=list)
+
+    def add(self, message: Feedback) -> None:
+        """Append one message."""
+        self.messages.append(message)
+
+    def extend(self, messages: list[Feedback]) -> None:
+        """Append several messages."""
+        self.messages.extend(messages)
+
+    def at_level(self, level: FeedbackLevel) -> list[Feedback]:
+        """Messages of one severity, oldest first."""
+        return [m for m in self.messages if m.level is level]
+
+    def has_errors(self) -> bool:
+        """True when any error-level message was logged."""
+        return any(m.level is FeedbackLevel.ERROR for m in self.messages)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self):
+        return iter(self.messages)
+
+    def render(self) -> str:
+        """Multi-line rendering, oldest first."""
+        return "\n".join(str(m) for m in self.messages)

@@ -1,0 +1,92 @@
+"""Impact reports: everything one requested change entails.
+
+Figure 1 shows a "Generate impact report" step feeding designer
+feedback; Section 5 (activity 9) asks for "rules to show the designer
+the impact of the proposed modification operation (i.e., all of the
+changes that follow from a given change)".  An :class:`ImpactReport`
+bundles, for one requested operation:
+
+* the full propagation plan (cascaded operations, requested one last);
+* the object types affected by any plan step;
+* the other concept schemas presenting those types -- the designer is
+  editing one point of view, but the change shows up in every concept
+  schema that covers an affected type;
+* the cautionary statements of the constraint checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.concepts.decompose import Decomposition
+from repro.knowledge.constraints import cautions_for
+from repro.knowledge.feedback import Feedback
+from repro.knowledge.propagation import expand
+from repro.model.schema import Schema
+from repro.ops.base import OperationContext, SchemaOperation
+
+
+@dataclass
+class ImpactReport:
+    """The impact of one requested operation on the workspace."""
+
+    requested: SchemaOperation
+    plan: list[SchemaOperation]
+    affected_types: tuple[str, ...]
+    touched_concepts: tuple[str, ...]
+    cautions: list[Feedback] = field(default_factory=list)
+
+    @property
+    def cascades(self) -> list[SchemaOperation]:
+        """The follow-up operations (everything but the requested one)."""
+        return [op for op in self.plan if op is not self.requested]
+
+    def render(self) -> str:
+        """Multi-line report, the way the designer CLI prints it."""
+        lines = [f"impact of {self.requested.to_text()}:"]
+        if self.cascades:
+            lines.append(f"  cascades ({len(self.cascades)}):")
+            lines.extend(f"    {op.to_text()}" for op in self.cascades)
+        else:
+            lines.append("  cascades: none")
+        lines.append(
+            "  affected types: " + (", ".join(self.affected_types) or "none")
+        )
+        lines.append(
+            "  concept schemas touched: "
+            + (", ".join(self.touched_concepts) or "none")
+        )
+        for message in self.cautions:
+            lines.append(f"  {message}")
+        return "\n".join(lines)
+
+
+def impact_of(
+    schema: Schema,
+    operation: SchemaOperation,
+    context: OperationContext,
+    decomposition: Decomposition | None = None,
+) -> ImpactReport:
+    """Compute the impact report for *operation* without applying it."""
+    plan = expand(schema, operation, context)
+    affected: list[str] = []
+    for step in plan:
+        for name in step.affected_types():
+            if name not in affected:
+                affected.append(name)
+    touched: list[str] = []
+    if decomposition is not None:
+        for name in affected:
+            for concept in decomposition.concepts_covering(name):
+                if concept.identifier not in touched:
+                    touched.append(concept.identifier)
+    cautions: list[Feedback] = []
+    for step in plan:
+        cautions.extend(cautions_for(schema, step))
+    return ImpactReport(
+        requested=operation,
+        plan=plan,
+        affected_types=tuple(affected),
+        touched_concepts=tuple(touched),
+        cautions=cautions,
+    )

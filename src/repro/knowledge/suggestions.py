@@ -1,0 +1,229 @@
+"""Repair suggestions: from consistency findings to candidate operations.
+
+The paper's future work points at Constraint Analysis (Urban &
+Delcambre) being "used in the consistency check to suggest the
+operations that need to be altered to enforce semantic constraints"
+(Section 5).  This module implements that suggestion step for the
+structural and design-quality rules: every finding is paired with one or
+more candidate repair operations, expressed in the Appendix A operation
+language so the designer can apply a suggestion verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.relationships import RelationshipKind
+from repro.model.schema import Schema
+from repro.model.validation import validate_schema
+
+_DELETE_END_NAME = {
+    RelationshipKind.ASSOCIATION: "delete_relationship",
+    RelationshipKind.PART_OF: "delete_part_of_relationship",
+    RelationshipKind.INSTANCE_OF: "delete_instance_of_relationship",
+}
+_ORDER_BY_NAME = {
+    RelationshipKind.ASSOCIATION: "modify_relationship_order_by",
+    RelationshipKind.PART_OF: "modify_part_of_order_by",
+    RelationshipKind.INSTANCE_OF: "modify_instance_of_order_by",
+}
+_CARDINALITY_NAME = {
+    RelationshipKind.ASSOCIATION: "modify_relationship_cardinality",
+    RelationshipKind.PART_OF: "modify_part_of_cardinality",
+    RelationshipKind.INSTANCE_OF: "modify_instance_of_cardinality",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Suggestion:
+    """One candidate repair: a finding, an operation, and the why."""
+
+    rule: str
+    location: str
+    operation_text: str
+    rationale: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.rule} at {self.location}: {self.operation_text}"
+            f"  -- {self.rationale}"
+        )
+
+
+def _render_list(names: tuple[str, ...]) -> str:
+    return "(" + ", ".join(names) + ")"
+
+
+def suggest_repairs(schema: Schema) -> list[Suggestion]:
+    """Candidate repair operations for every finding on *schema*.
+
+    Suggestions are advisory: several alternatives may be offered for
+    one finding (e.g. add the missing type *or* drop the construct that
+    references it), and applying one usually obsoletes its siblings.
+    """
+    suggestions: list[Suggestion] = []
+    rules = {issue.rule for issue in validate_schema(schema)}
+    builders = {
+        "dangling-type": _suggest_for_dangling_types,
+        "inverse-missing": _suggest_for_broken_inverses,
+        "inverse-mismatch": _suggest_for_broken_inverses,
+        "kind-mismatch": _suggest_for_broken_inverses,
+        "cardinality-role": _suggest_for_cardinality_roles,
+        "isa-cycle": _suggest_for_isa_cycles,
+        "key-unknown": _suggest_for_unknown_keys,
+        "order-by-unknown": _suggest_for_unknown_order_by,
+        "multi-root-hierarchy": _suggest_for_multi_roots,
+    }
+    seen: set[tuple[str, str, str]] = set()
+    for rule, builder in builders.items():
+        if rule not in rules:
+            continue
+        for suggestion in builder(schema):
+            key = (suggestion.rule, suggestion.location,
+                   suggestion.operation_text)
+            if key not in seen:
+                seen.add(key)
+                suggestions.append(suggestion)
+    return suggestions
+
+
+def _suggest_for_dangling_types(schema: Schema):
+    missing: dict[str, list[tuple[str, str]]] = {}
+    for interface in schema:
+        for name in sorted(interface.referenced_type_names()):
+            if name not in schema:
+                missing.setdefault(name, []).append(
+                    (interface.name, "referenced_type")
+                )
+    for name, users in missing.items():
+        location = ", ".join(sorted({owner for owner, _ in users}))
+        yield Suggestion(
+            "dangling-type", location,
+            f"add_type_definition({name})",
+            f"define the missing type {name!r} that "
+            f"{location} reference(s)",
+        )
+        for owner, _ in users:
+            interface = schema.get(owner)
+            if name in interface.supertypes:
+                yield Suggestion(
+                    "dangling-type", owner,
+                    f"delete_supertype({owner}, {name})",
+                    "or drop the ISA link to the undefined type",
+                )
+            for attribute in interface.attributes.values():
+                from repro.model.types import referenced_interfaces
+
+                if name in referenced_interfaces(attribute.type):
+                    yield Suggestion(
+                        "dangling-type", f"{owner}.{attribute.name}",
+                        f"delete_attribute({owner}, {attribute.name})",
+                        "or drop the attribute typed with the undefined type",
+                    )
+
+
+def _suggest_for_broken_inverses(schema: Schema):
+    for owner, end in schema.relationship_pairs():
+        if schema.find_inverse(owner, end) is not None:
+            continue
+        yield Suggestion(
+            "inverse-missing", f"{owner}.{end.name}",
+            f"{_DELETE_END_NAME[end.kind]}({owner}, {end.name})",
+            "drop the half-declared relationship; re-add it through "
+            "add_relationship, which keeps both ends paired",
+        )
+
+
+def _suggest_for_cardinality_roles(schema: Schema):
+    for owner, end in schema.relationship_pairs():
+        if end.kind is RelationshipKind.ASSOCIATION:
+            continue
+        inverse = schema.find_inverse(owner, end)
+        if inverse is None or end.is_to_many != inverse.is_to_many:
+            continue
+        if end.is_to_many:
+            # Both ends to-many: flatten the lexically later end.
+            target = end.target_type
+            yield Suggestion(
+                "cardinality-role", f"{owner}.{end.name}",
+                f"{_CARDINALITY_NAME[end.kind]}({end.inverse_type}, "
+                f"{end.inverse_name}, {inverse.target}, {owner})",
+                f"a {end.kind.value} relationship is implicitly 1:N; make "
+                f"the {target}-side end to-one",
+            )
+        else:
+            yield Suggestion(
+                "cardinality-role", f"{owner}.{end.name}",
+                f"{_CARDINALITY_NAME[end.kind]}({owner}, {end.name}, "
+                f"{end.target}, set<{end.target_type}>)",
+                f"a {end.kind.value} relationship is implicitly 1:N; make "
+                "one end to-many",
+            )
+
+
+def _suggest_for_isa_cycles(schema: Schema):
+    for interface in schema:
+        for supertype in interface.supertypes:
+            if supertype in schema and interface.name in schema.ancestors(
+                supertype
+            ):
+                yield Suggestion(
+                    "isa-cycle", interface.name,
+                    f"delete_supertype({interface.name}, {supertype})",
+                    "break the generalization cycle by removing one ISA link",
+                )
+
+
+def _suggest_for_unknown_keys(schema: Schema):
+    for interface in schema:
+        available = set(interface.attributes)
+        available.update(schema.inherited_attributes(interface.name))
+        for key in interface.keys:
+            unknown = [name for name in key if name not in available]
+            if unknown:
+                yield Suggestion(
+                    "key-unknown", f"{interface.name}.keys",
+                    f"delete_key_list({interface.name}, {_render_list(key)})",
+                    f"the key names unknown attribute(s) "
+                    f"{', '.join(unknown)}",
+                )
+                for name in unknown:
+                    yield Suggestion(
+                        "key-unknown", f"{interface.name}.keys",
+                        f"add_attribute({interface.name}, string(20), {name})",
+                        "or define the attribute the key expects",
+                    )
+
+
+def _suggest_for_unknown_order_by(schema: Schema):
+    for owner, end in schema.relationship_pairs():
+        if not end.order_by or end.target_type not in schema:
+            continue
+        target = schema.get(end.target_type)
+        available = set(target.attributes)
+        available.update(schema.inherited_attributes(target.name))
+        unknown = [name for name in end.order_by if name not in available]
+        if unknown:
+            kept = tuple(n for n in end.order_by if n in available)
+            yield Suggestion(
+                "order-by-unknown", f"{owner}.{end.name}",
+                f"{_ORDER_BY_NAME[end.kind]}({owner}, {end.name}, "
+                f"{_render_list(end.order_by)}, {_render_list(kept)})",
+                f"drop the unknown attribute(s) {', '.join(unknown)} from "
+                "the ordering",
+            )
+
+
+def _suggest_for_multi_roots(schema: Schema):
+    # Reuse the validator's component walk through its reported roots.
+    from repro.model.validation import check_multi_root_components
+
+    for issue in check_multi_root_components(schema):
+        roots = issue.message.split("(")[1].split(")")[0].split(", ")
+        name = "_".join(["Abstract"] + roots[:2])
+        yield Suggestion(
+            "multi-root-hierarchy", issue.location,
+            f"introduce_abstract_supertype({name}, {_render_list(tuple(roots))})",
+            "the paper's single-root transformation: an abstract "
+            "supertype over the component's roots (composite operation)",
+        )

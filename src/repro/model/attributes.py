@@ -1,0 +1,65 @@
+"""Attributes of interface definitions.
+
+An attribute is a named, typed instance property.  The paper's operation
+language exposes an attribute's *type*, optional *size* (for sized scalars),
+and *name* as candidates for modification (Table 2/3); the name itself is
+never modifiable (name equivalence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.model.errors import InvalidModelError
+from repro.model.types import ScalarType, TypeRef, is_type_ref
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A named instance property with a domain type.
+
+    ``size`` is surfaced separately from the type because the modification
+    language has a dedicated ``modify_attribute_size`` operation; it is
+    stored inside the :class:`~repro.model.types.ScalarType` when present.
+    """
+
+    name: str
+    type: TypeRef
+
+    def __post_init__(self) -> None:
+        if not self.name or not (self.name[0].isalpha() or self.name[0] == "_"):
+            raise InvalidModelError(f"invalid attribute name {self.name!r}")
+        if not is_type_ref(self.type):
+            raise InvalidModelError(
+                f"attribute {self.name!r} has a non-type domain: {self.type!r}"
+            )
+        if isinstance(self.type, ScalarType) and self.type.name == "void":
+            raise InvalidModelError(
+                f"attribute {self.name!r} cannot have type void"
+            )
+
+    @property
+    def size(self) -> int | None:
+        """The size of a sized scalar attribute, or ``None``."""
+        if isinstance(self.type, ScalarType):
+            return self.type.size
+        return None
+
+    def with_type(self, new_type: TypeRef) -> "Attribute":
+        """Return a copy of this attribute with a different domain type."""
+        return replace(self, type=new_type)
+
+    def with_size(self, new_size: int | None) -> "Attribute":
+        """Return a copy with the scalar size changed.
+
+        Raises :class:`~repro.model.errors.InvalidModelError` when the
+        attribute's type is not a sized scalar.
+        """
+        if not isinstance(self.type, ScalarType):
+            raise InvalidModelError(
+                f"attribute {self.name!r} is not scalar; it has no size"
+            )
+        return replace(self, type=ScalarType(self.type.name, new_size))
+
+    def __str__(self) -> str:
+        return f"attribute {self.type} {self.name}"

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the extended ODMG object model.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch the library's failures with a single handler.  The model
+layer raises :class:`SchemaError` subclasses; the operation layer
+(:mod:`repro.ops`) and the ODL front end (:mod:`repro.odl`) define their own
+branches on top of this base.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """Base class for errors concerning schema structure or content."""
+
+
+class DuplicateNameError(SchemaError):
+    """A name that must be unique is already taken.
+
+    Raised when adding an interface whose name exists in the schema, or a
+    property (attribute, relationship, operation) whose name exists in the
+    owning interface.  Name uniqueness is one of the paper's standing
+    assumptions (Section 3.2, "Uniqueness").
+    """
+
+
+class UnknownTypeError(SchemaError):
+    """An interface name was referenced but is not defined in the schema."""
+
+
+class UnknownPropertyError(SchemaError):
+    """An attribute, relationship, or operation name was not found."""
+
+
+class InvalidModelError(SchemaError):
+    """A construct violates a structural rule of the extended object model.
+
+    Examples: a part-of "to parts" end without a collection type, an
+    inverse declaration that names the wrong interface, or a supertype list
+    containing duplicates.
+    """
+
+
+class ValidationError(SchemaError):
+    """Schema-level validation failed.
+
+    Carries the list of :class:`repro.model.validation.Issue` objects that
+    were found, so tooling can present all problems at once rather than
+    only the first.
+    """
+
+    def __init__(self, message: str, issues: list | None = None) -> None:
+        super().__init__(message)
+        self.issues = list(issues) if issues else []

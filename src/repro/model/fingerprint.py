@@ -1,0 +1,54 @@
+"""Canonical, order-independent fingerprints of schemas.
+
+Two schemas that define the same interfaces with the same properties --
+regardless of declaration order -- produce identical fingerprints.  The
+decomposition/reconstruction property of concept schemas ("the union of
+all the initial concept schemas gives the original shrink wrap schema",
+Section 3.3.1) is tested with these fingerprints, as is mapping
+generation by diff.
+"""
+
+from __future__ import annotations
+
+from repro.model.interface import InterfaceDef
+from repro.model.schema import Schema
+
+
+def interface_fingerprint(interface: InterfaceDef) -> str:
+    """Canonical single-string rendering of one interface.
+
+    Properties are sorted by name so declaration order is irrelevant;
+    property values render through their ``__str__`` forms, which encode
+    every modifiable candidate (type, size, cardinality, inverse,
+    order-by, signature).
+    """
+    parts = [f"interface {interface.name}"]
+    parts.append("isa=" + ",".join(sorted(interface.supertypes)))
+    parts.append(f"extent={interface.extent or ''}")
+    keys = sorted("|".join(key) for key in interface.keys)
+    parts.append("keys=" + ";".join(keys))
+    for attribute in sorted(interface.attributes.values(), key=lambda a: a.name):
+        parts.append(str(attribute))
+    for end in sorted(interface.relationships.values(), key=lambda e: e.name):
+        parts.append(str(end))
+    for operation in sorted(interface.operations.values(), key=lambda o: o.name):
+        parts.append(operation.signature())
+    return "\n".join(parts)
+
+
+def schema_fingerprint(schema: Schema) -> str:
+    """Canonical rendering of a whole schema (name excluded).
+
+    The schema's own name is deliberately left out: a custom schema is
+    compared against its shrink wrap origin by content, not by title.
+    """
+    blocks = [
+        interface_fingerprint(schema.interfaces[name])
+        for name in sorted(schema.interfaces)
+    ]
+    return "\n---\n".join(blocks)
+
+
+def schemas_equal(first: Schema, second: Schema) -> bool:
+    """Content equality, ignoring declaration order and schema names."""
+    return schema_fingerprint(first) == schema_fingerprint(second)

@@ -1,0 +1,246 @@
+"""Interface definitions (object types) of the extended object model.
+
+An :class:`InterfaceDef` gathers the *type properties* (supertypes, extent
+name, key lists) and *instance properties* (attributes, relationship ends,
+operations) of one object type, mirroring the candidates-for-modification
+breakdown of the paper's Tables 2 and 3.
+
+Interfaces are mutable containers, but every individual property value is
+an immutable dataclass; mutation happens by replacing whole entries.  All
+edits in a design session should go through :mod:`repro.ops` operations so
+that they are validated, logged, and reversible -- the methods here are
+the primitive storage layer those operations use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.attributes import Attribute
+from repro.model.errors import (
+    DuplicateNameError,
+    InvalidModelError,
+    UnknownPropertyError,
+)
+from repro.model.operations import Operation
+from repro.model.relationships import RelationshipEnd, RelationshipKind
+from repro.model.types import referenced_interfaces
+
+
+@dataclass
+class InterfaceDef:
+    """One object type of a schema.
+
+    ``attributes`` and ``relationships`` share a property namespace (a
+    traversal path may not collide with an attribute name); operations
+    live in their own namespace because ODL signatures are syntactically
+    distinct.  Insertion order is preserved so printed ODL is stable.
+    """
+
+    name: str
+    supertypes: list[str] = field(default_factory=list)
+    extent: str | None = None
+    keys: list[tuple[str, ...]] = field(default_factory=list)
+    attributes: dict[str, Attribute] = field(default_factory=dict)
+    relationships: dict[str, RelationshipEnd] = field(default_factory=dict)
+    operations: dict[str, Operation] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name[0].isalpha():
+            raise InvalidModelError(f"invalid interface name {self.name!r}")
+        if len(set(self.supertypes)) != len(self.supertypes):
+            raise InvalidModelError(
+                f"interface {self.name!r} lists a duplicate supertype"
+            )
+
+    # ------------------------------------------------------------------
+    # Type properties
+    # ------------------------------------------------------------------
+
+    def add_supertype(self, supertype: str) -> None:
+        """Append *supertype* to the ISA list."""
+        if supertype == self.name:
+            raise InvalidModelError(
+                f"interface {self.name!r} cannot be its own supertype"
+            )
+        if supertype in self.supertypes:
+            raise DuplicateNameError(
+                f"{self.name!r} already has supertype {supertype!r}"
+            )
+        self.supertypes.append(supertype)
+
+    def remove_supertype(self, supertype: str) -> None:
+        """Remove *supertype* from the ISA list."""
+        try:
+            self.supertypes.remove(supertype)
+        except ValueError:
+            raise UnknownPropertyError(
+                f"{self.name!r} has no supertype {supertype!r}"
+            ) from None
+
+    def add_key(self, key: tuple[str, ...]) -> None:
+        """Add a key (a tuple of attribute names)."""
+        key = tuple(key)
+        if not key:
+            raise InvalidModelError("a key must name at least one attribute")
+        if key in self.keys:
+            raise DuplicateNameError(
+                f"{self.name!r} already declares key {key!r}"
+            )
+        self.keys.append(key)
+
+    def remove_key(self, key: tuple[str, ...]) -> None:
+        """Remove a previously declared key."""
+        key = tuple(key)
+        try:
+            self.keys.remove(key)
+        except ValueError:
+            raise UnknownPropertyError(
+                f"{self.name!r} has no key {key!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Instance properties
+    # ------------------------------------------------------------------
+
+    def _check_property_name_free(self, name: str) -> None:
+        if name in self.attributes or name in self.relationships:
+            raise DuplicateNameError(
+                f"interface {self.name!r} already has a property {name!r}"
+            )
+
+    def add_attribute(self, attribute: Attribute) -> None:
+        """Add an attribute; its name must be free in the property namespace."""
+        self._check_property_name_free(attribute.name)
+        self.attributes[attribute.name] = attribute
+
+    def remove_attribute(self, name: str) -> Attribute:
+        """Remove and return the attribute called *name*."""
+        try:
+            return self.attributes.pop(name)
+        except KeyError:
+            raise UnknownPropertyError(
+                f"{self.name!r} has no attribute {name!r}"
+            ) from None
+
+    def get_attribute(self, name: str) -> Attribute:
+        """Return the attribute called *name*."""
+        try:
+            return self.attributes[name]
+        except KeyError:
+            raise UnknownPropertyError(
+                f"{self.name!r} has no attribute {name!r}"
+            ) from None
+
+    def replace_attribute(self, attribute: Attribute) -> Attribute:
+        """Swap in a new value for an existing attribute, returning the old."""
+        old = self.get_attribute(attribute.name)
+        self.attributes[attribute.name] = attribute
+        return old
+
+    def add_relationship(self, end: RelationshipEnd) -> None:
+        """Add a relationship end; its path name must be free."""
+        self._check_property_name_free(end.name)
+        self.relationships[end.name] = end
+
+    def remove_relationship(self, name: str) -> RelationshipEnd:
+        """Remove and return the relationship end called *name*."""
+        try:
+            return self.relationships.pop(name)
+        except KeyError:
+            raise UnknownPropertyError(
+                f"{self.name!r} has no relationship {name!r}"
+            ) from None
+
+    def get_relationship(self, name: str) -> RelationshipEnd:
+        """Return the relationship end called *name*."""
+        try:
+            return self.relationships[name]
+        except KeyError:
+            raise UnknownPropertyError(
+                f"{self.name!r} has no relationship {name!r}"
+            ) from None
+
+    def replace_relationship(self, end: RelationshipEnd) -> RelationshipEnd:
+        """Swap in a new value for an existing end, returning the old."""
+        old = self.get_relationship(end.name)
+        self.relationships[end.name] = end
+        return old
+
+    def add_operation(self, operation: Operation) -> None:
+        """Add an operation; its name must be free among operations."""
+        if operation.name in self.operations:
+            raise DuplicateNameError(
+                f"interface {self.name!r} already has operation "
+                f"{operation.name!r}"
+            )
+        self.operations[operation.name] = operation
+
+    def remove_operation(self, name: str) -> Operation:
+        """Remove and return the operation called *name*."""
+        try:
+            return self.operations.pop(name)
+        except KeyError:
+            raise UnknownPropertyError(
+                f"{self.name!r} has no operation {name!r}"
+            ) from None
+
+    def get_operation(self, name: str) -> Operation:
+        """Return the operation called *name*."""
+        try:
+            return self.operations[name]
+        except KeyError:
+            raise UnknownPropertyError(
+                f"{self.name!r} has no operation {name!r}"
+            ) from None
+
+    def replace_operation(self, operation: Operation) -> Operation:
+        """Swap in a new value for an existing operation, returning the old."""
+        old = self.get_operation(operation.name)
+        self.operations[operation.name] = operation
+        return old
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def relationships_of_kind(
+        self, kind: RelationshipKind
+    ) -> list[RelationshipEnd]:
+        """All ends of the given kind, in declaration order."""
+        return [end for end in self.relationships.values() if end.kind is kind]
+
+    def referenced_type_names(self) -> set[str]:
+        """Every interface name referenced by this definition.
+
+        Includes supertypes, attribute domains, relationship targets and
+        inverse types, and operation signatures.  Used for dangling-
+        reference validation and for delete propagation.
+        """
+        names: set[str] = set(self.supertypes)
+        for attribute in self.attributes.values():
+            names |= referenced_interfaces(attribute.type)
+        for end in self.relationships.values():
+            names.add(end.target_type)
+            names.add(end.inverse_type)
+        for operation in self.operations.values():
+            names |= referenced_interfaces(operation.return_type)
+            for parameter in operation.parameters:
+                names |= referenced_interfaces(parameter.type)
+        return names
+
+    def copy(self) -> "InterfaceDef":
+        """Deep-enough copy: containers are fresh, values are immutable."""
+        return InterfaceDef(
+            name=self.name,
+            supertypes=list(self.supertypes),
+            extent=self.extent,
+            keys=[tuple(key) for key in self.keys],
+            attributes=dict(self.attributes),
+            relationships=dict(self.relationships),
+            operations=dict(self.operations),
+        )
+
+    def __str__(self) -> str:
+        isa = f" : {', '.join(self.supertypes)}" if self.supertypes else ""
+        return f"interface {self.name}{isa}"

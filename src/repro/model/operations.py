@@ -1,0 +1,100 @@
+"""Operations (methods) of interface definitions.
+
+The extended ODL keeps ODMG's operation signatures: a return type, a list
+of directed parameters (``in`` / ``out`` / ``inout``), and a list of
+exceptions raised.  The modification language can add and delete whole
+operations, move them within the generalization hierarchy, and modify
+their return type, argument list, and exception list (Tables 1-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.model.errors import InvalidModelError
+from repro.model.types import TypeRef, is_type_ref
+
+#: Parameter passing modes permitted by ODL.
+PARAMETER_DIRECTIONS = ("in", "out", "inout")
+
+
+@dataclass(frozen=True, slots=True)
+class Parameter:
+    """One formal parameter of an operation."""
+
+    direction: str
+    type: TypeRef
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in PARAMETER_DIRECTIONS:
+            raise InvalidModelError(
+                f"invalid parameter direction {self.direction!r}"
+            )
+        if not is_type_ref(self.type):
+            raise InvalidModelError(
+                f"parameter {self.name!r} has a non-type domain: {self.type!r}"
+            )
+        if not self.name or not (self.name[0].isalpha() or self.name[0] == "_"):
+            raise InvalidModelError(f"invalid parameter name {self.name!r}")
+
+    def __str__(self) -> str:
+        return f"{self.direction} {self.type} {self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """A named operation with a full ODL signature."""
+
+    name: str
+    return_type: TypeRef
+    parameters: tuple[Parameter, ...] = field(default_factory=tuple)
+    exceptions: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name or not (self.name[0].isalpha() or self.name[0] == "_"):
+            raise InvalidModelError(f"invalid operation name {self.name!r}")
+        if not is_type_ref(self.return_type):
+            raise InvalidModelError(
+                f"operation {self.name!r} has a non-type return: "
+                f"{self.return_type!r}"
+            )
+        if not isinstance(self.parameters, tuple):
+            object.__setattr__(self, "parameters", tuple(self.parameters))
+        if not isinstance(self.exceptions, tuple):
+            object.__setattr__(self, "exceptions", tuple(self.exceptions))
+        seen: set[str] = set()
+        for parameter in self.parameters:
+            if parameter.name in seen:
+                raise InvalidModelError(
+                    f"operation {self.name!r} has duplicate parameter "
+                    f"{parameter.name!r}"
+                )
+            seen.add(parameter.name)
+        if len(set(self.exceptions)) != len(self.exceptions):
+            raise InvalidModelError(
+                f"operation {self.name!r} lists a duplicate exception"
+            )
+
+    def with_return_type(self, new_type: TypeRef) -> "Operation":
+        """Return a copy with a different return type."""
+        return replace(self, return_type=new_type)
+
+    def with_parameters(self, parameters: tuple[Parameter, ...]) -> "Operation":
+        """Return a copy with a different argument list."""
+        return replace(self, parameters=tuple(parameters))
+
+    def with_exceptions(self, exceptions: tuple[str, ...]) -> "Operation":
+        """Return a copy with a different exceptions-raised list."""
+        return replace(self, exceptions=tuple(exceptions))
+
+    def signature(self) -> str:
+        """Render the ODL signature (without the trailing semicolon)."""
+        params = ", ".join(str(parameter) for parameter in self.parameters)
+        text = f"{self.return_type} {self.name}({params})"
+        if self.exceptions:
+            text += f" raises ({', '.join(self.exceptions)})"
+        return text
+
+    def __str__(self) -> str:
+        return self.signature()

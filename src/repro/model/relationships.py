@@ -1,0 +1,243 @@
+"""Relationship ends of the extended ODMG object model.
+
+ODMG relationships are declared twice, once in each participating
+interface, with each declaration naming its inverse traversal path.  We
+model each declaration as a :class:`RelationshipEnd` owned by an interface;
+schema validation (:mod:`repro.model.validation`) checks that the two ends
+of every relationship agree.
+
+The paper extends the ODMG Object Model with two additional relationship
+kinds (Section 3.1):
+
+* **part-of** (aggregation) -- whole/part with an implicit 1:N cardinality
+  from the whole to its components;
+* **instance-of** -- generic specification vs. specific instances, also
+  implicitly 1:N from the generic entity to its instances.
+
+The implicit 1:N cardinality is enforced structurally: the *many* end of a
+part-of or instance-of relationship (``TO_PARTS`` / ``TO_INSTANCES``) must
+carry a collection type, and the *one* end (``TO_WHOLE`` / ``TO_GENERIC``)
+must be a plain interface reference.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.model.errors import InvalidModelError
+from repro.model.types import CollectionType, NamedType, TypeRef
+
+
+class RelationshipKind(enum.Enum):
+    """The three relationship families of the extended object model."""
+
+    ASSOCIATION = "association"
+    PART_OF = "part_of"
+    INSTANCE_OF = "instance_of"
+
+    def keyword(self) -> str:
+        """The ODL keyword prefix for this kind ('' for associations)."""
+        if self is RelationshipKind.ASSOCIATION:
+            return ""
+        return self.value
+
+
+class Cardinality(enum.Enum):
+    """Cardinality of one relationship end (one target or many)."""
+
+    ONE = "one"
+    MANY = "many"
+
+
+@dataclass(frozen=True, slots=True)
+class RelationshipEnd:
+    """One declared traversal path of a (binary, inverse-paired) relationship.
+
+    Fields follow the grammar of Appendix A:
+
+    * ``name`` -- the traversal path name (``<traversal_pathname_1>``);
+    * ``target`` -- the ``<target_of_path>``: either ``NamedType`` (a
+      to-one end) or ``CollectionType`` over a ``NamedType`` (a to-many
+      end, e.g. ``set<Employee>``);
+    * ``inverse_type`` / ``inverse_name`` -- the ``<inverse_traversal_path>``
+      written ``Type::path`` in ODL;
+    * ``order_by`` -- attribute names of the target type ordering a
+      to-many end (``<order_by_list>``);
+    * ``kind`` -- association, part-of, or instance-of.
+    """
+
+    name: str
+    target: TypeRef
+    inverse_type: str
+    inverse_name: str
+    kind: RelationshipKind = RelationshipKind.ASSOCIATION
+    order_by: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name or not (self.name[0].isalpha() or self.name[0] == "_"):
+            raise InvalidModelError(f"invalid traversal path name {self.name!r}")
+        if not isinstance(self.order_by, tuple):
+            object.__setattr__(self, "order_by", tuple(self.order_by))
+        self._check_target()
+        if not self.inverse_type or not self.inverse_name:
+            raise InvalidModelError(
+                f"relationship {self.name!r} must declare an inverse "
+                "traversal path (Type::path)"
+            )
+        if self.order_by and not self.is_to_many:
+            raise InvalidModelError(
+                f"relationship {self.name!r} is to-one; order_by only "
+                "applies to to-many ends"
+            )
+
+    def _check_target(self) -> None:
+        target = self.target
+        if isinstance(target, NamedType):
+            return
+        if isinstance(target, CollectionType) and isinstance(
+            target.element, NamedType
+        ):
+            return
+        raise InvalidModelError(
+            f"relationship {self.name!r} must target an interface or a "
+            f"collection of interfaces, got {target!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def is_to_many(self) -> bool:
+        """True when the end targets a collection of objects."""
+        return isinstance(self.target, CollectionType)
+
+    @property
+    def cardinality(self) -> Cardinality:
+        """One-way cardinality of this end."""
+        return Cardinality.MANY if self.is_to_many else Cardinality.ONE
+
+    @property
+    def target_type(self) -> str:
+        """Name of the interface this end points at."""
+        if isinstance(self.target, CollectionType):
+            element = self.target.element
+            assert isinstance(element, NamedType)
+            return element.name
+        assert isinstance(self.target, NamedType)
+        return self.target.name
+
+    @property
+    def collection_kind(self) -> str | None:
+        """Collection constructor of a to-many end (``set``/``list``/...)."""
+        if isinstance(self.target, CollectionType):
+            return self.target.kind
+        return None
+
+    @property
+    def role(self) -> str:
+        """Descriptive role of this end within its relationship kind.
+
+        Associations have no distinguished roles; part-of and instance-of
+        ends are classified by cardinality, reflecting the implicit 1:N of
+        those relationship kinds:
+
+        * part-of: the whole's ``to_parts`` end is to-many, the part's
+          ``to_whole`` end is to-one;
+        * instance-of: the generic entity's ``to_instances`` end is
+          to-many, the instance's ``to_generic`` end is to-one.
+        """
+        if self.kind is RelationshipKind.PART_OF:
+            return "to_parts" if self.is_to_many else "to_whole"
+        if self.kind is RelationshipKind.INSTANCE_OF:
+            return "to_instances" if self.is_to_many else "to_generic"
+        return "association"
+
+    # ------------------------------------------------------------------
+    # Functional updates
+    # ------------------------------------------------------------------
+
+    def with_target(self, target: TypeRef) -> "RelationshipEnd":
+        """Return a copy pointing at a different target-of-path."""
+        return replace(self, target=target)
+
+    def with_target_type(self, type_name: str) -> "RelationshipEnd":
+        """Return a copy re-targeted at *type_name*, keeping cardinality.
+
+        This is the model-level core of the paper's
+        ``modify_relationship_target_type`` example (Figure 8): a
+        ``set<Employee>`` target becomes ``set<Person>``.
+        """
+        if isinstance(self.target, CollectionType):
+            new_target: TypeRef = CollectionType(
+                self.target.kind, NamedType(type_name), self.target.size
+            )
+        else:
+            new_target = NamedType(type_name)
+        return replace(self, target=new_target)
+
+    def with_inverse(self, inverse_type: str, inverse_name: str) -> "RelationshipEnd":
+        """Return a copy with a re-pointed inverse traversal path."""
+        return replace(self, inverse_type=inverse_type, inverse_name=inverse_name)
+
+    def with_order_by(self, order_by: tuple[str, ...]) -> "RelationshipEnd":
+        """Return a copy with a different order-by attribute list."""
+        return replace(self, order_by=tuple(order_by))
+
+    def __str__(self) -> str:
+        prefix = self.kind.keyword()
+        head = f"{prefix} relationship" if prefix else "relationship"
+        text = (
+            f"{head} {self.target} {self.name} inverse "
+            f"{self.inverse_type}::{self.inverse_name}"
+        )
+        if self.order_by:
+            text += f" order_by ({', '.join(self.order_by)})"
+        return text
+
+
+def association(
+    name: str,
+    target: TypeRef,
+    inverse_type: str,
+    inverse_name: str,
+    order_by: tuple[str, ...] = (),
+) -> RelationshipEnd:
+    """Build a plain (ODMG) association end."""
+    return RelationshipEnd(
+        name, target, inverse_type, inverse_name,
+        RelationshipKind.ASSOCIATION, tuple(order_by),
+    )
+
+
+def part_of(
+    name: str,
+    target: TypeRef,
+    inverse_type: str,
+    inverse_name: str,
+    order_by: tuple[str, ...] = (),
+) -> RelationshipEnd:
+    """Build a part-of (aggregation) end.
+
+    Whether this is the whole's to-parts end or the part's to-whole end is
+    determined by the target: a collection target makes it to-parts.
+    """
+    return RelationshipEnd(
+        name, target, inverse_type, inverse_name,
+        RelationshipKind.PART_OF, tuple(order_by),
+    )
+
+
+def instance_of(
+    name: str,
+    target: TypeRef,
+    inverse_type: str,
+    inverse_name: str,
+    order_by: tuple[str, ...] = (),
+) -> RelationshipEnd:
+    """Build an instance-of end (generic entity vs. instances)."""
+    return RelationshipEnd(
+        name, target, inverse_type, inverse_name,
+        RelationshipKind.INSTANCE_OF, tuple(order_by),
+    )

@@ -1,0 +1,286 @@
+"""The schema container of the extended ODMG object model.
+
+A :class:`Schema` is a named collection of :class:`~repro.model.interface.
+InterfaceDef` objects plus graph-structured queries over the three link
+families the paper's concept schemas are built from:
+
+* the **generalization hierarchy** (supertype lists),
+* the **aggregation hierarchy** (part-of relationship ends),
+* the **instance-of hierarchy** (instance-of relationship ends).
+
+The queries here are purely structural; validation rules live in
+:mod:`repro.model.validation` and concept-schema extraction in
+:mod:`repro.concepts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.model.errors import (
+    DuplicateNameError,
+    InvalidModelError,
+    UnknownTypeError,
+)
+from repro.model.interface import InterfaceDef
+from repro.model.relationships import RelationshipEnd, RelationshipKind
+
+
+@dataclass
+class Schema:
+    """A named, global schema: the unit the paper calls *shrink wrap*.
+
+    Interfaces are held in insertion order (printed ODL is stable); lookup
+    is by name, following the paper's name-equivalence assumption.
+    """
+
+    name: str
+    interfaces: dict[str, InterfaceDef] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidModelError("a schema must have a name")
+
+    # ------------------------------------------------------------------
+    # Interface management
+    # ------------------------------------------------------------------
+
+    def add_interface(self, interface: InterfaceDef) -> None:
+        """Add an interface; the type name must be free in the schema."""
+        if interface.name in self.interfaces:
+            raise DuplicateNameError(
+                f"schema {self.name!r} already defines {interface.name!r}"
+            )
+        self.interfaces[interface.name] = interface
+
+    def remove_interface(self, name: str) -> InterfaceDef:
+        """Remove and return the interface called *name*."""
+        try:
+            return self.interfaces.pop(name)
+        except KeyError:
+            raise UnknownTypeError(
+                f"schema {self.name!r} does not define {name!r}"
+            ) from None
+
+    def get(self, name: str) -> InterfaceDef:
+        """Return the interface called *name* or raise ``UnknownTypeError``."""
+        try:
+            return self.interfaces[name]
+        except KeyError:
+            raise UnknownTypeError(
+                f"schema {self.name!r} does not define {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.interfaces
+
+    def __iter__(self) -> Iterator[InterfaceDef]:
+        return iter(self.interfaces.values())
+
+    def __len__(self) -> int:
+        return len(self.interfaces)
+
+    def type_names(self) -> list[str]:
+        """Interface names in declaration order."""
+        return list(self.interfaces)
+
+    # ------------------------------------------------------------------
+    # Generalization hierarchy queries
+    # ------------------------------------------------------------------
+
+    def subtypes(self, name: str) -> list[str]:
+        """Direct subtypes of *name*, in declaration order."""
+        return [
+            interface.name
+            for interface in self
+            if name in interface.supertypes
+        ]
+
+    def ancestors(self, name: str) -> set[str]:
+        """All (transitive) supertypes of *name*; excludes *name* itself."""
+        result: set[str] = set()
+        frontier = list(self.get(name).supertypes)
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            if current in self.interfaces:
+                frontier.extend(self.interfaces[current].supertypes)
+        return result
+
+    def descendants(self, name: str) -> set[str]:
+        """All (transitive) subtypes of *name*; excludes *name* itself."""
+        self.get(name)  # raise for unknown types
+        result: set[str] = set()
+        frontier = self.subtypes(name)
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self.subtypes(current))
+        return result
+
+    def isa_related(self, first: str, second: str) -> bool:
+        """True when the two types lie on one generalization path.
+
+        This is the paper's *semantic stability* test: information may be
+        moved between two object types only when one is an ancestor of the
+        other (or they are the same type).
+        """
+        if first == second:
+            return True
+        return second in self.ancestors(first) or second in self.descendants(first)
+
+    def generalization_roots(self) -> list[str]:
+        """Types with subtypes but no supertypes: hierarchy roots."""
+        return [
+            interface.name
+            for interface in self
+            if not interface.supertypes and self.subtypes(interface.name)
+        ]
+
+    def inherited_attributes(self, name: str) -> dict[str, str]:
+        """Map attribute name -> defining type, walking supertypes.
+
+        Local attributes win over inherited ones (overriding); among
+        multiple supertypes the first declaration wins, matching the
+        left-to-right linearisation ODL implies.
+        """
+        result: dict[str, str] = {}
+        for owner in self._linearised_ancestry(name):
+            for attr_name in self.get(owner).attributes:
+                result.setdefault(attr_name, owner)
+        return result
+
+    def _linearised_ancestry(self, name: str) -> list[str]:
+        """*name* followed by its ancestors, nearest first, depth-first."""
+        order: list[str] = []
+        seen: set[str] = set()
+
+        def visit(current: str) -> None:
+            if current in seen or current not in self.interfaces:
+                return
+            seen.add(current)
+            order.append(current)
+            for supertype in self.interfaces[current].supertypes:
+                visit(supertype)
+
+        visit(name)
+        return order
+
+    # ------------------------------------------------------------------
+    # Part-of / instance-of hierarchy queries
+    # ------------------------------------------------------------------
+
+    def _link_edges(
+        self, kind: RelationshipKind
+    ) -> list[tuple[str, str, RelationshipEnd]]:
+        """Directed edges (one-side -> many-side) for part-of/instance-of.
+
+        Only the to-many end contributes an edge so each relationship is
+        counted once; the edge runs from the owner of the to-many end (the
+        whole / the generic entity) to its target (the part / instance).
+        """
+        edges = []
+        for interface in self:
+            for end in interface.relationships_of_kind(kind):
+                if end.is_to_many:
+                    edges.append((interface.name, end.target_type, end))
+        return edges
+
+    def part_of_edges(self) -> list[tuple[str, str, RelationshipEnd]]:
+        """(whole, part, to-parts end) triples, in declaration order."""
+        return self._link_edges(RelationshipKind.PART_OF)
+
+    def instance_of_edges(self) -> list[tuple[str, str, RelationshipEnd]]:
+        """(generic, instance, to-instances end) triples."""
+        return self._link_edges(RelationshipKind.INSTANCE_OF)
+
+    def parts(self, name: str) -> list[str]:
+        """Direct components of *name* in the aggregation hierarchy."""
+        return [part for whole, part, _ in self.part_of_edges() if whole == name]
+
+    def wholes(self, name: str) -> list[str]:
+        """Direct wholes that *name* is a component of."""
+        return [whole for whole, part, _ in self.part_of_edges() if part == name]
+
+    def aggregation_roots(self) -> list[str]:
+        """Wholes that are not themselves parts of anything."""
+        wholes = {whole for whole, _, _ in self.part_of_edges()}
+        parts = {part for _, part, _ in self.part_of_edges()}
+        return [name for name in self.type_names() if name in wholes - parts]
+
+    def instance_of_roots(self) -> list[str]:
+        """Generic entities that are not instances of anything."""
+        generics = {generic for generic, _, _ in self.instance_of_edges()}
+        instances = {inst for _, inst, _ in self.instance_of_edges()}
+        return [
+            name for name in self.type_names() if name in generics - instances
+        ]
+
+    # ------------------------------------------------------------------
+    # Whole-schema helpers
+    # ------------------------------------------------------------------
+
+    def relationship_pairs(self) -> list[tuple[str, RelationshipEnd]]:
+        """Every (owner name, end) pair in declaration order."""
+        return [
+            (interface.name, end)
+            for interface in self
+            for end in interface.relationships.values()
+        ]
+
+    def find_inverse(self, owner: str, end: RelationshipEnd) -> RelationshipEnd | None:
+        """The declared inverse end of *end*, or ``None`` if missing."""
+        if end.inverse_type not in self.interfaces:
+            return None
+        other = self.interfaces[end.inverse_type]
+        inverse = other.relationships.get(end.inverse_name)
+        if inverse is None:
+            return None
+        if inverse.target_type != owner or inverse.inverse_name != end.name:
+            return None
+        return inverse
+
+    def copy(self, name: str | None = None) -> "Schema":
+        """Structural copy of the schema (optionally renamed)."""
+        duplicate = Schema(name or self.name)
+        for interface in self:
+            duplicate.add_interface(interface.copy())
+        return duplicate
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.model.errors.ValidationError` on problems.
+
+        Delegates to :func:`repro.model.validation.validate_schema` and
+        raises when any error-severity issue is found.
+        """
+        from repro.model.validation import validate_schema
+
+        validate_schema(self, raise_on_error=True)
+
+    def stats(self) -> dict[str, int]:
+        """Simple size metrics, used by benchmarks and reports."""
+        return {
+            "interfaces": len(self),
+            "attributes": sum(len(i.attributes) for i in self),
+            "relationship_ends": sum(len(i.relationships) for i in self),
+            "operations": sum(len(i.operations) for i in self),
+            "supertype_links": sum(len(i.supertypes) for i in self),
+            "part_of_links": len(self.part_of_edges()),
+            "instance_of_links": len(self.instance_of_edges()),
+        }
+
+    def __str__(self) -> str:
+        return f"schema {self.name} ({len(self)} interfaces)"
+
+
+def schema_from_interfaces(name: str, interfaces: Iterable[InterfaceDef]) -> Schema:
+    """Convenience constructor used by the catalog and tests."""
+    schema = Schema(name)
+    for interface in interfaces:
+        schema.add_interface(interface)
+    return schema

@@ -1,0 +1,206 @@
+"""Type system for the extended ODMG object model.
+
+Three kinds of type reference appear in schemas:
+
+* :class:`ScalarType` -- a built-in literal type (``string``, ``short``,
+  ``float`` ...), optionally sized (``string(30)``);
+* :class:`NamedType` -- a reference, by name, to an interface defined in
+  the schema.  Name-based references are deliberate: the paper assumes
+  *name equivalence* (Section 3.2), so constructs are identified by name
+  and moving or deleting an interface never requires pointer fix-ups;
+* :class:`CollectionType` -- ``set<T>``, ``list<T>``, ``bag<T>``, or
+  ``array<T[, size]>`` over an element type.
+
+All types are immutable value objects: they hash and compare by content
+and render back to extended-ODL syntax via ``str()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.model.errors import InvalidModelError
+
+#: Scalar type names recognised by the extended ODL grammar.
+SCALAR_TYPE_NAMES = frozenset(
+    {
+        "boolean",
+        "char",
+        "octet",
+        "short",
+        "long",
+        "float",
+        "double",
+        "string",
+        "date",
+        "time",
+        "timestamp",
+        "interval",
+        "void",
+    }
+)
+
+#: Scalar types that accept a size argument, e.g. ``string(30)``.
+SIZED_SCALAR_NAMES = frozenset({"string", "char"})
+
+#: Collection constructors of the object model.  The paper's future-work
+#: section mentions set-of / list-of / bag-of / array-of explicitly.
+COLLECTION_KINDS = ("set", "list", "bag", "array")
+
+
+@dataclass(frozen=True, slots=True)
+class ScalarType:
+    """A built-in literal type such as ``string`` or ``string(30)``.
+
+    ``size`` is only meaningful for the sized scalars (``string``,
+    ``char``); supplying it for any other scalar raises
+    :class:`~repro.model.errors.InvalidModelError`.
+    """
+
+    name: str
+    size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.name not in SCALAR_TYPE_NAMES:
+            raise InvalidModelError(f"unknown scalar type {self.name!r}")
+        if self.size is not None:
+            if self.name not in SIZED_SCALAR_NAMES:
+                raise InvalidModelError(
+                    f"scalar type {self.name!r} does not accept a size"
+                )
+            if self.size <= 0:
+                raise InvalidModelError(
+                    f"size of {self.name!r} must be positive, got {self.size}"
+                )
+
+    def __str__(self) -> str:
+        if self.size is not None:
+            return f"{self.name}({self.size})"
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class NamedType:
+    """A reference to an interface (object type) by name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name[0].isalpha():
+            raise InvalidModelError(f"invalid interface name {self.name!r}")
+        if self.name in SCALAR_TYPE_NAMES:
+            raise InvalidModelError(
+                f"{self.name!r} is a scalar type name, not an interface name"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class CollectionType:
+    """A collection over an element type: ``set<T>``, ``array<T, 10>``, ...
+
+    ``size`` is only allowed for ``array``.
+    """
+
+    kind: str
+    element: "TypeRef"
+    size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in COLLECTION_KINDS:
+            raise InvalidModelError(f"unknown collection kind {self.kind!r}")
+        if self.size is not None and self.kind != "array":
+            raise InvalidModelError(
+                f"collection kind {self.kind!r} does not accept a size"
+            )
+        if self.size is not None and self.size <= 0:
+            raise InvalidModelError(
+                f"array size must be positive, got {self.size}"
+            )
+        if isinstance(self.element, ScalarType) and self.element.name == "void":
+            raise InvalidModelError("collections of void are not allowed")
+
+    def __str__(self) -> str:
+        if self.size is not None:
+            return f"{self.kind}<{self.element}, {self.size}>"
+        return f"{self.kind}<{self.element}>"
+
+
+#: Anything that can appear where the grammar says <domain-type>.
+TypeRef = Union[ScalarType, NamedType, CollectionType]
+
+#: Convenience singleton for operation signatures without a return value.
+VOID = ScalarType("void")
+
+
+def is_type_ref(value: object) -> bool:
+    """Return ``True`` if *value* is one of the three type-reference kinds."""
+    return isinstance(value, (ScalarType, NamedType, CollectionType))
+
+
+def referenced_interfaces(type_ref: TypeRef) -> set[str]:
+    """Collect every interface name mentioned by *type_ref*.
+
+    Used by schema validation to find dangling type references.
+    """
+    if isinstance(type_ref, NamedType):
+        return {type_ref.name}
+    if isinstance(type_ref, CollectionType):
+        return referenced_interfaces(type_ref.element)
+    return set()
+
+
+def scalar(name: str, size: int | None = None) -> ScalarType:
+    """Shorthand constructor: ``scalar("string", 30)``."""
+    return ScalarType(name, size)
+
+
+def named(name: str) -> NamedType:
+    """Shorthand constructor: ``named("Course")``."""
+    return NamedType(name)
+
+
+def set_of(element: TypeRef | str) -> CollectionType:
+    """Shorthand constructor: ``set_of("Employee")`` -> ``set<Employee>``."""
+    return CollectionType("set", _coerce(element))
+
+
+def list_of(element: TypeRef | str) -> CollectionType:
+    """Shorthand constructor for ``list<T>``."""
+    return CollectionType("list", _coerce(element))
+
+
+def bag_of(element: TypeRef | str) -> CollectionType:
+    """Shorthand constructor for ``bag<T>``."""
+    return CollectionType("bag", _coerce(element))
+
+
+def array_of(element: TypeRef | str, size: int | None = None) -> CollectionType:
+    """Shorthand constructor for ``array<T[, size]>``."""
+    return CollectionType("array", _coerce(element), size)
+
+
+def _coerce(element: TypeRef | str) -> TypeRef:
+    """Accept a bare string as an interface or scalar name."""
+    if isinstance(element, str):
+        if element in SCALAR_TYPE_NAMES:
+            return ScalarType(element)
+        return NamedType(element)
+    if not is_type_ref(element):
+        raise InvalidModelError(f"not a type reference: {element!r}")
+    return element
+
+
+def parse_type_text(text: str) -> TypeRef:
+    """Parse a type written in extended-ODL syntax, e.g. ``set<string(30)>``.
+
+    This is a convenience for operation arguments given as text (the
+    modification language of Appendix A passes domain types textually);
+    the full ODL parser in :mod:`repro.odl` reuses the same grammar.
+    """
+    from repro.odl.parser import parse_type  # local import avoids a cycle
+
+    return parse_type(text)

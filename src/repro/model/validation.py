@@ -1,0 +1,343 @@
+"""Structural validation of schemas.
+
+Each rule inspects one aspect of the extended object model and yields
+:class:`Issue` records.  The knowledge component of the interactive
+designer (:mod:`repro.knowledge`) layers designer-facing consistency
+checks on top of these structural rules; here we only enforce what must
+hold for a schema to *be* a schema of the extended ODMG model:
+
+* every referenced type name is defined (``dangling-type``);
+* relationship ends pair up with their declared inverses
+  (``inverse-missing`` / ``inverse-mismatch``);
+* relationship kinds agree across the two ends (``kind-mismatch``);
+* part-of and instance-of relationships honour the implicit 1:N
+  cardinality (``cardinality-role``);
+* the generalization, aggregation, and instance-of graphs are acyclic
+  (``isa-cycle`` / ``part-of-cycle`` / ``instance-of-cycle``);
+* keys name attributes that exist, locally or inherited (``key-unknown``);
+* order-by lists name attributes of the target type (``order-by-unknown``).
+
+Severity ``warning`` marks conditions the paper treats as design smells
+rather than errors (e.g. a multi-rooted generalization component, which
+Section 3.2 says should be fixed by adding an abstract supertype).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.model.errors import ValidationError
+from repro.model.relationships import RelationshipKind
+from repro.model.schema import Schema
+from repro.model.types import referenced_interfaces
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class Issue:
+    """One validation finding.
+
+    ``rule`` is a stable identifier (e.g. ``"dangling-type"``),
+    ``location`` a dotted construct path (``Type.property``), and
+    ``message`` human-readable text for designer feedback.
+    """
+
+    rule: str
+    severity: str
+    location: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.rule} at {self.location}: {self.message}"
+
+
+Rule = Callable[[Schema], Iterator[Issue]]
+
+
+def check_dangling_types(schema: Schema) -> Iterator[Issue]:
+    """Every interface name used anywhere must be defined in the schema."""
+    for interface in schema:
+        for supertype in interface.supertypes:
+            if supertype not in schema:
+                yield Issue(
+                    "dangling-type", SEVERITY_ERROR, interface.name,
+                    f"supertype {supertype!r} is not defined",
+                )
+        for attribute in interface.attributes.values():
+            for used in sorted(referenced_interfaces(attribute.type)):
+                if used not in schema:
+                    yield Issue(
+                        "dangling-type", SEVERITY_ERROR,
+                        f"{interface.name}.{attribute.name}",
+                        f"attribute type references undefined {used!r}",
+                    )
+        for end in interface.relationships.values():
+            if end.target_type not in schema:
+                yield Issue(
+                    "dangling-type", SEVERITY_ERROR,
+                    f"{interface.name}.{end.name}",
+                    f"relationship targets undefined {end.target_type!r}",
+                )
+            if end.inverse_type not in schema:
+                yield Issue(
+                    "dangling-type", SEVERITY_ERROR,
+                    f"{interface.name}.{end.name}",
+                    f"inverse names undefined {end.inverse_type!r}",
+                )
+        for operation in interface.operations.values():
+            used_names: set[str] = set(
+                referenced_interfaces(operation.return_type)
+            )
+            for parameter in operation.parameters:
+                used_names |= referenced_interfaces(parameter.type)
+            for used in sorted(used_names):
+                if used not in schema:
+                    yield Issue(
+                        "dangling-type", SEVERITY_ERROR,
+                        f"{interface.name}.{operation.name}",
+                        f"operation signature references undefined {used!r}",
+                    )
+
+
+def check_inverses(schema: Schema) -> Iterator[Issue]:
+    """Relationship ends must pair with a consistent declared inverse."""
+    for owner, end in schema.relationship_pairs():
+        if end.inverse_type not in schema:
+            continue  # reported by check_dangling_types
+        other = schema.get(end.inverse_type)
+        inverse = other.relationships.get(end.inverse_name)
+        location = f"{owner}.{end.name}"
+        if inverse is None:
+            yield Issue(
+                "inverse-missing", SEVERITY_ERROR, location,
+                f"declared inverse {end.inverse_type}::{end.inverse_name} "
+                "does not exist",
+            )
+            continue
+        if inverse.target_type != owner or inverse.inverse_name != end.name:
+            yield Issue(
+                "inverse-mismatch", SEVERITY_ERROR, location,
+                f"inverse {end.inverse_type}::{end.inverse_name} does not "
+                f"point back at {owner}::{end.name}",
+            )
+        if inverse.kind is not end.kind:
+            yield Issue(
+                "kind-mismatch", SEVERITY_ERROR, location,
+                f"this end is {end.kind.value} but its inverse is "
+                f"{inverse.kind.value}",
+            )
+        if end.inverse_type != end.target_type:
+            yield Issue(
+                "inverse-mismatch", SEVERITY_ERROR, location,
+                f"target type {end.target_type!r} differs from inverse "
+                f"owner {end.inverse_type!r}",
+            )
+
+
+def check_cardinality_roles(schema: Schema) -> Iterator[Issue]:
+    """Part-of and instance-of relationships are implicitly 1:N.
+
+    Exactly one end of each such relationship may be to-many (the whole's
+    to-parts end / the generic entity's to-instances end); the opposite
+    end must be to-one.
+    """
+    for owner, end in schema.relationship_pairs():
+        if end.kind is RelationshipKind.ASSOCIATION:
+            continue
+        inverse = schema.find_inverse(owner, end)
+        if inverse is None:
+            continue  # reported by check_inverses
+        if end.is_to_many == inverse.is_to_many:
+            shape = "to-many" if end.is_to_many else "to-one"
+            yield Issue(
+                "cardinality-role", SEVERITY_ERROR, f"{owner}.{end.name}",
+                f"{end.kind.value} relationship has both ends {shape}; "
+                "the implicit cardinality is 1:N",
+            )
+
+
+def _find_cycle(
+    nodes: Iterable[str], successors: Callable[[str], Iterable[str]]
+) -> list[str] | None:
+    """Return one directed cycle as a node list, or ``None``."""
+    visiting: set[str] = set()
+    done: set[str] = set()
+    stack: list[str] = []
+
+    def visit(node: str) -> list[str] | None:
+        if node in done:
+            return None
+        if node in visiting:
+            return stack[stack.index(node):] + [node]
+        visiting.add(node)
+        stack.append(node)
+        for nxt in successors(node):
+            found = visit(nxt)
+            if found is not None:
+                return found
+        stack.pop()
+        visiting.discard(node)
+        done.add(node)
+        return None
+
+    for start in nodes:
+        found = visit(start)
+        if found is not None:
+            return found
+    return None
+
+
+def check_isa_cycles(schema: Schema) -> Iterator[Issue]:
+    """The generalization graph must be acyclic."""
+    cycle = _find_cycle(
+        schema.type_names(),
+        lambda name: (
+            supertype
+            for supertype in schema.interfaces[name].supertypes
+            if supertype in schema
+        )
+        if name in schema
+        else (),
+    )
+    if cycle is not None:
+        yield Issue(
+            "isa-cycle", SEVERITY_ERROR, cycle[0],
+            "generalization cycle: " + " -> ".join(cycle),
+        )
+
+
+def check_part_of_cycles(schema: Schema) -> Iterator[Issue]:
+    """The aggregation graph must be acyclic (no whole is its own part)."""
+    edges: dict[str, list[str]] = {}
+    for whole, part, _ in schema.part_of_edges():
+        edges.setdefault(whole, []).append(part)
+    cycle = _find_cycle(schema.type_names(), lambda n: edges.get(n, ()))
+    if cycle is not None:
+        yield Issue(
+            "part-of-cycle", SEVERITY_ERROR, cycle[0],
+            "aggregation cycle: " + " -> ".join(cycle),
+        )
+
+
+def check_instance_of_cycles(schema: Schema) -> Iterator[Issue]:
+    """The instance-of graph must be acyclic."""
+    edges: dict[str, list[str]] = {}
+    for generic, instance, _ in schema.instance_of_edges():
+        edges.setdefault(generic, []).append(instance)
+    cycle = _find_cycle(schema.type_names(), lambda n: edges.get(n, ()))
+    if cycle is not None:
+        yield Issue(
+            "instance-of-cycle", SEVERITY_ERROR, cycle[0],
+            "instance-of cycle: " + " -> ".join(cycle),
+        )
+
+
+def check_keys(schema: Schema) -> Iterator[Issue]:
+    """Keys must name attributes available on the type (incl. inherited)."""
+    for interface in schema:
+        available = set(interface.attributes)
+        available.update(schema.inherited_attributes(interface.name))
+        for key in interface.keys:
+            for attr_name in key:
+                if attr_name not in available:
+                    yield Issue(
+                        "key-unknown", SEVERITY_ERROR,
+                        f"{interface.name}.keys",
+                        f"key {key!r} names unknown attribute {attr_name!r}",
+                    )
+
+
+def check_order_by(schema: Schema) -> Iterator[Issue]:
+    """order_by lists must name attributes of the relationship target."""
+    for owner, end in schema.relationship_pairs():
+        if not end.order_by or end.target_type not in schema:
+            continue
+        target = schema.get(end.target_type)
+        available = set(target.attributes)
+        available.update(schema.inherited_attributes(target.name))
+        for attr_name in end.order_by:
+            if attr_name not in available:
+                yield Issue(
+                    "order-by-unknown", SEVERITY_ERROR,
+                    f"{owner}.{end.name}",
+                    f"order_by names unknown attribute {attr_name!r} of "
+                    f"{end.target_type!r}",
+                )
+
+
+def check_multi_root_components(schema: Schema) -> Iterator[Issue]:
+    """Warn about generalization components with more than one root.
+
+    The paper's single-root assumption (Section 3.2) says any hierarchy
+    with two or more roots should be transformed by adding an abstract
+    supertype; we surface the condition as a warning rather than reject
+    the schema.
+    """
+    neighbours: dict[str, set[str]] = {name: set() for name in schema.type_names()}
+    for interface in schema:
+        for supertype in interface.supertypes:
+            if supertype in schema:
+                neighbours[interface.name].add(supertype)
+                neighbours[supertype].add(interface.name)
+    seen: set[str] = set()
+    for start in schema.type_names():
+        if start in seen or not neighbours[start]:
+            continue
+        component: set[str] = set()
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            if node in component:
+                continue
+            component.add(node)
+            frontier.extend(neighbours[node] - component)
+        seen |= component
+        roots = sorted(
+            name
+            for name in component
+            if not [s for s in schema.get(name).supertypes if s in schema]
+        )
+        if len(roots) > 1:
+            yield Issue(
+                "multi-root-hierarchy", SEVERITY_WARNING, roots[0],
+                "generalization component has several roots "
+                f"({', '.join(roots)}); consider an abstract supertype",
+            )
+
+
+#: All structural rules, in reporting order.
+STRUCTURAL_RULES: tuple[Rule, ...] = (
+    check_dangling_types,
+    check_inverses,
+    check_cardinality_roles,
+    check_isa_cycles,
+    check_part_of_cycles,
+    check_instance_of_cycles,
+    check_keys,
+    check_order_by,
+    check_multi_root_components,
+)
+
+
+def validate_schema(schema: Schema, raise_on_error: bool = False) -> list[Issue]:
+    """Run every structural rule over *schema* and return the issues.
+
+    With ``raise_on_error`` set, raise
+    :class:`~repro.model.errors.ValidationError` when any error-severity
+    issue was found (warnings never raise).
+    """
+    issues: list[Issue] = []
+    for rule in STRUCTURAL_RULES:
+        issues.extend(rule(schema))
+    if raise_on_error:
+        errors = [issue for issue in issues if issue.severity == SEVERITY_ERROR]
+        if errors:
+            raise ValidationError(
+                f"schema {schema.name!r} has {len(errors)} structural "
+                "error(s); first: " + str(errors[0]),
+                issues=errors,
+            )
+    return issues

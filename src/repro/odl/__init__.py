@@ -1,0 +1,38 @@
+"""Extended ODL front end: lexer, parser, and pretty-printer.
+
+The paper adopts ODMG's Object Definition Language, "extended slightly
+... to support the instance-of and aggregation relationship types"
+(Section 3.1).  This package provides that extended language as text:
+
+>>> from repro.odl import parse_schema, print_schema
+>>> schema = parse_schema('''
+...     interface Course {
+...         attribute string(30) title;
+...     };
+... ''', name="demo")
+>>> print(print_schema(schema))
+interface Course {
+    attribute string(30) title;
+};
+<BLANKLINE>
+"""
+
+from repro.odl.lexer import OdlSyntaxError, Token, TokenStream, tokenize
+from repro.odl.parser import (
+    parse_interface,
+    parse_schema,
+    parse_type,
+)
+from repro.odl.printer import print_interface, print_schema
+
+__all__ = [
+    "OdlSyntaxError",
+    "Token",
+    "TokenStream",
+    "parse_interface",
+    "parse_schema",
+    "parse_type",
+    "print_interface",
+    "print_schema",
+    "tokenize",
+]

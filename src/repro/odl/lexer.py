@@ -1,0 +1,186 @@
+"""Tokenizer for the extended ODL.
+
+A small hand-written lexer: identifiers/keywords, integer literals, and
+the punctuation of the ODL grammar (including ``::`` for inverse traversal
+paths).  ``//`` line comments and ``/* */`` block comments are skipped.
+Every token carries its line and column for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.model.errors import ReproError
+
+
+class OdlSyntaxError(ReproError):
+    """Lexical or grammatical error in ODL text or operation text."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+# Token types
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+PUNCT = "PUNCT"
+END = "END"
+
+#: Multi-character punctuation must be matched before single characters.
+_PUNCTUATION = ("::", "{", "}", "(", ")", "<", ">", ",", ";", ":", "[", "]")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        if self.type == END:
+            return "end of input"
+        return repr(self.value)
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield the tokens of *text*, ending with a single ``END`` token."""
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = text[index]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if text.startswith("//", index):
+            end = text.find("\n", index)
+            advance((end if end != -1 else length) - index)
+            continue
+        if text.startswith("/*", index):
+            end = text.find("*/", index + 2)
+            if end == -1:
+                raise OdlSyntaxError("unterminated block comment", line, column)
+            advance(end + 2 - index)
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            start_line, start_column = line, column
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                advance(1)
+            yield Token(IDENT, text[start:index], start_line, start_column)
+            continue
+        if char.isdigit():
+            start = index
+            start_line, start_column = line, column
+            while index < length and text[index].isdigit():
+                advance(1)
+            yield Token(NUMBER, text[start:index], start_line, start_column)
+            continue
+        for punct in _PUNCTUATION:
+            if text.startswith(punct, index):
+                yield Token(PUNCT, punct, line, column)
+                advance(len(punct))
+                break
+        else:
+            raise OdlSyntaxError(f"unexpected character {char!r}", line, column)
+    yield Token(END, "", line, column)
+
+
+class TokenStream:
+    """Cursor over a token list with the lookahead the parsers need."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = list(tokenize(text))
+        self._position = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._position]
+
+    def peek(self, offset: int = 1) -> Token:
+        """Look ahead without consuming; clamps at the END token."""
+        position = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[position]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        token = self.current
+        if token.type != END:
+            self._position += 1
+        return token
+
+    def at_punct(self, value: str) -> bool:
+        return self.current.type == PUNCT and self.current.value == value
+
+    def at_ident(self, value: str | None = None) -> bool:
+        if self.current.type != IDENT:
+            return False
+        return value is None or self.current.value == value
+
+    def expect_punct(self, value: str) -> Token:
+        if not self.at_punct(value):
+            raise OdlSyntaxError(
+                f"expected {value!r}, found {self.current}",
+                self.current.line, self.current.column,
+            )
+        return self.advance()
+
+    def expect_ident(self, value: str | None = None) -> Token:
+        if not self.at_ident(value):
+            expected = repr(value) if value else "an identifier"
+            raise OdlSyntaxError(
+                f"expected {expected}, found {self.current}",
+                self.current.line, self.current.column,
+            )
+        return self.advance()
+
+    def expect_number(self) -> int:
+        if self.current.type != NUMBER:
+            raise OdlSyntaxError(
+                f"expected a number, found {self.current}",
+                self.current.line, self.current.column,
+            )
+        return int(self.advance().value)
+
+    def accept_punct(self, value: str) -> bool:
+        """Consume the punctuation if present, returning whether it was."""
+        if self.at_punct(value):
+            self.advance()
+            return True
+        return False
+
+    def accept_ident(self, value: str) -> bool:
+        """Consume the keyword identifier if present."""
+        if self.at_ident(value):
+            self.advance()
+            return True
+        return False
+
+    def expect_end(self) -> None:
+        if self.current.type != END:
+            raise OdlSyntaxError(
+                f"unexpected trailing input: {self.current}",
+                self.current.line, self.current.column,
+            )
+
+    def error(self, message: str) -> OdlSyntaxError:
+        """Build a syntax error anchored at the current token."""
+        return OdlSyntaxError(message, self.current.line, self.current.column)

@@ -1,0 +1,146 @@
+"""Schema modification operations and the Appendix A operation language.
+
+Every add / delete / modify operation of the paper's grammar is one
+command class; :mod:`repro.ops.registry` knows which operations are
+admissible in which concept schema type (Table 1), and
+:mod:`repro.ops.language` parses the textual operation language.
+"""
+
+from repro.ops.attribute_ops import (
+    AddAttribute,
+    DeleteAttribute,
+    ModifyAttribute,
+    ModifyAttributeSize,
+    ModifyAttributeType,
+)
+from repro.ops.base import (
+    FREE_CONTEXT,
+    ConstraintViolation,
+    InadmissibleOperationError,
+    OperationContext,
+    OperationError,
+    SchemaOperation,
+    SemanticStabilityError,
+    Undo,
+)
+from repro.ops.instance_of_ops import (
+    AddInstanceOfRelationship,
+    DeleteInstanceOfRelationship,
+    ModifyInstanceOfCardinality,
+    ModifyInstanceOfOrderBy,
+    ModifyInstanceOfTargetType,
+)
+from repro.ops.composite import (
+    CompositeOperation,
+    ExtractSupertype,
+    IntroduceAbstractSupertype,
+    SplitBySubtyping,
+)
+from repro.ops.language import parse_composite, parse_operation, parse_script
+from repro.ops.operation_ops import (
+    AddOperation,
+    DeleteOperation,
+    ModifyOperation,
+    ModifyOperationArgList,
+    ModifyOperationExceptionsRaised,
+    ModifyOperationReturnType,
+)
+from repro.ops.part_of_ops import (
+    AddPartOfRelationship,
+    DeletePartOfRelationship,
+    ModifyPartOfCardinality,
+    ModifyPartOfOrderBy,
+    ModifyPartOfTargetType,
+)
+from repro.ops.registry import (
+    OPERATION_CLASSES,
+    OPERATIONS_BY_NAME,
+    admissible_operations,
+    check_admissible,
+    format_table1,
+    is_admissible,
+    operation_class,
+    table1_matrix,
+)
+from repro.ops.relationship_ops import (
+    AddRelationship,
+    DeleteRelationship,
+    ModifyRelationshipCardinality,
+    ModifyRelationshipOrderBy,
+    ModifyRelationshipTargetType,
+)
+from repro.ops.type_ops import AddTypeDefinition, DeleteTypeDefinition
+from repro.ops.type_property_ops import (
+    AddExtentName,
+    AddKeyList,
+    AddSupertype,
+    DeleteExtentName,
+    DeleteKeyList,
+    DeleteSupertype,
+    ModifyExtentName,
+    ModifyKeyList,
+    ModifySupertype,
+)
+
+__all__ = [
+    "AddAttribute",
+    "AddExtentName",
+    "AddInstanceOfRelationship",
+    "AddKeyList",
+    "AddOperation",
+    "AddPartOfRelationship",
+    "AddRelationship",
+    "AddSupertype",
+    "AddTypeDefinition",
+    "CompositeOperation",
+    "ConstraintViolation",
+    "DeleteAttribute",
+    "DeleteExtentName",
+    "DeleteInstanceOfRelationship",
+    "DeleteKeyList",
+    "DeleteOperation",
+    "DeletePartOfRelationship",
+    "DeleteRelationship",
+    "DeleteSupertype",
+    "DeleteTypeDefinition",
+    "ExtractSupertype",
+    "FREE_CONTEXT",
+    "InadmissibleOperationError",
+    "IntroduceAbstractSupertype",
+    "ModifyAttribute",
+    "ModifyAttributeSize",
+    "ModifyAttributeType",
+    "ModifyExtentName",
+    "ModifyInstanceOfCardinality",
+    "ModifyInstanceOfOrderBy",
+    "ModifyInstanceOfTargetType",
+    "ModifyKeyList",
+    "ModifyOperation",
+    "ModifyOperationArgList",
+    "ModifyOperationExceptionsRaised",
+    "ModifyOperationReturnType",
+    "ModifyPartOfCardinality",
+    "ModifyPartOfOrderBy",
+    "ModifyPartOfTargetType",
+    "ModifyRelationshipCardinality",
+    "ModifyRelationshipOrderBy",
+    "ModifyRelationshipTargetType",
+    "ModifySupertype",
+    "OPERATIONS_BY_NAME",
+    "OPERATION_CLASSES",
+    "OperationContext",
+    "OperationError",
+    "SchemaOperation",
+    "SplitBySubtyping",
+    "SemanticStabilityError",
+    "Undo",
+    "admissible_operations",
+    "check_admissible",
+    "format_table1",
+    "is_admissible",
+    "operation_class",
+    "parse_composite",
+    "parse_operation",
+    "parse_script",
+    "table1_matrix",
+]

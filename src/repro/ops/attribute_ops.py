@@ -1,0 +1,356 @@
+"""Attribute operations.
+
+Wagon wheels own ``add_attribute`` / ``delete_attribute`` and the value
+modifications (``modify_attribute_type`` / ``modify_attribute_size``);
+moving an attribute to another object type (``modify_attribute``) is a
+generalization hierarchy operation bounded by semantic stability ("a
+legal move might be to move an attribute up the hierarchy to reside in a
+supertype's interface definition", Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.concepts.base import ConceptKind
+from repro.model.attributes import Attribute
+from repro.model.schema import Schema
+from repro.model.types import (
+    SIZED_SCALAR_NAMES,
+    ScalarType,
+    TypeRef,
+    referenced_interfaces,
+)
+from repro.ops.base import (
+    FREE_CONTEXT,
+    ConstraintViolation,
+    OperationContext,
+    SchemaOperation,
+    Undo,
+)
+
+_WW = frozenset({ConceptKind.WAGON_WHEEL})
+_GH = frozenset({ConceptKind.GENERALIZATION})
+
+
+def _check_domain_type(schema: Schema, type_ref: TypeRef, what: str) -> None:
+    """Named types inside a domain type must be defined in the schema."""
+    for used in sorted(referenced_interfaces(type_ref)):
+        if used not in schema:
+            raise ConstraintViolation(
+                f"{what} references undefined type {used!r}"
+            )
+
+
+def attribute_losers(
+    schema: Schema, typename: str, attribute_name: str
+) -> set[str]:
+    """Types that lose sight of the attribute if *typename*'s copy goes.
+
+    A type keeps the attribute when it (or any of its other ancestors)
+    defines a same-named attribute of its own -- only types whose sole
+    provider is *typename* are losers.  Shared by the delete/move
+    validators and the propagation rules.
+    """
+    losers: set[str] = set()
+    for name in {typename} | schema.descendants(typename):
+        if name != typename and attribute_name in schema.get(name).attributes:
+            continue
+        providers = {
+            owner
+            for owner in ({name} | schema.ancestors(name))
+            if owner in schema
+            and attribute_name in schema.get(owner).attributes
+        }
+        if providers == {typename}:
+            losers.add(name)
+    return losers
+
+
+@dataclass(frozen=True, eq=False)
+class AddAttribute(SchemaOperation):
+    """``add_attribute(typename, domain_type, [size,] attribute_name)``."""
+
+    op_name = "add_attribute"
+    candidate = "Attribute"
+    sub_candidate = "Name"
+    action = "add"
+    admissible_in = _WW
+
+    typename: str
+    domain_type: TypeRef
+    attribute_name: str
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        interface = schema.get(self.typename)
+        if (
+            self.attribute_name in interface.attributes
+            or self.attribute_name in interface.relationships
+        ):
+            raise ConstraintViolation(
+                f"{self.typename!r} already has a property "
+                f"{self.attribute_name!r}"
+            )
+        _check_domain_type(
+            schema, self.domain_type,
+            f"attribute {self.typename}.{self.attribute_name}",
+        )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        schema.get(self.typename).add_attribute(
+            Attribute(self.attribute_name, self.domain_type)
+        )
+
+        def undo() -> None:
+            schema.get(self.typename).remove_attribute(self.attribute_name)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, str(self.domain_type), self.attribute_name)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class DeleteAttribute(SchemaOperation):
+    """``delete_attribute(typename, attribute_name)``.
+
+    The attribute must not be used by a key or an order-by list of the
+    owning schema; propagation removes those uses first when enabled.
+    """
+
+    op_name = "delete_attribute"
+    candidate = "Attribute"
+    sub_candidate = "Name"
+    action = "delete"
+    admissible_in = _WW
+
+    typename: str
+    attribute_name: str
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        schema.get(self.typename).get_attribute(self.attribute_name)
+        for user in self._dependent_uses(schema):
+            raise ConstraintViolation(
+                f"attribute {self.typename}.{self.attribute_name} is still "
+                f"used by {user}; remove that use first (propagation does "
+                "this automatically)"
+            )
+
+    def _dependent_uses(self, schema: Schema) -> list[str]:
+        """Keys and order-by lists that would dangle after the delete.
+
+        A key or ordering on a *subtype* that names this (inherited)
+        attribute counts too -- unless the subtype shadows it with its
+        own same-named attribute or inherits another copy elsewhere.
+        """
+        losers = attribute_losers(schema, self.typename, self.attribute_name)
+        uses: list[str] = []
+        for name in sorted(losers):
+            for key in schema.get(name).keys:
+                if self.attribute_name in key:
+                    uses.append(f"key {key!r} of {name!r}")
+        for owner, end in schema.relationship_pairs():
+            if end.target_type in losers and self.attribute_name in end.order_by:
+                uses.append(f"order_by of {owner}::{end.name}")
+        return uses
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        interface = schema.get(self.typename)
+        position = list(interface.attributes).index(self.attribute_name)
+        removed = interface.remove_attribute(self.attribute_name)
+
+        def undo() -> None:
+            owner = schema.get(self.typename)
+            owner.add_attribute(removed)
+            _restore_attribute_position(owner, self.attribute_name, position)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, self.attribute_name)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class ModifyAttribute(SchemaOperation):
+    """``modify_attribute(typename, attribute_name, new_typename)``.
+
+    Moves the attribute up or down the generalization hierarchy (the
+    grammar's comment: "move attr. up/down gen. hier").  Semantic
+    stability requires the two owners to lie on one ISA path of the
+    shrink wrap hierarchy.
+    """
+
+    op_name = "modify_attribute"
+    candidate = "Attribute"
+    sub_candidate = "Name"
+    action = "modify"
+    admissible_in = _GH
+
+    typename: str
+    attribute_name: str
+    new_typename: str
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        schema.get(self.typename).get_attribute(self.attribute_name)
+        target = schema.get(self.new_typename)
+        if self.new_typename == self.typename:
+            raise ConstraintViolation(
+                f"attribute {self.attribute_name!r} already resides in "
+                f"{self.typename!r}"
+            )
+        context.check_isa_related(
+            schema, self.typename, self.new_typename,
+            f"move of attribute {self.attribute_name!r}",
+        )
+        if (
+            self.attribute_name in target.attributes
+            or self.attribute_name in target.relationships
+        ):
+            raise ConstraintViolation(
+                f"{self.new_typename!r} already has a property "
+                f"{self.attribute_name!r}"
+            )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        source = schema.get(self.typename)
+        position = list(source.attributes).index(self.attribute_name)
+        moved = source.remove_attribute(self.attribute_name)
+        schema.get(self.new_typename).add_attribute(moved)
+
+        def undo() -> None:
+            schema.get(self.new_typename).remove_attribute(self.attribute_name)
+            owner = schema.get(self.typename)
+            owner.add_attribute(moved)
+            _restore_attribute_position(owner, self.attribute_name, position)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, self.attribute_name, self.new_typename)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename, self.new_typename)
+
+
+@dataclass(frozen=True, eq=False)
+class ModifyAttributeType(SchemaOperation):
+    """``modify_attribute_type(typename, attribute_name, old, new)``."""
+
+    op_name = "modify_attribute_type"
+    candidate = "Attribute"
+    sub_candidate = "Type"
+    action = "modify"
+    admissible_in = _WW
+
+    typename: str
+    attribute_name: str
+    old_type: TypeRef
+    new_type: TypeRef
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        attribute = schema.get(self.typename).get_attribute(self.attribute_name)
+        if attribute.type != self.old_type:
+            raise ConstraintViolation(
+                f"attribute {self.typename}.{self.attribute_name} has type "
+                f"{attribute.type}, not {self.old_type}"
+            )
+        _check_domain_type(
+            schema, self.new_type,
+            f"attribute {self.typename}.{self.attribute_name}",
+        )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        interface = schema.get(self.typename)
+        old = interface.get_attribute(self.attribute_name)
+        interface.replace_attribute(old.with_type(self.new_type))
+
+        def undo() -> None:
+            schema.get(self.typename).replace_attribute(old)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (
+            self.typename, self.attribute_name,
+            str(self.old_type), str(self.new_type),
+        )
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class ModifyAttributeSize(SchemaOperation):
+    """``modify_attribute_size(typename, attribute_name, old, new)``.
+
+    Only sized scalar attributes (``string(n)`` / ``char(n)``) have a
+    size; passing ``0`` for ``new_size`` removes the size bound.
+    """
+
+    op_name = "modify_attribute_size"
+    candidate = "Attribute"
+    sub_candidate = "Size"
+    action = "modify"
+    admissible_in = _WW
+
+    typename: str
+    attribute_name: str
+    old_size: int | None
+    new_size: int | None
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        attribute = schema.get(self.typename).get_attribute(self.attribute_name)
+        if (
+            not isinstance(attribute.type, ScalarType)
+            or attribute.type.name not in SIZED_SCALAR_NAMES
+        ):
+            raise ConstraintViolation(
+                f"attribute {self.typename}.{self.attribute_name} is not a "
+                "sized scalar; it has no size"
+            )
+        if attribute.size != self.old_size:
+            raise ConstraintViolation(
+                f"attribute {self.typename}.{self.attribute_name} has size "
+                f"{attribute.size}, not {self.old_size}"
+            )
+        if self.new_size is not None and self.new_size <= 0:
+            raise ConstraintViolation("new size must be positive")
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        interface = schema.get(self.typename)
+        old = interface.get_attribute(self.attribute_name)
+        interface.replace_attribute(old.with_size(self.new_size))
+
+        def undo() -> None:
+            schema.get(self.typename).replace_attribute(old)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (
+            self.typename, self.attribute_name,
+            str(self.old_size if self.old_size is not None else 0),
+            str(self.new_size if self.new_size is not None else 0),
+        )
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+def _restore_attribute_position(interface, name: str, position: int) -> None:
+    """Re-order an interface's attribute dict after an undo insertion."""
+    names = list(interface.attributes)
+    names.remove(name)
+    names.insert(position, name)
+    interface.attributes = {n: interface.attributes[n] for n in names}

@@ -1,0 +1,250 @@
+"""Composite modification operations with well-defined semantics.
+
+The paper's future-work list asks for "more complex schema modification
+operations with well-defined semantics ... incorporated into the schema
+designer along with expected constraints and impact on the schema"
+(Section 5).  Composites expand to plans of the primitive Appendix A
+operations, so the workspace log, impact reports, undo, and persistence
+all keep working at the primitive level -- a composite is a macro, not
+a new kind of change.
+
+Three composites cover the restructurings the paper itself discusses:
+
+* :class:`IntroduceAbstractSupertype` -- "any hierarchy with two or more
+  roots can be easily transformed by creating an abstract supertype of
+  the multiple roots" (Section 3.2), also the sanctioned replacement for
+  interface *merging*;
+* :class:`ExtractSupertype` -- factor attributes/operations shared by
+  several subtypes into a (possibly new) common supertype and move them
+  up, the classic generalization refactoring within semantic stability;
+* :class:`SplitBySubtyping` -- the paper "excludes operations that split
+  ... interface definitions.  We believe that it is more appropriate to
+  subtype the interface definitions to be split"; this composite creates
+  the subtype and pushes the chosen properties down.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.model.schema import Schema
+from repro.ops.attribute_ops import ModifyAttribute
+from repro.ops.base import (
+    FREE_CONTEXT,
+    ConstraintViolation,
+    OperationContext,
+    SchemaOperation,
+)
+from repro.ops.operation_ops import ModifyOperation
+from repro.ops.type_ops import AddTypeDefinition
+from repro.ops.type_property_ops import AddSupertype
+
+
+class CompositeOperation(abc.ABC):
+    """A macro expanding to a plan of primitive schema operations.
+
+    ``expand_plan`` computes the primitive sequence against the current
+    schema; the workspace applies the primitives one by one (each with
+    its own propagation and undo), logging the composite's name for the
+    designer.
+    """
+
+    composite_name: str
+
+    @abc.abstractmethod
+    def expand_plan(
+        self, schema: Schema, context: OperationContext = FREE_CONTEXT
+    ) -> list[SchemaOperation]:
+        """Compute the primitive operations realising this composite."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable summary for logs and feedback."""
+
+
+@dataclass(frozen=True)
+class IntroduceAbstractSupertype(CompositeOperation):
+    """Create *supertype_name* and make every listed type its subtype.
+
+    With ``lift_common`` set, attributes and operations defined (with
+    identical values) in *all* the subtypes are moved up into the new
+    supertype -- exactly the generic-entity factoring the related-work
+    section describes for merging similar entities.
+    """
+
+    composite_name = "introduce_abstract_supertype"
+
+    supertype_name: str
+    subtype_names: tuple[str, ...]
+    lift_common: bool = True
+
+    def expand_plan(
+        self, schema: Schema, context: OperationContext = FREE_CONTEXT
+    ) -> list[SchemaOperation]:
+        if len(self.subtype_names) < 2:
+            raise ConstraintViolation(
+                f"{self.composite_name} needs at least two subtypes"
+            )
+        if self.supertype_name in schema:
+            raise ConstraintViolation(
+                f"type {self.supertype_name!r} already exists"
+            )
+        for name in self.subtype_names:
+            schema.get(name)  # raise early for unknown subtypes
+        plan: list[SchemaOperation] = [AddTypeDefinition(self.supertype_name)]
+        plan.extend(
+            AddSupertype(name, self.supertype_name)
+            for name in self.subtype_names
+        )
+        if self.lift_common:
+            plan.extend(self._lift_plan(schema))
+        return plan
+
+    def _lift_plan(self, schema: Schema) -> list[SchemaOperation]:
+        """Move up every member identical across all subtypes."""
+        first, *rest = [schema.get(name) for name in self.subtype_names]
+        plan: list[SchemaOperation] = []
+        for attr_name, attribute in first.attributes.items():
+            if all(
+                other.attributes.get(attr_name) == attribute for other in rest
+            ):
+                plan.append(
+                    ModifyAttribute(first.name, attr_name, self.supertype_name)
+                )
+                # The siblings' copies become redundant: the moved
+                # attribute is inherited.  They are deleted, which is the
+                # factoring the paper's related work describes.
+                from repro.ops.attribute_ops import DeleteAttribute
+
+                plan.extend(
+                    DeleteAttribute(other.name, attr_name) for other in rest
+                )
+        for op_name, operation in first.operations.items():
+            if all(
+                other.operations.get(op_name) == operation for other in rest
+            ):
+                plan.append(
+                    ModifyOperation(first.name, op_name, self.supertype_name)
+                )
+                from repro.ops.operation_ops import DeleteOperation
+
+                plan.extend(
+                    DeleteOperation(other.name, op_name) for other in rest
+                )
+        return plan
+
+    def describe(self) -> str:
+        return (
+            f"introduce abstract supertype {self.supertype_name!r} over "
+            f"{', '.join(self.subtype_names)}"
+            + (" (lifting common members)" if self.lift_common else "")
+        )
+
+
+@dataclass(frozen=True)
+class ExtractSupertype(CompositeOperation):
+    """Move the named members of *source* up into *supertype*.
+
+    The supertype must already be a (transitive) supertype of *source*
+    -- the move stays within semantic stability by construction.
+    """
+
+    composite_name = "extract_supertype"
+
+    source: str
+    supertype: str
+    attribute_names: tuple[str, ...] = field(default_factory=tuple)
+    operation_names: tuple[str, ...] = field(default_factory=tuple)
+
+    def expand_plan(
+        self, schema: Schema, context: OperationContext = FREE_CONTEXT
+    ) -> list[SchemaOperation]:
+        if self.supertype not in schema.ancestors(self.source):
+            raise ConstraintViolation(
+                f"{self.supertype!r} is not a supertype of {self.source!r}"
+            )
+        interface = schema.get(self.source)
+        for attr_name in self.attribute_names:
+            interface.get_attribute(attr_name)
+        for op_name in self.operation_names:
+            interface.get_operation(op_name)
+        plan: list[SchemaOperation] = []
+        plan.extend(
+            ModifyAttribute(self.source, attr_name, self.supertype)
+            for attr_name in self.attribute_names
+        )
+        plan.extend(
+            ModifyOperation(self.source, op_name, self.supertype)
+            for op_name in self.operation_names
+        )
+        if not plan:
+            raise ConstraintViolation(
+                f"{self.composite_name} given nothing to move"
+            )
+        return plan
+
+    def describe(self) -> str:
+        moved = list(self.attribute_names) + [
+            f"{name}()" for name in self.operation_names
+        ]
+        return (
+            f"extract {', '.join(moved)} from {self.source!r} up into "
+            f"{self.supertype!r}"
+        )
+
+
+@dataclass(frozen=True)
+class SplitBySubtyping(CompositeOperation):
+    """Create *subtype_name* under *source* and push members down.
+
+    This is the paper's sanctioned alternative to splitting an interface
+    definition: the new subtype takes over the listed attributes and
+    operations; everything else stays inherited from *source*.
+    """
+
+    composite_name = "split_by_subtyping"
+
+    source: str
+    subtype_name: str
+    attribute_names: tuple[str, ...] = field(default_factory=tuple)
+    operation_names: tuple[str, ...] = field(default_factory=tuple)
+
+    def expand_plan(
+        self, schema: Schema, context: OperationContext = FREE_CONTEXT
+    ) -> list[SchemaOperation]:
+        if self.subtype_name in schema:
+            raise ConstraintViolation(
+                f"type {self.subtype_name!r} already exists"
+            )
+        interface = schema.get(self.source)
+        for attr_name in self.attribute_names:
+            interface.get_attribute(attr_name)
+        for op_name in self.operation_names:
+            interface.get_operation(op_name)
+        if not self.attribute_names and not self.operation_names:
+            raise ConstraintViolation(
+                f"{self.composite_name} given nothing to push down"
+            )
+        plan: list[SchemaOperation] = [
+            AddTypeDefinition(self.subtype_name),
+            AddSupertype(self.subtype_name, self.source),
+        ]
+        plan.extend(
+            ModifyAttribute(self.source, attr_name, self.subtype_name)
+            for attr_name in self.attribute_names
+        )
+        plan.extend(
+            ModifyOperation(self.source, op_name, self.subtype_name)
+            for op_name in self.operation_names
+        )
+        return plan
+
+    def describe(self) -> str:
+        pushed = list(self.attribute_names) + [
+            f"{name}()" for name in self.operation_names
+        ]
+        return (
+            f"split {self.source!r} by subtyping: {self.subtype_name!r} "
+            f"takes {', '.join(pushed)}"
+        )

@@ -1,0 +1,88 @@
+"""Instance-of relationship operations.
+
+Mirrors :mod:`repro.ops.part_of_ops` for the instance-of kind: add and
+delete are available in wagon wheels and instance-of hierarchies; the
+modify operations belong to instance-of hierarchy concept schemas.  The
+grammar's two add variants (to-instance-entities with a collection
+target, to-generic-entity with a plain target) are served by one class,
+selected by the target's shape.
+"""
+
+from __future__ import annotations
+
+from repro.concepts.base import ConceptKind
+from repro.model.relationships import RelationshipKind
+from repro.ops.relationship_common import (
+    AddRelationshipBase,
+    DeleteRelationshipBase,
+    ModifyCardinalityBase,
+    ModifyOrderByBase,
+    ModifyTargetTypeBase,
+)
+
+_WW_IH = frozenset({ConceptKind.WAGON_WHEEL, ConceptKind.INSTANCE_OF})
+_IH = frozenset({ConceptKind.INSTANCE_OF})
+
+
+class AddInstanceOfRelationship(AddRelationshipBase):
+    """``add_instance_of_relationship(typename, target, path, Inv::path)``.
+
+    A collection target makes this the to-instance-entities variant
+    (declared in the generic entity); a plain target makes it the
+    to-generic-entity variant.
+    """
+
+    op_name = "add_instance_of_relationship"
+    candidate = "Instance-of Relationship"
+    sub_candidate = "Traversal path name"
+    action = "add"
+    admissible_in = _WW_IH
+    kind = RelationshipKind.INSTANCE_OF
+
+
+class DeleteInstanceOfRelationship(DeleteRelationshipBase):
+    """``delete_instance_of_relationship(typename, traversal_path)``."""
+
+    op_name = "delete_instance_of_relationship"
+    candidate = "Instance-of Relationship"
+    sub_candidate = "Traversal path name"
+    action = "delete"
+    admissible_in = _WW_IH
+    kind = RelationshipKind.INSTANCE_OF
+
+
+class ModifyInstanceOfTargetType(ModifyTargetTypeBase):
+    """``modify_instance_of_target_type(typename, path[, old], new)``."""
+
+    op_name = "modify_instance_of_target_type"
+    candidate = "Instance-of Relationship"
+    sub_candidate = "Target type"
+    action = "modify"
+    admissible_in = _IH
+    kind = RelationshipKind.INSTANCE_OF
+
+
+class ModifyInstanceOfCardinality(ModifyCardinalityBase):
+    """``modify_instance_of_cardinality(typename, path, old, new)``.
+
+    Only allowed for the to-instance-entities end of the relationship
+    (the grammar's comment), which must keep a collection target.
+    """
+
+    op_name = "modify_instance_of_cardinality"
+    candidate = "Instance-of Relationship"
+    sub_candidate = "One way cardinality"
+    action = "modify"
+    admissible_in = _IH
+    kind = RelationshipKind.INSTANCE_OF
+
+
+class ModifyInstanceOfOrderBy(ModifyOrderByBase):
+    """``modify_instance_of_order_by(typename, path, (old), (new))``."""
+
+    op_name = "modify_instance_of_order_by"
+    candidate = "Instance-of Relationship"
+    sub_candidate = "Order by list"
+    action = "modify"
+    admissible_in = _IH
+    kind = RelationshipKind.INSTANCE_OF

@@ -1,0 +1,352 @@
+"""Operation-signature operations (methods of interface definitions).
+
+Wagon wheels own add/delete and the signature modifications (return
+type, argument list, exceptions raised); moving an operation to another
+object type (``modify_operation``) is a generalization hierarchy
+operation bounded by semantic stability, like attribute moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.concepts.base import ConceptKind
+from repro.model.operations import Operation, Parameter
+from repro.model.schema import Schema
+from repro.model.types import TypeRef, referenced_interfaces
+from repro.ops.base import (
+    FREE_CONTEXT,
+    ConstraintViolation,
+    OperationContext,
+    SchemaOperation,
+    Undo,
+    render_list,
+)
+
+_WW = frozenset({ConceptKind.WAGON_WHEEL})
+_GH = frozenset({ConceptKind.GENERALIZATION})
+
+
+def _check_signature_types(
+    schema: Schema, return_type: TypeRef, parameters: tuple[Parameter, ...],
+    where: str,
+) -> None:
+    used: set[str] = set(referenced_interfaces(return_type))
+    for parameter in parameters:
+        used |= referenced_interfaces(parameter.type)
+    for name in sorted(used):
+        if name not in schema:
+            raise ConstraintViolation(
+                f"{where}: signature references undefined type {name!r}"
+            )
+
+
+def _render_parameters(parameters: tuple[Parameter, ...]) -> str:
+    return f"({', '.join(str(p) for p in parameters)})"
+
+
+@dataclass(frozen=True, eq=False)
+class AddOperation(SchemaOperation):
+    """``add_operation(typename, return_type, name[, (args)][, (raises)])``."""
+
+    op_name = "add_operation"
+    candidate = "Operation"
+    sub_candidate = "Name"
+    action = "add"
+    admissible_in = _WW
+
+    typename: str
+    return_type: TypeRef
+    operation_name: str
+    parameters: tuple[Parameter, ...] = field(default_factory=tuple)
+    exceptions: tuple[str, ...] = field(default_factory=tuple)
+
+    def _build(self) -> Operation:
+        return Operation(
+            self.operation_name, self.return_type,
+            tuple(self.parameters), tuple(self.exceptions),
+        )
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        interface = schema.get(self.typename)
+        if self.operation_name in interface.operations:
+            raise ConstraintViolation(
+                f"{self.typename!r} already has operation "
+                f"{self.operation_name!r}"
+            )
+        self._build()  # raises InvalidModelError on malformed signatures
+        _check_signature_types(
+            schema, self.return_type, tuple(self.parameters),
+            f"operation {self.typename}.{self.operation_name}",
+        )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        schema.get(self.typename).add_operation(self._build())
+
+        def undo() -> None:
+            schema.get(self.typename).remove_operation(self.operation_name)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        args = [self.typename, str(self.return_type), self.operation_name]
+        if self.parameters or self.exceptions:
+            args.append(_render_parameters(tuple(self.parameters)))
+        if self.exceptions:
+            args.append(render_list(self.exceptions))
+        return tuple(args)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class DeleteOperation(SchemaOperation):
+    """``delete_operation(typename, operation_name)``."""
+
+    op_name = "delete_operation"
+    candidate = "Operation"
+    sub_candidate = "Name"
+    action = "delete"
+    admissible_in = _WW
+
+    typename: str
+    operation_name: str
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        schema.get(self.typename).get_operation(self.operation_name)
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        interface = schema.get(self.typename)
+        position = list(interface.operations).index(self.operation_name)
+        removed = interface.remove_operation(self.operation_name)
+
+        def undo() -> None:
+            owner = schema.get(self.typename)
+            owner.add_operation(removed)
+            _restore_operation_position(owner, self.operation_name, position)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, self.operation_name)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class ModifyOperation(SchemaOperation):
+    """``modify_operation(typename, operation_name, new_typename)``.
+
+    Moves the operation up or down the generalization hierarchy (the
+    grammar's comment: "move operation up/down gen hier.").  The target
+    may already define a same-named operation only when that is an
+    override being collapsed -- we treat that as a conflict and reject,
+    matching the paper's uniqueness assumption ("operation names are
+    unique as well, except in the case where an operation is
+    overridden").
+    """
+
+    op_name = "modify_operation"
+    candidate = "Operation"
+    sub_candidate = "Name"
+    action = "modify"
+    admissible_in = _GH
+
+    typename: str
+    operation_name: str
+    new_typename: str
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        schema.get(self.typename).get_operation(self.operation_name)
+        target = schema.get(self.new_typename)
+        if self.new_typename == self.typename:
+            raise ConstraintViolation(
+                f"operation {self.operation_name!r} already resides in "
+                f"{self.typename!r}"
+            )
+        context.check_isa_related(
+            schema, self.typename, self.new_typename,
+            f"move of operation {self.operation_name!r}",
+        )
+        if self.operation_name in target.operations:
+            raise ConstraintViolation(
+                f"{self.new_typename!r} already has operation "
+                f"{self.operation_name!r}"
+            )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        source = schema.get(self.typename)
+        position = list(source.operations).index(self.operation_name)
+        moved = source.remove_operation(self.operation_name)
+        schema.get(self.new_typename).add_operation(moved)
+
+        def undo() -> None:
+            schema.get(self.new_typename).remove_operation(self.operation_name)
+            owner = schema.get(self.typename)
+            owner.add_operation(moved)
+            _restore_operation_position(owner, self.operation_name, position)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, self.operation_name, self.new_typename)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename, self.new_typename)
+
+
+@dataclass(frozen=True, eq=False)
+class ModifyOperationReturnType(SchemaOperation):
+    """``modify_operation_return_type(typename, name, old, new)``."""
+
+    op_name = "modify_operation_return_type"
+    candidate = "Operation"
+    sub_candidate = "Return type"
+    action = "modify"
+    admissible_in = _WW
+
+    typename: str
+    operation_name: str
+    old_return_type: TypeRef
+    new_return_type: TypeRef
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        operation = schema.get(self.typename).get_operation(self.operation_name)
+        if operation.return_type != self.old_return_type:
+            raise ConstraintViolation(
+                f"operation {self.typename}.{self.operation_name} returns "
+                f"{operation.return_type}, not {self.old_return_type}"
+            )
+        _check_signature_types(
+            schema, self.new_return_type, (),
+            f"operation {self.typename}.{self.operation_name}",
+        )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        interface = schema.get(self.typename)
+        old = interface.get_operation(self.operation_name)
+        interface.replace_operation(old.with_return_type(self.new_return_type))
+
+        def undo() -> None:
+            schema.get(self.typename).replace_operation(old)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (
+            self.typename, self.operation_name,
+            str(self.old_return_type), str(self.new_return_type),
+        )
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class ModifyOperationArgList(SchemaOperation):
+    """``modify_operation_arg_list(typename, name, (old...), (new...))``."""
+
+    op_name = "modify_operation_arg_list"
+    candidate = "Operation"
+    sub_candidate = "Argument list"
+    action = "modify"
+    admissible_in = _WW
+
+    typename: str
+    operation_name: str
+    old_parameters: tuple[Parameter, ...]
+    new_parameters: tuple[Parameter, ...]
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        operation = schema.get(self.typename).get_operation(self.operation_name)
+        if operation.parameters != tuple(self.old_parameters):
+            raise ConstraintViolation(
+                f"operation {self.typename}.{self.operation_name} has "
+                f"arguments {_render_parameters(operation.parameters)}, not "
+                f"{_render_parameters(tuple(self.old_parameters))}"
+            )
+        operation.with_parameters(tuple(self.new_parameters))  # shape check
+        _check_signature_types(
+            schema, operation.return_type, tuple(self.new_parameters),
+            f"operation {self.typename}.{self.operation_name}",
+        )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        interface = schema.get(self.typename)
+        old = interface.get_operation(self.operation_name)
+        interface.replace_operation(old.with_parameters(tuple(self.new_parameters)))
+
+        def undo() -> None:
+            schema.get(self.typename).replace_operation(old)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (
+            self.typename, self.operation_name,
+            _render_parameters(tuple(self.old_parameters)),
+            _render_parameters(tuple(self.new_parameters)),
+        )
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class ModifyOperationExceptionsRaised(SchemaOperation):
+    """``modify_operation_exceptions_raised(typename, name, (old), (new))``."""
+
+    op_name = "modify_operation_exceptions_raised"
+    candidate = "Operation"
+    sub_candidate = "Exceptions Raised"
+    action = "modify"
+    admissible_in = _WW
+
+    typename: str
+    operation_name: str
+    old_exceptions: tuple[str, ...]
+    new_exceptions: tuple[str, ...]
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        operation = schema.get(self.typename).get_operation(self.operation_name)
+        if operation.exceptions != tuple(self.old_exceptions):
+            raise ConstraintViolation(
+                f"operation {self.typename}.{self.operation_name} raises "
+                f"{operation.exceptions!r}, not {tuple(self.old_exceptions)!r}"
+            )
+        operation.with_exceptions(tuple(self.new_exceptions))  # shape check
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        interface = schema.get(self.typename)
+        old = interface.get_operation(self.operation_name)
+        interface.replace_operation(old.with_exceptions(tuple(self.new_exceptions)))
+
+        def undo() -> None:
+            schema.get(self.typename).replace_operation(old)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (
+            self.typename, self.operation_name,
+            render_list(self.old_exceptions), render_list(self.new_exceptions),
+        )
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+def _restore_operation_position(interface, name: str, position: int) -> None:
+    """Re-order an interface's operation dict after an undo insertion."""
+    names = list(interface.operations)
+    names.remove(name)
+    names.insert(position, name)
+    interface.operations = {n: interface.operations[n] for n in names}

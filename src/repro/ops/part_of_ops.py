@@ -1,0 +1,94 @@
+"""Part-of (aggregation) relationship operations.
+
+Add and delete are available both in wagon wheels and in aggregation
+hierarchy concept schemas (the Appendix A grammar lists them under
+``<ww_part_of_ops>`` and ``<ah_part_of_ops>``); the modify operations --
+target type, cardinality, order-by -- are aggregation hierarchy
+operations only ("modification of ... part-of relationships ... is not
+supported in wagon wheel concept schemas", Section 3.4).
+
+The grammar distinguishes ``add_part_of_to_part_of_relationship`` (the
+whole declares a collection of its parts) from
+``add_part_of_to_whole_relationship`` (a part declares its whole); both
+are served by one operation class here -- the target's shape (collection
+vs. plain interface) selects the variant, exactly as in the grammar,
+where the former carries a ``<collection_type>`` and the latter does not.
+"""
+
+from __future__ import annotations
+
+from repro.concepts.base import ConceptKind
+from repro.model.relationships import RelationshipKind
+from repro.ops.relationship_common import (
+    AddRelationshipBase,
+    DeleteRelationshipBase,
+    ModifyCardinalityBase,
+    ModifyOrderByBase,
+    ModifyTargetTypeBase,
+)
+
+_WW_AH = frozenset({ConceptKind.WAGON_WHEEL, ConceptKind.AGGREGATION})
+_AH = frozenset({ConceptKind.AGGREGATION})
+
+
+class AddPartOfRelationship(AddRelationshipBase):
+    """``add_part_of_relationship(typename, target, path, Inv::path)``.
+
+    A collection target (``set<Wall>``) makes this the to-part-of
+    variant; a plain interface target makes it the to-whole variant.
+    """
+
+    op_name = "add_part_of_relationship"
+    candidate = "Part-of Relationship"
+    sub_candidate = "Traversal path name"
+    action = "add"
+    admissible_in = _WW_AH
+    kind = RelationshipKind.PART_OF
+
+
+class DeletePartOfRelationship(DeleteRelationshipBase):
+    """``delete_part_of_relationship(typename, traversal_path)``."""
+
+    op_name = "delete_part_of_relationship"
+    candidate = "Part-of Relationship"
+    sub_candidate = "Traversal path name"
+    action = "delete"
+    admissible_in = _WW_AH
+    kind = RelationshipKind.PART_OF
+
+
+class ModifyPartOfTargetType(ModifyTargetTypeBase):
+    """``modify_part_of_target_type(typename, path[, old], new)``."""
+
+    op_name = "modify_part_of_target_type"
+    candidate = "Part-of Relationship"
+    sub_candidate = "Target type"
+    action = "modify"
+    admissible_in = _AH
+    kind = RelationshipKind.PART_OF
+
+
+class ModifyPartOfCardinality(ModifyCardinalityBase):
+    """``modify_part_of_cardinality(typename, path, old, new)``.
+
+    Only allowed for the to-part-of end, which must keep a collection
+    target (the grammar's comment: "only allowed for to-part-of end").
+    """
+
+    op_name = "modify_part_of_cardinality"
+    candidate = "Part-of Relationship"
+    sub_candidate = "One way cardinality"
+    action = "modify"
+    admissible_in = _AH
+    kind = RelationshipKind.PART_OF
+
+
+class ModifyPartOfOrderBy(ModifyOrderByBase):
+    """``modify_part_of_order_by(typename, path, (old), (new))``."""
+
+    op_name = "modify_part_of_order_by"
+    candidate = "Part-of Relationship"
+    sub_candidate = "Order by list"
+    action = "modify"
+    admissible_in = _AH
+    kind = RelationshipKind.PART_OF

@@ -1,0 +1,208 @@
+"""Registry of all modification operations and the Table 1 matrix.
+
+Collects every :class:`~repro.ops.base.SchemaOperation` subclass, checks
+admissibility per concept schema type, and regenerates the paper's
+Table 1 ("Operations on ODL schema definitions in the context of concept
+schema types") from the class metadata.  Tables 2 and 3 (the coverage of
+ODL candidates by add/delete/modify operations) are derived from the
+same metadata in :mod:`repro.analysis.completeness`.
+"""
+
+from __future__ import annotations
+
+from repro.concepts.base import ConceptKind
+from repro.ops.attribute_ops import (
+    AddAttribute,
+    DeleteAttribute,
+    ModifyAttribute,
+    ModifyAttributeSize,
+    ModifyAttributeType,
+)
+from repro.ops.base import InadmissibleOperationError, SchemaOperation
+from repro.ops.instance_of_ops import (
+    AddInstanceOfRelationship,
+    DeleteInstanceOfRelationship,
+    ModifyInstanceOfCardinality,
+    ModifyInstanceOfOrderBy,
+    ModifyInstanceOfTargetType,
+)
+from repro.ops.operation_ops import (
+    AddOperation,
+    DeleteOperation,
+    ModifyOperation,
+    ModifyOperationArgList,
+    ModifyOperationExceptionsRaised,
+    ModifyOperationReturnType,
+)
+from repro.ops.part_of_ops import (
+    AddPartOfRelationship,
+    DeletePartOfRelationship,
+    ModifyPartOfCardinality,
+    ModifyPartOfOrderBy,
+    ModifyPartOfTargetType,
+)
+from repro.ops.relationship_ops import (
+    AddRelationship,
+    DeleteRelationship,
+    ModifyRelationshipCardinality,
+    ModifyRelationshipOrderBy,
+    ModifyRelationshipTargetType,
+)
+from repro.ops.type_ops import AddTypeDefinition, DeleteTypeDefinition
+from repro.ops.type_property_ops import (
+    AddExtentName,
+    AddKeyList,
+    AddSupertype,
+    DeleteExtentName,
+    DeleteKeyList,
+    DeleteSupertype,
+    ModifyExtentName,
+    ModifyKeyList,
+    ModifySupertype,
+)
+
+#: Every operation class of the Appendix A grammar, in grammar order.
+OPERATION_CLASSES: tuple[type[SchemaOperation], ...] = (
+    AddTypeDefinition,
+    DeleteTypeDefinition,
+    AddSupertype,
+    DeleteSupertype,
+    ModifySupertype,
+    AddExtentName,
+    DeleteExtentName,
+    ModifyExtentName,
+    AddKeyList,
+    DeleteKeyList,
+    ModifyKeyList,
+    AddAttribute,
+    DeleteAttribute,
+    ModifyAttribute,
+    ModifyAttributeType,
+    ModifyAttributeSize,
+    AddRelationship,
+    DeleteRelationship,
+    ModifyRelationshipTargetType,
+    ModifyRelationshipCardinality,
+    ModifyRelationshipOrderBy,
+    AddOperation,
+    DeleteOperation,
+    ModifyOperation,
+    ModifyOperationReturnType,
+    ModifyOperationArgList,
+    ModifyOperationExceptionsRaised,
+    AddPartOfRelationship,
+    DeletePartOfRelationship,
+    ModifyPartOfTargetType,
+    ModifyPartOfCardinality,
+    ModifyPartOfOrderBy,
+    AddInstanceOfRelationship,
+    DeleteInstanceOfRelationship,
+    ModifyInstanceOfTargetType,
+    ModifyInstanceOfCardinality,
+    ModifyInstanceOfOrderBy,
+)
+
+#: Lookup by canonical operation name.
+OPERATIONS_BY_NAME: dict[str, type[SchemaOperation]] = {
+    cls.op_name: cls for cls in OPERATION_CLASSES
+}
+
+assert len(OPERATIONS_BY_NAME) == len(OPERATION_CLASSES), "duplicate op_name"
+
+
+def operation_class(op_name: str) -> type[SchemaOperation]:
+    """Return the operation class for a canonical name."""
+    try:
+        return OPERATIONS_BY_NAME[op_name]
+    except KeyError:
+        raise InadmissibleOperationError(
+            f"unknown operation {op_name!r}"
+        ) from None
+
+
+def is_admissible(operation: SchemaOperation | type[SchemaOperation],
+                  kind: ConceptKind) -> bool:
+    """Whether the operation may be issued in a *kind* concept schema."""
+    return kind in operation.admissible_in
+
+
+def check_admissible(operation: SchemaOperation, kind: ConceptKind) -> None:
+    """Raise :class:`InadmissibleOperationError` unless admissible."""
+    if not is_admissible(operation, kind):
+        allowed = ", ".join(
+            sorted(k.label() for k in operation.admissible_in)
+        )
+        raise InadmissibleOperationError(
+            f"{operation.op_name} is not allowed in a {kind.label()} "
+            f"concept schema (allowed in: {allowed})"
+        )
+
+
+def admissible_operations(kind: ConceptKind) -> list[type[SchemaOperation]]:
+    """Every operation class admissible in a *kind* concept schema."""
+    return [cls for cls in OPERATION_CLASSES if kind in cls.admissible_in]
+
+
+def table1_matrix() -> list[dict[str, object]]:
+    """Regenerate the paper's Table 1 as structured rows.
+
+    Each row covers one (candidate, sub-candidate) pair of the ODL
+    grammar and records which of Add/Delete/Modify are available in each
+    concept schema type, as single-letter flags ("A", "D", "M").
+    Disallowed name modifications are simply absent -- "disallowed
+    operations support name equivalence" (Table 1 caption).
+    """
+    rows: dict[tuple[str, str], dict[str, object]] = {}
+    letter = {"add": "A", "delete": "D", "modify": "M"}
+    for cls in OPERATION_CLASSES:
+        key = (cls.candidate, cls.sub_candidate)
+        row = rows.setdefault(
+            key,
+            {
+                "candidate": cls.candidate,
+                "sub_candidate": cls.sub_candidate,
+                **{kind.value: "" for kind in ConceptKind},
+            },
+        )
+        for kind in cls.admissible_in:
+            cell = str(row[kind.value])
+            if letter[cls.action] not in cell:
+                row[kind.value] = "".join(
+                    sorted(cell + letter[cls.action], key="ADM".index)
+                )
+    return list(rows.values())
+
+
+def format_table1() -> str:
+    """Render Table 1 as aligned text, the way the bench prints it."""
+    rows = table1_matrix()
+    headers = [
+        "Candidate", "Sub-candidate",
+        "Wagon wheel", "Generalization", "Aggregation", "Instance-of",
+    ]
+    kind_order = [
+        ConceptKind.WAGON_WHEEL.value,
+        ConceptKind.GENERALIZATION.value,
+        ConceptKind.AGGREGATION.value,
+        ConceptKind.INSTANCE_OF.value,
+    ]
+    table_rows = [
+        [
+            str(row["candidate"]), str(row["sub_candidate"]),
+            *(str(row[kind]) or "-" for kind in kind_order),
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in table_rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in table_rows
+    )
+    return "\n".join(lines)

@@ -1,0 +1,524 @@
+"""Shared mechanics for relationship operations of all three kinds.
+
+Association, part-of, and instance-of relationship ends share storage and
+inverse-pairing rules; the operation classes for each kind
+(:mod:`repro.ops.relationship_ops`, :mod:`repro.ops.part_of_ops`,
+:mod:`repro.ops.instance_of_ops`) are thin subclasses of the generic
+bases defined here, differing in the relationship kind they police and
+the concept schema types that may issue them (Table 1).
+
+The heart of the module is :func:`retarget_end`, the primitive behind
+``modify_relationship_target_type`` and its part-of / instance-of
+variants.  It implements exactly the paper's Figure 8 example::
+
+    modify_relationship_target_type(Employee, works_in_a, Person)
+
+    Department: relationship set<Employee> has inverse Employee::works_in_a
+    Employee:   relationship Department works_in_a inverse Department::has
+      -- becomes --
+    Department: relationship set<Person> has inverse Person::works_in_a
+    Person:     relationship Department works_in_a inverse Department::has
+
+i.e. one end is re-typed and the paired inverse declaration physically
+moves to the new participant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.model.interface import InterfaceDef
+from repro.model.relationships import RelationshipEnd, RelationshipKind
+from repro.model.schema import Schema
+from repro.model.types import CollectionType, NamedType, TypeRef, set_of
+from repro.ops.base import (
+    FREE_CONTEXT,
+    ConstraintViolation,
+    OperationContext,
+    SchemaOperation,
+    Undo,
+    render_list,
+)
+
+
+def get_end_of_kind(
+    schema: Schema, typename: str, path: str, kind: RelationshipKind
+) -> RelationshipEnd:
+    """Fetch ``typename::path`` and check it is of the expected kind."""
+    end = schema.get(typename).get_relationship(path)
+    if end.kind is not kind:
+        raise ConstraintViolation(
+            f"{typename}::{path} is a {end.kind.value} relationship; this "
+            f"operation handles {kind.value} relationships"
+        )
+    return end
+
+
+def _property_name_free(interface: InterfaceDef, name: str) -> bool:
+    return name not in interface.attributes and name not in interface.relationships
+
+
+def _check_target_shape(target: TypeRef, where: str) -> str:
+    """Targets must be an interface or a collection of one; return its name."""
+    if isinstance(target, NamedType):
+        return target.name
+    if isinstance(target, CollectionType) and isinstance(target.element, NamedType):
+        return target.element.name
+    raise ConstraintViolation(
+        f"{where}: relationship target must be an interface or a "
+        f"collection of interfaces, got {target}"
+    )
+
+
+def default_inverse_target(owner: str, added_end: RelationshipEnd) -> TypeRef:
+    """Target for an auto-created inverse end.
+
+    Associations default to a to-one inverse (1:N seen from the owner);
+    part-of and instance-of must complement the added end so the implicit
+    1:N holds: a to-one (to-whole / to-generic) end gets a to-many
+    inverse.
+    """
+    if added_end.kind is RelationshipKind.ASSOCIATION:
+        return NamedType(owner)
+    if added_end.is_to_many:
+        return NamedType(owner)
+    return set_of(owner)
+
+
+@dataclass(frozen=True, eq=False)
+class AddRelationshipBase(SchemaOperation):
+    """Generic ``add_*_relationship`` over one relationship kind.
+
+    Adds the end declared in ``typename``; when the declared inverse does
+    not exist yet in the target type, a complementary inverse end is
+    created automatically so the schema stays structurally valid after
+    every operation (the created end is part of the operation's impact).
+    """
+
+    kind: ClassVar[RelationshipKind]
+
+    typename: str
+    target: TypeRef
+    traversal_path: str
+    inverse_type: str
+    inverse_name: str
+    order_by: tuple[str, ...] = ()
+
+    def _build_end(self) -> RelationshipEnd:
+        return RelationshipEnd(
+            self.traversal_path, self.target, self.inverse_type,
+            self.inverse_name, self.kind, tuple(self.order_by),
+        )
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        owner = schema.get(self.typename)
+        where = f"{self.typename}::{self.traversal_path}"
+        target_name = _check_target_shape(self.target, where)
+        target_interface = schema.get(target_name)
+        if not _property_name_free(owner, self.traversal_path):
+            raise ConstraintViolation(
+                f"{self.typename!r} already has a property "
+                f"{self.traversal_path!r}"
+            )
+        if self.inverse_type != target_name:
+            raise ConstraintViolation(
+                f"{where}: the inverse path must live in the target type "
+                f"{target_name!r}, not {self.inverse_type!r}"
+            )
+        end = self._build_end()
+        self._check_order_by(schema, target_name)
+        inverse = target_interface.relationships.get(self.inverse_name)
+        if inverse is None:
+            if not _property_name_free(target_interface, self.inverse_name):
+                raise ConstraintViolation(
+                    f"{target_name!r} already has a non-relationship "
+                    f"property {self.inverse_name!r}"
+                )
+            return
+        # The designer declared the other direction first: it must pair up.
+        if inverse.kind is not self.kind:
+            raise ConstraintViolation(
+                f"{where}: existing inverse {target_name}::{self.inverse_name} "
+                f"is {inverse.kind.value}, not {self.kind.value}"
+            )
+        if inverse.target_type != self.typename or inverse.inverse_name != self.traversal_path:
+            raise ConstraintViolation(
+                f"{where}: existing {target_name}::{self.inverse_name} does "
+                f"not point back at {self.typename}::{self.traversal_path}"
+            )
+        if self.kind is not RelationshipKind.ASSOCIATION:
+            if end.is_to_many == inverse.is_to_many:
+                raise ConstraintViolation(
+                    f"{where}: a {self.kind.value} relationship is "
+                    "implicitly 1:N; exactly one end may be to-many"
+                )
+
+    def _check_order_by(self, schema: Schema, target_name: str) -> None:
+        if not self.order_by:
+            return
+        target = schema.get(target_name)
+        available = set(target.attributes)
+        available.update(schema.inherited_attributes(target_name))
+        for attr_name in self.order_by:
+            if attr_name not in available:
+                raise ConstraintViolation(
+                    f"order_by names unknown attribute {attr_name!r} of "
+                    f"{target_name!r}"
+                )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        owner = schema.get(self.typename)
+        target_interface = schema.get(self.inverse_type)
+        end = self._build_end()
+        owner.add_relationship(end)
+        created_inverse = False
+        if self.inverse_name not in target_interface.relationships:
+            target_interface.add_relationship(
+                RelationshipEnd(
+                    self.inverse_name,
+                    default_inverse_target(self.typename, end),
+                    self.typename,
+                    self.traversal_path,
+                    self.kind,
+                )
+            )
+            created_inverse = True
+
+        def undo() -> None:
+            schema.get(self.typename).remove_relationship(self.traversal_path)
+            if created_inverse:
+                schema.get(self.inverse_type).remove_relationship(self.inverse_name)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        args = [
+            self.typename,
+            str(self.target),
+            self.traversal_path,
+            f"{self.inverse_type}::{self.inverse_name}",
+        ]
+        if self.order_by:
+            args.append(render_list(self.order_by))
+        return tuple(args)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename, self.inverse_type)
+
+
+@dataclass(frozen=True, eq=False)
+class DeleteRelationshipBase(SchemaOperation):
+    """Generic ``delete_*_relationship``.
+
+    Removes the named end *and* its paired inverse declaration -- a lone
+    end would leave the schema structurally invalid, so the pair is the
+    unit of deletion (the removed inverse is part of the impact).
+    """
+
+    kind: ClassVar[RelationshipKind]
+
+    typename: str
+    traversal_path: str
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        get_end_of_kind(schema, self.typename, self.traversal_path, self.kind)
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        owner = schema.get(self.typename)
+        end = owner.remove_relationship(self.traversal_path)
+        inverse_owner: InterfaceDef | None = None
+        inverse_end: RelationshipEnd | None = None
+        if end.inverse_type in schema:
+            candidate_owner = schema.get(end.inverse_type)
+            candidate = candidate_owner.relationships.get(end.inverse_name)
+            if (
+                candidate is not None
+                and candidate.target_type == self.typename
+                and candidate.inverse_name == self.traversal_path
+            ):
+                inverse_owner = candidate_owner
+                inverse_end = candidate_owner.remove_relationship(end.inverse_name)
+
+        def undo() -> None:
+            schema.get(self.typename).add_relationship(end)
+            if inverse_owner is not None and inverse_end is not None:
+                schema.get(inverse_owner.name).add_relationship(inverse_end)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, self.traversal_path)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+def retarget_end(
+    schema: Schema,
+    owner_name: str,
+    path: str,
+    new_target_name: str,
+    kind: RelationshipKind,
+    context: OperationContext,
+    check_only: bool = False,
+) -> Undo | None:
+    """Re-type ``owner::path`` and move its inverse declaration (Fig. 8).
+
+    Semantic stability requires the old and new targets to lie on one
+    generalization path of the reference schema.
+    """
+    end = get_end_of_kind(schema, owner_name, path, kind)
+    old_target_name = end.target_type
+    if new_target_name == old_target_name:
+        raise ConstraintViolation(
+            f"{owner_name}::{path} already targets {new_target_name!r}"
+        )
+    new_target = schema.get(new_target_name)
+    context.check_isa_related(
+        schema, old_target_name, new_target_name,
+        f"re-target of {owner_name}::{path}",
+    )
+    old_target = schema.get(old_target_name)
+    inverse = old_target.relationships.get(end.inverse_name)
+    if (
+        inverse is None
+        or inverse.target_type != owner_name
+        or inverse.inverse_name != path
+    ):
+        raise ConstraintViolation(
+            f"{owner_name}::{path}: inverse declaration "
+            f"{old_target_name}::{end.inverse_name} is missing or mismatched"
+        )
+    if not _property_name_free(new_target, end.inverse_name):
+        raise ConstraintViolation(
+            f"{new_target_name!r} already has a property "
+            f"{end.inverse_name!r}; the inverse path cannot move there"
+        )
+    if check_only:
+        return None
+
+    owner = schema.get(owner_name)
+    new_end = end.with_target_type(new_target_name).with_inverse(
+        new_target_name, end.inverse_name
+    )
+    owner.replace_relationship(new_end)
+    moved = old_target.remove_relationship(end.inverse_name)
+    new_target.add_relationship(moved)
+
+    def undo() -> None:
+        schema.get(owner_name).replace_relationship(end)
+        schema.get(new_target_name).remove_relationship(moved.name)
+        schema.get(old_target_name).add_relationship(moved)
+
+    return undo
+
+
+@dataclass(frozen=True, eq=False)
+class ModifyTargetTypeBase(SchemaOperation):
+    """Generic ``modify_*_target_type``.
+
+    Two call shapes are accepted, following the paper itself:
+
+    * the Appendix A grammar form
+      ``(typename, path, old_target_type, new_target_type)`` -- re-target
+      the end declared in ``typename``;
+    * the Section 3.4 prose form ``(typename, path, new_target_type)``
+      (``old_target_type`` omitted) -- when ``new_target_type`` is not a
+      generalization relative of the end's current target but *is* one of
+      ``typename``, the operation is read as *moving the declared end
+      itself* to ``new_target_type``, which is exactly a re-target of its
+      inverse end (the Figure 8 reading of
+      ``modify_relationship_target_type(Employee, works_in_a, Person)``).
+    """
+
+    kind: ClassVar[RelationshipKind]
+
+    typename: str
+    traversal_path: str
+    new_target_type: str
+    old_target_type: str | None = None
+
+    def _resolve(self, schema: Schema, context: OperationContext) -> tuple[str, str]:
+        """Return (owner, path) of the end whose target actually changes."""
+        end = get_end_of_kind(schema, self.typename, self.traversal_path, self.kind)
+        schema.get(self.new_target_type)
+        if self.old_target_type is not None:
+            if end.target_type != self.old_target_type:
+                raise ConstraintViolation(
+                    f"{self.typename}::{self.traversal_path} targets "
+                    f"{end.target_type!r}, not {self.old_target_type!r}"
+                )
+            return (self.typename, self.traversal_path)
+        hierarchy = context.stability_hierarchy(schema)
+
+        def related(first: str, second: str) -> bool:
+            if first in hierarchy and second in hierarchy:
+                return hierarchy.isa_related(first, second)
+            return schema.isa_related(first, second)
+
+        if related(end.target_type, self.new_target_type):
+            return (self.typename, self.traversal_path)
+        if related(self.typename, self.new_target_type):
+            # Move form: this end itself migrates; re-target the inverse.
+            return (end.inverse_type, end.inverse_name)
+        raise ConstraintViolation(
+            f"{self.new_target_type!r} is a generalization relative of "
+            f"neither {end.target_type!r} nor {self.typename!r}"
+        )
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        owner, path = self._resolve(schema, context)
+        retarget_end(
+            schema, owner, path, self.new_target_type, self.kind, context,
+            check_only=True,
+        )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        owner, path = self._resolve(schema, context)
+        undo = retarget_end(
+            schema, owner, path, self.new_target_type, self.kind, context
+        )
+        assert undo is not None
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        if self.old_target_type is None:
+            return (self.typename, self.traversal_path, self.new_target_type)
+        return (
+            self.typename, self.traversal_path,
+            self.old_target_type, self.new_target_type,
+        )
+
+    def affected_types(self) -> tuple[str, ...]:
+        affected = [self.typename, self.new_target_type]
+        if self.old_target_type is not None:
+            affected.append(self.old_target_type)
+        return tuple(affected)
+
+
+@dataclass(frozen=True, eq=False)
+class ModifyCardinalityBase(SchemaOperation):
+    """Generic ``modify_*_cardinality``.
+
+    Changes the target-of-path shape of one end (``set<T>`` -> ``list<T>``,
+    ``T`` -> ``set<T>``, ...) without re-targeting it.  For part-of and
+    instance-of relationships the grammar restricts the operation to the
+    to-many end and the end must stay to-many, preserving the implicit
+    1:N.
+    """
+
+    kind: ClassVar[RelationshipKind]
+
+    typename: str
+    traversal_path: str
+    old_target: TypeRef
+    new_target: TypeRef
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        end = get_end_of_kind(schema, self.typename, self.traversal_path, self.kind)
+        where = f"{self.typename}::{self.traversal_path}"
+        if end.target != self.old_target:
+            raise ConstraintViolation(
+                f"{where} has target {end.target}, not {self.old_target}"
+            )
+        new_name = _check_target_shape(self.new_target, where)
+        if new_name != end.target_type:
+            raise ConstraintViolation(
+                f"{where}: modify cardinality may not re-target the "
+                f"relationship ({end.target_type!r} -> {new_name!r}); use "
+                "the target-type operation"
+            )
+        if self.kind is not RelationshipKind.ASSOCIATION:
+            if not end.is_to_many:
+                raise ConstraintViolation(
+                    f"{where}: cardinality of a {self.kind.value} "
+                    "relationship may only change on its to-many end"
+                )
+            if not isinstance(self.new_target, CollectionType):
+                raise ConstraintViolation(
+                    f"{where}: the to-many end of a {self.kind.value} "
+                    "relationship must keep a collection target (implicit 1:N)"
+                )
+        if not isinstance(self.new_target, CollectionType) and end.order_by:
+            raise ConstraintViolation(
+                f"{where}: drop the order_by list before making the end "
+                "to-one"
+            )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        owner = schema.get(self.typename)
+        end = owner.get_relationship(self.traversal_path)
+        owner.replace_relationship(end.with_target(self.new_target))
+
+        def undo() -> None:
+            schema.get(self.typename).replace_relationship(end)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (
+            self.typename, self.traversal_path,
+            str(self.old_target), str(self.new_target),
+        )
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class ModifyOrderByBase(SchemaOperation):
+    """Generic ``modify_*_order_by`` over one relationship kind."""
+
+    kind: ClassVar[RelationshipKind]
+
+    typename: str
+    traversal_path: str
+    old_order_by: tuple[str, ...]
+    new_order_by: tuple[str, ...]
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        end = get_end_of_kind(schema, self.typename, self.traversal_path, self.kind)
+        where = f"{self.typename}::{self.traversal_path}"
+        if end.order_by != tuple(self.old_order_by):
+            raise ConstraintViolation(
+                f"{where} has order_by {end.order_by!r}, not "
+                f"{tuple(self.old_order_by)!r}"
+            )
+        if self.new_order_by and not end.is_to_many:
+            raise ConstraintViolation(
+                f"{where} is to-one; order_by only applies to to-many ends"
+            )
+        if self.new_order_by and end.target_type in schema:
+            target = schema.get(end.target_type)
+            available = set(target.attributes)
+            available.update(schema.inherited_attributes(end.target_type))
+            for attr_name in self.new_order_by:
+                if attr_name not in available:
+                    raise ConstraintViolation(
+                        f"{where}: order_by names unknown attribute "
+                        f"{attr_name!r} of {end.target_type!r}"
+                    )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        owner = schema.get(self.typename)
+        end = owner.get_relationship(self.traversal_path)
+        owner.replace_relationship(end.with_order_by(tuple(self.new_order_by)))
+
+        def undo() -> None:
+            schema.get(self.typename).replace_relationship(end)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (
+            self.typename, self.traversal_path,
+            render_list(self.old_order_by), render_list(self.new_order_by),
+        )
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)

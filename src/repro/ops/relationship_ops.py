@@ -1,0 +1,83 @@
+"""Association relationship operations (the ODMG ``relationship`` clause).
+
+Per Table 1, wagon wheels own add/delete and the cardinality / order-by
+modifications; re-targeting an end (``modify_relationship_target_type``)
+is a generalization hierarchy operation because it moves a relationship
+participant along an ISA path (the Figure 8 example).
+"""
+
+from __future__ import annotations
+
+from repro.concepts.base import ConceptKind
+from repro.model.relationships import RelationshipKind
+from repro.ops.relationship_common import (
+    AddRelationshipBase,
+    DeleteRelationshipBase,
+    ModifyCardinalityBase,
+    ModifyOrderByBase,
+    ModifyTargetTypeBase,
+)
+
+_WW = frozenset({ConceptKind.WAGON_WHEEL})
+_GH = frozenset({ConceptKind.GENERALIZATION})
+
+
+class AddRelationship(AddRelationshipBase):
+    """``add_relationship(typename, target, path, Inverse::path[, (order)])``."""
+
+    op_name = "add_relationship"
+    candidate = "Relationship"
+    sub_candidate = "Traversal path name"
+    action = "add"
+    admissible_in = _WW
+    kind = RelationshipKind.ASSOCIATION
+
+
+class DeleteRelationship(DeleteRelationshipBase):
+    """``delete_relationship(typename, traversal_path)``."""
+
+    op_name = "delete_relationship"
+    candidate = "Relationship"
+    sub_candidate = "Traversal path name"
+    action = "delete"
+    admissible_in = _WW
+    kind = RelationshipKind.ASSOCIATION
+
+
+class ModifyRelationshipTargetType(ModifyTargetTypeBase):
+    """``modify_relationship_target_type(typename, path[, old], new)``.
+
+    Moves a relationship participant up or down the generalization
+    hierarchy (Figure 8); see
+    :class:`repro.ops.relationship_common.ModifyTargetTypeBase` for the
+    two accepted call shapes.
+    """
+
+    op_name = "modify_relationship_target_type"
+    candidate = "Relationship"
+    sub_candidate = "Target type"
+    action = "modify"
+    admissible_in = _GH
+    kind = RelationshipKind.ASSOCIATION
+
+
+class ModifyRelationshipCardinality(ModifyCardinalityBase):
+    """``modify_relationship_cardinality(typename, path, old, new)``."""
+
+    op_name = "modify_relationship_cardinality"
+    candidate = "Relationship"
+    sub_candidate = "One way cardinality"
+    action = "modify"
+    admissible_in = _WW
+    kind = RelationshipKind.ASSOCIATION
+
+
+class ModifyRelationshipOrderBy(ModifyOrderByBase):
+    """``modify_relationship_order_by(typename, path, (old), (new))``."""
+
+    op_name = "modify_relationship_order_by"
+    candidate = "Relationship"
+    sub_candidate = "Order by list"
+    action = "modify"
+    admissible_in = _WW
+    kind = RelationshipKind.ASSOCIATION

@@ -1,0 +1,126 @@
+"""Interface-definition operations: add / delete whole object types.
+
+Both operations are admissible in every concept schema type: wagon wheels
+own most modifications, and the prose of Section 3.4 explicitly grants
+adding/deleting object types to the generalization, aggregation, and
+instance-of hierarchies as part of re-wiring them.
+
+``delete_type_definition`` removes only the interface itself; the
+cascading effects on the rest of the schema (relationship ends targeting
+the type, supertype references, signature uses) are produced as explicit
+follow-up operations by the propagation rules of
+:mod:`repro.knowledge.propagation`, so the designer sees the full impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.concepts.base import ConceptKind
+from repro.model.interface import InterfaceDef
+from repro.model.schema import Schema
+from repro.ops.base import (
+    FREE_CONTEXT,
+    ConstraintViolation,
+    OperationContext,
+    SchemaOperation,
+    Undo,
+)
+
+_ALL_KINDS = frozenset(ConceptKind)
+
+
+@dataclass(frozen=True, eq=False)
+class AddTypeDefinition(SchemaOperation):
+    """``add_type_definition(typename)`` -- introduce a new object type."""
+
+    op_name = "add_type_definition"
+    candidate = "Interface Definition"
+    sub_candidate = "Type name"
+    action = "add"
+    admissible_in = _ALL_KINDS
+
+    typename: str
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        if self.typename in schema:
+            raise ConstraintViolation(
+                f"type {self.typename!r} already exists in {schema.name!r}"
+            )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        schema.add_interface(InterfaceDef(self.typename))
+
+        def undo() -> None:
+            schema.remove_interface(self.typename)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class DeleteTypeDefinition(SchemaOperation):
+    """``delete_type_definition(typename)`` -- remove an object type.
+
+    The type must no longer be referenced anywhere else in the schema;
+    run the operation through a :class:`~repro.repository.Workspace` with
+    propagation enabled to have the referencing constructs removed first
+    (and reported in the impact report).
+    """
+
+    op_name = "delete_type_definition"
+    candidate = "Interface Definition"
+    sub_candidate = "Type name"
+    action = "delete"
+    admissible_in = _ALL_KINDS
+
+    typename: str
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        schema.get(self.typename)
+        users = self._referencing_types(schema)
+        if users:
+            raise ConstraintViolation(
+                f"type {self.typename!r} is still referenced by "
+                f"{', '.join(sorted(users))}; delete or re-wire those "
+                "constructs first (propagation does this automatically)"
+            )
+
+    def _referencing_types(self, schema: Schema) -> set[str]:
+        return {
+            interface.name
+            for interface in schema
+            if interface.name != self.typename
+            and self.typename in interface.referenced_type_names()
+        }
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        position = schema.type_names().index(self.typename)
+        removed = schema.remove_interface(self.typename)
+
+        def undo() -> None:
+            schema.add_interface(removed)
+            _restore_position(schema, self.typename, position)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+def _restore_position(schema: Schema, name: str, position: int) -> None:
+    """Re-order the interface dict so undo restores declaration order."""
+    names = schema.type_names()
+    names.remove(name)
+    names.insert(position, name)
+    schema.interfaces = {n: schema.interfaces[n] for n in names}

@@ -1,0 +1,437 @@
+"""Type-property operations: supertypes (ISA), extent names, key lists.
+
+Per Table 1, the supertype operations belong to generalization hierarchy
+concept schemas ("supertype relationships can be added, deleted, and
+modified for re-wiring the generalization hierarchy"), while extent and
+key operations belong to wagon wheels ("the complete set of operations
+for the type properties, extent name and key list, are allowed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.concepts.base import ConceptKind
+from repro.model.schema import Schema
+from repro.ops.base import (
+    FREE_CONTEXT,
+    ConstraintViolation,
+    OperationContext,
+    SchemaOperation,
+    Undo,
+    render_list,
+)
+
+_GH = frozenset({ConceptKind.GENERALIZATION})
+_WW = frozenset({ConceptKind.WAGON_WHEEL})
+
+
+def _check_no_isa_cycle(schema: Schema, subtype: str, supertype: str) -> None:
+    """Adding subtype -> supertype must not close a generalization cycle."""
+    if subtype == supertype:
+        raise ConstraintViolation(
+            f"{subtype!r} cannot be its own supertype"
+        )
+    if supertype in schema and subtype in schema.ancestors(supertype):
+        raise ConstraintViolation(
+            f"making {supertype!r} a supertype of {subtype!r} would create "
+            "a generalization cycle"
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class AddSupertype(SchemaOperation):
+    """``add_supertype(typename, supertype)`` -- add one ISA link."""
+
+    op_name = "add_supertype"
+    candidate = "Type Properties"
+    sub_candidate = "Supertype (ISA)"
+    action = "add"
+    admissible_in = _GH
+
+    typename: str
+    supertype: str
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        interface = schema.get(self.typename)
+        schema.get(self.supertype)
+        if self.supertype in interface.supertypes:
+            raise ConstraintViolation(
+                f"{self.typename!r} already has supertype {self.supertype!r}"
+            )
+        _check_no_isa_cycle(schema, self.typename, self.supertype)
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        schema.get(self.typename).add_supertype(self.supertype)
+
+        def undo() -> None:
+            schema.get(self.typename).remove_supertype(self.supertype)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, self.supertype)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename, self.supertype)
+
+
+@dataclass(frozen=True, eq=False)
+class DeleteSupertype(SchemaOperation):
+    """``delete_supertype(typename, supertype)`` -- remove one ISA link."""
+
+    op_name = "delete_supertype"
+    candidate = "Type Properties"
+    sub_candidate = "Supertype (ISA)"
+    action = "delete"
+    admissible_in = _GH
+
+    typename: str
+    supertype: str
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        interface = schema.get(self.typename)
+        if self.supertype not in interface.supertypes:
+            raise ConstraintViolation(
+                f"{self.typename!r} has no supertype {self.supertype!r}"
+            )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        interface = schema.get(self.typename)
+        position = interface.supertypes.index(self.supertype)
+        interface.remove_supertype(self.supertype)
+
+        def undo() -> None:
+            schema.get(self.typename).supertypes.insert(position, self.supertype)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, self.supertype)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename, self.supertype)
+
+
+@dataclass(frozen=True, eq=False)
+class ModifySupertype(SchemaOperation):
+    """``modify_supertype(typename, old_list, new_list)`` -- re-wire ISA.
+
+    Replaces the full supertype list in one step (the grammar's comment:
+    "re-wiring isa").  ``old_supertypes`` must match the current list so
+    the designer's view of the schema is up to date.
+    """
+
+    op_name = "modify_supertype"
+    candidate = "Type Properties"
+    sub_candidate = "Supertype (ISA)"
+    action = "modify"
+    admissible_in = _GH
+
+    typename: str
+    old_supertypes: tuple[str, ...]
+    new_supertypes: tuple[str, ...]
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        interface = schema.get(self.typename)
+        if tuple(interface.supertypes) != self.old_supertypes:
+            raise ConstraintViolation(
+                f"supertypes of {self.typename!r} are "
+                f"{tuple(interface.supertypes)!r}, not {self.old_supertypes!r}"
+            )
+        if len(set(self.new_supertypes)) != len(self.new_supertypes):
+            raise ConstraintViolation("new supertype list has duplicates")
+        for supertype in self.new_supertypes:
+            schema.get(supertype)
+            if supertype in interface.supertypes:
+                continue  # keeping an existing link cannot add a cycle
+            _check_no_isa_cycle(schema, self.typename, supertype)
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        interface = schema.get(self.typename)
+        previous = list(interface.supertypes)
+        interface.supertypes = list(self.new_supertypes)
+
+        def undo() -> None:
+            schema.get(self.typename).supertypes = list(previous)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (
+            self.typename,
+            render_list(self.old_supertypes),
+            render_list(self.new_supertypes),
+        )
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename, *self.old_supertypes, *self.new_supertypes)
+
+
+@dataclass(frozen=True, eq=False)
+class AddExtentName(SchemaOperation):
+    """``add_extent_name(typename, extent_name)``."""
+
+    op_name = "add_extent_name"
+    candidate = "Type Properties"
+    sub_candidate = "Extent name"
+    action = "add"
+    admissible_in = _WW
+
+    typename: str
+    extent_name: str
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        interface = schema.get(self.typename)
+        if interface.extent is not None:
+            raise ConstraintViolation(
+                f"{self.typename!r} already has extent {interface.extent!r}; "
+                "use modify_extent_name"
+            )
+        owners = [
+            other.name
+            for other in schema
+            if other.extent == self.extent_name
+        ]
+        if owners:
+            raise ConstraintViolation(
+                f"extent name {self.extent_name!r} is already used by "
+                f"{owners[0]!r}"
+            )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        schema.get(self.typename).extent = self.extent_name
+
+        def undo() -> None:
+            schema.get(self.typename).extent = None
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, self.extent_name)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class DeleteExtentName(SchemaOperation):
+    """``delete_extent_name(typename, extent_name)``."""
+
+    op_name = "delete_extent_name"
+    candidate = "Type Properties"
+    sub_candidate = "Extent name"
+    action = "delete"
+    admissible_in = _WW
+
+    typename: str
+    extent_name: str
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        interface = schema.get(self.typename)
+        if interface.extent != self.extent_name:
+            raise ConstraintViolation(
+                f"{self.typename!r} has extent {interface.extent!r}, "
+                f"not {self.extent_name!r}"
+            )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        schema.get(self.typename).extent = None
+
+        def undo() -> None:
+            schema.get(self.typename).extent = self.extent_name
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, self.extent_name)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class ModifyExtentName(SchemaOperation):
+    """``modify_extent_name(typename, old_extent_name, new_extent_name)``."""
+
+    op_name = "modify_extent_name"
+    candidate = "Type Properties"
+    sub_candidate = "Extent name"
+    action = "modify"
+    admissible_in = _WW
+
+    typename: str
+    old_extent_name: str
+    new_extent_name: str
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        interface = schema.get(self.typename)
+        if interface.extent != self.old_extent_name:
+            raise ConstraintViolation(
+                f"{self.typename!r} has extent {interface.extent!r}, "
+                f"not {self.old_extent_name!r}"
+            )
+        owners = [
+            other.name
+            for other in schema
+            if other.extent == self.new_extent_name
+            and other.name != self.typename
+        ]
+        if owners:
+            raise ConstraintViolation(
+                f"extent name {self.new_extent_name!r} is already used by "
+                f"{owners[0]!r}"
+            )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        schema.get(self.typename).extent = self.new_extent_name
+
+        def undo() -> None:
+            schema.get(self.typename).extent = self.old_extent_name
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, self.old_extent_name, self.new_extent_name)
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class AddKeyList(SchemaOperation):
+    """``add_key_list(typename, (attr, ...))`` -- declare one key."""
+
+    op_name = "add_key_list"
+    candidate = "Type Properties"
+    sub_candidate = "Key list"
+    action = "add"
+    admissible_in = _WW
+
+    typename: str
+    key: tuple[str, ...]
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        interface = schema.get(self.typename)
+        if not self.key:
+            raise ConstraintViolation("a key must name at least one attribute")
+        if tuple(self.key) in interface.keys:
+            raise ConstraintViolation(
+                f"{self.typename!r} already declares key {self.key!r}"
+            )
+        available = set(interface.attributes)
+        available.update(schema.inherited_attributes(self.typename))
+        for attr_name in self.key:
+            if attr_name not in available:
+                raise ConstraintViolation(
+                    f"key names unknown attribute {attr_name!r} of "
+                    f"{self.typename!r}"
+                )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        schema.get(self.typename).add_key(self.key)
+
+        def undo() -> None:
+            schema.get(self.typename).remove_key(self.key)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, render_list(self.key))
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class DeleteKeyList(SchemaOperation):
+    """``delete_key_list(typename, (attr, ...))`` -- drop one key."""
+
+    op_name = "delete_key_list"
+    candidate = "Type Properties"
+    sub_candidate = "Key list"
+    action = "delete"
+    admissible_in = _WW
+
+    typename: str
+    key: tuple[str, ...]
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        interface = schema.get(self.typename)
+        if tuple(self.key) not in interface.keys:
+            raise ConstraintViolation(
+                f"{self.typename!r} does not declare key {self.key!r}"
+            )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        interface = schema.get(self.typename)
+        position = interface.keys.index(tuple(self.key))
+        interface.remove_key(self.key)
+
+        def undo() -> None:
+            schema.get(self.typename).keys.insert(position, tuple(self.key))
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, render_list(self.key))
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+
+@dataclass(frozen=True, eq=False)
+class ModifyKeyList(SchemaOperation):
+    """``modify_key_list(typename, (old...), (new...))`` -- replace a key."""
+
+    op_name = "modify_key_list"
+    candidate = "Type Properties"
+    sub_candidate = "Key list"
+    action = "modify"
+    admissible_in = _WW
+
+    typename: str
+    old_key: tuple[str, ...]
+    new_key: tuple[str, ...]
+
+    def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
+        DeleteKeyList(self.typename, self.old_key).validate(schema, context)
+        if tuple(self.new_key) != tuple(self.old_key):
+            interface = schema.get(self.typename)
+            if tuple(self.new_key) in interface.keys:
+                raise ConstraintViolation(
+                    f"{self.typename!r} already declares key {self.new_key!r}"
+                )
+        available = set(schema.get(self.typename).attributes)
+        available.update(schema.inherited_attributes(self.typename))
+        for attr_name in self.new_key:
+            if attr_name not in available:
+                raise ConstraintViolation(
+                    f"new key names unknown attribute {attr_name!r} of "
+                    f"{self.typename!r}"
+                )
+
+    def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
+        self.validate(schema, context)
+        interface = schema.get(self.typename)
+        position = interface.keys.index(tuple(self.old_key))
+        interface.keys[position] = tuple(self.new_key)
+
+        def undo() -> None:
+            schema.get(self.typename).keys[position] = tuple(self.old_key)
+
+        return undo
+
+    def arguments(self) -> tuple[str, ...]:
+        return (self.typename, render_list(self.old_key), render_list(self.new_key))
+
+    def affected_types(self) -> tuple[str, ...]:
+        return (self.typename,)

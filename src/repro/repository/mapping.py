@@ -1,0 +1,100 @@
+"""The mapping between shrink wrap and customized schema.
+
+Section 5, activity 10: "Definition of a mapping representation that
+records the semantic correspondence between the shrink wrap and
+customized schema."  Under name equivalence and the stability
+assumptions the correspondence is derivable structurally, so the mapping
+is generated from the construct-level diff
+(:mod:`repro.analysis.diff`) -- this is Figure 1's "Generate custom
+schema mapping" processing step.
+
+Systems built from the same shrink wrap schema can afterwards be
+integrated through the mapping: every ``unchanged`` / ``modified`` /
+``moved`` construct is a semantically identical construct across the
+derived schemas (the paper's interoperation application, Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diff import ChangeEntry, ChangeStatus, diff_schemas
+from repro.model.schema import Schema
+
+
+@dataclass
+class SchemaMapping:
+    """Correspondence of every construct between two schemas."""
+
+    original_name: str
+    custom_name: str
+    entries: list[ChangeEntry] = field(default_factory=list)
+
+    def corresponding(self) -> list[ChangeEntry]:
+        """Constructs with a counterpart on both sides.
+
+        These are the "common objects" through which two systems built
+        from the same shrink wrap schema can interoperate.
+        """
+        shared = (
+            ChangeStatus.UNCHANGED, ChangeStatus.MODIFIED, ChangeStatus.MOVED
+        )
+        return [entry for entry in self.entries if entry.status in shared]
+
+    def added(self) -> list[ChangeEntry]:
+        """Constructs that exist only in the custom schema."""
+        return [
+            entry for entry in self.entries
+            if entry.status is ChangeStatus.ADDED
+        ]
+
+    def deleted(self) -> list[ChangeEntry]:
+        """Shrink wrap constructs the designer removed."""
+        return [
+            entry for entry in self.entries
+            if entry.status is ChangeStatus.DELETED
+        ]
+
+    def lookup(self, path: str) -> ChangeEntry | None:
+        """Find the entry for one construct path, if any."""
+        for entry in self.entries:
+            if entry.path == path:
+                return entry
+        return None
+
+    def reuse_ratio(self) -> float:
+        """Fraction of shrink wrap constructs surviving into the custom schema.
+
+        A construct survives when its status is unchanged, modified, or
+        moved.  This is the headline number of the ACEDB case study
+        benches: how much of the original design effort was reused.
+        """
+        survivors = len(self.corresponding())
+        originals = survivors + len(self.deleted())
+        if originals == 0:
+            return 1.0
+        return survivors / originals
+
+    def render(self) -> str:
+        """Multi-line mapping report."""
+        lines = [
+            f"mapping {self.original_name!r} -> {self.custom_name!r}:",
+            f"  corresponding constructs: {len(self.corresponding())}",
+            f"  added in custom schema:   {len(self.added())}",
+            f"  deleted from original:    {len(self.deleted())}",
+            f"  reuse ratio:              {self.reuse_ratio():.2f}",
+        ]
+        interesting = [
+            entry for entry in self.entries
+            if entry.status is not ChangeStatus.UNCHANGED
+        ]
+        if interesting:
+            lines.append("  changes:")
+            lines.extend(f"    {entry}" for entry in interesting)
+        return "\n".join(lines)
+
+
+def generate_mapping(original: Schema, custom: Schema) -> SchemaMapping:
+    """Build the mapping deliverable from the two schemas."""
+    diff = diff_schemas(original, custom)
+    return SchemaMapping(original.name, custom.name, diff.entries)

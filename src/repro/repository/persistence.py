@@ -1,0 +1,110 @@
+"""JSON persistence for schema repositories.
+
+The paper's prototype stored the repository in ObjectStore; we
+substitute a plain-file serialisation (see DESIGN.md).  The format is
+deliberately replay-based: the shrink wrap schema is stored as extended
+ODL and the customization as the operation-language script, so a loaded
+repository reconstructs its workspace by re-applying the script -- the
+same artifacts a designer reads are the persistence format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.model.errors import SchemaError
+from repro.odl.printer import print_schema
+from repro.ops.language import parse_operation
+from repro.repository.repository import SchemaRepository
+
+#: Bumped on incompatible format changes.
+FORMAT_VERSION = 1
+
+
+def repository_to_dict(repository: SchemaRepository) -> dict:
+    """Serialise a repository to a JSON-ready dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "shrink_wrap_name": repository.shrink_wrap.name,
+        "shrink_wrap_odl": print_schema(repository.shrink_wrap),
+        "custom_name": repository.workspace.schema.name,
+        "operations": [
+            {
+                "text": entry.requested.to_text(),
+                "concept_id": entry.concept_id,
+                "propagated": entry.propagated,
+            }
+            for entry in repository.workspace.log
+        ],
+        "local_names": dict(repository.local_names.aliases),
+        "views": [dict(record) for record in repository.view_records],
+    }
+
+
+def repository_from_dict(data: dict) -> SchemaRepository:
+    """Rebuild a repository from :func:`repository_to_dict` output.
+
+    The customization script is re-applied step by step; a script that
+    no longer applies (hand-edited file, incompatible library change)
+    raises through the normal operation errors.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported repository format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    repository = SchemaRepository.from_odl(
+        data["shrink_wrap_odl"],
+        name=data["shrink_wrap_name"],
+        custom_name=data["custom_name"],
+    )
+    # Wagon wheel views were registered at specific points of the
+    # customization; recreate each one as soon as the workspace reaches
+    # the position it was extracted at, so the views (and the operations
+    # issued through them) see the same state as in the original session.
+    pending_views = sorted(
+        data.get("views", []), key=lambda record: record["position"]
+    )
+
+    def replay_views() -> None:
+        while pending_views and pending_views[0]["position"] <= len(
+            repository.workspace.log
+        ):
+            record = pending_views.pop(0)
+            spokes = record.get("spoke_paths")
+            attributes = record.get("attribute_names")
+            repository.create_wagon_wheel_view(
+                record["focal"],
+                record["view_name"],
+                tuple(spokes) if spokes is not None else None,
+                tuple(attributes) if attributes is not None else None,
+            )
+
+    replay_views()
+    for record in data["operations"]:
+        operation = parse_operation(record["text"])
+        repository.apply(
+            operation,
+            concept_id=record.get("concept_id"),
+            propagate=record.get("propagated", True),
+        )
+        replay_views()
+    for path, local_name in data.get("local_names", {}).items():
+        repository.local_names.set_alias(
+            path, local_name, repository.workspace.schema
+        )
+    return repository
+
+
+def save_repository(repository: SchemaRepository, path: str | Path) -> None:
+    """Write the repository to *path* as JSON."""
+    payload = json.dumps(repository_to_dict(repository), indent=2)
+    Path(path).write_text(payload + "\n", encoding="utf-8")
+
+
+def load_repository(path: str | Path) -> SchemaRepository:
+    """Read a repository previously written by :func:`save_repository`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return repository_from_dict(data)

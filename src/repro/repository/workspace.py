@@ -1,0 +1,199 @@
+"""The designer's workspace: the schema under design plus its history.
+
+Figure 1 places a "Workspace" data structure between the concept schemas
+and the custom schema: modifications are applied there, one operation at
+a time, each validated, optionally propagated, logged, and undoable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.concepts.base import ConceptKind, ConceptSchema
+from repro.knowledge.constraints import cautions_for
+from repro.knowledge.feedback import Feedback, info
+from repro.knowledge.propagation import expand
+from repro.model.schema import Schema
+from repro.ops.base import (
+    OperationContext,
+    OperationError,
+    SchemaOperation,
+    Undo,
+)
+from repro.ops.registry import check_admissible
+
+
+@dataclass
+class LogEntry:
+    """One applied step: the requested operation and its full plan."""
+
+    requested: SchemaOperation
+    plan: list[SchemaOperation]
+    undos: list[Undo]
+    concept_id: str | None = None
+    feedback: list[Feedback] = field(default_factory=list)
+    propagated: bool = True
+
+    def describe(self) -> str:
+        prefix = f"[{self.concept_id}] " if self.concept_id else ""
+        text = prefix + self.requested.to_text()
+        extra = len(self.plan) - 1
+        if extra:
+            text += f" (+{extra} cascaded)"
+        return text
+
+
+class Workspace:
+    """The schema under design, with apply / undo / redo over operations.
+
+    ``reference`` is the shrink wrap schema; it anchors semantic
+    stability checks and is never modified.
+    """
+
+    def __init__(self, reference: Schema, name: str | None = None) -> None:
+        self.reference = reference
+        self.schema = reference.copy(name or f"{reference.name}_custom")
+        self.context = OperationContext(reference=reference)
+        self.log: list[LogEntry] = []
+        self._redo_stack: list[LogEntry] = []
+
+    # ------------------------------------------------------------------
+    # Applying operations
+    # ------------------------------------------------------------------
+
+    def apply(
+        self,
+        operation: SchemaOperation,
+        concept: ConceptSchema | None = None,
+        propagate: bool = True,
+    ) -> LogEntry:
+        """Apply one operation (plus its cascades) to the workspace.
+
+        When *concept* is given, the operation must be admissible in that
+        concept schema's type (Table 1) -- this is how the interactive
+        designer restricts "the possible modifications ... according to
+        the concept schema type that is being modified" (Section 3).
+
+        With ``propagate`` disabled, the operation is applied bare; it
+        then fails whenever its own constraints require cascades first.
+        The ablation bench uses this to quantify what the propagation
+        rules buy.
+        """
+        if concept is not None:
+            check_admissible(operation, concept.kind)
+        if propagate:
+            plan = expand(self.schema, operation, self.context)
+        else:
+            plan = [operation]
+        feedback: list[Feedback] = []
+        for step in plan:
+            feedback.extend(cautions_for(self.schema, step))
+        undos: list[Undo] = []
+        try:
+            for step in plan:
+                undos.append(step.apply(self.schema, self.context))
+        except OperationError:
+            for undo in reversed(undos):
+                undo()
+            raise
+        for step in plan:
+            if step is not operation:
+                feedback.append(
+                    info(
+                        "cascaded", step.to_text(),
+                        f"performed automatically for {operation.op_name}",
+                    )
+                )
+        entry = LogEntry(
+            requested=operation,
+            plan=plan,
+            undos=undos,
+            concept_id=concept.identifier if concept else None,
+            feedback=feedback,
+            propagated=propagate,
+        )
+        self.log.append(entry)
+        self._redo_stack.clear()
+        return entry
+
+    def apply_composite(
+        self,
+        composite,
+        concept: ConceptSchema | None = None,
+        propagate: bool = True,
+    ) -> list[LogEntry]:
+        """Apply a composite operation (a macro of primitives).
+
+        Each primitive of the expanded plan is applied -- and logged --
+        through the normal :meth:`apply` path, so propagation, feedback,
+        undo, and persistence all keep working at the primitive level.
+        If a later primitive fails, the earlier ones are undone and the
+        error re-raised, leaving the workspace unchanged.
+        """
+        plan = composite.expand_plan(self.schema, self.context)
+        entries: list[LogEntry] = []
+        try:
+            for operation in plan:
+                entries.append(self.apply(operation, concept, propagate))
+        except OperationError:
+            for _ in entries:
+                self.undo_last()
+            self._redo_stack.clear()
+            raise
+        return entries
+
+    def apply_kind_checked(
+        self, operation: SchemaOperation, kind: ConceptKind,
+        propagate: bool = True,
+    ) -> LogEntry:
+        """Apply with a bare concept *kind* instead of a concept object."""
+        check_admissible(operation, kind)
+        return self.apply(operation, concept=None, propagate=propagate)
+
+    # ------------------------------------------------------------------
+    # History
+    # ------------------------------------------------------------------
+
+    def undo_last(self) -> LogEntry | None:
+        """Undo the most recent step (the whole plan); returns it."""
+        if not self.log:
+            return None
+        entry = self.log.pop()
+        for undo in reversed(entry.undos):
+            undo()
+        self._redo_stack.append(entry)
+        return entry
+
+    def redo(self) -> LogEntry | None:
+        """Re-apply the most recently undone step; returns the new entry."""
+        if not self._redo_stack:
+            return None
+        entry = self._redo_stack.pop()
+        undos = [step.apply(self.schema, self.context) for step in entry.plan]
+        fresh = LogEntry(
+            requested=entry.requested,
+            plan=entry.plan,
+            undos=undos,
+            concept_id=entry.concept_id,
+            feedback=entry.feedback,
+        )
+        self.log.append(fresh)
+        return fresh
+
+    def reset(self) -> None:
+        """Throw away all customization and start over."""
+        self.schema = self.reference.copy(self.schema.name)
+        self.log.clear()
+        self._redo_stack.clear()
+
+    def applied_operations(self) -> list[SchemaOperation]:
+        """Every plan step applied so far, in order."""
+        return [step for entry in self.log for step in entry.plan]
+
+    def script(self) -> str:
+        """The whole customization as an operation-language script."""
+        return "\n".join(op.to_text() for op in self.applied_operations())
+
+    def history(self) -> str:
+        """Readable log of the requested operations."""
+        return "\n".join(entry.describe() for entry in self.log)

@@ -1,0 +1,39 @@
+"""Translations of schemas to other data models (Section 5).
+
+"Our approach is not dependent on a DBMS or even a data model" -- a
+custom schema produced by shrink-wrap-based design can be carried into
+the relational model (:func:`to_sql`) or an entity-relationship model
+(:func:`to_er`).
+"""
+
+from repro.translate.er import (
+    ErAttribute,
+    ErEntity,
+    ErModel,
+    ErRelationship,
+    to_er,
+    to_er_text,
+)
+from repro.translate.relational import (
+    Column,
+    ForeignKey,
+    RelationalSchema,
+    Table,
+    to_relational,
+    to_sql,
+)
+
+__all__ = [
+    "Column",
+    "ErAttribute",
+    "ErEntity",
+    "ErModel",
+    "ErRelationship",
+    "ForeignKey",
+    "RelationalSchema",
+    "Table",
+    "to_er",
+    "to_er_text",
+    "to_relational",
+    "to_sql",
+]

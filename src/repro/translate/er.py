@@ -1,0 +1,155 @@
+"""Translation to an entity-relationship model.
+
+The second target Section 5 mentions: "translating the results to other
+models such as entity relationship diagrams and relational models."
+The ER model here is deliberately classical — entities with attributes
+and key attributes, binary relationships with cardinalities, and ISA
+links — plus a text rendering in the style of an ER diagram legend.
+
+Part-of and instance-of relationships translate to ordinary ER
+relationships stereotyped ``<<part-of>>`` / ``<<instance-of>>`` with the
+1:N cardinality made explicit; their special semantics are a property of
+the extended object model that plain ER cannot carry structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.relationships import RelationshipKind
+from repro.model.schema import Schema
+from repro.model.types import CollectionType
+
+
+@dataclass(frozen=True, slots=True)
+class ErAttribute:
+    """One attribute of an ER entity."""
+
+    name: str
+    domain: str
+    is_key: bool = False
+    is_multivalued: bool = False
+
+    def render(self) -> str:
+        marks = ""
+        if self.is_key:
+            marks += " [key]"
+        if self.is_multivalued:
+            marks += " [multi]"
+        return f"{self.name}: {self.domain}{marks}"
+
+
+@dataclass
+class ErEntity:
+    """One ER entity with its attributes and ISA parents."""
+
+    name: str
+    attributes: list[ErAttribute] = field(default_factory=list)
+    isa: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True, slots=True)
+class ErRelationship:
+    """One binary ER relationship with role cardinalities."""
+
+    name: str
+    first_entity: str
+    first_cardinality: str  # "1" or "N"
+    second_entity: str
+    second_cardinality: str
+    stereotype: str = ""  # "", "part-of", "instance-of"
+
+    def render(self) -> str:
+        tag = f" <<{self.stereotype}>>" if self.stereotype else ""
+        return (
+            f"{self.first_entity} ({self.first_cardinality}) -- {self.name}"
+            f"{tag} -- ({self.second_cardinality}) {self.second_entity}"
+        )
+
+
+@dataclass
+class ErModel:
+    """The translated ER model."""
+
+    name: str
+    entities: list[ErEntity] = field(default_factory=list)
+    relationships: list[ErRelationship] = field(default_factory=list)
+
+    def entity(self, name: str) -> ErEntity:
+        for entity in self.entities:
+            if entity.name == name:
+                return entity
+        raise KeyError(name)
+
+    def render(self) -> str:
+        lines = [f"ER model of schema {self.name!r}", ""]
+        for entity in self.entities:
+            header = f"entity {entity.name}"
+            if entity.isa:
+                header += " ISA " + ", ".join(entity.isa)
+            lines.append(header)
+            lines.extend(
+                f"    {attribute.render()}" for attribute in entity.attributes
+            )
+        if self.relationships:
+            lines.append("")
+            lines.extend(
+                relationship.render() for relationship in self.relationships
+            )
+        return "\n".join(lines) + "\n"
+
+
+_STEREOTYPES = {
+    RelationshipKind.ASSOCIATION: "",
+    RelationshipKind.PART_OF: "part-of",
+    RelationshipKind.INSTANCE_OF: "instance-of",
+}
+
+
+def to_er(schema: Schema) -> ErModel:
+    """Translate *schema* into an :class:`ErModel`."""
+    model = ErModel(schema.name)
+    for interface in schema:
+        key_attributes = {
+            attr_name for key in interface.keys for attr_name in key
+        }
+        entity = ErEntity(interface.name, isa=list(interface.supertypes))
+        for attribute in interface.attributes.values():
+            entity.attributes.append(
+                ErAttribute(
+                    attribute.name,
+                    str(attribute.type),
+                    is_key=attribute.name in key_attributes,
+                    is_multivalued=isinstance(attribute.type, CollectionType),
+                )
+            )
+        model.entities.append(entity)
+    handled: set[frozenset[tuple[str, str]]] = set()
+    for owner, end in schema.relationship_pairs():
+        pair = frozenset(
+            {(owner, end.name), (end.inverse_type, end.inverse_name)}
+        )
+        if pair in handled:
+            continue
+        handled.add(pair)
+        inverse = schema.find_inverse(owner, end)
+        inverse_many = inverse.is_to_many if inverse is not None else False
+        model.relationships.append(
+            ErRelationship(
+                name=end.name,
+                first_entity=owner,
+                # The owner participates once per target instance set the
+                # *inverse* sees; ER cardinalities are written from the
+                # relationship's perspective.
+                first_cardinality="N" if inverse_many else "1",
+                second_entity=end.target_type,
+                second_cardinality="N" if end.is_to_many else "1",
+                stereotype=_STEREOTYPES[end.kind],
+            )
+        )
+    return model
+
+
+def to_er_text(schema: Schema) -> str:
+    """Translate *schema* straight to the text rendering."""
+    return to_er(schema).render()

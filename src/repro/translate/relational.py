@@ -1,0 +1,370 @@
+"""Translation to the relational model (SQL DDL).
+
+Section 5: "Our approach is not dependent on a DBMS or even a data
+model ... there has been work, for example, on modeling in an
+object-oriented model and translating the results to other models such
+as entity relationship diagrams and relational models."  This module is
+that translation for the relational target, so a custom schema produced
+by shrink-wrap-based design can be carried straight into a SQL DBMS.
+
+Mapping rules (the classic table-per-class strategy):
+
+* every interface becomes a table; its local attributes become columns;
+* generalization: the subtype table holds the supertype's primary key
+  as both its own primary key and a foreign key (table-per-class);
+* the first declared key becomes the PRIMARY KEY, remaining keys become
+  UNIQUE constraints; a keyless root table gets a surrogate ``<name>_id``;
+* a to-one relationship end becomes a foreign key column on the owner;
+* a many-to-many association becomes a junction table;
+* part-of and instance-of links put the foreign key on the *part* /
+  *instance* side with ``ON DELETE CASCADE`` — the implicit existence
+  dependency of those relationship kinds;
+* collection-typed attributes become child tables (the type-constructor
+  variation of aggregation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.interface import InterfaceDef
+from repro.model.relationships import RelationshipEnd, RelationshipKind
+from repro.model.schema import Schema
+from repro.model.types import CollectionType, NamedType, ScalarType, TypeRef
+
+#: Scalar-to-SQL type mapping.
+_SQL_TYPES = {
+    "boolean": "BOOLEAN",
+    "char": "CHAR",
+    "octet": "SMALLINT",
+    "short": "SMALLINT",
+    "long": "INTEGER",
+    "float": "REAL",
+    "double": "DOUBLE PRECISION",
+    "string": "VARCHAR",
+    "date": "DATE",
+    "time": "TIME",
+    "timestamp": "TIMESTAMP",
+    "interval": "INTERVAL",
+}
+
+
+@dataclass
+class Column:
+    """One column of a translated table."""
+
+    name: str
+    sql_type: str
+    nullable: bool = True
+
+    def render(self) -> str:
+        suffix = "" if self.nullable else " NOT NULL"
+        return f"{self.name} {self.sql_type}{suffix}"
+
+
+@dataclass
+class ForeignKey:
+    """One foreign-key constraint."""
+
+    columns: tuple[str, ...]
+    referenced_table: str
+    referenced_columns: tuple[str, ...]
+    on_delete_cascade: bool = False
+
+    def render(self) -> str:
+        text = (
+            f"FOREIGN KEY ({', '.join(self.columns)}) REFERENCES "
+            f"{self.referenced_table} ({', '.join(self.referenced_columns)})"
+        )
+        if self.on_delete_cascade:
+            text += " ON DELETE CASCADE"
+        return text
+
+
+@dataclass
+class Table:
+    """One translated table."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+    primary_key: tuple[str, ...] = ()
+    unique_keys: list[tuple[str, ...]] = field(default_factory=list)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+    comment: str = ""
+
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def render(self) -> str:
+        lines = [f"CREATE TABLE {self.name} ("]
+        body: list[str] = [column.render() for column in self.columns]
+        if self.primary_key:
+            body.append(f"PRIMARY KEY ({', '.join(self.primary_key)})")
+        body.extend(
+            f"UNIQUE ({', '.join(key)})" for key in self.unique_keys
+        )
+        body.extend(fk.render() for fk in self.foreign_keys)
+        lines.extend(
+            "    " + entry + ("," if index < len(body) - 1 else "")
+            for index, entry in enumerate(body)
+        )
+        lines.append(");")
+        if self.comment:
+            lines.insert(0, f"-- {self.comment}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RelationalSchema:
+    """The translated relational schema."""
+
+    name: str
+    tables: list[Table] = field(default_factory=list)
+
+    def table(self, name: str) -> Table:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise KeyError(name)
+
+    def table_names(self) -> list[str]:
+        return [table.name for table in self.tables]
+
+    def render(self) -> str:
+        """The full DDL script."""
+        header = f"-- relational translation of schema {self.name!r}\n"
+        return header + "\n\n".join(table.render() for table in self.tables) + "\n"
+
+
+def _sql_type(type_ref: TypeRef) -> str:
+    if isinstance(type_ref, ScalarType):
+        base = _SQL_TYPES[type_ref.name]
+        if type_ref.size is not None:
+            return f"{base}({type_ref.size})"
+        if type_ref.name == "string":
+            return "VARCHAR(255)"
+        return base
+    raise ValueError(f"no direct SQL type for {type_ref}")
+
+
+#: SQL reserved words that commonly collide with type names; quoted.
+_RESERVED = frozenset(
+    {
+        "order", "group", "user", "table", "select", "from", "where",
+        "check", "index", "key", "values", "column", "grant", "role",
+    }
+)
+
+
+def _quote(lowered: str) -> str:
+    return f'"{lowered}"' if lowered in _RESERVED else lowered
+
+
+def _table_name(interface_name: str) -> str:
+    return _quote(interface_name.lower())
+
+
+def _composed_name(interface_name: str, suffix: str) -> str:
+    return _quote(f"{interface_name.lower()}_{suffix}")
+
+
+class _Translator:
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.result = RelationalSchema(schema.name)
+        self._pk_cache: dict[str, tuple[str, ...]] = {}
+
+    def translate(self) -> RelationalSchema:
+        for interface in self.schema:
+            self.result.tables.append(self._translate_interface(interface))
+        self._add_relationship_columns()
+        return self.result
+
+    # -- primary keys ----------------------------------------------------
+
+    def primary_key_of(self, name: str) -> tuple[str, ...]:
+        """The primary-key column names of a type (walking supertypes)."""
+        if name in self._pk_cache:
+            return self._pk_cache[name]
+        interface = self.schema.get(name)
+        if interface.supertypes:
+            columns = self.primary_key_of(interface.supertypes[0])
+        elif interface.keys:
+            columns = tuple(interface.keys[0])
+        else:
+            columns = (f"{_table_name(name)}_id",)
+        self._pk_cache[name] = columns
+        return columns
+
+    def _pk_column_types(self, name: str) -> list[Column]:
+        """Columns realising the primary key of *name* on some table."""
+        interface = self.schema.get(name)
+        if interface.supertypes:
+            return self._pk_column_types(interface.supertypes[0])
+        if interface.keys:
+            columns = []
+            for attr_name in interface.keys[0]:
+                attribute = self._find_attribute(name, attr_name)
+                columns.append(
+                    Column(attr_name, _sql_type(attribute.type), nullable=False)
+                )
+            return columns
+        return [Column(f"{_table_name(name)}_id", "INTEGER", nullable=False)]
+
+    def _find_attribute(self, name: str, attr_name: str):
+        interface = self.schema.get(name)
+        if attr_name in interface.attributes:
+            return interface.attributes[attr_name]
+        owner = self.schema.inherited_attributes(name).get(attr_name)
+        if owner is None:
+            raise KeyError(f"{name}.{attr_name}")
+        return self.schema.get(owner).attributes[attr_name]
+
+    # -- tables -----------------------------------------------------------
+
+    def _translate_interface(self, interface: InterfaceDef) -> Table:
+        table = Table(
+            _table_name(interface.name),
+            comment=f"object type {interface.name}",
+        )
+        pk = self.primary_key_of(interface.name)
+        pk_columns = self._pk_column_types(interface.name)
+        if interface.supertypes:
+            # Table-per-class: the subtype shares the root's key and
+            # references its direct supertype.
+            table.columns.extend(pk_columns)
+            table.primary_key = pk
+            table.foreign_keys.append(
+                ForeignKey(
+                    pk, _table_name(interface.supertypes[0]), pk,
+                    on_delete_cascade=True,
+                )
+            )
+        else:
+            table.columns.extend(pk_columns)
+            table.primary_key = pk
+        for attribute in interface.attributes.values():
+            if attribute.name in table.column_names():
+                continue  # already placed as a key column
+            if isinstance(attribute.type, ScalarType):
+                table.columns.append(
+                    Column(attribute.name, _sql_type(attribute.type))
+                )
+            elif isinstance(attribute.type, NamedType):
+                self._add_reference_column(
+                    table, attribute.name, attribute.type.name
+                )
+            elif isinstance(attribute.type, CollectionType):
+                self._add_collection_table(interface, attribute)
+        # A root's first key became the primary key; everything else --
+        # and every key a subtype declares -- becomes a UNIQUE constraint.
+        extra_keys = (
+            interface.keys if interface.supertypes else interface.keys[1:]
+        )
+        table.unique_keys.extend(tuple(key) for key in extra_keys)
+        return table
+
+    def _add_reference_column(
+        self, table: Table, column_base: str, target: str,
+        cascade: bool = False, nullable: bool = True,
+    ) -> None:
+        target_pk = self.primary_key_of(target)
+        target_pk_columns = self._pk_column_types(target)
+        fk_columns = []
+        for pk_name, pk_column in zip(target_pk, target_pk_columns):
+            column_name = f"{column_base}_{pk_name}"
+            table.columns.append(
+                Column(column_name, pk_column.sql_type, nullable=nullable)
+            )
+            fk_columns.append(column_name)
+        table.foreign_keys.append(
+            ForeignKey(
+                tuple(fk_columns), _table_name(target), target_pk,
+                on_delete_cascade=cascade,
+            )
+        )
+
+    def _add_collection_table(self, interface: InterfaceDef, attribute) -> None:
+        """A child table for a collection-typed attribute."""
+        element = attribute.type.element
+        child = Table(
+            _composed_name(interface.name, attribute.name),
+            comment=(
+                f"collection attribute {interface.name}.{attribute.name}"
+            ),
+        )
+        self._add_reference_column(
+            child, "owner", interface.name, cascade=True, nullable=False
+        )
+        if isinstance(element, ScalarType):
+            child.columns.append(Column("value", _sql_type(element)))
+        elif isinstance(element, NamedType):
+            self._add_reference_column(child, "value", element.name)
+        else:
+            raise ValueError(
+                f"nested collection attribute "
+                f"{interface.name}.{attribute.name} has no relational "
+                "translation; flatten it first"
+            )
+        self.result.tables.append(child)
+
+    # -- relationships ------------------------------------------------------
+
+    def _add_relationship_columns(self) -> None:
+        handled: set[frozenset[tuple[str, str]]] = set()
+        for owner, end in self.schema.relationship_pairs():
+            pair = frozenset(
+                {(owner, end.name), (end.inverse_type, end.inverse_name)}
+            )
+            if pair in handled:
+                continue
+            handled.add(pair)
+            inverse = self.schema.find_inverse(owner, end)
+            self._translate_relationship(owner, end, inverse)
+
+    def _translate_relationship(
+        self, owner: str, end: RelationshipEnd,
+        inverse: RelationshipEnd | None,
+    ) -> None:
+        inverse_many = inverse.is_to_many if inverse is not None else False
+        cascade = end.kind is not RelationshipKind.ASSOCIATION
+        if end.is_to_many and inverse_many:
+            # Many-to-many: a junction table named after the two paths.
+            junction = Table(
+                _composed_name(owner, end.name),
+                comment=(
+                    f"M:N relationship {owner}::{end.name} / "
+                    f"{end.inverse_type}::{end.inverse_name}"
+                ),
+            )
+            self._add_reference_column(
+                junction, owner.lower(), owner,
+                cascade=True, nullable=False,
+            )
+            self._add_reference_column(
+                junction, end.name, end.target_type,
+                cascade=True, nullable=False,
+            )
+            junction.primary_key = tuple(junction.column_names())
+            self.result.tables.append(junction)
+            return
+        if end.is_to_many:
+            # The foreign key lives on the to-one side: the target of
+            # this end holds a reference back to the owner.
+            holder, reference, base = end.target_type, owner, (
+                inverse.name if inverse is not None else end.name
+            )
+        else:
+            holder, reference, base = owner, end.target_type, end.name
+        table = self.result.table(_table_name(holder))
+        self._add_reference_column(table, base, reference, cascade=cascade)
+
+
+def to_relational(schema: Schema) -> RelationalSchema:
+    """Translate *schema* to a relational schema (tables + constraints)."""
+    return _Translator(schema).translate()
+
+
+def to_sql(schema: Schema) -> str:
+    """Translate *schema* straight to a SQL DDL script."""
+    return to_relational(schema).render()

@@ -1,0 +1,9 @@
+"""Synthetic schema and operation workloads for the benchmarks."""
+
+from repro.workload.generator import (
+    WorkloadSpec,
+    generate_operations,
+    generate_schema,
+)
+
+__all__ = ["WorkloadSpec", "generate_operations", "generate_schema"]

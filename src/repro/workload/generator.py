@@ -1,0 +1,302 @@
+"""Deterministic synthetic schema and operation workloads.
+
+The paper reports no performance numbers; the scaling and throughput
+benches characterise this implementation on generated shrink wrap
+schemas.  Generation is seeded and fully deterministic so bench runs are
+comparable.
+
+:func:`generate_schema` builds a structurally valid schema with a
+configurable mix of the extended model's features: generalization trees,
+association webs with proper inverse pairs, part-of explosions, and
+instance-of chains.  :func:`generate_operations` derives a stream of
+valid modification operations against a schema (applying each to its
+private copy so later operations remain valid).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.model.attributes import Attribute
+from repro.model.interface import InterfaceDef
+from repro.model.relationships import RelationshipKind
+from repro.model.schema import Schema
+from repro.model.types import NamedType, ScalarType, set_of
+from repro.ops.attribute_ops import (
+    AddAttribute,
+    DeleteAttribute,
+    ModifyAttributeSize,
+)
+from repro.ops.base import OperationContext, SchemaOperation
+from repro.ops.operation_ops import AddOperation
+from repro.ops.relationship_ops import AddRelationship, DeleteRelationship
+from repro.ops.type_ops import AddTypeDefinition, DeleteTypeDefinition
+from repro.knowledge.propagation import expand
+
+_SCALARS = (
+    ScalarType("short"),
+    ScalarType("long"),
+    ScalarType("float"),
+    ScalarType("boolean"),
+    ScalarType("date"),
+    ScalarType("string", 20),
+    ScalarType("string", 60),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Size and shape parameters of a generated schema."""
+
+    types: int = 20
+    attributes_per_type: int = 4
+    operations_per_type: int = 1
+    association_density: float = 0.8  # associations per type, on average
+    isa_fraction: float = 0.3  # fraction of types placed under a parent
+    part_of_chain: int = 4  # length of the generated parts explosion
+    instance_of_chain: int = 3  # length of the generated version chain
+    seed: int = 0
+
+
+def generate_schema(spec: WorkloadSpec, name: str | None = None) -> Schema:
+    """Build a deterministic, structurally valid schema from *spec*."""
+    rng = random.Random(spec.seed)
+    schema = Schema(name or f"synthetic_{spec.types}_{spec.seed}")
+
+    type_names = [f"Type{i:03d}" for i in range(spec.types)]
+    for type_name in type_names:
+        interface = InterfaceDef(type_name)
+        interface.extent = f"{type_name.lower()}_extent"
+        for attr_index in range(spec.attributes_per_type):
+            interface.add_attribute(
+                Attribute(f"attr{attr_index}", rng.choice(_SCALARS))
+            )
+        if interface.attributes:
+            interface.add_key((next(iter(interface.attributes)),))
+        for op_index in range(spec.operations_per_type):
+            interface.add_operation(
+                _make_operation(f"op{op_index}", rng)
+            )
+        schema.add_interface(interface)
+
+    _wire_generalization(schema, type_names, spec, rng)
+    _wire_associations(schema, type_names, spec, rng)
+    _wire_part_of_chain(schema, type_names, spec)
+    _wire_instance_of_chain(schema, type_names, spec)
+    schema.validate()
+    return schema
+
+
+def _make_operation(op_name: str, rng: random.Random):
+    from repro.model.operations import Operation, Parameter
+
+    parameters = tuple(
+        Parameter("in", rng.choice(_SCALARS), f"p{i}")
+        for i in range(rng.randint(0, 2))
+    )
+    return Operation(op_name, rng.choice(_SCALARS), parameters)
+
+
+def _wire_generalization(schema, type_names, spec, rng) -> None:
+    """Attach a fraction of types under earlier types (guaranteed acyclic)."""
+    for index, type_name in enumerate(type_names[1:], start=1):
+        if rng.random() < spec.isa_fraction:
+            parent = type_names[rng.randrange(0, index)]
+            schema.get(type_name).add_supertype(parent)
+
+
+def _wire_associations(schema, type_names, spec, rng) -> None:
+    """Create inverse-paired association ends between random types."""
+    count = int(len(type_names) * spec.association_density)
+    for link_index in range(count):
+        owner_name = rng.choice(type_names)
+        target_name = rng.choice(type_names)
+        owner = schema.get(owner_name)
+        target = schema.get(target_name)
+        path = f"rel{link_index}_to"
+        inverse_path = f"rel{link_index}_from"
+        if (
+            path in owner.attributes or path in owner.relationships
+            or inverse_path in target.attributes
+            or inverse_path in target.relationships
+        ):
+            continue
+        to_many = rng.random() < 0.5
+        owner_target = set_of(target_name) if to_many else NamedType(target_name)
+        owner.add_relationship(
+            _end(path, owner_target, target_name, inverse_path)
+        )
+        target.add_relationship(
+            _end(inverse_path, NamedType(owner_name), owner_name, path)
+        )
+
+
+def _end(name, target, inverse_type, inverse_name,
+         kind=RelationshipKind.ASSOCIATION):
+    from repro.model.relationships import RelationshipEnd
+
+    return RelationshipEnd(name, target, inverse_type, inverse_name, kind)
+
+
+def _wire_part_of_chain(schema, type_names, spec) -> None:
+    """A parts explosion across the first ``part_of_chain`` types."""
+    chain = type_names[: max(0, min(spec.part_of_chain, len(type_names)))]
+    for whole_name, part_name in zip(chain, chain[1:]):
+        schema.get(whole_name).add_relationship(
+            _end(
+                "has_parts", set_of(part_name), part_name, "part_of_whole",
+                RelationshipKind.PART_OF,
+            )
+        )
+        schema.get(part_name).add_relationship(
+            _end(
+                "part_of_whole", NamedType(whole_name), whole_name, "has_parts",
+                RelationshipKind.PART_OF,
+            )
+        )
+
+
+def _wire_instance_of_chain(schema, type_names, spec) -> None:
+    """A version chain across the last ``instance_of_chain`` types."""
+    if spec.instance_of_chain <= 1:
+        return
+    chain = type_names[-spec.instance_of_chain:]
+    for generic_name, instance_name in zip(chain, chain[1:]):
+        schema.get(generic_name).add_relationship(
+            _end(
+                "instances", set_of(instance_name), instance_name, "generic",
+                RelationshipKind.INSTANCE_OF,
+            )
+        )
+        schema.get(instance_name).add_relationship(
+            _end(
+                "generic", NamedType(generic_name), generic_name, "instances",
+                RelationshipKind.INSTANCE_OF,
+            )
+        )
+
+
+def generate_operations(
+    schema: Schema, count: int, seed: int = 0
+) -> list[SchemaOperation]:
+    """Derive *count* valid operations against (an evolving copy of) *schema*.
+
+    Each generated operation is applied -- with propagation -- to a
+    private scratch copy so that subsequent operations stay valid; the
+    returned list therefore replays cleanly against a fresh copy of
+    *schema* in a workspace with propagation enabled.
+    """
+    rng = random.Random(seed)
+    scratch = schema.copy("workload_scratch")
+    context = OperationContext(reference=schema)
+    operations: list[SchemaOperation] = []
+    makers = (
+        _make_add_attribute,
+        _make_delete_attribute,
+        _make_resize_attribute,
+        _make_add_type,
+        _make_add_relationship,
+        _make_delete_relationship,
+        _make_add_operation,
+        _make_delete_type,
+    )
+    attempts = 0
+    while len(operations) < count and attempts < count * 50:
+        attempts += 1
+        maker = rng.choice(makers)
+        operation = maker(scratch, rng, len(operations))
+        if operation is None:
+            continue
+        try:
+            for step in expand(scratch, operation, context):
+                step.apply(scratch, context)
+        except Exception:
+            continue
+        operations.append(operation)
+    if len(operations) < count:
+        raise RuntimeError(
+            f"could only generate {len(operations)} of {count} operations"
+        )
+    return operations
+
+
+def _random_type(scratch: Schema, rng: random.Random) -> str | None:
+    names = scratch.type_names()
+    return rng.choice(names) if names else None
+
+
+def _make_add_attribute(scratch, rng, index):
+    owner = _random_type(scratch, rng)
+    if owner is None:
+        return None
+    return AddAttribute(owner, rng.choice(_SCALARS), f"gen_attr{index}")
+
+
+def _make_delete_attribute(scratch, rng, index):
+    owner = _random_type(scratch, rng)
+    if owner is None:
+        return None
+    attrs = list(scratch.get(owner).attributes)
+    if not attrs:
+        return None
+    return DeleteAttribute(owner, rng.choice(attrs))
+
+
+def _make_resize_attribute(scratch, rng, index):
+    owner = _random_type(scratch, rng)
+    if owner is None:
+        return None
+    sized = [
+        a for a in scratch.get(owner).attributes.values()
+        if isinstance(a.type, ScalarType) and a.type.size is not None
+    ]
+    if not sized:
+        return None
+    attribute = rng.choice(sized)
+    return ModifyAttributeSize(
+        owner, attribute.name, attribute.size, attribute.size + 10
+    )
+
+
+def _make_add_type(scratch, rng, index):
+    return AddTypeDefinition(f"GenType{index:04d}")
+
+
+def _make_delete_type(scratch, rng, index):
+    # Deleting types keeps the workload from growing without bound; the
+    # cascade is exercised as part of the stream.
+    name = _random_type(scratch, rng)
+    if name is None or len(scratch) < 5:
+        return None
+    return DeleteTypeDefinition(name)
+
+
+def _make_add_relationship(scratch, rng, index):
+    owner = _random_type(scratch, rng)
+    target = _random_type(scratch, rng)
+    if owner is None or target is None:
+        return None
+    return AddRelationship(
+        owner, set_of(target), f"gen_rel{index}_to", target, f"gen_rel{index}_from"
+    )
+
+
+def _make_delete_relationship(scratch, rng, index):
+    owner = _random_type(scratch, rng)
+    if owner is None:
+        return None
+    ends = [
+        end for end in scratch.get(owner).relationships.values()
+        if end.kind is RelationshipKind.ASSOCIATION
+    ]
+    if not ends:
+        return None
+    return DeleteRelationship(owner, rng.choice(ends).name)
+
+
+def _make_add_operation(scratch, rng, index):
+    owner = _random_type(scratch, rng)
+    if owner is None:
+        return None
+    return AddOperation(owner, rng.choice(_SCALARS), f"gen_op{index}")

@@ -1,0 +1,75 @@
+"""Shared fixtures: the catalog schemas and small hand-built schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import (
+    acedb_schema,
+    company_schema,
+    house_schema,
+    software_schema,
+    university_schema,
+)
+from repro.model.schema import Schema
+from repro.odl.parser import parse_schema
+
+
+@pytest.fixture
+def university() -> Schema:
+    """The Figures 3/4/7 university shrink wrap schema."""
+    return university_schema()
+
+
+@pytest.fixture
+def company() -> Schema:
+    """The Figure 8 department/employee schema."""
+    return company_schema()
+
+
+@pytest.fixture
+def house() -> Schema:
+    """The Figure 5 lumber-yard aggregation schema."""
+    return house_schema()
+
+
+@pytest.fixture
+def software() -> Schema:
+    """The Figure 6 EMSL instance-of chain schema."""
+    return software_schema()
+
+
+@pytest.fixture
+def acedb() -> Schema:
+    """The Section 4 ACEDB genome schema."""
+    return acedb_schema()
+
+
+SMALL_ODL = """
+interface Person {
+    extent people;
+    keys (id);
+    attribute long id;
+    attribute string(30) name;
+};
+
+interface Employee : Person {
+    attribute float salary;
+    relationship Department works_in inverse Department::staff;
+};
+
+interface Department {
+    extent departments;
+    keys (code);
+    attribute string(10) code;
+    relationship set<Employee> staff inverse Employee::works_in order_by (name);
+};
+"""
+
+
+@pytest.fixture
+def small() -> Schema:
+    """A three-type schema with ISA, a relationship pair, and a key."""
+    schema = parse_schema(SMALL_ODL, name="small")
+    schema.validate()
+    return schema

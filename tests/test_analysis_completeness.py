@@ -1,0 +1,112 @@
+"""Tests for the completeness analysis (Tables 2/3, Section 3.5)."""
+
+import pytest
+
+from repro.analysis.completeness import (
+    TABLE2_ADDITIONS,
+    TABLE3_MODIFICATIONS,
+    add_only_script,
+    coverage_gaps,
+    delete_only_script,
+    format_table,
+    full_rebuild_script,
+    table2_rows,
+    table3_rows,
+)
+from repro.catalog import SCHEMA_BUILDERS
+from repro.knowledge.propagation import expand
+from repro.model.fingerprint import schemas_equal
+from repro.model.schema import Schema
+from repro.ops.base import OperationContext
+from repro.ops.registry import OPERATIONS_BY_NAME
+
+
+class TestCoverageTables:
+    def test_no_gaps(self):
+        """Every Table 2/3 operation exists in the registry."""
+        assert coverage_gaps() == []
+
+    def test_every_candidate_has_an_add(self):
+        for row in table2_rows("add"):
+            assert row.implemented, row
+
+    def test_delete_table_mirrors_add_table(self):
+        """Paper: deletion operations are identical with 'add' -> 'delete'."""
+        for add_row, delete_row in zip(table2_rows("add"), table2_rows("delete")):
+            assert delete_row.operation == "delete" + add_row.operation[3:]
+            assert delete_row.implemented
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError):
+            table2_rows("modify")
+
+    def test_name_rows_have_no_modify(self):
+        """Names are never modifiable (name equivalence)."""
+        name_rows = [
+            row for row in table3_rows()
+            if row.sub_candidate in ("Type name", "Traversal path name",
+                                     "Inverse path name")
+        ]
+        assert name_rows
+        assert all(row.operation is None for row in name_rows)
+
+    def test_every_registry_modify_appears_in_table3(self):
+        table_ops = {
+            row.operation for row in table3_rows() if row.operation
+        }
+        registry_modifies = {
+            name for name, cls in OPERATIONS_BY_NAME.items()
+            if cls.action == "modify"
+        }
+        assert registry_modifies == table_ops
+
+    def test_every_registry_add_appears_in_table2(self):
+        table_ops = {row.operation for row in table2_rows("add")}
+        registry_adds = {
+            name for name, cls in OPERATIONS_BY_NAME.items()
+            if cls.action == "add"
+        }
+        assert registry_adds == table_ops
+
+    def test_tables_cover_26_candidates(self):
+        assert len(TABLE2_ADDITIONS) == 26
+        assert len(TABLE3_MODIFICATIONS) == 26
+
+    def test_format_table(self):
+        rendered = format_table(table2_rows("add"), "Table 2")
+        assert rendered.startswith("Table 2")
+        assert "add_type_definition" in rendered
+
+
+def _apply_with_propagation(schema, plan, reference):
+    context = OperationContext(reference=reference)
+    for operation in plan:
+        for step in expand(schema, operation, context):
+            step.apply(schema, context)
+
+
+class TestReachability:
+    """Section 3.5: any schema is reachable with add/delete alone."""
+
+    @pytest.mark.parametrize("name", sorted(SCHEMA_BUILDERS))
+    def test_add_only_script_builds_catalog_schema(self, name):
+        target = SCHEMA_BUILDERS[name]()
+        scratch = Schema("empty")
+        _apply_with_propagation(scratch, add_only_script(target), target)
+        assert schemas_equal(scratch, target)
+
+    @pytest.mark.parametrize("name", ["university", "acedb", "lumber_yard"])
+    def test_delete_only_script_empties_schema(self, name):
+        source = SCHEMA_BUILDERS[name]()
+        scratch = source.copy()
+        _apply_with_propagation(scratch, delete_only_script(source), source)
+        assert len(scratch) == 0
+
+    def test_full_rebuild_reaches_any_target(self):
+        source = SCHEMA_BUILDERS["university"]()
+        target = SCHEMA_BUILDERS["acedb"]()
+        scratch = source.copy()
+        _apply_with_propagation(
+            scratch, full_rebuild_script(source, target), source
+        )
+        assert schemas_equal(scratch, target)

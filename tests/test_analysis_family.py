@@ -1,0 +1,75 @@
+"""Tests for schema families (the ACEDB-style derivation tree)."""
+
+import pytest
+
+from repro.analysis.family import SchemaFamily
+from repro.catalog import AATDB_SCRIPT, SACCHDB_SCRIPT, acedb_schema
+from repro.model.errors import SchemaError
+
+
+@pytest.fixture
+def family():
+    result = SchemaFamily(acedb_schema())
+    result.derive("aatdb", AATDB_SCRIPT)
+    result.derive("sacchdb", SACCHDB_SCRIPT)
+    return result
+
+
+class TestDerivation:
+    def test_members_carry_full_repositories(self, family):
+        member = family.member("aatdb")
+        assert member.schema.name == "aatdb"
+        assert member.operation_count == 16
+        assert 0.8 < member.reuse_ratio < 1.0
+
+    def test_duplicate_member_rejected(self, family):
+        with pytest.raises(SchemaError):
+            family.derive("aatdb", "")
+
+    def test_unknown_member(self, family):
+        with pytest.raises(SchemaError):
+            family.member("flybase")
+
+    def test_root_untouched_by_derivations(self, family):
+        assert "Cell" in family.root
+        assert "Phenotype" not in family.root
+
+    def test_trivial_member(self):
+        family = SchemaFamily(acedb_schema())
+        member = family.derive("verbatim", "")
+        assert member.reuse_ratio == 1.0
+
+
+class TestInteroperation:
+    def test_common_objects_between_members(self, family):
+        shared = family.common_objects("aatdb", "sacchdb")
+        assert "Locus" in shared
+        assert "Map.loci" in shared
+        # Contig survives only in AAtDB, Strain only in SacchDB.
+        assert "Contig" not in shared
+        assert "Strain.genotype" not in shared
+
+    def test_family_common_objects(self, family):
+        shared = family.family_common_objects()
+        assert "Locus" in shared
+        assert shared == family.common_objects("aatdb", "sacchdb")
+
+    def test_modified_constructs_still_common(self, family):
+        # Locus.symbol was resized in AAtDB (modified, not deleted):
+        # it remains a semantically identical construct.
+        assert "Locus.symbol" in family.common_objects("aatdb", "sacchdb")
+
+    def test_affinity_matrix_shape(self, family):
+        matrix = family.affinities()
+        assert len(matrix) == 3
+        assert all(matrix[i][i] == 1.0 for i in range(3))
+        assert matrix[0][1] == pytest.approx(matrix[1][0])
+
+    def test_render(self, family):
+        rendered = family.render()
+        assert "+- aatdb: 16 operations" in rendered
+        assert "aatdb <-> sacchdb:" in rendered
+        assert "common objects" in rendered
+
+    def test_empty_family_common_objects(self):
+        assert SchemaFamily(acedb_schema()).family_common_objects() == set()

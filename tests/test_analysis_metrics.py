@@ -1,0 +1,54 @@
+"""Tests for schema complexity metrics and the decomposition payoff."""
+
+from repro.analysis.metrics import decomposition_payoff, schema_metrics
+from repro.odl.parser import parse_schema
+
+
+class TestSchemaMetrics:
+    def test_university_metrics(self, university):
+        metrics = schema_metrics(university)
+        assert metrics.interfaces == 16
+        assert metrics.max_generalization_depth == 4
+        assert metrics.isolated_types == 0
+        assert metrics.constructs > 50
+
+    def test_empty_schema(self):
+        metrics = schema_metrics(parse_schema("", name="empty"))
+        assert metrics.interfaces == 0
+        assert metrics.constructs == 0
+        assert metrics.max_relationship_fanout == 0
+
+    def test_isolated_types_counted(self):
+        schema = parse_schema(
+            "interface A {}; interface B : A {}; interface C {};", name="s"
+        )
+        assert schema_metrics(schema).isolated_types == 1
+
+    def test_fanout(self, university):
+        # Course_Offering carries seven relationship ends.
+        assert schema_metrics(university).max_relationship_fanout == 7
+
+    def test_render(self, university):
+        rendered = schema_metrics(university).render()
+        assert "max generalization depth" in rendered
+        assert "16" in rendered
+
+
+class TestDecompositionPayoff:
+    def test_each_concept_is_a_fraction_of_the_whole(self, university):
+        payoff = decomposition_payoff(university)
+        assert payoff.global_types == 16
+        assert payoff.concept_count == 18
+        # The paper's point: each point of view is far smaller than the
+        # global schema the designer would otherwise face.
+        assert payoff.mean_concept_fraction < 0.5
+        assert payoff.largest_concept_types <= payoff.global_types
+
+    def test_payoff_on_acedb(self, acedb):
+        payoff = decomposition_payoff(acedb)
+        assert payoff.mean_concept_fraction < 0.5
+
+    def test_render(self, university):
+        rendered = decomposition_payoff(university).render()
+        assert "concept schemas" in rendered
+        assert "%" in rendered

@@ -1,0 +1,81 @@
+"""Tests for relationship path finding."""
+
+import pytest
+
+from repro.analysis.paths import find_path, render_path
+from repro.model.errors import UnknownTypeError
+
+
+class TestFindPath:
+    def test_direct_relationship(self, small):
+        path = find_path(small, "Employee", "Department")
+        assert len(path) == 1
+        assert path[0].label == "works_in"
+
+    def test_path_is_symmetricish(self, small):
+        forward = find_path(small, "Employee", "Department")
+        backward = find_path(small, "Department", "Employee")
+        assert len(forward) == len(backward) == 1
+
+    def test_same_type(self, small):
+        assert find_path(small, "Person", "Person") == []
+
+    def test_isa_traversal(self, small):
+        path = find_path(small, "Person", "Department")
+        # Person -> Employee (inherits) -> Department (works_in)
+        assert [step.kind for step in path] == ["inherits", "relationship"]
+
+    def test_isa_traversal_can_be_disabled(self, small):
+        assert find_path(small, "Person", "Department", follow_isa=False) is None
+
+    def test_disconnected_types(self, small):
+        from repro.ops.type_ops import AddTypeDefinition
+
+        AddTypeDefinition("Island").apply(small)
+        assert find_path(small, "Island", "Person") is None
+
+    def test_unknown_types_rejected(self, small):
+        with pytest.raises(UnknownTypeError):
+            find_path(small, "Ghost", "Person")
+
+    def test_multi_hop_in_university(self, university):
+        path = find_path(university, "Book", "Faculty")
+        # Book -> Course_Offering -> Faculty is the shortest route.
+        assert [step.target for step in path] == [
+            "Course_Offering", "Faculty"
+        ]
+
+    def test_part_of_and_instance_of_hops(self, university):
+        path = find_path(university, "Syllabus", "Course", follow_isa=False)
+        kinds = [step.kind for step in path]
+        assert kinds == ["relationship", "instance_of"]
+
+    def test_shortest_path_wins(self, university):
+        # Student takes Course_Offering directly; the Person/Faculty
+        # detour is longer and must not be chosen.
+        path = find_path(university, "Student", "Course_Offering")
+        assert len(path) == 1
+        assert path[0].label == "takes"
+
+
+class TestRenderPath:
+    def test_render_connected(self, small):
+        path = find_path(small, "Employee", "Department")
+        text = render_path(path, "Employee", "Department")
+        assert "Employee reaches Department in 1 step(s):" in text
+        assert "works_in" in text
+
+    def test_render_identity(self, small):
+        assert render_path([], "A", "A") == "A is A"
+
+    def test_render_disconnected(self):
+        assert "not connected" in render_path(None, "A", "B")
+
+    def test_cli_relate_command(self, small):
+        from repro.designer.cli import execute
+        from repro.designer.session import DesignSession
+        from repro.repository.repository import SchemaRepository
+
+        session = DesignSession(SchemaRepository(small))
+        output = execute(session, "relate Employee Department")
+        assert "works_in" in output

@@ -1,0 +1,69 @@
+"""Tests for the schema similarity metrics."""
+
+from repro.analysis.similarity import (
+    affinity_matrix,
+    affinity_report,
+    name_affinity,
+    schema_affinity,
+    type_affinity,
+)
+from repro.catalog import aatdb_schema, acedb_schema, sacchdb_schema
+from repro.odl.parser import parse_schema
+
+
+class TestBasics:
+    def test_identical_schemas_have_affinity_one(self, small):
+        assert schema_affinity(small, small.copy()) == 1.0
+
+    def test_disjoint_schemas_have_affinity_zero(self):
+        first = parse_schema("interface A {};", name="a")
+        second = parse_schema("interface B {};", name="b")
+        assert schema_affinity(first, second) == 0.0
+
+    def test_name_affinity_is_jaccard(self):
+        first = parse_schema("interface A {}; interface B {};", name="a")
+        second = parse_schema("interface B {}; interface C {};", name="b")
+        assert name_affinity(first, second) == 1 / 3
+
+    def test_type_affinity_partial(self):
+        first = parse_schema(
+            "interface A { attribute long x; attribute long y; };", name="a"
+        ).get("A")
+        second = parse_schema(
+            "interface A { attribute long x; };", name="b"
+        ).get("A")
+        # Attributes: 1/2; relationships, operations, supertypes: empty
+        # on both sides count as identical (1.0 each).
+        assert type_affinity(first, second) == (0.5 + 1 + 1 + 1) / 4
+
+    def test_report_render(self, small):
+        report = affinity_report(small, small.copy())
+        rendered = report.render()
+        assert "shared types (3)" in rendered
+        assert "schema affinity:     1.000" in rendered
+
+    def test_matrix_shape_and_diagonal(self, small):
+        matrix = affinity_matrix([small, small.copy()])
+        assert matrix[0][0] == 1.0 and matrix[1][1] == 1.0
+        assert matrix[0][1] == matrix[1][0]
+
+
+class TestGenomeFamily:
+    """Section 4: the three schemas share most of their structure."""
+
+    def test_family_affinity_is_high(self):
+        acedb = acedb_schema()
+        aatdb = aatdb_schema()
+        sacchdb = sacchdb_schema()
+        assert schema_affinity(acedb, aatdb) > 0.7
+        assert schema_affinity(acedb, sacchdb) > 0.7
+        assert schema_affinity(aatdb, sacchdb) > 0.6
+
+    def test_shared_types_structurally_close(self):
+        report = affinity_report(acedb_schema(), aatdb_schema())
+        assert report.mean_type_affinity > 0.8
+
+    def test_unrelated_schema_scores_lower(self, university):
+        family_score = schema_affinity(acedb_schema(), aatdb_schema())
+        outsider_score = schema_affinity(acedb_schema(), university)
+        assert outsider_score < family_score

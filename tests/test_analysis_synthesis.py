@@ -1,0 +1,90 @@
+"""Tests for operation-sequence synthesis."""
+
+import pytest
+
+from repro.analysis.completeness import full_rebuild_script
+from repro.analysis.synthesis import SynthesisError, synthesize_operations
+from repro.catalog import aatdb_schema, acedb_schema, sacchdb_schema
+from repro.knowledge.propagation import expand
+from repro.model.fingerprint import schemas_equal
+from repro.ops.base import OperationContext
+
+
+def apply_script(source, plan):
+    scratch = source.copy("applied")
+    context = OperationContext(reference=source)
+    for operation in plan:
+        for step in expand(scratch, operation, context):
+            step.apply(scratch, context)
+    return scratch
+
+
+class TestSynthesis:
+    def test_identity_synthesis_is_empty(self, small):
+        assert synthesize_operations(small, small.copy()) == []
+
+    def test_added_attribute(self, small):
+        target = small.copy("target")
+        from repro.model.attributes import Attribute
+        from repro.model.types import scalar
+
+        target.get("Person").add_attribute(Attribute("dob", scalar("date")))
+        plan = synthesize_operations(small, target)
+        assert [op.op_name for op in plan] == ["add_attribute"]
+
+    def test_moved_attribute_uses_move_operation(self, small):
+        target = small.copy("target")
+        moved = target.get("Employee").remove_attribute("salary")
+        target.get("Person").add_attribute(moved)
+        plan = synthesize_operations(small, target)
+        assert [op.op_name for op in plan] == ["modify_attribute"]
+
+    def test_resized_attribute_uses_size_operation(self, small):
+        target = small.copy("target")
+        person = target.get("Person")
+        person.replace_attribute(person.get_attribute("name").with_size(99))
+        plan = synthesize_operations(small, target)
+        assert [op.op_name for op in plan] == ["modify_attribute_size"]
+
+    def test_cardinality_change(self, small):
+        from repro.model.types import list_of
+
+        target = small.copy("target")
+        department = target.get("Department")
+        end = department.get_relationship("staff")
+        department.replace_relationship(end.with_target(list_of("Employee")))
+        plan = synthesize_operations(small, target)
+        assert [op.op_name for op in plan] == [
+            "modify_relationship_cardinality"
+        ]
+
+    def test_acedb_to_aatdb(self):
+        source, target = acedb_schema(), aatdb_schema()
+        plan = synthesize_operations(source, target)
+        assert schemas_equal(apply_script(source, plan), target)
+
+    def test_acedb_to_sacchdb(self):
+        source, target = acedb_schema(), sacchdb_schema()
+        plan = synthesize_operations(source, target)
+        assert schemas_equal(apply_script(source, plan), target)
+
+    def test_cross_family_synthesis(self, small, university):
+        plan = synthesize_operations(small, university)
+        assert schemas_equal(apply_script(small, plan), university)
+
+    def test_synthesis_shorter_than_full_rebuild(self):
+        source, target = acedb_schema(), aatdb_schema()
+        synthesized = synthesize_operations(source, target)
+        rebuild = full_rebuild_script(source, target)
+        assert len(synthesized) < len(rebuild) / 2
+
+    def test_verify_flag_raises_on_bad_plan(self, small, monkeypatch):
+        from repro.analysis import synthesis as module
+
+        monkeypatch.setattr(
+            module._Synthesizer, "build", lambda self: []
+        )
+        target = small.copy("target")
+        target.get("Person").remove_attribute("name")
+        with pytest.raises(SynthesisError):
+            synthesize_operations(small, target)

@@ -1,0 +1,65 @@
+"""Unit tests for attributes (repro.model.attributes)."""
+
+import pytest
+
+from repro.model.attributes import Attribute
+from repro.model.errors import InvalidModelError
+from repro.model.types import named, scalar, set_of
+
+
+class TestConstruction:
+    def test_basic(self):
+        attribute = Attribute("name", scalar("string", 30))
+        assert attribute.name == "name"
+        assert attribute.size == 30
+
+    def test_unsized_scalar_has_no_size(self):
+        assert Attribute("id", scalar("long")).size is None
+
+    def test_named_type_has_no_size(self):
+        assert Attribute("home", named("Address")).size is None
+
+    def test_collection_attribute(self):
+        attribute = Attribute("tags", set_of("string"))
+        assert str(attribute) == "attribute set<string> tags"
+
+    def test_void_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Attribute("x", scalar("void"))
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Attribute("9lives", scalar("long"))
+
+    def test_non_type_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Attribute("x", "string")  # type: ignore[arg-type]
+
+    def test_underscore_name_allowed(self):
+        assert Attribute("_internal", scalar("long")).name == "_internal"
+
+
+class TestFunctionalUpdates:
+    def test_with_type_returns_new_object(self):
+        original = Attribute("name", scalar("string", 30))
+        updated = original.with_type(scalar("string", 60))
+        assert original.size == 30
+        assert updated.size == 60
+
+    def test_with_size(self):
+        original = Attribute("name", scalar("string", 30))
+        assert original.with_size(10).size == 10
+
+    def test_with_size_to_none(self):
+        original = Attribute("name", scalar("string", 30))
+        assert original.with_size(None).size is None
+
+    def test_with_size_on_named_type_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Attribute("home", named("Address")).with_size(4)
+
+    def test_str_rendering(self):
+        assert (
+            str(Attribute("name", scalar("string", 30)))
+            == "attribute string(30) name"
+        )

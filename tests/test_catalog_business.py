@@ -1,0 +1,78 @@
+"""Tests for the business-objects catalog schema (Section 5 application)."""
+
+from repro.analysis.paths import find_path
+from repro.analysis.similarity import schema_affinity
+from repro.catalog import business_schema, load
+from repro.concepts.decompose import decompose
+from repro.repository.repository import SchemaRepository
+from repro.ops.language import parse_script
+
+
+class TestBusinessSchema:
+    def test_valid_and_loadable(self):
+        schema = load("business_objects")
+        schema.validate()
+        assert len(schema) == 10
+
+    def test_exercises_every_construct_kind(self):
+        stats = business_schema().stats()
+        assert stats["supertype_links"] > 0
+        assert stats["part_of_links"] == 1
+        assert stats["instance_of_links"] == 1
+        assert stats["operations"] == 2
+
+    def test_decomposition_shape(self):
+        decomposition = decompose(business_schema())
+        assert [h.root for h in decomposition.generalizations] == ["Party"]
+        assert [h.root for h in decomposition.aggregations] == ["Order"]
+        assert [h.root for h in decomposition.instance_ofs] == ["Product"]
+
+    def test_everything_connected(self):
+        schema = business_schema()
+        for name in schema.type_names():
+            assert find_path(schema, "Order", name) is not None, name
+
+
+class TestInteroperationScenario:
+    """Section 5: two systems built from the business shrink wrap schema
+    interoperate through their common objects."""
+
+    def test_two_derivations_share_common_objects(self):
+        storefront = SchemaRepository(
+            business_schema(), custom_name="storefront"
+        )
+        for operation in parse_script(
+            """
+            delete_type_definition(Invoice)
+            add_attribute(Customer, string(40), email)
+            """
+        ):
+            storefront.apply(operation)
+        warehouse = SchemaRepository(
+            business_schema(), custom_name="warehouse"
+        )
+        for operation in parse_script(
+            """
+            delete_type_definition(Catalogue_Item)
+            add_attribute(Product, long, stock_level)
+            """
+        ):
+            warehouse.apply(operation)
+        first = {e.path for e in storefront.generate_mapping().corresponding()}
+        second = {e.path for e in warehouse.generate_mapping().corresponding()}
+        shared = first & second
+        # The order machinery is a common object of both derived systems.
+        assert {"Order", "Order.number", "Line_Item.quantity",
+                "Product.sku"} <= shared
+        assert "Invoice.invoice_number" not in shared
+        assert "Catalogue_Item.catalogue_code" not in shared
+
+    def test_derived_schemas_stay_similar(self):
+        storefront = SchemaRepository(business_schema(), custom_name="a")
+        storefront.apply(
+            parse_script("delete_type_definition(Invoice)")[0]
+        )
+        affinity = schema_affinity(
+            business_schema(), storefront.generate_custom_schema()
+        )
+        assert affinity > 0.8

@@ -1,0 +1,107 @@
+"""Tests for the CLI entry point and the remaining command surface."""
+
+import pytest
+
+from repro.catalog import UNIVERSITY_ODL
+from repro.designer.cli import execute, main
+from repro.designer.session import DesignSession
+from repro.repository.repository import SchemaRepository
+
+
+@pytest.fixture
+def session(small):
+    return DesignSession(SchemaRepository(small, custom_name="cli"))
+
+
+class TestMain:
+    def test_usage_without_arguments(self, capsys):
+        assert main([]) == 2
+        assert "usage:" in capsys.readouterr().out
+
+    def test_interactive_loop(self, tmp_path, capsys, monkeypatch):
+        schema_path = tmp_path / "university.odl"
+        schema_path.write_text(UNIVERSITY_ODL, encoding="utf-8")
+        lines = iter(["concepts", "select ww:Book", "quit"])
+        monkeypatch.setattr(
+            "builtins.input", lambda prompt="": next(lines)
+        )
+        assert main([str(schema_path)]) == 0
+        output = capsys.readouterr().out
+        assert "loaded shrink wrap schema" in output
+        assert "ww:Course_Offering" in output
+        assert "wagon wheel: Book" in output
+
+    def test_eof_terminates_cleanly(self, tmp_path, capsys, monkeypatch):
+        schema_path = tmp_path / "s.odl"
+        schema_path.write_text("interface A {};", encoding="utf-8")
+
+        def raise_eof(prompt=""):
+            raise EOFError
+
+        monkeypatch.setattr("builtins.input", raise_eof)
+        assert main([str(schema_path)]) == 0
+
+
+class TestExportCommands:
+    def test_sql_command(self, session):
+        output = execute(session, "sql")
+        assert "CREATE TABLE person" in output
+        assert "FOREIGN KEY" in output
+
+    def test_er_command(self, session):
+        output = execute(session, "er")
+        assert "entity Employee ISA Person" in output
+
+    def test_exports_reflect_workspace_changes(self, session):
+        execute(session, "apply add_attribute(Person, date, dob)")
+        assert "dob DATE" in execute(session, "sql")
+
+    def test_refactor_command_rejection(self, session):
+        output = execute(
+            session, "refactor introduce_abstract_supertype(Person, (A, B))"
+        )
+        assert output.startswith("REJECTED:")
+
+    def test_suggest_command(self, session):
+        assert execute(session, "suggest") == "no repairs to suggest"
+
+
+class TestViewAndDocumentCommands:
+    def test_view_command(self, session):
+        output = execute(session, "view Person naming")
+        assert output == "registered ww:Person#naming"
+        assert "wagon wheel: Person" in execute(session, "show ww:Person#naming")
+
+    def test_view_command_usage(self, session):
+        assert execute(session, "view Person").startswith("usage:")
+
+    def test_view_with_spoke_filter(self, session):
+        execute(session, "view Department staffing staff")
+        concept = session.repository.concept("ww:Department#staffing")
+        assert [s.path_name for s in concept.spokes] == ["staff"]
+
+    def test_document_command(self, session):
+        execute(session, "apply add_attribute(Person, date, dob)")
+        output = execute(session, "document")
+        assert "# Customization record" in output
+        assert "add_attribute(Person, date, dob)" in output
+
+
+class TestTranslationGuards:
+    def test_nested_collection_attribute_rejected(self):
+        from repro.odl.parser import parse_schema
+        from repro.translate.relational import to_relational
+
+        schema = parse_schema(
+            "interface A { attribute set<list<string(3)>> grid; };", name="s"
+        )
+        with pytest.raises(ValueError) as info:
+            to_relational(schema)
+        assert "A.grid" in str(info.value)
+
+    def test_sql_type_rejects_named_types(self):
+        from repro.model.types import named
+        from repro.translate.relational import _sql_type
+
+        with pytest.raises(ValueError):
+            _sql_type(named("A"))

@@ -1,0 +1,169 @@
+"""Unit tests for the three hierarchy concept schema types."""
+
+import pytest
+
+from repro.concepts.aggregation import (
+    extract_aggregation_hierarchy,
+    extract_all_aggregation_hierarchies,
+)
+from repro.concepts.base import ConceptKind
+from repro.concepts.generalization import (
+    extract_all_generalization_hierarchies,
+    extract_generalization_hierarchy,
+)
+from repro.concepts.instance_of import (
+    extract_all_instance_of_hierarchies,
+    extract_instance_of_hierarchy,
+)
+from repro.odl.parser import parse_schema
+
+
+class TestGeneralization:
+    def test_figure4_student_hierarchy(self, university):
+        """Figure 4: the student generalization hierarchy."""
+        hierarchy = extract_generalization_hierarchy(university, "Person")
+        assert {"Student", "Undergraduate", "Graduate", "Masters",
+                "Thesis_Masters", "Non_Thesis_Masters", "Doctoral",
+                "Faculty"} <= hierarchy.members
+
+    def test_children_and_parents(self, university):
+        hierarchy = extract_generalization_hierarchy(university, "Person")
+        assert set(hierarchy.children("Student")) == {
+            "Undergraduate", "Graduate"
+        }
+        assert hierarchy.parents("Non_Thesis_Masters") == ["Masters"]
+
+    def test_depth(self, university):
+        hierarchy = extract_generalization_hierarchy(university, "Person")
+        # Person -> Student -> Graduate -> Masters -> Thesis_Masters
+        assert hierarchy.depth() == 4
+
+    def test_inheritance_paths_root_first(self, university):
+        hierarchy = extract_generalization_hierarchy(university, "Person")
+        paths = hierarchy.inheritance_paths()
+        assert ["Person", "Student", "Graduate", "Masters",
+                "Non_Thesis_Masters"] in paths
+        assert all(path[0] == "Person" for path in paths)
+
+    def test_roots_detected(self, university):
+        hierarchies = extract_all_generalization_hierarchies(university)
+        assert [h.root for h in hierarchies] == ["Person"]
+
+    def test_kind_and_identifier(self, university):
+        hierarchy = extract_generalization_hierarchy(university, "Person")
+        assert hierarchy.kind is ConceptKind.GENERALIZATION
+        assert hierarchy.identifier == "gh:Person"
+
+    def test_edges_within_members_only(self):
+        schema = parse_schema(
+            """
+            interface Out {};
+            interface A {};
+            interface B : A, Out {};
+            """,
+            name="s",
+        )
+        hierarchy = extract_generalization_hierarchy(schema, "A")
+        assert {(e.subtype, e.supertype) for e in hierarchy.edges} == {
+            ("B", "A")
+        }
+
+    def test_multi_root_component_yields_two_hierarchies(self):
+        schema = parse_schema(
+            """
+            interface A {};
+            interface B {};
+            interface C : A, B {};
+            """,
+            name="s",
+        )
+        hierarchies = extract_all_generalization_hierarchies(schema)
+        assert {h.root for h in hierarchies} == {"A", "B"}
+        # Every ISA edge is covered by some hierarchy (reconstruction relies
+        # on this).
+        covered = {
+            (e.subtype, e.supertype) for h in hierarchies for e in h.edges
+        }
+        assert covered == {("C", "A"), ("C", "B")}
+
+
+class TestAggregation:
+    def test_figure5_house_explosion(self, house):
+        """Figure 5: the house aggregation hierarchy."""
+        hierarchy = extract_aggregation_hierarchy(house, "House")
+        assert {"Structure", "Roof", "Shingle", "Plumbing",
+                "Window"} <= hierarchy.members
+
+    def test_parts_of(self, house):
+        hierarchy = extract_aggregation_hierarchy(house, "House")
+        assert set(hierarchy.parts_of("Roof")) == {
+            "Plywood_Decking", "Tar_Paper", "Shingle"
+        }
+
+    def test_wholes_of(self, house):
+        hierarchy = extract_aggregation_hierarchy(house, "House")
+        assert hierarchy.wholes_of("Shingle") == ["Roof"]
+
+    def test_bill_of_materials_shape(self, house):
+        hierarchy = extract_aggregation_hierarchy(house, "House")
+        listing = hierarchy.bill_of_materials()
+        assert listing[0] == (0, "House")
+        levels = {name: level for level, name in listing}
+        assert levels["Shingle"] == levels["Roof"] + 1
+
+    def test_roots_detected(self, house):
+        hierarchies = extract_all_aggregation_hierarchies(house)
+        assert [h.root for h in hierarchies] == ["House"]
+
+    def test_kind_and_identifier(self, house):
+        hierarchy = extract_aggregation_hierarchy(house, "House")
+        assert hierarchy.kind is ConceptKind.AGGREGATION
+        assert hierarchy.identifier == "ah:House"
+
+    def test_subtree_extraction(self, house):
+        hierarchy = extract_aggregation_hierarchy(house, "Roof")
+        assert hierarchy.members == {
+            "Roof", "Plywood_Decking", "Tar_Paper", "Shingle"
+        }
+
+
+class TestInstanceOf:
+    def test_figure6_software_chain(self, software):
+        """Figure 6: the EMSL software version chain."""
+        hierarchy = extract_instance_of_hierarchy(software, "Application")
+        assert hierarchy.is_linear()
+        assert hierarchy.chain() == [
+            "Application", "Application_Version",
+            "Compiled_Version", "Installed_Version",
+        ]
+
+    def test_roots_detected(self, software):
+        hierarchies = extract_all_instance_of_hierarchies(software)
+        assert [h.root for h in hierarchies] == ["Application"]
+
+    def test_kind_and_identifier(self, software):
+        hierarchy = extract_instance_of_hierarchy(software, "Application")
+        assert hierarchy.kind is ConceptKind.INSTANCE_OF
+        assert hierarchy.identifier == "ih:Application"
+
+    def test_instances_of(self, software):
+        hierarchy = extract_instance_of_hierarchy(software, "Application")
+        assert hierarchy.instances_of("Application") == ["Application_Version"]
+
+    def test_branched_hierarchy_supported(self):
+        schema = parse_schema(
+            """
+            interface Spec {
+              instance_of relationship set<Left> lefts inverse Left::of_spec;
+              instance_of relationship set<Right> rights inverse Right::of_spec;
+            };
+            interface Left { instance_of relationship Spec of_spec inverse Spec::lefts; };
+            interface Right { instance_of relationship Spec of_spec inverse Spec::rights; };
+            """,
+            name="s",
+        )
+        hierarchy = extract_instance_of_hierarchy(schema, "Spec")
+        assert not hierarchy.is_linear()
+        with pytest.raises(ValueError):
+            hierarchy.chain()
+        assert hierarchy.members == {"Spec", "Left", "Right"}

@@ -1,0 +1,75 @@
+"""Unit tests for wagon wheel concept schemas."""
+
+import pytest
+
+from repro.concepts.base import ConceptKind
+from repro.concepts.wagon_wheel import (
+    extract_all_wagon_wheels,
+    extract_wagon_wheel,
+)
+from repro.model.errors import UnknownTypeError
+from repro.model.relationships import RelationshipKind
+
+
+class TestExtraction:
+    def test_figure3_course_offering(self, university):
+        """The Figure 3 wagon wheel: Course Offering and its spokes."""
+        wheel = extract_wagon_wheel(university, "Course_Offering")
+        targets = {spoke.target_type for spoke in wheel.spokes}
+        assert {"Syllabus", "Book", "Time_Slot", "Length", "Course"} <= targets
+
+    def test_instance_of_spoke_present(self, university):
+        wheel = extract_wagon_wheel(university, "Course_Offering")
+        kinds = {
+            spoke.target_type: spoke.kind for spoke in wheel.spokes
+        }
+        assert kinds["Course"] is RelationshipKind.INSTANCE_OF
+
+    def test_focal_interface_is_a_copy(self, university):
+        wheel = extract_wagon_wheel(university, "Course_Offering")
+        wheel.focal_interface.remove_attribute("room")
+        assert "room" in university.get("Course_Offering").attributes
+
+    def test_members_are_distance_one(self, university):
+        wheel = extract_wagon_wheel(university, "Course_Offering")
+        # Department is two links away from Course_Offering: not a member.
+        assert "Department" not in wheel.members
+        assert "Course_Offering" in wheel.members
+
+    def test_supertype_and_subtype_rims(self, university):
+        wheel = extract_wagon_wheel(university, "Student")
+        assert wheel.supertype_rim == ("Person",)
+        assert set(wheel.subtype_rim) == {"Undergraduate", "Graduate"}
+
+    def test_attribute_names(self, university):
+        wheel = extract_wagon_wheel(university, "Course_Offering")
+        assert "room" in wheel.attribute_names()
+
+    def test_neighbour_types_excludes_focal(self, university):
+        wheel = extract_wagon_wheel(university, "Student")
+        assert "Student" not in wheel.neighbour_types()
+
+    def test_unknown_focal_rejected(self, university):
+        with pytest.raises(UnknownTypeError):
+            extract_wagon_wheel(university, "Ghost")
+
+    def test_kind_and_identifier(self, university):
+        wheel = extract_wagon_wheel(university, "Course")
+        assert wheel.kind is ConceptKind.WAGON_WHEEL
+        assert wheel.identifier == "ww:Course"
+        assert wheel.focal == "Course"
+
+    def test_one_wheel_per_type(self, university):
+        wheels = extract_all_wagon_wheels(university)
+        assert len(wheels) == len(university)
+        assert [w.focal for w in wheels] == university.type_names()
+
+    def test_spoke_describe(self, university):
+        wheel = extract_wagon_wheel(university, "Course_Offering")
+        spoke = next(s for s in wheel.spokes if s.target_type == "Book")
+        assert "Book" in spoke.describe()
+
+    def test_project_returns_member_subschema(self, university):
+        wheel = extract_wagon_wheel(university, "Course_Offering")
+        projection = wheel.project(university)
+        assert set(projection.type_names()) == set(wheel.members)

@@ -1,0 +1,86 @@
+"""Tests for the type-constructor aggregation extension (Section 5)."""
+
+from repro.concepts.aggregation import (
+    aggregation_roots_with_constructors,
+    constructor_edges,
+    extract_aggregation_hierarchy,
+    extract_all_aggregation_hierarchies,
+)
+from repro.odl.parser import parse_schema
+
+COMPLEX_OBJECT_ODL = """
+interface Order {
+    attribute set<Line_Item> items;
+    attribute string(20) number;
+};
+interface Line_Item {
+    attribute short quantity;
+    attribute list<Discount> discounts;
+};
+interface Discount {
+    attribute float percentage;
+};
+"""
+
+
+def complex_schema():
+    schema = parse_schema(COMPLEX_OBJECT_ODL, name="orders")
+    schema.validate()
+    return schema
+
+
+class TestConstructorEdges:
+    def test_collection_attributes_detected(self):
+        edges = constructor_edges(complex_schema())
+        assert ("Order", "Line_Item", "items") in edges
+        assert ("Line_Item", "Discount", "discounts") in edges
+
+    def test_scalar_collections_ignored(self):
+        schema = parse_schema(
+            "interface A { attribute set<string> tags; };", name="s"
+        )
+        assert constructor_edges(schema) == []
+
+    def test_scalar_attributes_ignored(self):
+        edges = constructor_edges(complex_schema())
+        assert not any(path == "number" for _, _, path in edges)
+
+
+class TestConstructorHierarchies:
+    def test_default_extraction_sees_no_hierarchy(self):
+        schema = complex_schema()
+        assert schema.aggregation_roots() == []
+        assert extract_all_aggregation_hierarchies(schema) == []
+
+    def test_constructor_extraction_sees_the_explosion(self):
+        schema = complex_schema()
+        assert aggregation_roots_with_constructors(schema) == ["Order"]
+        hierarchies = extract_all_aggregation_hierarchies(
+            schema, include_constructors=True
+        )
+        assert len(hierarchies) == 1
+        hierarchy = hierarchies[0]
+        assert hierarchy.members == {"Order", "Line_Item", "Discount"}
+        assert hierarchy.parts_of("Order") == ["Line_Item"]
+        assert hierarchy.parts_of("Line_Item") == ["Discount"]
+
+    def test_mixed_explicit_and_constructor_edges(self, house):
+        from repro.model.attributes import Attribute
+        from repro.model.types import set_of
+
+        house.get("Plumbing").add_attribute(
+            Attribute("fixtures", set_of("Window"))
+        )
+        hierarchy = extract_aggregation_hierarchy(
+            house, "House", include_constructors=True
+        )
+        # The explicit explosion is intact and the implicit edge joins it.
+        assert "Shingle" in hierarchy.members
+        assert "Window" in hierarchy.parts_of("Plumbing")
+
+    def test_bill_of_materials_with_constructors(self):
+        hierarchy = extract_aggregation_hierarchy(
+            complex_schema(), "Order", include_constructors=True
+        )
+        levels = {name: level for level, name in hierarchy.bill_of_materials()}
+        assert levels == {"Order": 0, "Line_Item": 1, "Discount": 2}

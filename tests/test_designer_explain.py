@@ -1,0 +1,101 @@
+"""Tests for the explanation facility (paper extension, Section 5)."""
+
+import pytest
+
+from repro.concepts.decompose import decompose
+from repro.designer.explain import (
+    explain_aggregation,
+    explain_concept,
+    explain_generalization,
+    explain_instance_of,
+    explain_wagon_wheel,
+)
+
+
+class TestWagonWheelExplanation:
+    def test_mentions_attributes_and_relationships(self, university):
+        wheel = decompose(university).by_identifier("ww:Course_Offering")
+        prose = explain_wagon_wheel(wheel)
+        assert "Course_Offering is an object type" in prose
+        assert "room (string(10))" in prose
+        assert "related to exactly one Syllabus through described_by" in prose
+        assert "related to many Book" in prose
+
+    def test_mentions_instance_of_link(self, university):
+        wheel = decompose(university).by_identifier("ww:Course_Offering")
+        prose = explain_wagon_wheel(wheel)
+        assert "instance of Course" in prose
+
+    def test_mentions_extent_and_keys(self, university):
+        wheel = decompose(university).by_identifier("ww:Course")
+        prose = explain_wagon_wheel(wheel)
+        assert "extent 'courses'" in prose
+        assert "key (number)" in prose
+
+    def test_mentions_supertype_and_subtypes(self, university):
+        wheel = decompose(university).by_identifier("ww:Student")
+        prose = explain_wagon_wheel(wheel)
+        assert "kind of Person" in prose
+        assert "Undergraduate and Graduate" in prose
+
+    def test_part_of_spokes(self, house):
+        wheel = decompose(house).by_identifier("ww:Roof")
+        prose = explain_wagon_wheel(wheel)
+        assert "whole consisting of Shingle parts" in prose
+        assert "component part of Structure" in prose
+
+    def test_operations_mentioned(self, university):
+        wheel = decompose(university).by_identifier("ww:Course_Offering")
+        assert "short enrollment()" in explain_wagon_wheel(wheel)
+
+
+class TestHierarchyExplanations:
+    def test_generalization_lists_specialisations(self, university):
+        hierarchy = decompose(university).by_identifier("gh:Person")
+        prose = explain_generalization(hierarchy, university)
+        assert "Person is the root" in prose
+        assert "Student is specialised into Graduate and Undergraduate" in prose
+
+    def test_generalization_inheritance_examples(self, university):
+        hierarchy = decompose(university).by_identifier("gh:Person")
+        prose = explain_generalization(hierarchy, university)
+        assert "inherits" in prose
+        assert "(from Person)" in prose
+
+    def test_aggregation_lists_parts(self, house):
+        hierarchy = decompose(house).by_identifier("ah:House")
+        prose = explain_aggregation(hierarchy)
+        assert "House is the root of an aggregation" in prose
+        assert (
+            "A Roof consists of Plywood_Decking, Shingle, and Tar_Paper"
+            in prose
+        )
+
+    def test_instance_of_verbalises_chain(self, software):
+        hierarchy = decompose(software).by_identifier("ih:Application")
+        prose = explain_instance_of(hierarchy)
+        assert (
+            "Each Application is a generic specification with many "
+            "Application_Version instances." in prose
+        )
+
+    def test_dispatch(self, university):
+        for concept in decompose(university).all_concepts():
+            assert explain_concept(concept, university)
+
+    def test_dispatch_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            explain_concept(object())  # type: ignore[arg-type]
+
+
+class TestSessionIntegration:
+    def test_explain_command(self, university):
+        from repro.designer.cli import execute
+        from repro.designer.session import DesignSession
+        from repro.repository.repository import SchemaRepository
+
+        session = DesignSession(SchemaRepository(university))
+        output = execute(session, "explain gh:Person")
+        assert "Person is the root" in output
+        execute(session, "select ww:Book")
+        assert "Book is an object type" in execute(session, "explain")

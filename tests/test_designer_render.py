@@ -1,0 +1,90 @@
+"""Unit tests for the text renderers."""
+
+import pytest
+
+from repro.concepts.decompose import decompose
+from repro.designer.render import (
+    concept_listing,
+    render_aggregation,
+    render_concept,
+    render_generalization,
+    render_instance_of,
+    render_object_graph,
+    render_wagon_wheel,
+    to_dot,
+)
+
+
+class TestConceptRenderers:
+    def test_wagon_wheel_lists_spokes(self, university):
+        wheel = decompose(university).by_identifier("ww:Course_Offering")
+        rendered = render_wagon_wheel(wheel)
+        assert "wagon wheel: Course_Offering" in rendered
+        assert "Syllabus" in rendered
+        assert "room" in rendered
+
+    def test_wagon_wheel_shows_instance_of_spoke(self, university):
+        wheel = decompose(university).by_identifier("ww:Course_Offering")
+        rendered = render_wagon_wheel(wheel)
+        assert "..offering_of[1]--> Course" in rendered
+
+    def test_generalization_tree_indentation(self, university):
+        hierarchy = decompose(university).by_identifier("gh:Person")
+        rendered = render_generalization(hierarchy)
+        lines = rendered.splitlines()
+        person = next(l for l in lines if l.strip() == "Person")
+        student = next(l for l in lines if l.strip() == "Student")
+        masters = next(l for l in lines if l.strip() == "Masters")
+        assert len(student) - len(student.lstrip()) > len(person) - len(
+            person.lstrip()
+        )
+        assert len(masters) > len(student)
+
+    def test_aggregation_bom(self, house):
+        hierarchy = decompose(house).by_identifier("ah:House")
+        rendered = render_aggregation(hierarchy)
+        assert "<> House" in rendered
+        assert "<> Shingle" in rendered
+
+    def test_instance_of_chain(self, software):
+        hierarchy = decompose(software).by_identifier("ih:Application")
+        rendered = render_instance_of(hierarchy)
+        assert (
+            "Application ..> Application_Version ..> Compiled_Version "
+            "..> Installed_Version" in rendered
+        )
+
+    def test_render_concept_dispatch(self, university):
+        for concept in decompose(university).all_concepts():
+            assert render_concept(concept)
+
+    def test_render_concept_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            render_concept(object())  # type: ignore[arg-type]
+
+    def test_concept_listing_groups_by_kind(self, university):
+        listing = concept_listing(decompose(university).all_concepts())
+        assert "wagon wheel concept schemas:" in listing
+        assert "generalization hierarchy concept schemas:" in listing
+
+
+class TestGraphRenderers:
+    def test_object_graph_lists_each_pair_once(self, small):
+        rendered = render_object_graph(small)
+        assert rendered.count("staff") + rendered.count("works_in") == 1
+
+    def test_object_graph_shows_isa(self, small):
+        assert "ISA Person" in render_object_graph(small)
+
+    def test_dot_output_is_well_formed(self, house):
+        dot = to_dot(house)
+        assert dot.startswith('digraph "lumber_yard" {')
+        assert dot.rstrip().endswith("}")
+        assert '"House"' in dot
+        assert "arrowtail=diamond" in dot  # part-of styling
+
+    def test_dot_isa_styling(self, small):
+        assert "arrowhead=empty" in to_dot(small)
+
+    def test_dot_instance_of_styling(self, software):
+        assert "style=dashed" in to_dot(software)

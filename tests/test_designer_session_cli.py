@@ -1,0 +1,142 @@
+"""Unit tests for the design session and the scriptable CLI."""
+
+import pytest
+
+from repro.catalog import UNIVERSITY_ODL
+from repro.designer.cli import execute, run_commands
+from repro.designer.session import DesignSession
+from repro.knowledge.feedback import FeedbackLevel
+from repro.model.errors import ReproError
+from repro.repository.repository import SchemaRepository
+
+
+@pytest.fixture
+def session(small):
+    return DesignSession(SchemaRepository(small, custom_name="small_custom"))
+
+
+class TestSession:
+    def test_list_concepts(self, session):
+        listing = session.list_concepts()
+        assert "ww:Person" in listing
+        assert "gh:Person" in listing
+
+    def test_select_and_show(self, session):
+        rendered = session.select("ww:Department")
+        assert "wagon wheel: Department" in rendered
+        assert session.show() == rendered
+
+    def test_show_without_selection(self, session):
+        with pytest.raises(ReproError):
+            session.show()
+
+    def test_show_operations_reflects_table1(self, session):
+        session.select("gh:Person")
+        operations = session.show_operations().splitlines()
+        assert "modify_attribute" in operations
+        assert "add_attribute" not in operations
+
+    def test_modify_success_records_feedback(self, session):
+        assert session.modify("add_attribute(Person, date, dob)")
+        assert any(
+            m.code == "operation-applied" for m in session.feedback
+        )
+
+    def test_modify_rejection_is_feedback_not_exception(self, session):
+        assert not session.modify("add_attribute(Ghost, date, dob)")
+        errors = session.feedback.at_level(FeedbackLevel.ERROR)
+        assert len(errors) == 1
+        assert "Ghost" in errors[0].message
+
+    def test_modify_honours_concept_restriction(self, session):
+        session.select("ww:Person")
+        assert not session.modify("add_supertype(Department, Person)")
+        assert session.feedback.has_errors()
+
+    def test_preview_does_not_apply(self, session):
+        report = session.preview("delete_type_definition(Department)")
+        assert "cascades" in report
+        assert "Department" in session.repository.workspace.schema
+
+    def test_undo(self, session):
+        session.modify("add_attribute(Person, date, dob)")
+        assert "add_attribute" in session.undo()
+        assert session.undo() == "nothing to undo"
+
+    def test_check(self, session):
+        assert session.check() == "consistency: clean"
+        session.modify("add_type_definition(Orphan)")
+        assert "empty-interface" in session.check()
+
+    def test_finish_produces_deliverables(self, session):
+        session.modify("delete_attribute(Employee, salary)")
+        deliverables = session.finish("tailored")
+        assert deliverables.custom_schema.name == "tailored"
+        assert "Employee.salary" in deliverables.mapping.render()
+        assert "delete_attribute(Employee, salary)" in deliverables.script
+        assert "custom schema" in deliverables.render()
+
+    def test_show_odl(self, session):
+        assert "interface Person" in session.show_odl()
+        assert session.show_odl("Person").startswith("interface Person")
+
+    def test_from_odl(self):
+        session = DesignSession.from_odl(UNIVERSITY_ODL, name="university")
+        assert "ww:Course_Offering" in session.list_concepts()
+
+
+class TestCli:
+    def test_concepts_command(self, session):
+        assert "ww:Person" in execute(session, "concepts")
+
+    def test_select_show_ops(self, session):
+        execute(session, "select ww:Person")
+        assert "wagon wheel: Person" in execute(session, "show")
+        assert "add_attribute" in execute(session, "ops")
+
+    def test_apply_ok(self, session):
+        output = execute(session, "apply add_attribute(Person, date, dob)")
+        assert output.startswith("ok:")
+
+    def test_apply_rejected(self, session):
+        output = execute(session, "apply add_attribute(Ghost, date, dob)")
+        assert output.startswith("REJECTED:")
+
+    def test_impact_command(self, session):
+        output = execute(session, "impact delete_type_definition(Department)")
+        assert "delete_relationship" in output
+
+    def test_undo_script_finish(self, session):
+        execute(session, "apply add_attribute(Person, date, dob)")
+        assert "add_attribute(Person, date, dob)" in execute(session, "script")
+        execute(session, "undo")
+        assert execute(session, "script") == "(no changes)"
+        assert "mapping" in execute(session, "finish tailored")
+
+    def test_unknown_command(self, session):
+        assert "unknown command" in execute(session, "frobnicate")
+
+    def test_errors_are_messages_not_exceptions(self, session):
+        assert execute(session, "select ww:Ghost").startswith("error:")
+
+    def test_help_and_comments(self, session):
+        assert "concepts" in execute(session, "help")
+        assert execute(session, "# a comment") == ""
+        assert execute(session, "") == ""
+
+    def test_quit_stops_run_commands(self, session):
+        outputs = run_commands(session, ["concepts", "quit", "concepts"])
+        assert len(outputs) == 1
+
+    def test_scripted_session(self, session):
+        outputs = run_commands(
+            session,
+            [
+                "select ww:Employee",
+                "apply delete_attribute(Employee, salary)",
+                "check",
+                "finish tailored",
+            ],
+        )
+        assert outputs[1].startswith("ok:")
+        assert "customization script" in outputs[3]

@@ -1,0 +1,76 @@
+"""Tests for the design-document generator."""
+
+from repro.designer.docgen import document_repository, document_schema
+from repro.ops.language import parse_operation
+from repro.repository.repository import SchemaRepository
+
+
+class TestDocumentSchema:
+    def test_sections_present(self, small):
+        document = document_schema(small)
+        assert "# Schema design document: small" in document
+        assert "## Overview" in document
+        assert "## Concept schemas" in document
+        assert "## Object type reference" in document
+        assert "## Appendix: extended ODL" in document
+
+    def test_concept_explanations_included(self, small):
+        document = document_schema(small)
+        assert "### gh:Person — generalization hierarchy" in document
+        assert "Person is the root" in document
+
+    def test_member_tables(self, small):
+        document = document_schema(small)
+        assert "| name | attribute | string(30) |" in document
+        assert (
+            "| works_in | association | to one Department "
+            "(inverse Department::staff) |" in document
+        )
+
+    def test_odl_appendix_parses_back(self, small):
+        from repro.model.fingerprint import schemas_equal
+        from repro.odl.parser import parse_schema
+
+        document = document_schema(small)
+        appendix = document.split("## Appendix: extended ODL")[1]
+        odl_text = appendix.split("```")[1]
+        assert schemas_equal(small, parse_schema(odl_text, name="x"))
+
+    def test_empty_member_placeholder(self):
+        from repro.odl.parser import parse_schema
+
+        schema = parse_schema("interface Lonely {};", name="s")
+        assert "*(no members)*" in document_schema(schema)
+
+
+class TestDocumentRepository:
+    def test_records_steps_and_mapping(self, small):
+        repository = SchemaRepository(small, custom_name="doc")
+        repository.apply(
+            parse_operation("add_attribute(Person, date, dob)"),
+            concept_id="ww:Person",
+        )
+        repository.apply(parse_operation("delete_type_definition(Department)"))
+        repository.generate_custom_schema()
+        document = document_repository(repository)
+        assert "# Customization record: small -> doc" in document
+        assert "| 1 | ww:Person | `add_attribute(Person, date, dob)` | 0 |" in (
+            document
+        )
+        assert "`delete_type_definition(Department)` | 1" in document
+        assert "## Mapping summary" in document
+        assert "reuse ratio" in document
+
+    def test_untouched_repository(self, small):
+        repository = SchemaRepository(small, custom_name="doc")
+        document = document_repository(repository)
+        assert "*(no changes applied)*" in document
+
+    def test_local_names_section(self, small):
+        repository = SchemaRepository(small, custom_name="doc")
+        repository.local_names.set_alias(
+            "Person", "Kunde", repository.workspace.schema
+        )
+        document = document_repository(repository)
+        assert "## Local names" in document
+        assert "Person -> Kunde" in document

@@ -1,0 +1,77 @@
+"""Unit tests for canonical fingerprints (repro.model.fingerprint)."""
+
+from repro.model.fingerprint import (
+    interface_fingerprint,
+    schema_fingerprint,
+    schemas_equal,
+)
+from repro.odl.parser import parse_schema
+
+
+class TestOrderIndependence:
+    def test_interface_order_irrelevant(self):
+        first = parse_schema("interface A {}; interface B {};", name="x")
+        second = parse_schema("interface B {}; interface A {};", name="y")
+        assert schemas_equal(first, second)
+
+    def test_member_order_irrelevant(self):
+        first = parse_schema(
+            "interface A { attribute long x; attribute long y; };", name="x"
+        )
+        second = parse_schema(
+            "interface A { attribute long y; attribute long x; };", name="y"
+        )
+        assert schemas_equal(first, second)
+
+    def test_schema_name_irrelevant(self):
+        first = parse_schema("interface A {};", name="one")
+        second = parse_schema("interface A {};", name="two")
+        assert schema_fingerprint(first) == schema_fingerprint(second)
+
+
+class TestSensitivity:
+    def test_attribute_type_matters(self):
+        first = parse_schema("interface A { attribute long x; };", name="s")
+        second = parse_schema("interface A { attribute short x; };", name="s")
+        assert not schemas_equal(first, second)
+
+    def test_attribute_size_matters(self):
+        first = parse_schema("interface A { attribute string(3) x; };", name="s")
+        second = parse_schema("interface A { attribute string(4) x; };", name="s")
+        assert not schemas_equal(first, second)
+
+    def test_extent_matters(self):
+        first = parse_schema("interface A { extent xs; };", name="s")
+        second = parse_schema("interface A {};", name="s")
+        assert not schemas_equal(first, second)
+
+    def test_supertype_matters(self):
+        first = parse_schema("interface B {}; interface A : B {};", name="s")
+        second = parse_schema("interface B {}; interface A {};", name="s")
+        assert not schemas_equal(first, second)
+
+    def test_relationship_cardinality_matters(self):
+        first = parse_schema(
+            """
+            interface A { relationship set<B> bs inverse B::a; };
+            interface B { relationship A a inverse A::bs; };
+            """,
+            name="s",
+        )
+        second = parse_schema(
+            """
+            interface A { relationship list<B> bs inverse B::a; };
+            interface B { relationship A a inverse A::bs; };
+            """,
+            name="s",
+        )
+        assert not schemas_equal(first, second)
+
+    def test_interface_fingerprint_includes_keys(self):
+        first = parse_schema(
+            "interface A { keys (x); attribute long x; };", name="s"
+        ).get("A")
+        second = parse_schema(
+            "interface A { attribute long x; };", name="s"
+        ).get("A")
+        assert interface_fingerprint(first) != interface_fingerprint(second)

@@ -1,0 +1,168 @@
+"""End-to-end scenarios straight from the paper's narrative."""
+
+import pytest
+
+from repro.analysis.diff import ChangeStatus
+from repro.catalog import (
+    CORRESPONDENCE_SIMPLIFICATION_SCRIPT,
+    FIGURE7_ELABORATION_SCRIPT,
+    university_schema,
+)
+from repro.designer.cli import run_commands
+from repro.designer.session import DesignSession
+from repro.ops.base import ConstraintViolation
+from repro.ops.language import parse_script
+from repro.repository.persistence import load_repository, save_repository
+from repro.repository.repository import SchemaRepository
+
+
+class TestFigure7Elaboration:
+    """Section 3.4: elaborate the Course Offering wagon wheel with a
+    class schedule built from course offerings (Figure 3 -> Figure 7)."""
+
+    def test_full_design_cycle(self):
+        session = DesignSession(
+            SchemaRepository(university_schema(), custom_name="fig7")
+        )
+        session.select("ww:Course_Offering")
+        for operation in parse_script(FIGURE7_ELABORATION_SCRIPT):
+            # The Schedule-related operations are wagon wheel material.
+            assert session.modify(operation.to_text()), session.feedback.render()
+        deliverables = session.finish()
+        custom = deliverables.custom_schema
+        schedule = custom.get("Schedule")
+        assert schedule.get_relationship("consists_of").target_type == (
+            "Course_Offering"
+        )
+        added = {entry.path for entry in deliverables.mapping.added()}
+        assert "Schedule" in added
+        assert "Course_Offering.scheduled_in" in added
+
+    def test_mapping_reuse_stays_high(self):
+        repository = SchemaRepository(university_schema(), custom_name="fig7")
+        for operation in parse_script(FIGURE7_ELABORATION_SCRIPT):
+            repository.apply(operation)
+        mapping = repository.generate_mapping()
+        assert mapping.reuse_ratio() == 1.0  # elaboration deletes nothing
+
+
+class TestCorrespondenceSimplification:
+    """Section 3.4: correspondence-only courses drop the time slot and
+    the room attribute."""
+
+    def test_simplification_via_cli(self):
+        session = DesignSession(
+            SchemaRepository(university_schema(), custom_name="corr")
+        )
+        outputs = run_commands(
+            session,
+            [
+                "select ww:Course_Offering",
+                "apply delete_attribute(Course_Offering, room)",
+                "apply delete_type_definition(Time_Slot)",
+                "check",
+                "finish correspondence_university",
+            ],
+        )
+        assert outputs[1].startswith("ok:")
+        assert outputs[2].startswith("ok:")
+        custom = session.repository.custom_schema
+        assert custom is not None
+        assert "Time_Slot" not in custom
+        assert "room" not in custom.get("Course_Offering").attributes
+
+    def test_deleted_constructs_tracked_in_mapping(self):
+        repository = SchemaRepository(university_schema(), custom_name="corr")
+        for operation in parse_script(CORRESPONDENCE_SIMPLIFICATION_SCRIPT):
+            repository.apply(operation)
+        mapping = repository.generate_mapping()
+        deleted = {entry.path for entry in mapping.deleted()}
+        assert "Time_Slot" in deleted
+        assert "Course_Offering.room" in deleted
+        # The relationship ends to Time_Slot cascade away and are
+        # recorded too.
+        assert "Course_Offering.offered_during" in deleted
+
+
+class TestPropagationAblation:
+    """What the propagation rules buy: without them, the designer must
+    hand-order every dependent deletion."""
+
+    def test_bare_delete_fails_without_propagation(self):
+        repository = SchemaRepository(university_schema(), custom_name="abl")
+        with pytest.raises(ConstraintViolation):
+            repository.apply(
+                parse_script("delete_type_definition(Time_Slot)")[0],
+                propagate=False,
+            )
+
+    def test_manual_cascade_order_matches_propagation(self):
+        manual = SchemaRepository(university_schema(), custom_name="manual")
+        manual.apply(
+            parse_script(
+                "delete_relationship(Course_Offering, offered_during)"
+            )[0],
+            propagate=False,
+        )
+        manual.apply(
+            parse_script("delete_type_definition(Time_Slot)")[0],
+            propagate=False,
+        )
+        automatic = SchemaRepository(university_schema(), custom_name="auto")
+        automatic.apply(
+            parse_script("delete_type_definition(Time_Slot)")[0]
+        )
+        from repro.model.fingerprint import schemas_equal
+
+        assert schemas_equal(
+            manual.workspace.schema, automatic.workspace.schema
+        )
+
+
+class TestSessionPersistence:
+    def test_design_session_survives_save_and_load(self, tmp_path):
+        repository = SchemaRepository(university_schema(), custom_name="fig7")
+        for operation in parse_script(FIGURE7_ELABORATION_SCRIPT):
+            repository.apply(operation, concept_id="ww:Course_Offering")
+        path = tmp_path / "session.json"
+        save_repository(repository, path)
+        restored = load_repository(path)
+        from repro.model.fingerprint import schemas_equal
+
+        assert schemas_equal(
+            restored.workspace.schema, repository.workspace.schema
+        )
+        # Undo still works on the restored session.
+        restored.undo()
+        assert len(restored.workspace.log) == len(repository.workspace.log) - 1
+
+
+class TestInteroperation:
+    """Section 5: systems built from one shrink wrap schema interoperate
+    through their mappings (common objects)."""
+
+    def test_two_customizations_share_common_objects(self):
+        first = SchemaRepository(university_schema(), custom_name="campus_a")
+        first.apply(parse_script("delete_type_definition(Book)")[0])
+        second = SchemaRepository(university_schema(), custom_name="campus_b")
+        second.apply(
+            parse_script("delete_attribute(Course_Offering, room)")[0]
+        )
+        first_mapping = first.generate_mapping()
+        second_mapping = second.generate_mapping()
+        first_common = {
+            e.path
+            for e in first_mapping.corresponding()
+            if e.status is not ChangeStatus.MOVED
+        }
+        second_common = {
+            e.path
+            for e in second_mapping.corresponding()
+            if e.status is not ChangeStatus.MOVED
+        }
+        shared = first_common & second_common
+        # The semantically identical constructs across both derived
+        # systems include the whole Course/Student machinery.
+        assert "Course.number" in shared
+        assert "Student.takes" in shared
+        assert "Book.isbn" not in shared

@@ -1,0 +1,183 @@
+"""Unit tests for interface definitions (repro.model.interface)."""
+
+import pytest
+
+from repro.model.attributes import Attribute
+from repro.model.errors import (
+    DuplicateNameError,
+    InvalidModelError,
+    UnknownPropertyError,
+)
+from repro.model.interface import InterfaceDef
+from repro.model.operations import Operation
+from repro.model.relationships import association
+from repro.model.types import VOID, named, scalar, set_of
+
+
+@pytest.fixture
+def interface() -> InterfaceDef:
+    result = InterfaceDef("Employee", supertypes=["Person"])
+    result.add_attribute(Attribute("name", scalar("string", 30)))
+    result.add_relationship(
+        association("works_in", named("Department"), "Department", "has")
+    )
+    result.add_operation(Operation("display", VOID))
+    return result
+
+
+class TestConstruction:
+    def test_bad_name_rejected(self):
+        with pytest.raises(InvalidModelError):
+            InterfaceDef("")
+
+    def test_duplicate_supertypes_rejected(self):
+        with pytest.raises(InvalidModelError):
+            InterfaceDef("A", supertypes=["B", "B"])
+
+    def test_str(self, interface):
+        assert str(interface) == "interface Employee : Person"
+
+
+class TestSupertypes:
+    def test_add_supertype(self, interface):
+        interface.add_supertype("Worker")
+        assert interface.supertypes == ["Person", "Worker"]
+
+    def test_self_supertype_rejected(self, interface):
+        with pytest.raises(InvalidModelError):
+            interface.add_supertype("Employee")
+
+    def test_duplicate_supertype_rejected(self, interface):
+        with pytest.raises(DuplicateNameError):
+            interface.add_supertype("Person")
+
+    def test_remove_supertype(self, interface):
+        interface.remove_supertype("Person")
+        assert interface.supertypes == []
+
+    def test_remove_missing_supertype(self, interface):
+        with pytest.raises(UnknownPropertyError):
+            interface.remove_supertype("Worker")
+
+
+class TestKeys:
+    def test_add_and_remove(self, interface):
+        interface.add_key(("name",))
+        assert ("name",) in interface.keys
+        interface.remove_key(("name",))
+        assert interface.keys == []
+
+    def test_compound_key(self, interface):
+        interface.add_key(("name", "id"))
+        assert interface.keys == [("name", "id")]
+
+    def test_empty_key_rejected(self, interface):
+        with pytest.raises(InvalidModelError):
+            interface.add_key(())
+
+    def test_duplicate_key_rejected(self, interface):
+        interface.add_key(("name",))
+        with pytest.raises(DuplicateNameError):
+            interface.add_key(("name",))
+
+    def test_remove_missing_key(self, interface):
+        with pytest.raises(UnknownPropertyError):
+            interface.remove_key(("ghost",))
+
+
+class TestAttributes:
+    def test_get(self, interface):
+        assert interface.get_attribute("name").size == 30
+
+    def test_get_missing(self, interface):
+        with pytest.raises(UnknownPropertyError):
+            interface.get_attribute("ghost")
+
+    def test_duplicate_name_rejected(self, interface):
+        with pytest.raises(DuplicateNameError):
+            interface.add_attribute(Attribute("name", scalar("long")))
+
+    def test_attribute_clashing_with_relationship_rejected(self, interface):
+        with pytest.raises(DuplicateNameError):
+            interface.add_attribute(Attribute("works_in", scalar("long")))
+
+    def test_remove_returns_value(self, interface):
+        removed = interface.remove_attribute("name")
+        assert removed.name == "name"
+        assert "name" not in interface.attributes
+
+    def test_replace(self, interface):
+        old = interface.replace_attribute(Attribute("name", scalar("string", 60)))
+        assert old.size == 30
+        assert interface.get_attribute("name").size == 60
+
+    def test_replace_missing(self, interface):
+        with pytest.raises(UnknownPropertyError):
+            interface.replace_attribute(Attribute("ghost", scalar("long")))
+
+
+class TestRelationships:
+    def test_get(self, interface):
+        assert interface.get_relationship("works_in").target_type == "Department"
+
+    def test_relationship_clashing_with_attribute_rejected(self, interface):
+        with pytest.raises(DuplicateNameError):
+            interface.add_relationship(
+                association("name", named("Department"), "Department", "x")
+            )
+
+    def test_remove_and_missing(self, interface):
+        interface.remove_relationship("works_in")
+        with pytest.raises(UnknownPropertyError):
+            interface.get_relationship("works_in")
+
+    def test_replace(self, interface):
+        updated = interface.get_relationship("works_in").with_target_type(
+            "Division"
+        )
+        old = interface.replace_relationship(updated)
+        assert old.target_type == "Department"
+        assert interface.get_relationship("works_in").target_type == "Division"
+
+
+class TestOperations:
+    def test_get(self, interface):
+        assert interface.get_operation("display").name == "display"
+
+    def test_duplicate_rejected(self, interface):
+        with pytest.raises(DuplicateNameError):
+            interface.add_operation(Operation("display", VOID))
+
+    def test_operation_may_share_name_with_attribute(self, interface):
+        # Operations live in their own namespace (signatures are
+        # syntactically distinct from properties in ODL).
+        interface.add_operation(Operation("name", scalar("string", 30)))
+        assert "name" in interface.operations
+
+    def test_remove_and_missing(self, interface):
+        interface.remove_operation("display")
+        with pytest.raises(UnknownPropertyError):
+            interface.remove_operation("display")
+
+
+class TestQueries:
+    def test_referenced_type_names(self, interface):
+        names = interface.referenced_type_names()
+        assert names == {"Person", "Department"}
+
+    def test_referenced_types_include_signatures(self):
+        target = InterfaceDef("A")
+        target.add_operation(Operation("f", named("B")))
+        assert target.referenced_type_names() == {"B"}
+
+    def test_referenced_types_include_collection_attributes(self):
+        target = InterfaceDef("A")
+        target.add_attribute(Attribute("xs", set_of("C")))
+        assert target.referenced_type_names() == {"C"}
+
+    def test_copy_is_independent(self, interface):
+        duplicate = interface.copy()
+        duplicate.remove_attribute("name")
+        duplicate.supertypes.append("Extra")
+        assert "name" in interface.attributes
+        assert interface.supertypes == ["Person"]

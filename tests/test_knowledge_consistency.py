@@ -1,0 +1,127 @@
+"""Unit tests for consistency checks and feedback plumbing."""
+
+from repro.concepts.decompose import decompose
+from repro.knowledge.consistency import (
+    concept_interaction_feedback,
+    consistency_report,
+    design_quality_feedback,
+    structural_feedback,
+)
+from repro.knowledge.feedback import (
+    Feedback,
+    FeedbackLevel,
+    FeedbackLog,
+    caution,
+    error,
+    info,
+    warning,
+)
+from repro.odl.parser import parse_schema
+
+
+class TestFeedbackPrimitives:
+    def test_builders_set_levels(self):
+        assert error("c", "s", "m").level is FeedbackLevel.ERROR
+        assert caution("c", "s", "m").level is FeedbackLevel.CAUTION
+        assert warning("c", "s", "m").level is FeedbackLevel.WARNING
+        assert info("c", "s", "m").level is FeedbackLevel.INFO
+
+    def test_str_format(self):
+        message = error("code", "subject", "text")
+        assert str(message) == "[error] code (subject): text"
+
+    def test_log_accumulates_and_filters(self):
+        log = FeedbackLog()
+        log.add(error("a", "s", "m"))
+        log.extend([info("b", "s", "m"), info("c", "s", "m")])
+        assert len(log) == 3
+        assert log.has_errors()
+        assert len(log.at_level(FeedbackLevel.INFO)) == 2
+        assert "[error] a" in log.render()
+
+    def test_log_without_errors(self):
+        log = FeedbackLog()
+        log.add(info("b", "s", "m"))
+        assert not log.has_errors()
+
+
+class TestStructuralFeedback:
+    def test_clean_schema(self, small):
+        assert structural_feedback(small) == []
+
+    def test_errors_surface_as_error_level(self):
+        schema = parse_schema("interface A : Ghost {};", name="s")
+        messages = structural_feedback(schema)
+        assert messages
+        assert all(m.level is FeedbackLevel.ERROR for m in messages)
+
+    def test_warnings_surface_as_warning_level(self):
+        schema = parse_schema(
+            "interface A {}; interface B {}; interface C : A, B {};", name="s"
+        )
+        messages = structural_feedback(schema)
+        assert any(m.code == "multi-root-hierarchy" for m in messages)
+        assert all(m.level is FeedbackLevel.WARNING for m in messages)
+
+
+class TestConceptInteraction:
+    def test_anchor_deletion_reported(self, university):
+        decomposition = decompose(university)
+        workspace = university.copy()
+        # Simulate the Section 3.4 simplification by brute force.
+        workspace.get("Course_Offering").remove_relationship("offered_during")
+        workspace.get("Time_Slot").remove_relationship("schedules")
+        workspace.remove_interface("Time_Slot")
+        messages = concept_interaction_feedback(workspace, decomposition)
+        anchors = [m for m in messages if m.code == "concept-anchor-deleted"]
+        assert any(m.subject == "ww:Time_Slot" for m in anchors)
+
+    def test_member_deletion_reported(self, university):
+        decomposition = decompose(university)
+        workspace = university.copy()
+        workspace.get("Course_Offering").remove_relationship("offered_during")
+        workspace.get("Time_Slot").remove_relationship("schedules")
+        workspace.remove_interface("Time_Slot")
+        messages = concept_interaction_feedback(workspace, decomposition)
+        members = [m for m in messages if m.code == "concept-members-deleted"]
+        assert any(m.subject == "ww:Course_Offering" for m in members)
+
+    def test_untouched_workspace_is_quiet(self, university):
+        decomposition = decompose(university)
+        assert concept_interaction_feedback(university, decomposition) == []
+
+
+class TestDesignQuality:
+    def test_empty_interface_flagged(self):
+        schema = parse_schema("interface Lonely {};", name="s")
+        messages = design_quality_feedback(schema)
+        assert [m.code for m in messages] == ["empty-interface"]
+
+    def test_hierarchy_member_not_flagged_as_empty(self):
+        schema = parse_schema(
+            "interface A { attribute long x; }; interface B : A {};", name="s"
+        )
+        assert design_quality_feedback(schema) == []
+
+    def test_extent_without_key_flagged(self):
+        schema = parse_schema(
+            "interface A { extent xs; attribute long x; };", name="s"
+        )
+        messages = design_quality_feedback(schema)
+        assert [m.code for m in messages] == ["extent-without-key"]
+
+    def test_inherited_key_satisfies_extent(self):
+        schema = parse_schema(
+            """
+            interface A { keys (id); attribute long id; };
+            interface B : A { extent bs; };
+            """,
+            name="s",
+        )
+        assert design_quality_feedback(schema) == []
+
+    def test_full_report_combines_layers(self, university):
+        decomposition = decompose(university)
+        report = consistency_report(university, decomposition)
+        assert isinstance(report, list)
+        assert all(isinstance(m, Feedback) for m in report)

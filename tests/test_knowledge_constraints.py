@@ -1,0 +1,112 @@
+"""Unit tests for cautionary constraint checks."""
+
+from repro.knowledge.constraints import cautions_for
+from repro.knowledge.feedback import FeedbackLevel
+from repro.model.types import named, scalar, set_of
+from repro.ops.attribute_ops import (
+    AddAttribute,
+    DeleteAttribute,
+    ModifyAttribute,
+    ModifyAttributeSize,
+    ModifyAttributeType,
+)
+from repro.ops.relationship_ops import ModifyRelationshipCardinality
+from repro.ops.type_ops import DeleteTypeDefinition
+from repro.ops.type_property_ops import DeleteSupertype, ModifySupertype
+
+
+def codes(schema, operation):
+    return [message.code for message in cautions_for(schema, operation)]
+
+
+class TestTypeDeletionCautions:
+    def test_supertype_deletion_warns(self, small):
+        assert "delete-supertype-of" in codes(
+            small, DeleteTypeDefinition("Person")
+        )
+
+    def test_cascade_extent_reported(self, small):
+        messages = cautions_for(small, DeleteTypeDefinition("Department"))
+        extent = [m for m in messages if m.code == "delete-cascade-extent"]
+        assert len(extent) == 1
+        assert "Employee" in extent[0].message
+
+    def test_isolated_type_is_quiet(self, small):
+        from repro.ops.type_ops import AddTypeDefinition
+
+        AddTypeDefinition("Island").apply(small)
+        assert codes(small, DeleteTypeDefinition("Island")) == []
+
+
+class TestAttributeCautions:
+    def test_narrowing_cautions(self, small):
+        messages = cautions_for(
+            small, ModifyAttributeSize("Person", "name", 30, 10)
+        )
+        assert [m.code for m in messages] == ["attribute-narrowing"]
+        assert messages[0].level is FeedbackLevel.CAUTION
+
+    def test_widening_is_quiet(self, small):
+        assert codes(small, ModifyAttributeSize("Person", "name", 30, 60)) == []
+
+    def test_retype_cautions(self, small):
+        assert "attribute-retype" in codes(
+            small,
+            ModifyAttributeType("Person", "id", scalar("long"), named("Badge")),
+        )
+
+    def test_downward_move_cautions(self, small):
+        messages = cautions_for(
+            small, ModifyAttribute("Person", "name", "Employee")
+        )
+        down = [m for m in messages if m.code == "downward-move"]
+        assert len(down) == 1
+        assert "Person" in down[0].message
+
+    def test_upward_move_is_quiet(self, small):
+        assert (
+            codes(small, ModifyAttribute("Employee", "salary", "Person")) == []
+        )
+
+    def test_inherited_delete_informs(self, small):
+        messages = cautions_for(small, DeleteAttribute("Person", "name"))
+        inherited = [m for m in messages if m.code == "delete-inherited"]
+        assert len(inherited) == 1
+        assert "Employee" in inherited[0].message
+
+    def test_add_attribute_is_quiet(self, small):
+        assert codes(small, AddAttribute("Person", scalar("date"), "dob")) == []
+
+
+class TestRelationshipAndIsaCautions:
+    def test_cardinality_narrowing(self, small):
+        assert "cardinality-narrowing" in codes(
+            small,
+            ModifyRelationshipCardinality(
+                "Department", "staff", set_of("Employee"), named("Employee")
+            ),
+        )
+
+    def test_cardinality_widening_is_quiet(self, small):
+        assert (
+            codes(
+                small,
+                ModifyRelationshipCardinality(
+                    "Employee", "works_in", named("Department"),
+                    set_of("Department"),
+                ),
+            )
+            == []
+        )
+
+    def test_isa_rewiring_lists_lost_attributes(self, small):
+        messages = cautions_for(small, DeleteSupertype("Employee", "Person"))
+        rewiring = [m for m in messages if m.code == "isa-rewiring"]
+        assert len(rewiring) == 1
+        assert "id" in rewiring[0].message and "name" in rewiring[0].message
+
+    def test_modify_supertype_keeping_link_is_quiet(self, small):
+        assert (
+            codes(small, ModifySupertype("Employee", ("Person",), ("Person",)))
+            == []
+        )

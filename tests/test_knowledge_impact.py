@@ -1,0 +1,70 @@
+"""Unit tests for impact reports."""
+
+from repro.concepts.decompose import decompose
+from repro.knowledge.impact import impact_of
+from repro.model.fingerprint import schemas_equal
+from repro.ops.base import OperationContext
+from repro.ops.attribute_ops import DeleteAttribute
+from repro.ops.type_ops import DeleteTypeDefinition
+
+
+class TestImpactOf:
+    def test_cascades_listed_before_requested(self, small):
+        report = impact_of(
+            small, DeleteTypeDefinition("Department"),
+            OperationContext(reference=small.copy()),
+        )
+        assert report.plan[-1] is report.requested
+        assert [op.op_name for op in report.cascades] == ["delete_relationship"]
+
+    def test_does_not_mutate_schema(self, small):
+        pristine = small.copy()
+        impact_of(
+            small, DeleteTypeDefinition("Department"),
+            OperationContext(reference=pristine),
+        )
+        assert schemas_equal(small, pristine)
+
+    def test_affected_types_deduplicated(self, small):
+        report = impact_of(
+            small, DeleteTypeDefinition("Department"),
+            OperationContext(reference=small.copy()),
+        )
+        assert len(report.affected_types) == len(set(report.affected_types))
+        assert "Department" in report.affected_types
+        assert "Employee" in report.affected_types
+
+    def test_touched_concepts(self, university):
+        decomposition = decompose(university)
+        report = impact_of(
+            university, DeleteAttribute("Course_Offering", "room"),
+            OperationContext(reference=university.copy()), decomposition,
+        )
+        assert "ww:Course_Offering" in report.touched_concepts
+        # Time_Slot's wheel shows Course_Offering on its rim.
+        assert "ww:Time_Slot" in report.touched_concepts
+
+    def test_cautions_included(self, small):
+        report = impact_of(
+            small, DeleteTypeDefinition("Person"),
+            OperationContext(reference=small.copy()),
+        )
+        assert any(m.code == "delete-supertype-of" for m in report.cautions)
+
+    def test_render_mentions_everything(self, small):
+        report = impact_of(
+            small, DeleteTypeDefinition("Department"),
+            OperationContext(reference=small.copy()),
+        )
+        rendered = report.render()
+        assert "delete_type_definition(Department)" in rendered
+        assert "delete_relationship" in rendered
+        assert "affected types:" in rendered
+
+    def test_no_cascades_case(self, small):
+        report = impact_of(
+            small, DeleteAttribute("Employee", "salary"),
+            OperationContext(reference=small.copy()),
+        )
+        assert report.cascades == []
+        assert "cascades: none" in report.render()

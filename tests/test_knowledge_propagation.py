@@ -1,0 +1,183 @@
+"""Unit tests for propagation rules (repro.knowledge.propagation)."""
+
+from repro.knowledge.propagation import direct_cascades, expand
+from repro.model.fingerprint import schemas_equal
+from repro.odl.parser import parse_schema
+from repro.ops.base import FREE_CONTEXT, OperationContext
+from repro.ops.attribute_ops import DeleteAttribute, ModifyAttribute
+from repro.ops.type_ops import DeleteTypeDefinition
+from repro.ops.type_property_ops import DeleteSupertype, ModifySupertype
+
+
+def apply_plan(schema, operation, context=FREE_CONTEXT):
+    plan = expand(schema, operation, context)
+    for step in plan:
+        step.apply(schema, context)
+    return plan
+
+
+class TestDeleteTypeCascades:
+    def test_relationship_pairs_removed(self, small):
+        plan = apply_plan(small, DeleteTypeDefinition("Department"))
+        assert "Department" not in small
+        assert "works_in" not in small.get("Employee").relationships
+        assert [op.op_name for op in plan] == [
+            "delete_relationship", "delete_type_definition",
+        ]
+        small.validate()
+
+    def test_supertype_links_removed(self, small):
+        # Person is a supertype and the inherited attributes back a key
+        # and an ordering; everything cascades.
+        apply_plan(small, DeleteTypeDefinition("Person"))
+        assert "Person" not in small
+        assert small.get("Employee").supertypes == []
+        small.validate()
+
+    def test_attribute_typed_with_deleted_type(self):
+        schema = parse_schema(
+            """
+            interface Money {};
+            interface A { attribute Money cost; };
+            """,
+            name="s",
+        )
+        plan = apply_plan(schema, DeleteTypeDefinition("Money"))
+        assert "cost" not in schema.get("A").attributes
+        assert plan[0].op_name == "delete_attribute"
+        schema.validate()
+
+    def test_operation_signature_using_deleted_type(self):
+        schema = parse_schema(
+            """
+            interface Money {};
+            interface A { Money price(in Money base); };
+            """,
+            name="s",
+        )
+        apply_plan(schema, DeleteTypeDefinition("Money"))
+        assert "price" not in schema.get("A").operations
+        schema.validate()
+
+    def test_figure7_time_slot_simplification(self, university):
+        """Section 3.4: correspondence courses remove the time slot."""
+        context = OperationContext(reference=university.copy())
+        plan = apply_plan(
+            university, DeleteTypeDefinition("Time_Slot"), context
+        )
+        assert "Time_Slot" not in university
+        assert "offered_during" not in university.get(
+            "Course_Offering"
+        ).relationships
+        assert plan[-1].op_name == "delete_type_definition"
+        university.validate()
+
+    def test_genome_strain_deletion(self, acedb):
+        plan = apply_plan(acedb, DeleteTypeDefinition("Strain"))
+        assert "found_in" not in acedb.get("Allele").relationships
+        assert "maintains" not in acedb.get("Lab").relationships
+        acedb.validate()
+        assert len(plan) == 3  # two relationship pairs + the type
+
+
+class TestAttributeCascades:
+    def test_key_dropped_with_attribute(self, small):
+        plan = apply_plan(small, DeleteAttribute("Person", "id"))
+        assert small.get("Person").keys == []
+        assert plan[0].op_name == "delete_key_list"
+        small.validate()
+
+    def test_order_by_trimmed_with_attribute(self, small):
+        apply_plan(small, DeleteAttribute("Person", "name"))
+        end = small.get("Department").get_relationship("staff")
+        assert end.order_by == ()
+        small.validate()
+
+    def test_subtype_key_on_inherited_attribute(self):
+        schema = parse_schema(
+            """
+            interface A { attribute long x; };
+            interface B : A { keys (x); };
+            """,
+            name="s",
+        )
+        apply_plan(schema, DeleteAttribute("A", "x"))
+        assert schema.get("B").keys == []
+        schema.validate()
+
+    def test_no_cascades_for_unused_attribute(self, small):
+        assert direct_cascades(small, DeleteAttribute("Employee", "salary")) == []
+
+    def test_downward_move_trims_hidden_uses(self):
+        schema = parse_schema(
+            """
+            interface A { attribute long x; };
+            interface B : A { keys (x); };
+            interface C : A {};
+            """,
+            name="s",
+        )
+        # Moving x down into C hides it from B, whose key must go.
+        plan = apply_plan(schema, ModifyAttribute("A", "x", "C"))
+        assert schema.get("B").keys == []
+        assert "x" in schema.get("C").attributes
+        assert plan[0].op_name == "delete_key_list"
+        schema.validate()
+
+    def test_upward_move_has_no_cascades(self, small):
+        assert (
+            direct_cascades(small, ModifyAttribute("Employee", "salary", "Person"))
+            == []
+        )
+
+
+class TestSupertypeCascades:
+    def test_key_on_formerly_inherited_attribute(self, small):
+        # Employee keys on inherited id, then the ISA link goes away.
+        small.get("Employee").add_key(("id",))
+        plan = apply_plan(small, DeleteSupertype("Employee", "Person"))
+        assert small.get("Employee").keys == []
+        assert plan[0].op_name == "delete_key_list"
+        small.validate()
+
+    def test_order_by_on_formerly_inherited_attribute(self, small):
+        apply_plan(small, DeleteSupertype("Employee", "Person"))
+        assert small.get("Department").get_relationship("staff").order_by == ()
+        small.validate()
+
+    def test_modify_supertype_cascades_like_delete(self, small):
+        apply_plan(small, ModifySupertype("Employee", ("Person",), ()))
+        assert small.get("Department").get_relationship("staff").order_by == ()
+        small.validate()
+
+    def test_other_inheritance_path_preserves_uses(self):
+        schema = parse_schema(
+            """
+            interface A { attribute long x; };
+            interface A2 { attribute long x2; };
+            interface B : A, A2 { keys (x); };
+            """,
+            name="s",
+        )
+        plan = apply_plan(schema, DeleteSupertype("B", "A2"))
+        # x is still inherited through A; the key survives.
+        assert schema.get("B").keys == [("x",)]
+        assert [op.op_name for op in plan] == ["delete_supertype"]
+
+
+class TestExpandSemantics:
+    def test_plan_replays_on_fresh_copy(self, university):
+        original = university.copy()
+        plan = expand(
+            university, DeleteTypeDefinition("Person"),
+            OperationContext(reference=original),
+        )
+        # Expanding must not mutate the input schema.
+        assert schemas_equal(university, original)
+        for step in plan:
+            step.apply(university)
+        university.validate()
+
+    def test_requested_operation_is_last(self, small):
+        plan = expand(small, DeleteTypeDefinition("Department"), FREE_CONTEXT)
+        assert plan[-1] == DeleteTypeDefinition("Department")

@@ -1,0 +1,113 @@
+"""Tests for repair suggestions (the Constraint Analysis extension)."""
+
+from repro.knowledge.suggestions import suggest_repairs
+from repro.odl.parser import parse_schema
+from repro.ops.language import parse_composite, parse_operation
+
+
+def suggestions_for(text):
+    return suggest_repairs(parse_schema(text, name="s"))
+
+
+def texts(suggestions, rule=None):
+    return [
+        s.operation_text
+        for s in suggestions
+        if rule is None or s.rule == rule
+    ]
+
+
+class TestSuggestions:
+    def test_clean_schema_has_none(self, small):
+        assert suggest_repairs(small) == []
+
+    def test_dangling_type_offers_add_or_delete(self):
+        suggestions = suggestions_for(
+            "interface A { attribute Ghost g; };"
+        )
+        ops = texts(suggestions, "dangling-type")
+        assert "add_type_definition(Ghost)" in ops
+        assert "delete_attribute(A, g)" in ops
+
+    def test_dangling_supertype_offers_unlink(self):
+        suggestions = suggestions_for("interface A : Ghost {};")
+        ops = texts(suggestions, "dangling-type")
+        assert "delete_supertype(A, Ghost)" in ops
+
+    def test_missing_inverse_offers_delete(self):
+        suggestions = suggestions_for(
+            """
+            interface A { relationship B to_b inverse B::to_a; };
+            interface B {};
+            """
+        )
+        ops = texts(suggestions, "inverse-missing")
+        assert "delete_relationship(A, to_b)" in ops
+
+    def test_cardinality_role_offers_cardinality_fix(self):
+        suggestions = suggestions_for(
+            """
+            interface A { part_of relationship set<B> parts inverse B::wholes; };
+            interface B { part_of relationship set<A> wholes inverse A::parts; };
+            """
+        )
+        ops = texts(suggestions, "cardinality-role")
+        assert ops
+        assert all("modify_part_of_cardinality" in op for op in ops)
+
+    def test_isa_cycle_offers_unlink(self):
+        suggestions = suggestions_for(
+            "interface A : B {}; interface B : A {};"
+        )
+        ops = texts(suggestions, "isa-cycle")
+        assert "delete_supertype(A, B)" in ops or "delete_supertype(B, A)" in ops
+
+    def test_unknown_key_offers_both_paths(self):
+        suggestions = suggestions_for(
+            "interface A { keys (ghost); attribute long id; };"
+        )
+        ops = texts(suggestions, "key-unknown")
+        assert "delete_key_list(A, (ghost))" in ops
+        assert "add_attribute(A, string(20), ghost)" in ops
+
+    def test_unknown_order_by_offers_trim(self):
+        suggestions = suggestions_for(
+            """
+            interface A { relationship set<B> bs inverse B::a
+                order_by (name, ghost); };
+            interface B { attribute string(5) name;
+                relationship A a inverse A::bs; };
+            """
+        )
+        ops = texts(suggestions, "order-by-unknown")
+        assert (
+            "modify_relationship_order_by(A, bs, (name, ghost), (name))" in ops
+        )
+
+    def test_multi_root_offers_abstract_supertype(self):
+        suggestions = suggestions_for(
+            "interface A {}; interface B {}; interface C : A, B {};"
+        )
+        ops = texts(suggestions, "multi-root-hierarchy")
+        assert len(ops) == 1
+        composite = parse_composite(ops[0])
+        assert composite.composite_name == "introduce_abstract_supertype"
+        assert set(composite.subtype_names) == {"A", "B"}
+
+    def test_suggested_primitives_parse(self):
+        suggestions = suggestions_for(
+            """
+            interface A : Ghost { keys (nope); attribute Ghost g;
+                relationship B half inverse B::back; };
+            interface B {};
+            """
+        )
+        for suggestion in suggestions:
+            if suggestion.rule == "multi-root-hierarchy":
+                parse_composite(suggestion.operation_text)
+            else:
+                parse_operation(suggestion.operation_text)
+
+    def test_suggestion_str(self):
+        suggestions = suggestions_for("interface A : Ghost {};")
+        assert "dangling-type" in str(suggestions[0])

@@ -1,0 +1,171 @@
+"""Unit tests for schema diff and the original-to-custom mapping."""
+
+from repro.analysis.diff import ChangeStatus, diff_schemas
+from repro.odl.parser import parse_schema
+from repro.repository.mapping import generate_mapping
+
+
+def entries_of(diff, status, category=None):
+    entries = diff.of_status(status)
+    if category is not None:
+        entries = [e for e in entries if e.category == category]
+    return entries
+
+
+class TestDiffStatuses:
+    def test_identical_schemas(self, small):
+        diff = diff_schemas(small, small.copy())
+        assert diff.is_empty()
+        assert all(
+            e.status is ChangeStatus.UNCHANGED for e in diff.entries
+        )
+
+    def test_added_type_with_members(self, small):
+        custom = small.copy("custom")
+        from repro.model.attributes import Attribute
+        from repro.model.interface import InterfaceDef
+        from repro.model.types import scalar
+
+        extra = InterfaceDef("Extra")
+        extra.add_attribute(Attribute("x", scalar("long")))
+        custom.add_interface(extra)
+        diff = diff_schemas(small, custom)
+        added_paths = {e.path for e in diff.of_status(ChangeStatus.ADDED)}
+        assert {"Extra", "Extra.x"} <= added_paths
+
+    def test_deleted_type_with_members(self, small):
+        custom = small.copy("custom")
+        custom.get("Employee").remove_relationship("works_in")
+        custom.get("Department").remove_relationship("staff")
+        custom.remove_interface("Department")
+        diff = diff_schemas(small, custom)
+        deleted_paths = {e.path for e in diff.of_status(ChangeStatus.DELETED)}
+        assert "Department" in deleted_paths
+        assert "Department.code" in deleted_paths
+
+    def test_modified_attribute(self, small):
+        custom = small.copy("custom")
+        attribute = custom.get("Person").get_attribute("name")
+        custom.get("Person").replace_attribute(attribute.with_size(99))
+        diff = diff_schemas(small, custom)
+        modified = entries_of(diff, ChangeStatus.MODIFIED, "attribute")
+        assert [e.path for e in modified] == ["Person.name"]
+        assert "string(30)" in modified[0].detail
+
+    def test_extent_change(self, small):
+        custom = small.copy("custom")
+        custom.get("Person").extent = "persons"
+        diff = diff_schemas(small, custom)
+        modified = entries_of(diff, ChangeStatus.MODIFIED, "extent")
+        assert len(modified) == 1
+
+    def test_supertype_changes(self, small):
+        custom = small.copy("custom")
+        custom.get("Employee").remove_supertype("Person")
+        diff = diff_schemas(small, custom)
+        deleted = entries_of(diff, ChangeStatus.DELETED, "supertype")
+        assert [e.path for e in deleted] == ["Employee ISA Person"]
+
+    def test_key_changes(self, small):
+        custom = small.copy("custom")
+        custom.get("Person").remove_key(("id",))
+        custom.get("Person").add_key(("id", "name"))
+        diff = diff_schemas(small, custom)
+        assert entries_of(diff, ChangeStatus.DELETED, "key")
+        assert entries_of(diff, ChangeStatus.ADDED, "key")
+
+
+class TestMoveDetection:
+    def test_attribute_move_up(self, small):
+        custom = small.copy("custom")
+        moved = custom.get("Employee").remove_attribute("salary")
+        custom.get("Person").add_attribute(moved)
+        diff = diff_schemas(small, custom)
+        moves = entries_of(diff, ChangeStatus.MOVED, "attribute")
+        assert len(moves) == 1
+        assert moves[0].path == "Employee.salary"
+        assert moves[0].moved_to == "Person"
+        # The arrival side is not double-reported as ADDED.
+        assert not any(
+            e.path == "Person.salary"
+            for e in diff.of_status(ChangeStatus.ADDED)
+        )
+
+    def test_move_after_type_deletion(self):
+        original = parse_schema(
+            """
+            interface A { attribute long x; };
+            interface B : A { attribute long y; };
+            """,
+            name="orig",
+        )
+        custom = parse_schema(
+            "interface A { attribute long x; attribute long y; };",
+            name="custom",
+        )
+        diff = diff_schemas(original, custom)
+        moves = entries_of(diff, ChangeStatus.MOVED, "attribute")
+        assert [(m.path, m.moved_to) for m in moves] == [("B.y", "A")]
+
+    def test_unrelated_same_name_is_not_a_move(self, small):
+        custom = small.copy("custom")
+        from repro.model.attributes import Attribute
+        from repro.model.types import scalar
+
+        custom.get("Employee").remove_attribute("salary")
+        custom.get("Department").add_attribute(
+            Attribute("salary", scalar("float"))
+        )
+        diff = diff_schemas(small, custom)
+        # Department is not an ISA relative of Employee: delete + add.
+        assert entries_of(diff, ChangeStatus.MOVED) == []
+        assert any(
+            e.path == "Employee.salary"
+            for e in diff.of_status(ChangeStatus.DELETED)
+        )
+
+
+class TestMapping:
+    def test_reuse_ratio_unchanged_schema(self, small):
+        mapping = generate_mapping(small, small.copy("custom"))
+        assert mapping.reuse_ratio() == 1.0
+
+    def test_reuse_ratio_counts_survivors(self, small):
+        custom = small.copy("custom")
+        custom.get("Employee").remove_attribute("salary")
+        mapping = generate_mapping(small, custom)
+        assert 0.0 < mapping.reuse_ratio() < 1.0
+
+    def test_corresponding_includes_moved(self, small):
+        custom = small.copy("custom")
+        moved = custom.get("Employee").remove_attribute("salary")
+        custom.get("Person").add_attribute(moved)
+        mapping = generate_mapping(small, custom)
+        corresponding_paths = {e.path for e in mapping.corresponding()}
+        assert "Employee.salary" in corresponding_paths
+
+    def test_lookup(self, small):
+        mapping = generate_mapping(small, small.copy("custom"))
+        entry = mapping.lookup("Person.name")
+        assert entry is not None
+        assert entry.status is ChangeStatus.UNCHANGED
+        assert mapping.lookup("Ghost.path") is None
+
+    def test_render_mentions_counts(self, small):
+        custom = small.copy("custom")
+        custom.get("Employee").remove_attribute("salary")
+        mapping = generate_mapping(small, custom)
+        rendered = mapping.render()
+        assert "reuse ratio" in rendered
+        assert "Employee.salary" in rendered
+
+    def test_summary_of_empty_diff(self, small):
+        diff = diff_schemas(small, small.copy())
+        assert "identical" in diff.summary()
+
+    def test_counts(self, small):
+        custom = small.copy("custom")
+        custom.get("Employee").remove_attribute("salary")
+        counts = diff_schemas(small, custom).counts()
+        assert counts["deleted"] == 1
+        assert counts["added"] == 0

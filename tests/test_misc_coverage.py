@@ -1,0 +1,142 @@
+"""Targeted tests for smaller code paths not covered elsewhere."""
+
+import pytest
+
+from repro.concepts.decompose import decompose
+from repro.model.errors import SchemaError
+from repro.ops.base import OperationContext, SemanticStabilityError
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_api_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_alls_are_accurate(self):
+        import importlib
+
+        for module_name in (
+            "repro.model", "repro.odl", "repro.concepts", "repro.ops",
+            "repro.repository", "repro.knowledge", "repro.designer",
+            "repro.catalog", "repro.analysis", "repro.workload",
+            "repro.translate",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestDecompositionAddConcept:
+    def test_add_hierarchy_concepts(self, university, house, software):
+        from repro.concepts.aggregation import extract_aggregation_hierarchy
+        from repro.concepts.generalization import (
+            extract_generalization_hierarchy,
+        )
+        from repro.concepts.instance_of import extract_instance_of_hierarchy
+
+        decomposition = decompose(university)
+        before = len(decomposition.all_concepts())
+        # A sub-hierarchy rooted below the real root is a new concept.
+        decomposition.add_concept(
+            extract_generalization_hierarchy(university, "Student")
+        )
+        assert len(decomposition.all_concepts()) == before + 1
+        assert decomposition.by_identifier("gh:Student").root == "Student"
+
+        house_decomposition = decompose(house)
+        house_decomposition.add_concept(
+            extract_aggregation_hierarchy(house, "Roof")
+        )
+        assert house_decomposition.by_identifier("ah:Roof")
+
+        software_decomposition = decompose(software)
+        software_decomposition.add_concept(
+            extract_instance_of_hierarchy(software, "Application_Version")
+        )
+        assert software_decomposition.by_identifier("ih:Application_Version")
+
+    def test_duplicate_identifier_rejected(self, university):
+        from repro.concepts.wagon_wheel import extract_wagon_wheel
+
+        decomposition = decompose(university)
+        with pytest.raises(SchemaError):
+            decomposition.add_concept(
+                extract_wagon_wheel(university, "Course")
+            )
+
+    def test_unknown_concept_type_rejected(self, university):
+        decomposition = decompose(university)
+        with pytest.raises(SchemaError):
+            decomposition.add_concept(object())  # type: ignore[arg-type]
+
+
+class TestStabilityContextFallback:
+    def test_new_types_checked_against_workspace(self, small):
+        """Types absent from the reference hierarchy fall back to the
+        current schema's hierarchy for the stability check."""
+        from repro.ops.attribute_ops import AddAttribute, ModifyAttribute
+        from repro.ops.type_ops import AddTypeDefinition
+        from repro.ops.type_property_ops import AddSupertype
+        from repro.model.types import scalar
+
+        context = OperationContext(reference=small.copy())
+        AddTypeDefinition("Contractor").apply(small, context)
+        AddSupertype("Contractor", "Person").apply(small, context)
+        AddAttribute("Contractor", scalar("float"), "day_rate").apply(
+            small, context
+        )
+        ModifyAttribute("Contractor", "day_rate", "Person").apply(
+            small, context
+        )
+        assert "day_rate" in small.get("Person").attributes
+
+    def test_unrelated_new_type_still_rejected(self, small):
+        from repro.ops.attribute_ops import ModifyAttribute
+        from repro.ops.type_ops import AddTypeDefinition
+
+        context = OperationContext(reference=small.copy())
+        AddTypeDefinition("Island").apply(small, context)
+        with pytest.raises(SemanticStabilityError):
+            ModifyAttribute("Person", "name", "Island").apply(small, context)
+
+
+class TestWorkspaceComposites:
+    def test_composite_through_concept_kind_restriction(self, small):
+        from repro.concepts.decompose import decompose as dec
+        from repro.ops.composite import SplitBySubtyping
+        from repro.repository.workspace import Workspace
+
+        workspace = Workspace(small)
+        concept = dec(small).by_identifier("gh:Person")
+        entries = workspace.apply_composite(
+            SplitBySubtyping("Employee", "Manager", attribute_names=("salary",)),
+            concept=concept,
+        )
+        assert all(entry.concept_id == "gh:Person" for entry in entries)
+        assert "salary" in workspace.schema.get("Manager").attributes
+
+    def test_composite_inadmissible_in_wrong_concept(self, small):
+        from repro.concepts.decompose import decompose as dec
+        from repro.ops.base import InadmissibleOperationError
+        from repro.ops.composite import SplitBySubtyping
+        from repro.repository.workspace import Workspace
+
+        workspace = Workspace(small)
+        wheel = dec(small).by_identifier("ww:Person")
+        with pytest.raises(InadmissibleOperationError):
+            workspace.apply_composite(
+                SplitBySubtyping(
+                    "Employee", "Manager", attribute_names=("salary",)
+                ),
+                concept=wheel,
+            )
+        # The failed composite left nothing behind.
+        assert workspace.log == []
+        assert "Manager" not in workspace.schema

@@ -1,0 +1,115 @@
+"""Unit tests for the ODL tokenizer (repro.odl.lexer)."""
+
+import pytest
+
+from repro.odl.lexer import (
+    END,
+    IDENT,
+    NUMBER,
+    PUNCT,
+    OdlSyntaxError,
+    TokenStream,
+    tokenize,
+)
+
+
+def token_values(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type != END]
+
+
+class TestTokenize:
+    def test_identifiers_and_punctuation(self):
+        assert token_values("interface A { };") == [
+            (IDENT, "interface"), (IDENT, "A"),
+            (PUNCT, "{"), (PUNCT, "}"), (PUNCT, ";"),
+        ]
+
+    def test_numbers(self):
+        assert token_values("string(30)") == [
+            (IDENT, "string"), (PUNCT, "("), (NUMBER, "30"), (PUNCT, ")"),
+        ]
+
+    def test_double_colon(self):
+        assert token_values("A::b") == [
+            (IDENT, "A"), (PUNCT, "::"), (IDENT, "b"),
+        ]
+
+    def test_single_colon(self):
+        assert token_values("A : B") == [
+            (IDENT, "A"), (PUNCT, ":"), (IDENT, "B"),
+        ]
+
+    def test_line_comment_skipped(self):
+        assert token_values("a // comment\n b") == [(IDENT, "a"), (IDENT, "b")]
+
+    def test_block_comment_skipped(self):
+        assert token_values("a /* x\ny */ b") == [(IDENT, "a"), (IDENT, "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(OdlSyntaxError):
+            list(tokenize("a /* never closed"))
+
+    def test_unexpected_character(self):
+        with pytest.raises(OdlSyntaxError) as info:
+            list(tokenize("a @ b"))
+        assert "@" in str(info.value)
+
+    def test_positions(self):
+        tokens = list(tokenize("a\n  b"))
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_underscore_identifiers(self):
+        assert token_values("works_in_a _x") == [
+            (IDENT, "works_in_a"), (IDENT, "_x"),
+        ]
+
+    def test_ends_with_end_token(self):
+        tokens = list(tokenize("a"))
+        assert tokens[-1].type == END
+
+
+class TestTokenStream:
+    def test_expect_ident(self):
+        stream = TokenStream("interface A")
+        assert stream.expect_ident("interface").value == "interface"
+        assert stream.expect_ident().value == "A"
+
+    def test_expect_ident_failure_mentions_position(self):
+        stream = TokenStream("123")
+        with pytest.raises(OdlSyntaxError) as info:
+            stream.expect_ident()
+        assert "line 1" in str(info.value)
+
+    def test_expect_punct(self):
+        stream = TokenStream("{ }")
+        stream.expect_punct("{")
+        with pytest.raises(OdlSyntaxError):
+            stream.expect_punct(";")
+
+    def test_accept(self):
+        stream = TokenStream(", x")
+        assert stream.accept_punct(",")
+        assert not stream.accept_punct(",")
+        assert stream.accept_ident("x")
+
+    def test_peek_does_not_consume(self):
+        stream = TokenStream("a b")
+        assert stream.peek().value == "b"
+        assert stream.current.value == "a"
+
+    def test_peek_clamps_at_end(self):
+        stream = TokenStream("a")
+        assert stream.peek(10).type == END
+
+    def test_expect_number(self):
+        assert TokenStream("42").expect_number() == 42
+        with pytest.raises(OdlSyntaxError):
+            TokenStream("x").expect_number()
+
+    def test_expect_end(self):
+        stream = TokenStream("a")
+        stream.advance()
+        stream.expect_end()
+        with pytest.raises(OdlSyntaxError):
+            TokenStream("a b").expect_end()

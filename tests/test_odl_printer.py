@@ -1,0 +1,58 @@
+"""Unit tests for the ODL pretty-printer (repro.odl.printer)."""
+
+import pytest
+
+from repro.catalog import SCHEMA_BUILDERS
+from repro.model.fingerprint import schemas_equal
+from repro.odl.parser import parse_schema
+from repro.odl.printer import print_interface, print_schema
+
+
+class TestRendering:
+    def test_empty_interface(self):
+        schema = parse_schema("interface A {};", name="s")
+        assert print_interface(schema.get("A")) == "interface A {\n};"
+
+    def test_supertypes_in_header(self):
+        schema = parse_schema("interface A : B, C {};", name="s")
+        assert print_interface(schema.get("A")).startswith("interface A : B, C {")
+
+    def test_extent_and_keys(self):
+        text = (
+            "interface A { extent as_; keys (id), (x, y); "
+            "attribute long id; attribute long x; attribute long y; };"
+        )
+        rendered = print_interface(parse_schema(text, name="s").get("A"))
+        assert "extent as_;" in rendered
+        assert "keys (id), (x, y);" in rendered
+
+    def test_relationship_with_order_by(self):
+        text = (
+            "interface A { relationship set<B> bs inverse B::a "
+            "order_by (name); };"
+        )
+        rendered = print_interface(parse_schema(text, name="s").get("A"))
+        assert (
+            "relationship set<B> bs inverse B::a order_by (name);" in rendered
+        )
+
+    def test_operation_rendering(self):
+        text = "interface A { float f(in short x) raises (E); };"
+        rendered = print_interface(parse_schema(text, name="s").get("A"))
+        assert "float f(in short x) raises (E);" in rendered
+
+    def test_empty_schema_prints_empty(self):
+        assert print_schema(parse_schema("", name="s")) == ""
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(SCHEMA_BUILDERS))
+    def test_catalog_round_trip(self, name):
+        schema = SCHEMA_BUILDERS[name]()
+        reparsed = parse_schema(print_schema(schema), name=schema.name)
+        assert schemas_equal(schema, reparsed)
+
+    def test_print_is_stable(self, university):
+        once = print_schema(university)
+        twice = print_schema(parse_schema(once, name="u"))
+        assert once == twice

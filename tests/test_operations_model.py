@@ -1,0 +1,93 @@
+"""Unit tests for operation signatures (repro.model.operations)."""
+
+import pytest
+
+from repro.model.errors import InvalidModelError
+from repro.model.operations import Operation, Parameter
+from repro.model.types import VOID, named, scalar
+
+
+class TestParameter:
+    def test_basic(self):
+        parameter = Parameter("in", scalar("short"), "month")
+        assert str(parameter) == "in short month"
+
+    def test_out_and_inout(self):
+        assert Parameter("out", scalar("long"), "x").direction == "out"
+        assert Parameter("inout", scalar("long"), "x").direction == "inout"
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Parameter("byref", scalar("long"), "x")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Parameter("in", scalar("long"), "")
+
+    def test_non_type_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Parameter("in", "long", "x")  # type: ignore[arg-type]
+
+
+class TestOperation:
+    def test_niladic(self):
+        operation = Operation("enrollment", scalar("short"))
+        assert operation.signature() == "short enrollment()"
+
+    def test_void_return(self):
+        operation = Operation("reset", VOID)
+        assert operation.signature() == "void reset()"
+
+    def test_with_parameters_and_exceptions(self):
+        operation = Operation(
+            "salary", scalar("float"),
+            (Parameter("in", scalar("short"), "month"),),
+            ("NoSuchMonth",),
+        )
+        assert (
+            operation.signature()
+            == "float salary(in short month) raises (NoSuchMonth)"
+        )
+
+    def test_object_returning(self):
+        operation = Operation("advisor", named("Faculty"))
+        assert operation.signature() == "Faculty advisor()"
+
+    def test_duplicate_parameter_names_rejected(self):
+        params = (
+            Parameter("in", scalar("short"), "x"),
+            Parameter("in", scalar("long"), "x"),
+        )
+        with pytest.raises(InvalidModelError):
+            Operation("f", VOID, params)
+
+    def test_duplicate_exceptions_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Operation("f", VOID, (), ("E", "E"))
+
+    def test_list_arguments_coerced_to_tuples(self):
+        operation = Operation("f", VOID, [], [])  # type: ignore[arg-type]
+        assert operation.parameters == ()
+        assert operation.exceptions == ()
+
+    def test_with_return_type(self):
+        operation = Operation("f", VOID)
+        assert operation.with_return_type(scalar("long")).return_type == scalar(
+            "long"
+        )
+
+    def test_with_parameters(self):
+        operation = Operation("f", VOID)
+        updated = operation.with_parameters(
+            (Parameter("in", scalar("long"), "x"),)
+        )
+        assert len(updated.parameters) == 1
+        assert operation.parameters == ()
+
+    def test_with_exceptions(self):
+        operation = Operation("f", VOID)
+        assert operation.with_exceptions(("E",)).exceptions == ("E",)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(InvalidModelError):
+            Operation("", VOID)

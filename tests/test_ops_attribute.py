@@ -1,0 +1,166 @@
+"""Unit tests for attribute operations."""
+
+import pytest
+
+from repro.model.fingerprint import schema_fingerprint
+from repro.model.types import named, scalar
+from repro.ops.attribute_ops import (
+    AddAttribute,
+    DeleteAttribute,
+    ModifyAttribute,
+    ModifyAttributeSize,
+    ModifyAttributeType,
+)
+from repro.ops.base import (
+    ConstraintViolation,
+    OperationContext,
+    SemanticStabilityError,
+)
+
+
+class TestAddAttribute:
+    def test_add(self, small):
+        AddAttribute("Person", scalar("date"), "dob").apply(small)
+        assert small.get("Person").get_attribute("dob").type == scalar("date")
+
+    def test_duplicate_name_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddAttribute("Person", scalar("long"), "name").apply(small)
+
+    def test_relationship_name_clash_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddAttribute("Employee", scalar("long"), "works_in").apply(small)
+
+    def test_undefined_domain_type_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddAttribute("Person", named("Ghost"), "spooky").apply(small)
+
+    def test_undo(self, small):
+        before = schema_fingerprint(small)
+        undo = AddAttribute("Person", scalar("date"), "dob").apply(small)
+        undo()
+        assert schema_fingerprint(small) == before
+
+    def test_text_form(self):
+        operation = AddAttribute("A", scalar("string", 30), "name")
+        assert operation.to_text() == "add_attribute(A, string(30), name)"
+
+
+class TestDeleteAttribute:
+    def test_delete(self, small):
+        DeleteAttribute("Employee", "salary").apply(small)
+        assert "salary" not in small.get("Employee").attributes
+
+    def test_missing_rejected(self, small):
+        from repro.model.errors import UnknownPropertyError
+
+        with pytest.raises(UnknownPropertyError):
+            DeleteAttribute("Person", "ghost").apply(small)
+
+    def test_key_use_blocks_bare_delete(self, small):
+        with pytest.raises(ConstraintViolation) as info:
+            DeleteAttribute("Person", "id").apply(small)
+        assert "key" in str(info.value)
+
+    def test_order_by_use_blocks_bare_delete(self, small):
+        # Department.staff orders by Employee's inherited 'name'.
+        with pytest.raises(ConstraintViolation) as info:
+            DeleteAttribute("Person", "name").apply(small)
+        assert "order_by" in str(info.value)
+
+    def test_shadowed_attribute_does_not_block(self, small):
+        # Give Employee its own 'name'; deleting Person.name then leaves
+        # the ordering on Department.staff satisfied by the shadow.
+        AddAttribute("Employee", scalar("string", 10), "name").apply(small)
+        DeleteAttribute("Person", "name").apply(small)
+        assert "name" not in small.get("Person").attributes
+
+    def test_undo_restores_declaration_order(self, small):
+        # Remove the blocking key first, then delete and undo.
+        small.get("Person").remove_key(("id",))
+        undo = DeleteAttribute("Person", "id").apply(small)
+        undo()
+        assert list(small.get("Person").attributes) == ["id", "name"]
+
+
+class TestModifyAttributeMove:
+    def test_move_up_hierarchy(self, small):
+        context = OperationContext(reference=small.copy())
+        ModifyAttribute("Employee", "salary", "Person").apply(small, context)
+        assert "salary" in small.get("Person").attributes
+        assert "salary" not in small.get("Employee").attributes
+
+    def test_move_down_hierarchy(self, small):
+        context = OperationContext(reference=small.copy())
+        ModifyAttribute("Person", "name", "Employee").apply(small, context)
+        assert "name" in small.get("Employee").attributes
+
+    def test_move_to_unrelated_type_rejected(self, small):
+        context = OperationContext(reference=small.copy())
+        with pytest.raises(SemanticStabilityError):
+            ModifyAttribute("Employee", "salary", "Department").apply(
+                small, context
+            )
+
+    def test_move_to_same_type_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifyAttribute("Person", "name", "Person").apply(small)
+
+    def test_move_to_occupied_name_rejected(self, small):
+        AddAttribute("Person", scalar("float"), "salary").apply(small)
+        with pytest.raises(ConstraintViolation):
+            ModifyAttribute("Employee", "salary", "Person").apply(small)
+
+    def test_stability_uses_reference_hierarchy(self, small):
+        """Moves are bounded by the *shrink wrap* hierarchy (Section 3.2)."""
+        reference = small.copy()
+        context = OperationContext(reference=reference)
+        # Sever the ISA link in the workspace only; the reference still
+        # relates the two types, so the move remains legal.
+        small.get("Employee").remove_supertype("Person")
+        ModifyAttribute("Employee", "salary", "Person").apply(small, context)
+        assert "salary" in small.get("Person").attributes
+
+    def test_move_undo(self, small):
+        before = schema_fingerprint(small)
+        undo = ModifyAttribute("Employee", "salary", "Person").apply(small)
+        undo()
+        assert schema_fingerprint(small) == before
+
+
+class TestModifyAttributeValue:
+    def test_retype(self, small):
+        ModifyAttributeType(
+            "Person", "id", scalar("long"), scalar("string", 12)
+        ).apply(small)
+        assert small.get("Person").get_attribute("id").type == scalar(
+            "string", 12
+        )
+
+    def test_retype_checks_old_type(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifyAttributeType(
+                "Person", "id", scalar("short"), scalar("long")
+            ).apply(small)
+
+    def test_resize(self, small):
+        ModifyAttributeSize("Person", "name", 30, 60).apply(small)
+        assert small.get("Person").get_attribute("name").size == 60
+
+    def test_resize_checks_old_size(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifyAttributeSize("Person", "name", 10, 60).apply(small)
+
+    def test_resize_non_scalar_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifyAttributeSize("Employee", "salary", None, 10).apply(small)
+
+    def test_resize_to_unbounded(self, small):
+        ModifyAttributeSize("Person", "name", 30, None).apply(small)
+        assert small.get("Person").get_attribute("name").size is None
+
+    def test_value_undo(self, small):
+        before = schema_fingerprint(small)
+        undo = ModifyAttributeSize("Person", "name", 30, 60).apply(small)
+        undo()
+        assert schema_fingerprint(small) == before

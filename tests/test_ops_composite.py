@@ -1,0 +1,229 @@
+"""Tests for composite (macro) modification operations."""
+
+import pytest
+
+from repro.model.fingerprint import schema_fingerprint
+from repro.odl.parser import parse_schema
+from repro.ops.base import ConstraintViolation
+from repro.ops.composite import (
+    ExtractSupertype,
+    IntroduceAbstractSupertype,
+    SplitBySubtyping,
+)
+from repro.ops.language import parse_composite
+from repro.odl.lexer import OdlSyntaxError
+from repro.repository.workspace import Workspace
+
+
+@pytest.fixture
+def multi_root():
+    schema = parse_schema(
+        """
+        interface Car {
+            attribute string(20) vin;
+            attribute string(20) make;
+        };
+        interface Truck {
+            attribute string(20) vin;
+            attribute short axles;
+        };
+        interface Semi : Truck {};
+        """,
+        name="vehicles",
+    )
+    schema.validate()
+    return schema
+
+
+class TestIntroduceAbstractSupertype:
+    def test_creates_supertype_and_links(self, multi_root):
+        workspace = Workspace(multi_root)
+        composite = IntroduceAbstractSupertype("Vehicle", ("Car", "Truck"))
+        entries = workspace.apply_composite(composite)
+        schema = workspace.schema
+        assert "Vehicle" in schema
+        assert "Vehicle" in schema.get("Car").supertypes
+        assert "Vehicle" in schema.get("Truck").supertypes
+        assert len(entries) == len(composite.expand_plan(multi_root))
+        schema.validate()
+
+    def test_lifts_common_attributes(self, multi_root):
+        workspace = Workspace(multi_root)
+        workspace.apply_composite(
+            IntroduceAbstractSupertype("Vehicle", ("Car", "Truck"))
+        )
+        schema = workspace.schema
+        # vin is identical in both subtypes: lifted once, deleted twice.
+        assert "vin" in schema.get("Vehicle").attributes
+        assert "vin" not in schema.get("Car").attributes
+        assert "vin" not in schema.get("Truck").attributes
+        # make/axles differ: they stay where they are.
+        assert "make" in schema.get("Car").attributes
+        assert "axles" in schema.get("Truck").attributes
+
+    def test_nolift_keeps_members_in_place(self, multi_root):
+        workspace = Workspace(multi_root)
+        workspace.apply_composite(
+            IntroduceAbstractSupertype(
+                "Vehicle", ("Car", "Truck"), lift_common=False
+            )
+        )
+        assert "vin" in workspace.schema.get("Car").attributes
+        assert workspace.schema.get("Vehicle").attributes == {}
+
+    def test_resolves_multi_root_warning(self):
+        schema = parse_schema(
+            "interface A {}; interface B {}; interface C : A, B {};",
+            name="s",
+        )
+        workspace = Workspace(schema)
+        workspace.apply_composite(
+            IntroduceAbstractSupertype("Root", ("A", "B"), lift_common=False)
+        )
+        from repro.model.validation import validate_schema
+
+        rules = {issue.rule for issue in validate_schema(workspace.schema)}
+        assert "multi-root-hierarchy" not in rules
+
+    def test_needs_two_subtypes(self, multi_root):
+        with pytest.raises(ConstraintViolation):
+            IntroduceAbstractSupertype("Vehicle", ("Car",)).expand_plan(
+                multi_root
+            )
+
+    def test_existing_name_rejected(self, multi_root):
+        with pytest.raises(ConstraintViolation):
+            IntroduceAbstractSupertype("Car", ("Truck", "Semi")).expand_plan(
+                multi_root
+            )
+
+    def test_failure_rolls_back_everything(self, multi_root):
+        workspace = Workspace(multi_root)
+        before = schema_fingerprint(workspace.schema)
+        # Semi is a subtype of Truck: adding Truck ISA Vehicle is fine,
+        # but a cycle Vehicle ISA Semi trips on the primitive level.
+        from repro.ops.composite import CompositeOperation
+        from repro.ops.type_property_ops import AddSupertype
+        from repro.ops.type_ops import AddTypeDefinition
+
+        class Exploding(CompositeOperation):
+            composite_name = "exploding"
+
+            def expand_plan(self, schema, context=None):
+                return [
+                    AddTypeDefinition("Vehicle"),
+                    AddSupertype("Truck", "Vehicle"),
+                    AddSupertype("Vehicle", "Semi"),  # cycle: rejected
+                ]
+
+            def describe(self):
+                return "exploding composite"
+
+        with pytest.raises(ConstraintViolation):
+            workspace.apply_composite(Exploding())
+        assert schema_fingerprint(workspace.schema) == before
+        assert workspace.log == []
+
+
+class TestExtractSupertype:
+    def test_moves_members_up(self, multi_root):
+        workspace = Workspace(multi_root)
+        workspace.apply_composite(
+            IntroduceAbstractSupertype(
+                "Vehicle", ("Car", "Truck"), lift_common=False
+            )
+        )
+        workspace.apply_composite(
+            ExtractSupertype("Car", "Vehicle", attribute_names=("vin",))
+        )
+        assert "vin" in workspace.schema.get("Vehicle").attributes
+        assert "vin" not in workspace.schema.get("Car").attributes
+
+    def test_requires_isa_path(self, multi_root):
+        with pytest.raises(ConstraintViolation):
+            ExtractSupertype(
+                "Car", "Truck", attribute_names=("vin",)
+            ).expand_plan(multi_root)
+
+    def test_requires_something_to_move(self, multi_root):
+        workspace = Workspace(multi_root)
+        workspace.apply_composite(
+            IntroduceAbstractSupertype(
+                "Vehicle", ("Car", "Truck"), lift_common=False
+            )
+        )
+        with pytest.raises(ConstraintViolation):
+            ExtractSupertype("Car", "Vehicle").expand_plan(workspace.schema)
+
+
+class TestSplitBySubtyping:
+    def test_pushes_members_down(self, multi_root):
+        workspace = Workspace(multi_root)
+        workspace.apply_composite(
+            SplitBySubtyping("Car", "Electric_Car", attribute_names=("make",))
+        )
+        schema = workspace.schema
+        assert "Car" in schema.get("Electric_Car").supertypes
+        assert "make" in schema.get("Electric_Car").attributes
+        assert "make" not in schema.get("Car").attributes
+        schema.validate()
+
+    def test_existing_subtype_name_rejected(self, multi_root):
+        with pytest.raises(ConstraintViolation):
+            SplitBySubtyping(
+                "Car", "Truck", attribute_names=("make",)
+            ).expand_plan(multi_root)
+
+    def test_unknown_attribute_rejected(self, multi_root):
+        from repro.model.errors import UnknownPropertyError
+
+        with pytest.raises(UnknownPropertyError):
+            SplitBySubtyping(
+                "Car", "Sports_Car", attribute_names=("ghost",)
+            ).expand_plan(multi_root)
+
+
+class TestCompositeLanguage:
+    def test_parse_introduce(self):
+        composite = parse_composite(
+            "introduce_abstract_supertype(Vehicle, (Car, Truck))"
+        )
+        assert composite == IntroduceAbstractSupertype(
+            "Vehicle", ("Car", "Truck"), True
+        )
+
+    def test_parse_introduce_nolift(self):
+        composite = parse_composite(
+            "introduce_abstract_supertype(Vehicle, (Car, Truck), nolift)"
+        )
+        assert composite.lift_common is False
+
+    def test_parse_extract(self):
+        composite = parse_composite(
+            "extract_supertype(Car, Vehicle, (vin), (honk))"
+        )
+        assert composite == ExtractSupertype(
+            "Car", "Vehicle", ("vin",), ("honk",)
+        )
+
+    def test_parse_split(self):
+        composite = parse_composite(
+            "split_by_subtyping(Car, Electric_Car, (battery))"
+        )
+        assert composite == SplitBySubtyping(
+            "Car", "Electric_Car", ("battery",), ()
+        )
+
+    def test_unknown_composite(self):
+        with pytest.raises(OdlSyntaxError):
+            parse_composite("merge_interfaces(A, B)")
+
+    def test_bad_flag(self):
+        with pytest.raises(OdlSyntaxError):
+            parse_composite(
+                "introduce_abstract_supertype(V, (A, B), maybe)"
+            )
+
+    def test_describe(self):
+        composite = IntroduceAbstractSupertype("V", ("A", "B"))
+        assert "abstract supertype" in composite.describe()

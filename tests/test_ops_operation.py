@@ -1,0 +1,174 @@
+"""Unit tests for operation-signature operations."""
+
+import pytest
+
+from repro.model.fingerprint import schema_fingerprint
+from repro.model.operations import Parameter
+from repro.model.types import VOID, named, scalar
+from repro.ops.base import (
+    ConstraintViolation,
+    OperationContext,
+    SemanticStabilityError,
+)
+from repro.ops.operation_ops import (
+    AddOperation,
+    DeleteOperation,
+    ModifyOperation,
+    ModifyOperationArgList,
+    ModifyOperationExceptionsRaised,
+    ModifyOperationReturnType,
+)
+
+
+@pytest.fixture
+def schema(small):
+    AddOperation(
+        "Employee", scalar("float"), "salary",
+        (Parameter("in", scalar("short"), "month"),), ("NoSuchMonth",),
+    ).apply(small)
+    return small
+
+
+class TestAddOperation:
+    def test_added(self, schema):
+        operation = schema.get("Employee").get_operation("salary")
+        assert operation.signature() == (
+            "float salary(in short month) raises (NoSuchMonth)"
+        )
+
+    def test_duplicate_rejected(self, schema):
+        with pytest.raises(ConstraintViolation):
+            AddOperation("Employee", VOID, "salary").apply(schema)
+
+    def test_override_in_subtype_allowed(self, schema):
+        """Operation names are unique "except in the case where an
+        operation is overridden" (Section 3.2)."""
+        AddOperation("Person", scalar("float"), "salary").apply(schema)
+        assert "salary" in schema.get("Person").operations
+        assert "salary" in schema.get("Employee").operations
+
+    def test_unknown_signature_type_rejected(self, schema):
+        with pytest.raises(ConstraintViolation):
+            AddOperation("Person", named("Ghost"), "spooky").apply(schema)
+
+    def test_undo(self, small):
+        before = schema_fingerprint(small)
+        undo = AddOperation("Person", VOID, "reset").apply(small)
+        undo()
+        assert schema_fingerprint(small) == before
+
+    def test_text_with_args_and_raises(self):
+        operation = AddOperation(
+            "A", scalar("float"), "f",
+            (Parameter("in", scalar("short"), "x"),), ("E",),
+        )
+        assert operation.to_text() == (
+            "add_operation(A, float, f, (in short x), (E))"
+        )
+
+    def test_text_minimal(self):
+        assert AddOperation("A", VOID, "f").to_text() == "add_operation(A, void, f)"
+
+
+class TestDeleteOperation:
+    def test_delete(self, schema):
+        DeleteOperation("Employee", "salary").apply(schema)
+        assert "salary" not in schema.get("Employee").operations
+
+    def test_missing_rejected(self, schema):
+        from repro.model.errors import UnknownPropertyError
+
+        with pytest.raises(UnknownPropertyError):
+            DeleteOperation("Employee", "ghost").apply(schema)
+
+    def test_undo_restores_order(self, schema):
+        AddOperation("Employee", VOID, "later").apply(schema)
+        undo = DeleteOperation("Employee", "salary").apply(schema)
+        undo()
+        assert list(schema.get("Employee").operations) == ["salary", "later"]
+
+
+class TestMoveOperation:
+    def test_move_up(self, schema):
+        context = OperationContext(reference=schema.copy())
+        ModifyOperation("Employee", "salary", "Person").apply(schema, context)
+        assert "salary" in schema.get("Person").operations
+        assert "salary" not in schema.get("Employee").operations
+
+    def test_move_to_unrelated_rejected(self, schema):
+        context = OperationContext(reference=schema.copy())
+        with pytest.raises(SemanticStabilityError):
+            ModifyOperation("Employee", "salary", "Department").apply(
+                schema, context
+            )
+
+    def test_move_onto_existing_rejected(self, schema):
+        AddOperation("Person", scalar("float"), "salary").apply(schema)
+        with pytest.raises(ConstraintViolation):
+            ModifyOperation("Employee", "salary", "Person").apply(schema)
+
+    def test_move_undo(self, schema):
+        before = schema_fingerprint(schema)
+        undo = ModifyOperation("Employee", "salary", "Person").apply(schema)
+        undo()
+        assert schema_fingerprint(schema) == before
+
+
+class TestSignatureModifications:
+    def test_return_type(self, schema):
+        ModifyOperationReturnType(
+            "Employee", "salary", scalar("float"), scalar("double")
+        ).apply(schema)
+        operation = schema.get("Employee").get_operation("salary")
+        assert str(operation.return_type) == "double"
+
+    def test_return_type_checks_old(self, schema):
+        with pytest.raises(ConstraintViolation):
+            ModifyOperationReturnType(
+                "Employee", "salary", scalar("long"), scalar("double")
+            ).apply(schema)
+
+    def test_arg_list(self, schema):
+        new_params = (
+            Parameter("in", scalar("short"), "month"),
+            Parameter("in", scalar("short"), "year"),
+        )
+        ModifyOperationArgList(
+            "Employee", "salary",
+            (Parameter("in", scalar("short"), "month"),), new_params,
+        ).apply(schema)
+        operation = schema.get("Employee").get_operation("salary")
+        assert len(operation.parameters) == 2
+
+    def test_arg_list_checks_old(self, schema):
+        with pytest.raises(ConstraintViolation):
+            ModifyOperationArgList("Employee", "salary", (), ()).apply(schema)
+
+    def test_arg_list_checks_types_exist(self, schema):
+        with pytest.raises(ConstraintViolation):
+            ModifyOperationArgList(
+                "Employee", "salary",
+                (Parameter("in", scalar("short"), "month"),),
+                (Parameter("in", named("Ghost"), "g"),),
+            ).apply(schema)
+
+    def test_exceptions(self, schema):
+        ModifyOperationExceptionsRaised(
+            "Employee", "salary", ("NoSuchMonth",), ("NoSuchMonth", "Closed")
+        ).apply(schema)
+        operation = schema.get("Employee").get_operation("salary")
+        assert operation.exceptions == ("NoSuchMonth", "Closed")
+
+    def test_exceptions_check_old(self, schema):
+        with pytest.raises(ConstraintViolation):
+            ModifyOperationExceptionsRaised(
+                "Employee", "salary", (), ("E",)
+            ).apply(schema)
+
+    def test_signature_undo(self, schema):
+        before = schema_fingerprint(schema)
+        undo = ModifyOperationReturnType(
+            "Employee", "salary", scalar("float"), scalar("double")
+        ).apply(schema)
+        undo()
+        assert schema_fingerprint(schema) == before

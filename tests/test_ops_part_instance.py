@@ -1,0 +1,196 @@
+"""Unit tests for part-of and instance-of relationship operations."""
+
+import pytest
+
+from repro.model.fingerprint import schema_fingerprint
+from repro.model.relationships import RelationshipKind
+from repro.model.types import list_of, named, set_of
+from repro.odl.parser import parse_schema
+from repro.ops.base import ConstraintViolation, OperationContext
+from repro.ops.instance_of_ops import (
+    AddInstanceOfRelationship,
+    DeleteInstanceOfRelationship,
+    ModifyInstanceOfCardinality,
+    ModifyInstanceOfOrderBy,
+    ModifyInstanceOfTargetType,
+)
+from repro.ops.part_of_ops import (
+    AddPartOfRelationship,
+    DeletePartOfRelationship,
+    ModifyPartOfCardinality,
+    ModifyPartOfOrderBy,
+    ModifyPartOfTargetType,
+)
+
+
+class TestAddPartOf:
+    def test_to_part_of_variant(self, small):
+        """A collection target declares the whole's to-parts end."""
+        AddPartOfRelationship(
+            "Department", set_of("Employee"), "units", "Employee", "unit_of"
+        ).apply(small)
+        end = small.get("Department").get_relationship("units")
+        assert end.kind is RelationshipKind.PART_OF
+        assert end.role == "to_parts"
+        inverse = small.get("Employee").get_relationship("unit_of")
+        assert inverse.role == "to_whole"
+        small.validate()
+
+    def test_to_whole_variant(self, small):
+        """A plain target declares the part's to-whole end; the
+        auto-created inverse is the to-many end (implicit 1:N)."""
+        AddPartOfRelationship(
+            "Employee", named("Department"), "unit_of", "Department", "units"
+        ).apply(small)
+        inverse = small.get("Department").get_relationship("units")
+        assert inverse.is_to_many
+        small.validate()
+
+    def test_both_ends_to_many_rejected(self, small):
+        AddPartOfRelationship(
+            "Department", set_of("Employee"), "units", "Employee", "unit_of"
+        ).apply(small)
+        small.get("Employee").remove_relationship("unit_of")
+        with pytest.raises(ConstraintViolation):
+            AddPartOfRelationship(
+                "Employee", set_of("Department"), "unit_of", "Department",
+                "units",
+            ).apply(small)
+
+    def test_undo(self, small):
+        before = schema_fingerprint(small)
+        undo = AddPartOfRelationship(
+            "Department", set_of("Employee"), "units", "Employee", "unit_of"
+        ).apply(small)
+        undo()
+        assert schema_fingerprint(small) == before
+
+
+class TestDeletePartOf:
+    def test_deletes_pair(self, house):
+        DeletePartOfRelationship("House", "structure").apply(house)
+        assert "structure" not in house.get("House").relationships
+        assert "of_house" not in house.get("Structure").relationships
+        house.validate()
+
+    def test_kind_checked(self, small):
+        with pytest.raises(ConstraintViolation):
+            DeletePartOfRelationship("Employee", "works_in").apply(small)
+
+
+class TestModifyPartOf:
+    @pytest.fixture
+    def parts(self):
+        schema = parse_schema(
+            """
+            interface Component { attribute string(10) code; };
+            interface Widget : Component {
+              part_of relationship Box in_box inverse Box::contents;
+            };
+            interface Gadget : Widget {};
+            interface Box {
+              part_of relationship set<Widget> contents inverse Widget::in_box
+                  order_by (code);
+            };
+            """,
+            name="parts",
+        )
+        schema.validate()
+        return schema
+
+    def test_retarget_up(self, parts):
+        context = OperationContext(reference=parts.copy())
+        ModifyPartOfTargetType(
+            "Box", "contents", "Component", old_target_type="Widget"
+        ).apply(parts, context)
+        assert (
+            parts.get("Box").get_relationship("contents").target_type
+            == "Component"
+        )
+        assert "in_box" in parts.get("Component").relationships
+        parts.validate()
+
+    def test_retarget_down(self, parts):
+        context = OperationContext(reference=parts.copy())
+        ModifyPartOfTargetType(
+            "Box", "contents", "Gadget", old_target_type="Widget"
+        ).apply(parts, context)
+        assert "in_box" in parts.get("Gadget").relationships
+
+    def test_cardinality_on_to_parts_end(self, parts):
+        ModifyPartOfCardinality(
+            "Box", "contents", set_of("Widget"), list_of("Widget")
+        ).apply(parts)
+        assert (
+            parts.get("Box").get_relationship("contents").collection_kind
+            == "list"
+        )
+
+    def test_cardinality_on_to_whole_end_rejected(self, parts):
+        with pytest.raises(ConstraintViolation) as info:
+            ModifyPartOfCardinality(
+                "Widget", "in_box", named("Box"), set_of("Box")
+            ).apply(parts)
+        assert "to-many end" in str(info.value)
+
+    def test_to_parts_end_must_stay_collection(self, parts):
+        ModifyPartOfOrderBy("Box", "contents", ("code",), ()).apply(parts)
+        with pytest.raises(ConstraintViolation):
+            ModifyPartOfCardinality(
+                "Box", "contents", set_of("Widget"), named("Widget")
+            ).apply(parts)
+
+    def test_order_by(self, parts):
+        ModifyPartOfOrderBy("Box", "contents", ("code",), ()).apply(parts)
+        assert parts.get("Box").get_relationship("contents").order_by == ()
+
+
+class TestInstanceOfOps:
+    def test_add_to_instances_variant(self, small):
+        AddInstanceOfRelationship(
+            "Person", set_of("Employee"), "incarnations", "Employee",
+            "generic_person",
+        ).apply(small)
+        end = small.get("Person").get_relationship("incarnations")
+        assert end.kind is RelationshipKind.INSTANCE_OF
+        assert end.role == "to_instances"
+        small.validate()
+
+    def test_delete_pair(self, software):
+        DeleteInstanceOfRelationship("Application", "versions").apply(software)
+        assert "version_of" not in software.get("Application_Version").relationships
+        software.validate()
+
+    def test_cardinality_to_instances_only(self, software):
+        with pytest.raises(ConstraintViolation):
+            ModifyInstanceOfCardinality(
+                "Application_Version", "version_of",
+                named("Application"), set_of("Application"),
+            ).apply(software)
+
+    def test_cardinality_kind_change(self, software):
+        ModifyInstanceOfCardinality(
+            "Application", "versions",
+            set_of("Application_Version"), list_of("Application_Version"),
+        ).apply(software)
+        end = software.get("Application").get_relationship("versions")
+        assert end.collection_kind == "list"
+
+    def test_order_by(self, software):
+        ModifyInstanceOfOrderBy(
+            "Application", "versions", (), ("version_number",)
+        ).apply(software)
+        end = software.get("Application").get_relationship("versions")
+        assert end.order_by == ("version_number",)
+
+    def test_retarget_requires_isa_relative(self, software):
+        context = OperationContext(reference=software.copy())
+        with pytest.raises(ConstraintViolation):
+            ModifyInstanceOfTargetType(
+                "Application", "versions", "Installed_Version",
+                old_target_type="Application_Version",
+            ).apply(software, context)
+
+    def test_kind_mismatch_rejected(self, house):
+        with pytest.raises(ConstraintViolation):
+            DeleteInstanceOfRelationship("House", "structure").apply(house)

@@ -1,0 +1,148 @@
+"""Unit tests for the operation registry and the Table 1 matrix."""
+
+import pytest
+
+from repro.concepts.base import ConceptKind
+from repro.ops.base import InadmissibleOperationError
+from repro.ops.registry import (
+    OPERATION_CLASSES,
+    OPERATIONS_BY_NAME,
+    admissible_operations,
+    check_admissible,
+    format_table1,
+    is_admissible,
+    operation_class,
+    table1_matrix,
+)
+from repro.ops.attribute_ops import AddAttribute, ModifyAttribute
+from repro.ops.type_ops import AddTypeDefinition
+from repro.ops.type_property_ops import ModifySupertype
+from repro.model.types import scalar
+
+
+def _row(matrix, candidate, sub_candidate):
+    for row in matrix:
+        if (row["candidate"], row["sub_candidate"]) == (candidate, sub_candidate):
+            return row
+    raise AssertionError(f"no row for {candidate} / {sub_candidate}")
+
+
+class TestRegistry:
+    def test_grammar_has_37_operations(self):
+        assert len(OPERATION_CLASSES) == 37
+
+    def test_lookup_by_name(self):
+        assert operation_class("add_attribute") is AddAttribute
+
+    def test_unknown_name(self):
+        with pytest.raises(InadmissibleOperationError):
+            operation_class("rename_type")
+
+    def test_names_are_unique(self):
+        assert len(OPERATIONS_BY_NAME) == len(OPERATION_CLASSES)
+
+    def test_every_class_declares_metadata(self):
+        for cls in OPERATION_CLASSES:
+            assert cls.op_name
+            assert cls.candidate
+            assert cls.action in ("add", "delete", "modify")
+            assert cls.admissible_in
+
+
+class TestAdmissibility:
+    def test_type_definitions_everywhere(self):
+        for kind in ConceptKind:
+            assert is_admissible(AddTypeDefinition, kind)
+
+    def test_supertype_ops_only_in_generalization(self):
+        assert is_admissible(ModifySupertype, ConceptKind.GENERALIZATION)
+        assert not is_admissible(ModifySupertype, ConceptKind.WAGON_WHEEL)
+
+    def test_attribute_add_only_in_wagon_wheel(self):
+        assert is_admissible(AddAttribute, ConceptKind.WAGON_WHEEL)
+        assert not is_admissible(AddAttribute, ConceptKind.GENERALIZATION)
+
+    def test_attribute_move_only_in_generalization(self):
+        assert is_admissible(ModifyAttribute, ConceptKind.GENERALIZATION)
+        assert not is_admissible(ModifyAttribute, ConceptKind.WAGON_WHEEL)
+
+    def test_check_admissible_raises_with_allowed_kinds(self):
+        operation = AddAttribute("A", scalar("long"), "x")
+        with pytest.raises(InadmissibleOperationError) as info:
+            check_admissible(operation, ConceptKind.AGGREGATION)
+        assert "wagon wheel" in str(info.value)
+
+    def test_admissible_operations_per_kind(self):
+        wagon_wheel_ops = {
+            c.op_name for c in admissible_operations(ConceptKind.WAGON_WHEEL)
+        }
+        assert "add_attribute" in wagon_wheel_ops
+        assert "modify_supertype" not in wagon_wheel_ops
+        aggregation_ops = {
+            c.op_name for c in admissible_operations(ConceptKind.AGGREGATION)
+        }
+        assert aggregation_ops == {
+            "add_type_definition", "delete_type_definition",
+            "add_part_of_relationship", "delete_part_of_relationship",
+            "modify_part_of_target_type", "modify_part_of_cardinality",
+            "modify_part_of_order_by",
+        }
+
+
+class TestTable1:
+    """The matrix reproduces the paper's Table 1 structure."""
+
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return table1_matrix()
+
+    def test_extent_ops_wagon_wheel_only(self, matrix):
+        row = _row(matrix, "Type Properties", "Extent name")
+        assert row["wagon_wheel"] == "ADM"
+        assert row["generalization"] == ""
+
+    def test_supertype_ops_generalization_only(self, matrix):
+        row = _row(matrix, "Type Properties", "Supertype (ISA)")
+        assert row["generalization"] == "ADM"
+        assert row["wagon_wheel"] == ""
+
+    def test_attribute_row(self, matrix):
+        row = _row(matrix, "Attribute", "Name")
+        assert row["wagon_wheel"] == "AD"
+        assert row["generalization"] == "M"  # the move operation
+
+    def test_relationship_target_type_row(self, matrix):
+        row = _row(matrix, "Relationship", "Target type")
+        assert row["generalization"] == "M"
+        assert row["wagon_wheel"] == ""
+
+    def test_part_of_rows(self, matrix):
+        row = _row(matrix, "Part-of Relationship", "Traversal path name")
+        assert row["wagon_wheel"] == "AD"
+        assert row["aggregation"] == "AD"
+        modify_row = _row(matrix, "Part-of Relationship", "One way cardinality")
+        assert modify_row["aggregation"] == "M"
+        assert modify_row["wagon_wheel"] == ""
+
+    def test_instance_of_rows(self, matrix):
+        row = _row(matrix, "Instance-of Relationship", "Traversal path name")
+        assert row["instance_of"] == "AD"
+        modify_row = _row(matrix, "Instance-of Relationship", "Target type")
+        assert modify_row["instance_of"] == "M"
+
+    def test_no_name_modifications_anywhere(self, matrix):
+        """Table 1's caption: disallowed operations support name
+        equivalence -- no concept schema offers a rename."""
+        assert "rename" not in format_table1().lower()
+
+    def test_type_name_row_everywhere(self, matrix):
+        row = _row(matrix, "Interface Definition", "Type name")
+        for kind in ConceptKind:
+            assert row[kind.value] == "AD"
+
+    def test_format_is_aligned_text(self):
+        rendered = format_table1()
+        assert "Wagon wheel" in rendered
+        assert "Generalization" in rendered
+        lines = rendered.splitlines()
+        assert len(lines) > 20

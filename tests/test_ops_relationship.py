@@ -1,0 +1,296 @@
+"""Unit tests for association relationship operations."""
+
+import pytest
+
+from repro.model.fingerprint import schema_fingerprint
+from repro.model.types import named, set_of
+from repro.odl.printer import print_schema
+from repro.ops.base import (
+    ConstraintViolation,
+    OperationContext,
+    SemanticStabilityError,
+)
+from repro.ops.relationship_ops import (
+    AddRelationship,
+    DeleteRelationship,
+    ModifyRelationshipCardinality,
+    ModifyRelationshipOrderBy,
+    ModifyRelationshipTargetType,
+)
+
+
+class TestAddRelationship:
+    def test_auto_creates_inverse(self, small):
+        AddRelationship(
+            "Person", named("Department"), "home_dept", "Department", "residents"
+        ).apply(small)
+        inverse = small.get("Department").get_relationship("residents")
+        assert inverse.target_type == "Person"
+        assert not inverse.is_to_many  # default inverse is to-one
+        small.validate()
+
+    def test_pairs_with_predeclared_inverse(self, small):
+        AddRelationship(
+            "Person", named("Department"), "home_dept", "Department", "residents"
+        ).apply(small)
+        # Adding the second direction explicitly must be idempotent-safe:
+        # the end already exists, so a fresh add of the same path fails.
+        with pytest.raises(ConstraintViolation):
+            AddRelationship(
+                "Department", set_of("Person"), "residents", "Person",
+                "home_dept",
+            ).apply(small)
+
+    def test_inverse_must_live_in_target(self, small):
+        with pytest.raises(ConstraintViolation) as info:
+            AddRelationship(
+                "Person", named("Department"), "home_dept", "Person", "x"
+            ).apply(small)
+        assert "target type" in str(info.value)
+
+    def test_path_name_collision_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddRelationship(
+                "Person", named("Department"), "name", "Department", "x"
+            ).apply(small)
+
+    def test_inverse_name_collision_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddRelationship(
+                "Person", named("Department"), "home_dept", "Department", "code"
+            ).apply(small)
+
+    def test_order_by_validated_against_target(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddRelationship(
+                "Department", set_of("Person"), "residents", "Person",
+                "home_dept", ("ghost",),
+            ).apply(small)
+
+    def test_order_by_accepted(self, small):
+        AddRelationship(
+            "Department", set_of("Person"), "residents", "Person",
+            "home_dept", ("name",),
+        ).apply(small)
+        end = small.get("Department").get_relationship("residents")
+        assert end.order_by == ("name",)
+
+    def test_undo_removes_both_ends(self, small):
+        before = schema_fingerprint(small)
+        undo = AddRelationship(
+            "Person", named("Department"), "home_dept", "Department", "residents"
+        ).apply(small)
+        undo()
+        assert schema_fingerprint(small) == before
+
+
+class TestDeleteRelationship:
+    def test_deletes_pair(self, small):
+        DeleteRelationship("Employee", "works_in").apply(small)
+        assert "works_in" not in small.get("Employee").relationships
+        assert "staff" not in small.get("Department").relationships
+        small.validate()
+
+    def test_delete_from_either_end(self, small):
+        DeleteRelationship("Department", "staff").apply(small)
+        assert "works_in" not in small.get("Employee").relationships
+
+    def test_unknown_path_rejected(self, small):
+        from repro.model.errors import UnknownPropertyError
+
+        with pytest.raises(UnknownPropertyError):
+            DeleteRelationship("Employee", "ghost").apply(small)
+
+    def test_kind_checked(self, house):
+        with pytest.raises(ConstraintViolation):
+            DeleteRelationship("House", "structure").apply(house)
+
+    def test_undo_restores_pair(self, small):
+        before = schema_fingerprint(small)
+        undo = DeleteRelationship("Employee", "works_in").apply(small)
+        undo()
+        assert schema_fingerprint(small) == before
+
+
+class TestModifyTargetType:
+    def test_figure8_grammar_form(self, company):
+        """The Appendix A four-argument form re-targets Department::has."""
+        context = OperationContext(reference=company.copy())
+        ModifyRelationshipTargetType(
+            "Department", "has", "Person", old_target_type="Employee"
+        ).apply(company, context)
+        end = company.get("Department").get_relationship("has")
+        assert str(end.target) == "set<Person>"
+        assert end.inverse_type == "Person"
+        assert "works_in_a" in company.get("Person").relationships
+        assert "works_in_a" not in company.get("Employee").relationships
+        company.validate()
+
+    def test_figure8_prose_form(self, company):
+        """Section 3.4's three-argument call produces the same result."""
+        context = OperationContext(reference=company.copy())
+        ModifyRelationshipTargetType("Employee", "works_in_a", "Person").apply(
+            company, context
+        )
+        rendered = print_schema(company)
+        assert "relationship set<Person> has inverse Person::works_in_a" in rendered
+        assert (
+            "relationship Department works_in_a inverse Department::has"
+            in print_schema(company)
+        )
+
+    def test_prose_and_grammar_forms_agree(self, company):
+        grammar_side = company.copy()
+        prose_side = company.copy()
+        reference = company.copy()
+        ModifyRelationshipTargetType(
+            "Department", "has", "Person", old_target_type="Employee"
+        ).apply(grammar_side, OperationContext(reference=reference))
+        ModifyRelationshipTargetType("Employee", "works_in_a", "Person").apply(
+            prose_side, OperationContext(reference=reference)
+        )
+        assert schema_fingerprint(grammar_side) == schema_fingerprint(prose_side)
+
+    def test_retarget_down_the_hierarchy(self, company):
+        # First widen to Person, then narrow back down to Student.
+        context = OperationContext(reference=company.copy())
+        ModifyRelationshipTargetType(
+            "Department", "has", "Person", old_target_type="Employee"
+        ).apply(company, context)
+        ModifyRelationshipTargetType(
+            "Department", "has", "Student", old_target_type="Person"
+        ).apply(company, context)
+        assert (
+            company.get("Department").get_relationship("has").target_type
+            == "Student"
+        )
+        company.validate()
+
+    def test_unrelated_target_rejected(self, company):
+        context = OperationContext(reference=company.copy())
+        with pytest.raises(ConstraintViolation):
+            ModifyRelationshipTargetType(
+                "Employee", "works_in_a", "Department"
+            ).apply(company, context)
+
+    def test_wrong_old_target_rejected(self, company):
+        with pytest.raises(ConstraintViolation):
+            ModifyRelationshipTargetType(
+                "Department", "has", "Person", old_target_type="Student"
+            ).apply(company)
+
+    def test_sibling_move_violates_stability(self, company):
+        """Employee and Student are siblings, not on one ISA path."""
+        context = OperationContext(reference=company.copy())
+        with pytest.raises(SemanticStabilityError):
+            ModifyRelationshipTargetType(
+                "Department", "has", "Student", old_target_type="Employee"
+            ).apply(company, context)
+
+    def test_occupied_inverse_name_rejected(self, company):
+        from repro.model.attributes import Attribute
+        from repro.model.types import scalar
+
+        company.get("Person").add_attribute(
+            Attribute("works_in_a", scalar("long"))
+        )
+        with pytest.raises(ConstraintViolation):
+            ModifyRelationshipTargetType(
+                "Department", "has", "Person", old_target_type="Employee"
+            ).apply(company)
+
+    def test_undo(self, company):
+        before = schema_fingerprint(company)
+        undo = ModifyRelationshipTargetType(
+            "Employee", "works_in_a", "Person"
+        ).apply(company)
+        undo()
+        assert schema_fingerprint(company) == before
+
+    def test_text_forms(self):
+        three = ModifyRelationshipTargetType("E", "w", "P")
+        four = ModifyRelationshipTargetType("D", "has", "P", old_target_type="E")
+        assert three.to_text() == "modify_relationship_target_type(E, w, P)"
+        assert four.to_text() == "modify_relationship_target_type(D, has, E, P)"
+
+
+class TestModifyCardinality:
+    def test_many_to_one(self, small):
+        # Drop the ordering first; a to-one end cannot be ordered.
+        ModifyRelationshipOrderBy("Department", "staff", ("name",), ()).apply(
+            small
+        )
+        ModifyRelationshipCardinality(
+            "Department", "staff", set_of("Employee"), named("Employee")
+        ).apply(small)
+        assert not small.get("Department").get_relationship("staff").is_to_many
+
+    def test_one_to_many(self, small):
+        ModifyRelationshipCardinality(
+            "Employee", "works_in", named("Department"), set_of("Department")
+        ).apply(small)
+        assert small.get("Employee").get_relationship("works_in").is_to_many
+
+    def test_collection_kind_change(self, small):
+        from repro.model.types import list_of
+
+        ModifyRelationshipCardinality(
+            "Department", "staff", set_of("Employee"), list_of("Employee")
+        ).apply(small)
+        assert (
+            small.get("Department").get_relationship("staff").collection_kind
+            == "list"
+        )
+
+    def test_retarget_through_cardinality_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifyRelationshipCardinality(
+                "Department", "staff", set_of("Employee"), set_of("Person")
+            ).apply(small)
+
+    def test_wrong_old_target_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifyRelationshipCardinality(
+                "Department", "staff", named("Employee"), set_of("Employee")
+            ).apply(small)
+
+    def test_ordered_end_cannot_become_to_one(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifyRelationshipCardinality(
+                "Department", "staff", set_of("Employee"), named("Employee")
+            ).apply(small)
+
+
+class TestModifyOrderBy:
+    def test_replace(self, small):
+        ModifyRelationshipOrderBy(
+            "Department", "staff", ("name",), ("name", "id")
+        ).apply(small)
+        end = small.get("Department").get_relationship("staff")
+        assert end.order_by == ("name", "id")
+
+    def test_old_list_checked(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifyRelationshipOrderBy(
+                "Department", "staff", (), ("name",)
+            ).apply(small)
+
+    def test_unknown_attribute_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifyRelationshipOrderBy(
+                "Department", "staff", ("name",), ("ghost",)
+            ).apply(small)
+
+    def test_to_one_end_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifyRelationshipOrderBy(
+                "Employee", "works_in", (), ("code",)
+            ).apply(small)
+
+    def test_undo(self, small):
+        before = schema_fingerprint(small)
+        undo = ModifyRelationshipOrderBy(
+            "Department", "staff", ("name",), ()
+        ).apply(small)
+        undo()
+        assert schema_fingerprint(small) == before

@@ -1,0 +1,69 @@
+"""Unit tests for add/delete type definition operations."""
+
+import pytest
+
+from repro.concepts.base import ConceptKind
+from repro.model.fingerprint import schema_fingerprint
+from repro.ops.base import ConstraintViolation
+from repro.ops.type_ops import AddTypeDefinition, DeleteTypeDefinition
+
+
+class TestAddTypeDefinition:
+    def test_adds_empty_interface(self, small):
+        AddTypeDefinition("Project").apply(small)
+        assert "Project" in small
+        assert small.get("Project").attributes == {}
+
+    def test_duplicate_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddTypeDefinition("Person").apply(small)
+
+    def test_undo_removes(self, small):
+        before = schema_fingerprint(small)
+        undo = AddTypeDefinition("Project").apply(small)
+        undo()
+        assert schema_fingerprint(small) == before
+
+    def test_admissible_everywhere(self):
+        assert AddTypeDefinition.admissible_in == frozenset(ConceptKind)
+
+    def test_text_form(self):
+        assert AddTypeDefinition("X").to_text() == "add_type_definition(X)"
+
+    def test_affected_types(self):
+        assert AddTypeDefinition("X").affected_types() == ("X",)
+
+
+class TestDeleteTypeDefinition:
+    def test_deletes_unreferenced_type(self, small):
+        AddTypeDefinition("Project").apply(small)
+        DeleteTypeDefinition("Project").apply(small)
+        assert "Project" not in small
+
+    def test_referenced_type_rejected(self, small):
+        # Department is targeted by Employee.works_in.
+        with pytest.raises(ConstraintViolation) as info:
+            DeleteTypeDefinition("Department").apply(small)
+        assert "referenced" in str(info.value)
+
+    def test_supertype_in_use_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            DeleteTypeDefinition("Person").apply(small)
+
+    def test_unknown_type_rejected(self, small):
+        from repro.model.errors import UnknownTypeError
+
+        with pytest.raises(UnknownTypeError):
+            DeleteTypeDefinition("Ghost").apply(small)
+
+    def test_undo_restores_content_and_position(self, small):
+        # Make Employee deletable by clearing the relationship pair first.
+        small.get("Employee").remove_relationship("works_in")
+        small.get("Department").remove_relationship("staff")
+        before = schema_fingerprint(small)
+        order_before = small.type_names()
+        undo = DeleteTypeDefinition("Employee").apply(small)
+        assert "Employee" not in small
+        undo()
+        assert schema_fingerprint(small) == before
+        assert small.type_names() == order_before

@@ -1,0 +1,172 @@
+"""Unit tests for supertype / extent / key operations."""
+
+import pytest
+
+from repro.model.fingerprint import schema_fingerprint
+from repro.odl.parser import parse_schema
+from repro.ops.base import ConstraintViolation
+from repro.ops.type_property_ops import (
+    AddExtentName,
+    AddKeyList,
+    AddSupertype,
+    DeleteExtentName,
+    DeleteKeyList,
+    DeleteSupertype,
+    ModifyExtentName,
+    ModifyKeyList,
+    ModifySupertype,
+)
+
+
+class TestSupertypeOps:
+    def test_add(self, small):
+        AddSupertype("Department", "Person").apply(small)
+        assert "Person" in small.get("Department").supertypes
+
+    def test_add_duplicate_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddSupertype("Employee", "Person").apply(small)
+
+    def test_add_unknown_supertype_rejected(self, small):
+        from repro.model.errors import UnknownTypeError
+
+        with pytest.raises(UnknownTypeError):
+            AddSupertype("Employee", "Ghost").apply(small)
+
+    def test_add_self_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddSupertype("Person", "Person").apply(small)
+
+    def test_add_cycle_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddSupertype("Person", "Employee").apply(small)
+
+    def test_add_undo(self, small):
+        before = schema_fingerprint(small)
+        undo = AddSupertype("Department", "Person").apply(small)
+        undo()
+        assert schema_fingerprint(small) == before
+
+    def test_delete(self, small):
+        DeleteSupertype("Employee", "Person").apply(small)
+        assert small.get("Employee").supertypes == []
+
+    def test_delete_missing_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            DeleteSupertype("Person", "Employee").apply(small)
+
+    def test_delete_undo_restores_position(self):
+        schema = parse_schema(
+            "interface A {}; interface B {}; interface C : A, B {};", name="s"
+        )
+        undo = DeleteSupertype("C", "A").apply(schema)
+        undo()
+        assert schema.get("C").supertypes == ["A", "B"]
+
+    def test_modify_rewires(self, small):
+        ModifySupertype("Employee", ("Person",), ()).apply(small)
+        assert small.get("Employee").supertypes == []
+
+    def test_modify_requires_current_list(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifySupertype("Employee", ("Ghost",), ()).apply(small)
+
+    def test_modify_rejects_duplicate_new_list(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifySupertype(
+                "Employee", ("Person",), ("Person", "Person")
+            ).apply(small)
+
+    def test_modify_rejects_cycle(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifySupertype("Person", (), ("Employee",)).apply(small)
+
+    def test_modify_undo(self, small):
+        before = schema_fingerprint(small)
+        undo = ModifySupertype("Employee", ("Person",), ()).apply(small)
+        undo()
+        assert schema_fingerprint(small) == before
+
+    def test_text_round_trip(self):
+        operation = ModifySupertype("A", ("B", "C"), ("D",))
+        assert operation.to_text() == "modify_supertype(A, (B, C), (D))"
+
+
+class TestExtentOps:
+    def test_add_requires_absent_extent(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddExtentName("Person", "other").apply(small)
+
+    def test_add(self, small):
+        AddExtentName("Employee", "employees").apply(small)
+        assert small.get("Employee").extent == "employees"
+
+    def test_add_rejects_duplicate_extent_name(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddExtentName("Employee", "people").apply(small)
+
+    def test_delete_checks_name(self, small):
+        with pytest.raises(ConstraintViolation):
+            DeleteExtentName("Person", "wrong").apply(small)
+
+    def test_delete(self, small):
+        DeleteExtentName("Person", "people").apply(small)
+        assert small.get("Person").extent is None
+
+    def test_modify(self, small):
+        ModifyExtentName("Person", "people", "persons").apply(small)
+        assert small.get("Person").extent == "persons"
+
+    def test_modify_rejects_taken_name(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifyExtentName("Person", "people", "departments").apply(small)
+
+    def test_extent_undo(self, small):
+        before = schema_fingerprint(small)
+        undo = ModifyExtentName("Person", "people", "persons").apply(small)
+        undo()
+        assert schema_fingerprint(small) == before
+
+
+class TestKeyOps:
+    def test_add(self, small):
+        AddKeyList("Person", ("name",)).apply(small)
+        assert ("name",) in small.get("Person").keys
+
+    def test_add_inherited_attribute_key(self, small):
+        AddKeyList("Employee", ("id",)).apply(small)
+        assert ("id",) in small.get("Employee").keys
+
+    def test_add_unknown_attribute_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddKeyList("Person", ("ghost",)).apply(small)
+
+    def test_add_duplicate_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddKeyList("Person", ("id",)).apply(small)
+
+    def test_add_empty_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            AddKeyList("Person", ()).apply(small)
+
+    def test_delete(self, small):
+        DeleteKeyList("Person", ("id",)).apply(small)
+        assert small.get("Person").keys == []
+
+    def test_delete_missing_rejected(self, small):
+        with pytest.raises(ConstraintViolation):
+            DeleteKeyList("Person", ("name",)).apply(small)
+
+    def test_modify_in_place(self, small):
+        ModifyKeyList("Person", ("id",), ("id", "name")).apply(small)
+        assert small.get("Person").keys == [("id", "name")]
+
+    def test_modify_rejects_unknown_attribute(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifyKeyList("Person", ("id",), ("ghost",)).apply(small)
+
+    def test_key_undo(self, small):
+        before = schema_fingerprint(small)
+        undo = ModifyKeyList("Person", ("id",), ("name",)).apply(small)
+        undo()
+        assert schema_fingerprint(small) == before

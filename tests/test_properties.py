@@ -1,0 +1,328 @@
+"""Property-based tests (hypothesis) for the library's core invariants.
+
+Two generation styles are used:
+
+* a hypothesis *composite strategy* building arbitrary valid schemas
+  construct by construct (``schemas()``);
+* the deterministic workload generator driven by hypothesis-chosen
+  seeds/sizes, which additionally produces valid *operation streams*.
+
+Invariants under test:
+
+1. printed ODL re-parses to an equal schema (front-end round trip);
+2. decompose -> reconstruct is the identity (Section 3.3.1);
+3. apply -> undo is the identity for every generated operation;
+4. the operation language round-trips every generated operation;
+5. the add-only completeness script rebuilds any generated schema
+   from scratch (Section 3.5 reachability);
+6. synthesis produces a script that provably reaches the target.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.completeness import add_only_script
+from repro.analysis.synthesis import synthesize_operations
+from repro.concepts.decompose import decompose, reconstruct
+from repro.knowledge.propagation import expand
+from repro.model.attributes import Attribute
+from repro.model.fingerprint import schema_fingerprint, schemas_equal
+from repro.model.interface import InterfaceDef
+from repro.model.relationships import RelationshipEnd, RelationshipKind
+from repro.model.schema import Schema
+from repro.model.types import NamedType, ScalarType, set_of
+from repro.odl.parser import parse_schema
+from repro.odl.printer import print_schema
+from repro.ops.base import OperationContext
+from repro.ops.language import parse_operation
+from repro.workload.generator import (
+    WorkloadSpec,
+    generate_operations,
+    generate_schema,
+)
+
+_SCALARS = st.sampled_from(
+    [
+        ScalarType("short"),
+        ScalarType("long"),
+        ScalarType("boolean"),
+        ScalarType("date"),
+        ScalarType("string", 10),
+        ScalarType("string", 40),
+    ]
+)
+
+_SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def schemas(draw) -> Schema:
+    """Arbitrary small, structurally valid schemas."""
+    type_count = draw(st.integers(min_value=1, max_value=6))
+    schema = Schema("generated")
+    names = [f"T{i}" for i in range(type_count)]
+    for index, name in enumerate(names):
+        interface = InterfaceDef(name)
+        attr_count = draw(st.integers(min_value=0, max_value=3))
+        for attr_index in range(attr_count):
+            interface.add_attribute(
+                Attribute(f"a{attr_index}", draw(_SCALARS))
+            )
+        if draw(st.booleans()):
+            interface.extent = f"{name.lower()}_ext"
+        # ISA edges only to earlier types: acyclic by construction.
+        if index > 0 and draw(st.booleans()):
+            interface.add_supertype(
+                names[draw(st.integers(min_value=0, max_value=index - 1))]
+            )
+        if interface.attributes and draw(st.booleans()):
+            interface.add_key((next(iter(interface.attributes)),))
+        schema.add_interface(interface)
+    # Inverse-paired relationships between random types.
+    link_count = draw(st.integers(min_value=0, max_value=type_count))
+    for link in range(link_count):
+        owner = names[draw(st.integers(min_value=0, max_value=type_count - 1))]
+        target = names[draw(st.integers(min_value=0, max_value=type_count - 1))]
+        path, inverse_path = f"r{link}_to", f"r{link}_from"
+        to_many = draw(st.booleans())
+        target_ref = set_of(target) if to_many else NamedType(target)
+        schema.get(owner).add_relationship(
+            RelationshipEnd(
+                path, target_ref, target, inverse_path,
+                RelationshipKind.ASSOCIATION,
+            )
+        )
+        schema.get(target).add_relationship(
+            RelationshipEnd(
+                inverse_path, NamedType(owner), owner, path,
+                RelationshipKind.ASSOCIATION,
+            )
+        )
+    schema.validate()
+    return schema
+
+
+_specs = st.builds(
+    WorkloadSpec,
+    types=st.integers(min_value=3, max_value=15),
+    attributes_per_type=st.integers(min_value=0, max_value=4),
+    association_density=st.floats(min_value=0.0, max_value=1.5),
+    isa_fraction=st.floats(min_value=0.0, max_value=0.8),
+    part_of_chain=st.integers(min_value=0, max_value=4),
+    instance_of_chain=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@_SLOW
+@given(schemas())
+def test_odl_round_trip(schema):
+    reparsed = parse_schema(print_schema(schema), name=schema.name)
+    assert schemas_equal(schema, reparsed)
+
+
+@_SLOW
+@given(_specs)
+def test_odl_round_trip_on_workload_schemas(spec):
+    schema = generate_schema(spec)
+    reparsed = parse_schema(print_schema(schema), name=schema.name)
+    assert schemas_equal(schema, reparsed)
+
+
+@_SLOW
+@given(schemas())
+def test_decompose_reconstruct_identity(schema):
+    assert schemas_equal(schema, reconstruct(decompose(schema)))
+
+
+@_SLOW
+@given(_specs)
+def test_decompose_reconstruct_identity_on_workload_schemas(spec):
+    schema = generate_schema(spec)
+    assert schemas_equal(schema, reconstruct(decompose(schema)))
+
+
+@_SLOW
+@given(_specs, st.integers(min_value=0, max_value=1000))
+def test_apply_then_undo_is_identity(spec, op_seed):
+    schema = generate_schema(spec)
+    operations = generate_operations(schema, 10, seed=op_seed)
+    scratch = schema.copy("scratch")
+    context = OperationContext(reference=schema)
+    undo_stack = []
+    for operation in operations:
+        for step in expand(scratch, operation, context):
+            undo_stack.append(step.apply(scratch, context))
+    for undo in reversed(undo_stack):
+        undo()
+    assert schema_fingerprint(scratch) == schema_fingerprint(schema)
+
+
+@_SLOW
+@given(_specs, st.integers(min_value=0, max_value=1000))
+def test_operation_language_round_trip(spec, op_seed):
+    schema = generate_schema(spec)
+    for operation in generate_operations(schema, 10, seed=op_seed):
+        assert parse_operation(operation.to_text()) == operation
+
+
+@_SLOW
+@given(schemas())
+def test_add_only_script_reaches_any_schema(schema):
+    scratch = Schema("empty")
+    context = OperationContext(reference=schema)
+    for operation in add_only_script(schema):
+        for step in expand(scratch, operation, context):
+            step.apply(scratch, context)
+    assert schemas_equal(scratch, schema)
+
+
+@_SLOW
+@given(schemas(), schemas())
+def test_synthesis_reaches_target(source, target):
+    # synthesize_operations verifies its own plan (verify=True) and
+    # raises on failure; reaching here means the invariant held.
+    synthesize_operations(source, target)
+
+
+@_SLOW
+@given(schemas())
+def test_fingerprint_invariant_under_reordering(schema):
+    names = schema.type_names()
+    shuffled = Schema(schema.name)
+    for name in reversed(names):
+        shuffled.add_interface(schema.get(name).copy())
+    assert schemas_equal(schema, shuffled)
+
+
+@_SLOW
+@given(_specs, st.integers(min_value=0, max_value=1000))
+def test_persistence_round_trip(spec, op_seed):
+    """Save/load reproduces the workspace exactly, for any op stream."""
+    from repro.repository.persistence import (
+        repository_from_dict,
+        repository_to_dict,
+    )
+    from repro.repository.repository import SchemaRepository
+
+    schema = generate_schema(spec)
+    repository = SchemaRepository(schema.copy("shrink_wrap"))
+    for operation in generate_operations(schema, 6, seed=op_seed):
+        repository.apply(operation)
+    restored = repository_from_dict(repository_to_dict(repository))
+    assert schemas_equal(restored.workspace.schema, repository.workspace.schema)
+
+
+@_SLOW
+@given(st.text(max_size=60))
+def test_operation_parser_never_crashes(text):
+    """Arbitrary text is rejected with OdlSyntaxError, never a crash."""
+    from repro.model.errors import InvalidModelError
+    from repro.odl.lexer import OdlSyntaxError
+
+    try:
+        parse_operation(text)
+    except (OdlSyntaxError, InvalidModelError):
+        pass
+
+
+@_SLOW
+@given(st.text(max_size=120))
+def test_odl_parser_never_crashes(text):
+    """Arbitrary text never escapes the documented error types."""
+    from repro.model.errors import SchemaError
+    from repro.odl.lexer import OdlSyntaxError
+
+    try:
+        parse_schema(text, name="fuzz")
+    except (OdlSyntaxError, SchemaError):
+        pass
+
+
+@_SLOW
+@given(_specs, st.lists(st.sampled_from(["apply", "undo", "redo"]),
+                        min_size=1, max_size=20),
+       st.integers(min_value=0, max_value=1000))
+def test_undo_redo_interleaving_never_corrupts(spec, actions, op_seed):
+    """Any interleaving of apply/undo/redo leaves a valid workspace, and
+    draining the undo stack restores the shrink wrap schema exactly."""
+    from repro.repository.workspace import Workspace
+
+    schema = generate_schema(spec)
+    operations = iter(generate_operations(schema, 20, seed=op_seed))
+    workspace = Workspace(schema)
+    for action in actions:
+        if action == "apply":
+            operation = next(operations, None)
+            if operation is not None:
+                try:
+                    workspace.apply(operation)
+                except Exception:
+                    pass  # stream ops can clash after undo/redo churn
+        elif action == "undo":
+            workspace.undo_last()
+        else:
+            workspace.redo()
+        workspace.schema.validate()
+    while workspace.undo_last() is not None:
+        pass
+    assert schemas_equal(workspace.schema, workspace.reference)
+
+
+@_SLOW
+@given(_specs)
+def test_relational_translation_total(spec):
+    """Every generated schema translates: >= one table per type, and
+    every foreign key references an existing table."""
+    from repro.translate.relational import to_relational
+
+    schema = generate_schema(spec)
+    relational = to_relational(schema)
+    assert len(relational.tables) >= len(schema)
+    names = set(relational.table_names())
+    for table in relational.tables:
+        for foreign_key in table.foreign_keys:
+            assert foreign_key.referenced_table in names
+
+
+@_SLOW
+@given(_specs)
+def test_er_translation_total(spec):
+    """ER translation: one entity per type, each relationship pair once."""
+    from repro.translate.er import to_er
+
+    schema = generate_schema(spec)
+    model = to_er(schema)
+    assert len(model.entities) == len(schema)
+    pairs = {
+        frozenset({(o, e.name), (e.inverse_type, e.inverse_name)})
+        for o, e in schema.relationship_pairs()
+    }
+    assert len(model.relationships) == len(pairs)
+
+
+@_SLOW
+@given(schemas(), st.data())
+def test_local_name_display_stays_valid(schema, data):
+    """Any consistent aliasing yields a structurally valid display schema."""
+    from repro.repository.localnames import LocalNameMap, apply_local_names
+
+    names = LocalNameMap()
+    candidates = schema.type_names()
+    if candidates:
+        victim = data.draw(st.sampled_from(candidates))
+        names.set_alias(victim, f"Local_{victim}", schema)
+        interface = schema.get(victim)
+        members = list(interface.attributes) + list(interface.relationships)
+        if members:
+            member = data.draw(st.sampled_from(members))
+            names.set_alias(f"{victim}.{member}", f"local_{member}", schema)
+    display = apply_local_names(schema, names)
+    display.validate()
+    assert len(display) == len(schema)

@@ -1,0 +1,114 @@
+"""Unit tests for relationship ends (repro.model.relationships)."""
+
+import pytest
+
+from repro.model.errors import InvalidModelError
+from repro.model.relationships import (
+    Cardinality,
+    RelationshipEnd,
+    RelationshipKind,
+    association,
+    instance_of,
+    part_of,
+)
+from repro.model.types import named, scalar, set_of
+
+
+class TestConstruction:
+    def test_to_one_association(self):
+        end = association("works_in", named("Department"), "Department", "has")
+        assert not end.is_to_many
+        assert end.cardinality is Cardinality.ONE
+        assert end.target_type == "Department"
+        assert end.collection_kind is None
+
+    def test_to_many_association(self):
+        end = association("has", set_of("Employee"), "Employee", "works_in")
+        assert end.is_to_many
+        assert end.cardinality is Cardinality.MANY
+        assert end.collection_kind == "set"
+
+    def test_scalar_target_rejected(self):
+        with pytest.raises(InvalidModelError):
+            association("x", scalar("long"), "A", "y")
+
+    def test_collection_of_scalar_target_rejected(self):
+        with pytest.raises(InvalidModelError):
+            association("x", set_of("long"), "A", "y")
+
+    def test_missing_inverse_rejected(self):
+        with pytest.raises(InvalidModelError):
+            RelationshipEnd("x", named("A"), "", "y")
+
+    def test_order_by_on_to_one_rejected(self):
+        with pytest.raises(InvalidModelError):
+            association("x", named("A"), "A", "y", order_by=("name",))
+
+    def test_order_by_on_to_many_allowed(self):
+        end = association("x", set_of("A"), "A", "y", order_by=("name",))
+        assert end.order_by == ("name",)
+
+
+class TestRoles:
+    def test_association_role(self):
+        end = association("x", named("A"), "A", "y")
+        assert end.role == "association"
+
+    def test_part_of_roles(self):
+        to_parts = part_of("walls", set_of("Wall"), "Wall", "of_house")
+        to_whole = part_of("of_house", named("House"), "House", "walls")
+        assert to_parts.role == "to_parts"
+        assert to_whole.role == "to_whole"
+
+    def test_instance_of_roles(self):
+        to_instances = instance_of("versions", set_of("V"), "V", "of_app")
+        to_generic = instance_of("of_app", named("App"), "App", "versions")
+        assert to_instances.role == "to_instances"
+        assert to_generic.role == "to_generic"
+
+    def test_kind_keywords(self):
+        assert RelationshipKind.ASSOCIATION.keyword() == ""
+        assert RelationshipKind.PART_OF.keyword() == "part_of"
+        assert RelationshipKind.INSTANCE_OF.keyword() == "instance_of"
+
+
+class TestRendering:
+    def test_association_rendering(self):
+        end = association("has", set_of("Employee"), "Employee", "works_in")
+        assert (
+            str(end)
+            == "relationship set<Employee> has inverse Employee::works_in"
+        )
+
+    def test_part_of_rendering(self):
+        end = part_of("walls", set_of("Wall"), "Wall", "of_house")
+        assert str(end).startswith("part_of relationship set<Wall> walls")
+
+    def test_order_by_rendering(self):
+        end = association(
+            "has", set_of("Employee"), "Employee", "works_in",
+            order_by=("name", "id"),
+        )
+        assert str(end).endswith("order_by (name, id)")
+
+
+class TestFunctionalUpdates:
+    def test_with_target_type_keeps_collection(self):
+        end = association("has", set_of("Employee"), "Employee", "works_in")
+        updated = end.with_target_type("Person")
+        assert updated.target == set_of("Person")
+        assert end.target == set_of("Employee")
+
+    def test_with_target_type_scalar(self):
+        end = association("works_in", named("Department"), "Department", "has")
+        assert end.with_target_type("Division").target == named("Division")
+
+    def test_with_inverse(self):
+        end = association("has", set_of("Employee"), "Employee", "works_in")
+        updated = end.with_inverse("Person", "works_in")
+        assert updated.inverse_type == "Person"
+        assert updated.inverse_name == "works_in"
+
+    def test_with_order_by(self):
+        end = association("has", set_of("Employee"), "Employee", "works_in")
+        assert end.with_order_by(("name",)).order_by == ("name",)

@@ -1,0 +1,83 @@
+"""Unit tests for repository JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.model.errors import SchemaError
+from repro.model.fingerprint import schemas_equal
+from repro.ops.language import parse_operation
+from repro.repository.persistence import (
+    load_repository,
+    repository_from_dict,
+    repository_to_dict,
+    save_repository,
+)
+from repro.repository.repository import SchemaRepository
+
+
+@pytest.fixture
+def repository(small):
+    repo = SchemaRepository(small, custom_name="small_custom")
+    repo.apply(
+        parse_operation("add_attribute(Person, date, dob)"),
+        concept_id="ww:Person",
+    )
+    repo.apply(parse_operation("delete_type_definition(Department)"))
+    return repo
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, repository):
+        data = repository_to_dict(repository)
+        restored = repository_from_dict(data)
+        assert schemas_equal(restored.shrink_wrap, repository.shrink_wrap)
+        assert schemas_equal(
+            restored.workspace.schema, repository.workspace.schema
+        )
+
+    def test_concept_ids_preserved(self, repository):
+        restored = repository_from_dict(repository_to_dict(repository))
+        assert restored.workspace.log[0].concept_id == "ww:Person"
+        assert restored.workspace.log[1].concept_id is None
+
+    def test_file_round_trip(self, repository, tmp_path):
+        path = tmp_path / "repo.json"
+        save_repository(repository, path)
+        restored = load_repository(path)
+        assert schemas_equal(
+            restored.workspace.schema, repository.workspace.schema
+        )
+
+    def test_file_is_readable_json(self, repository, tmp_path):
+        path = tmp_path / "repo.json"
+        save_repository(repository, path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert "interface Person" in data["shrink_wrap_odl"]
+        assert data["operations"][0]["text"] == (
+            "add_attribute(Person, date, dob)"
+        )
+
+    def test_propagate_flag_persisted(self, small, tmp_path):
+        repo = SchemaRepository(small)
+        repo.apply(
+            parse_operation("delete_attribute(Employee, salary)"),
+            propagate=False,
+        )
+        restored = repository_from_dict(repository_to_dict(repo))
+        assert restored.workspace.log[0].propagated is False
+
+
+class TestFormatGuards:
+    def test_unknown_version_rejected(self, repository):
+        data = repository_to_dict(repository)
+        data["format_version"] = 99
+        with pytest.raises(SchemaError):
+            repository_from_dict(data)
+
+    def test_missing_version_rejected(self, repository):
+        data = repository_to_dict(repository)
+        del data["format_version"]
+        with pytest.raises(SchemaError):
+            repository_from_dict(data)

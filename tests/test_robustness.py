@@ -1,0 +1,105 @@
+"""Failure-injection tests: corrupted inputs must fail loudly and cleanly."""
+
+import json
+
+import pytest
+
+from repro.model.errors import ReproError, SchemaError
+from repro.odl.lexer import OdlSyntaxError
+from repro.ops.language import parse_operation
+from repro.repository.persistence import (
+    load_repository,
+    repository_from_dict,
+    repository_to_dict,
+    save_repository,
+)
+from repro.repository.repository import SchemaRepository
+
+
+@pytest.fixture
+def saved(small, tmp_path):
+    repository = SchemaRepository(small, custom_name="robust")
+    repository.apply(parse_operation("add_attribute(Person, date, dob)"))
+    path = tmp_path / "repo.json"
+    save_repository(repository, path)
+    return repository, path
+
+
+class TestCorruptedRepositoryFiles:
+    def test_truncated_json(self, saved, tmp_path):
+        _, path = saved
+        path.write_text(path.read_text()[:40], encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            load_repository(path)
+
+    def test_corrupted_odl(self, saved):
+        repository, path = saved
+        data = json.loads(path.read_text())
+        data["shrink_wrap_odl"] = "interface Broken {"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(OdlSyntaxError):
+            load_repository(path)
+
+    def test_corrupted_operation_text(self, saved):
+        repository, path = saved
+        data = json.loads(path.read_text())
+        data["operations"][0]["text"] = "rename_type(Person, Kunde)"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(OdlSyntaxError):
+            load_repository(path)
+
+    def test_operation_that_no_longer_applies(self, saved):
+        repository, path = saved
+        data = json.loads(path.read_text())
+        data["operations"][0]["text"] = "delete_attribute(Person, ghost)"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_repository(path)
+
+    def test_invalid_shrink_wrap(self, saved):
+        repository, path = saved
+        data = json.loads(path.read_text())
+        data["shrink_wrap_odl"] = "interface A : Ghost {};"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(SchemaError):
+            load_repository(path)
+
+    def test_bad_local_name_path(self, saved):
+        repository, path = saved
+        data = json.loads(path.read_text())
+        data["local_names"] = {"Ghost": "Phantom"}
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(SchemaError):
+            load_repository(path)
+
+    def test_round_trip_is_not_lossy_under_extra_keys(self, saved):
+        """Unknown trailing keys are tolerated (forward compatibility)."""
+        repository, path = saved
+        data = json.loads(path.read_text())
+        data["future_extension"] = {"anything": True}
+        restored = repository_from_dict(data)
+        from repro.model.fingerprint import schemas_equal
+
+        assert schemas_equal(
+            restored.workspace.schema, repository.workspace.schema
+        )
+
+
+class TestDoctests:
+    def test_odl_package_doctest(self):
+        import doctest
+
+        import repro.odl
+
+        results = doctest.testmod(repro.odl)
+        assert results.attempted >= 1
+        assert results.failed == 0
+
+
+class TestSerializationDeterminism:
+    def test_to_dict_is_deterministic(self, small):
+        repository = SchemaRepository(small, custom_name="det")
+        repository.apply(parse_operation("add_attribute(Person, date, dob)"))
+        first = json.dumps(repository_to_dict(repository), sort_keys=True)
+        second = json.dumps(repository_to_dict(repository), sort_keys=True)
+        assert first == second

@@ -1,0 +1,164 @@
+"""Unit tests for the schema container (repro.model.schema)."""
+
+import pytest
+
+from repro.model.errors import (
+    DuplicateNameError,
+    InvalidModelError,
+    UnknownTypeError,
+)
+from repro.model.interface import InterfaceDef
+from repro.model.schema import Schema, schema_from_interfaces
+from repro.odl.parser import parse_schema
+
+
+class TestContainer:
+    def test_requires_name(self):
+        with pytest.raises(InvalidModelError):
+            Schema("")
+
+    def test_add_and_get(self):
+        schema = Schema("s")
+        schema.add_interface(InterfaceDef("A"))
+        assert schema.get("A").name == "A"
+        assert "A" in schema
+        assert len(schema) == 1
+
+    def test_duplicate_rejected(self):
+        schema = Schema("s")
+        schema.add_interface(InterfaceDef("A"))
+        with pytest.raises(DuplicateNameError):
+            schema.add_interface(InterfaceDef("A"))
+
+    def test_get_missing(self):
+        with pytest.raises(UnknownTypeError):
+            Schema("s").get("A")
+
+    def test_remove(self):
+        schema = Schema("s")
+        schema.add_interface(InterfaceDef("A"))
+        removed = schema.remove_interface("A")
+        assert removed.name == "A"
+        with pytest.raises(UnknownTypeError):
+            schema.remove_interface("A")
+
+    def test_iteration_preserves_order(self):
+        schema = schema_from_interfaces(
+            "s", [InterfaceDef("B"), InterfaceDef("A")]
+        )
+        assert schema.type_names() == ["B", "A"]
+
+    def test_str(self):
+        schema = Schema("demo")
+        assert "demo" in str(schema)
+
+
+class TestGeneralizationQueries:
+    @pytest.fixture
+    def hierarchy(self) -> Schema:
+        return parse_schema(
+            """
+            interface Person {};
+            interface Student : Person {};
+            interface Graduate : Student {};
+            interface Masters : Graduate {};
+            interface Faculty : Person {};
+            interface Loner {};
+            """,
+            name="h",
+        )
+
+    def test_subtypes(self, hierarchy):
+        assert hierarchy.subtypes("Person") == ["Student", "Faculty"]
+
+    def test_ancestors(self, hierarchy):
+        assert hierarchy.ancestors("Masters") == {
+            "Graduate", "Student", "Person"
+        }
+
+    def test_descendants(self, hierarchy):
+        assert hierarchy.descendants("Student") == {"Graduate", "Masters"}
+
+    def test_descendants_of_unknown_type(self, hierarchy):
+        with pytest.raises(UnknownTypeError):
+            hierarchy.descendants("Ghost")
+
+    def test_isa_related_up_and_down(self, hierarchy):
+        assert hierarchy.isa_related("Masters", "Person")
+        assert hierarchy.isa_related("Person", "Masters")
+        assert hierarchy.isa_related("Student", "Student")
+
+    def test_isa_unrelated_siblings(self, hierarchy):
+        assert not hierarchy.isa_related("Faculty", "Student")
+        assert not hierarchy.isa_related("Loner", "Person")
+
+    def test_generalization_roots(self, hierarchy):
+        assert hierarchy.generalization_roots() == ["Person"]
+
+    def test_inherited_attributes(self):
+        schema = parse_schema(
+            """
+            interface A { attribute long x; attribute long y; };
+            interface B : A { attribute long y; };
+            interface C : B {};
+            """,
+            name="h",
+        )
+        inherited = schema.inherited_attributes("C")
+        assert inherited["x"] == "A"
+        assert inherited["y"] == "B"  # local override wins over A's y
+
+
+class TestLinkQueries:
+    def test_part_of_edges(self, house):
+        edges = house.part_of_edges()
+        assert ("House", "Structure") in {(w, p) for w, p, _ in edges}
+
+    def test_parts_and_wholes(self, house):
+        assert set(house.parts("Roof")) == {
+            "Plywood_Decking", "Tar_Paper", "Shingle"
+        }
+        assert house.wholes("Roof") == ["Structure"]
+
+    def test_aggregation_roots(self, house):
+        assert house.aggregation_roots() == ["House"]
+
+    def test_instance_of_edges(self, software):
+        pairs = {(g, i) for g, i, _ in software.instance_of_edges()}
+        assert ("Application", "Application_Version") in pairs
+        assert len(pairs) == 3
+
+    def test_instance_of_roots(self, software):
+        assert software.instance_of_roots() == ["Application"]
+
+    def test_find_inverse(self, small):
+        end = small.get("Employee").get_relationship("works_in")
+        inverse = small.find_inverse("Employee", end)
+        assert inverse is not None
+        assert inverse.name == "staff"
+
+    def test_find_inverse_missing(self, small):
+        small.get("Department").remove_relationship("staff")
+        end = small.get("Employee").get_relationship("works_in")
+        assert small.find_inverse("Employee", end) is None
+
+
+class TestCopyAndStats:
+    def test_copy_is_deep_enough(self, small):
+        duplicate = small.copy()
+        duplicate.get("Person").remove_attribute("name")
+        assert "name" in small.get("Person").attributes
+
+    def test_copy_rename(self, small):
+        assert small.copy("renamed").name == "renamed"
+
+    def test_stats(self, small):
+        stats = small.stats()
+        assert stats["interfaces"] == 3
+        assert stats["attributes"] == 4
+        assert stats["relationship_ends"] == 2
+        assert stats["supertype_links"] == 1
+
+    def test_relationship_pairs(self, small):
+        owners = [owner for owner, _ in small.relationship_pairs()]
+        assert owners == ["Employee", "Department"]

@@ -1,0 +1,176 @@
+"""Tests for the relational and ER translations (Section 5)."""
+
+import pytest
+
+from repro.catalog import (
+    business_schema,
+    house_schema,
+    software_schema,
+    university_schema,
+)
+from repro.odl.parser import parse_schema
+from repro.translate.er import to_er, to_er_text
+from repro.translate.relational import to_relational, to_sql
+
+
+class TestRelationalBasics:
+    def test_table_per_interface(self, small):
+        relational = to_relational(small)
+        assert set(relational.table_names()) == {
+            "person", "employee", "department"
+        }
+
+    def test_primary_key_from_first_key(self, small):
+        table = to_relational(small).table("person")
+        assert table.primary_key == ("id",)
+        id_column = next(c for c in table.columns if c.name == "id")
+        assert not id_column.nullable
+
+    def test_surrogate_key_for_keyless_root(self):
+        schema = parse_schema("interface Note { attribute string(80) body; };",
+                              name="s")
+        table = to_relational(schema).table("note")
+        assert table.primary_key == ("note_id",)
+
+    def test_subtype_shares_root_key(self, small):
+        employee = to_relational(small).table("employee")
+        assert employee.primary_key == ("id",)
+        fks = [fk for fk in employee.foreign_keys
+               if fk.referenced_table == "person"]
+        assert len(fks) == 1
+        assert fks[0].on_delete_cascade
+
+    def test_deep_hierarchy_references_direct_supertype(self, university):
+        relational = to_relational(university)
+        masters = relational.table("masters")
+        assert any(
+            fk.referenced_table == "graduate" for fk in masters.foreign_keys
+        )
+        assert masters.primary_key == ("id",)
+
+    def test_extra_keys_become_unique(self):
+        schema = parse_schema(
+            "interface A { keys (x), (y); attribute long x; attribute long y; };",
+            name="s",
+        )
+        table = to_relational(schema).table("a")
+        assert table.primary_key == ("x",)
+        assert table.unique_keys == [("y",)]
+
+    def test_scalar_type_mapping(self, small):
+        table = to_relational(small).table("person")
+        name_column = next(c for c in table.columns if c.name == "name")
+        assert name_column.sql_type == "VARCHAR(30)"
+
+
+class TestRelationalRelationships:
+    def test_one_to_many_fk_on_many_side(self, small):
+        employee = to_relational(small).table("employee")
+        fk_columns = {c.name for c in employee.columns}
+        assert "works_in_code" in fk_columns
+        assert any(
+            fk.referenced_table == "department"
+            for fk in employee.foreign_keys
+        )
+
+    def test_many_to_many_junction(self, university):
+        relational = to_relational(university)
+        junction = relational.table("course_offering_book_for")
+        assert len(junction.primary_key) >= 2
+        referenced = {fk.referenced_table for fk in junction.foreign_keys}
+        assert referenced == {"course_offering", "book"}
+
+    def test_part_of_cascades(self, house):
+        structure = to_relational(house).table("structure")
+        house_fk = next(
+            fk for fk in structure.foreign_keys
+            if fk.referenced_table == "house"
+        )
+        assert house_fk.on_delete_cascade
+
+    def test_instance_of_cascades(self, software):
+        version = to_relational(software).table("application_version")
+        app_fk = next(
+            fk for fk in version.foreign_keys
+            if fk.referenced_table == "application"
+        )
+        assert app_fk.on_delete_cascade
+
+    def test_collection_attribute_child_table(self):
+        schema = parse_schema(
+            "interface A { keys (id); attribute long id; "
+            "attribute set<string(20)> tags; };",
+            name="s",
+        )
+        relational = to_relational(schema)
+        child = relational.table("a_tags")
+        owner_fk = child.foreign_keys[0]
+        assert owner_fk.referenced_table == "a"
+        assert owner_fk.on_delete_cascade
+
+    def test_reserved_table_names_quoted(self):
+        sql = to_sql(business_schema())
+        assert 'CREATE TABLE "order" (' in sql
+        assert 'REFERENCES "order"' in sql
+
+    def test_full_catalog_translates(self):
+        for builder in (
+            university_schema, house_schema, software_schema, business_schema,
+        ):
+            ddl = to_sql(builder())
+            assert ddl.count("CREATE TABLE") >= 4
+            # Every table body is syntactically balanced.
+            assert ddl.count("(") >= ddl.count("CREATE TABLE")
+
+
+class TestErModel:
+    def test_entities_and_isa(self, small):
+        model = to_er(small)
+        assert model.entity("Employee").isa == ["Person"]
+        assert {e.name for e in model.entities} == {
+            "Person", "Employee", "Department"
+        }
+
+    def test_key_attributes_marked(self, small):
+        person = to_er(small).entity("Person")
+        id_attribute = next(a for a in person.attributes if a.name == "id")
+        assert id_attribute.is_key
+
+    def test_multivalued_attributes_marked(self):
+        schema = parse_schema(
+            "interface A { attribute set<string(5)> tags; };", name="s"
+        )
+        attribute = to_er(schema).entity("A").attributes[0]
+        assert attribute.is_multivalued
+
+    def test_relationship_cardinalities(self, small):
+        model = to_er(small)
+        relationship = model.relationships[0]
+        # Employee (N) -- works_in -- (1) Department: many employees per
+        # department, one department per employee.
+        assert relationship.name == "works_in"
+        assert relationship.first_entity == "Employee"
+        assert relationship.first_cardinality == "N"
+        assert relationship.second_cardinality == "1"
+
+    def test_part_of_stereotype(self, house):
+        model = to_er(house)
+        stereotypes = {r.stereotype for r in model.relationships}
+        assert "part-of" in stereotypes
+
+    def test_instance_of_stereotype(self, software):
+        model = to_er(software)
+        assert all(r.stereotype == "instance-of" for r in model.relationships)
+
+    def test_each_relationship_once(self, small):
+        model = to_er(small)
+        assert len(model.relationships) == 1
+
+    def test_text_rendering(self, small):
+        text = to_er_text(small)
+        assert "entity Employee ISA Person" in text
+        assert "-- works_in --" in text
+
+    def test_unknown_entity_lookup(self, small):
+        with pytest.raises(KeyError):
+            to_er(small).entity("Ghost")

@@ -1,0 +1,158 @@
+"""Unit tests for the type system (repro.model.types)."""
+
+import pytest
+
+from repro.model.errors import InvalidModelError
+from repro.model.types import (
+    VOID,
+    CollectionType,
+    NamedType,
+    ScalarType,
+    array_of,
+    bag_of,
+    is_type_ref,
+    list_of,
+    named,
+    parse_type_text,
+    referenced_interfaces,
+    scalar,
+    set_of,
+)
+
+
+class TestScalarType:
+    def test_plain_scalar(self):
+        assert str(ScalarType("short")) == "short"
+
+    def test_sized_string(self):
+        assert str(ScalarType("string", 30)) == "string(30)"
+
+    def test_sized_char(self):
+        assert str(ScalarType("char", 2)) == "char(2)"
+
+    def test_unknown_scalar_rejected(self):
+        with pytest.raises(InvalidModelError):
+            ScalarType("integer")
+
+    def test_size_on_unsized_scalar_rejected(self):
+        with pytest.raises(InvalidModelError):
+            ScalarType("short", 4)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(InvalidModelError):
+            ScalarType("string", 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidModelError):
+            ScalarType("string", -3)
+
+    def test_equality_by_value(self):
+        assert ScalarType("string", 30) == ScalarType("string", 30)
+        assert ScalarType("string", 30) != ScalarType("string", 31)
+
+    def test_hashable(self):
+        assert len({ScalarType("long"), ScalarType("long")}) == 1
+
+    def test_void_singleton(self):
+        assert VOID == ScalarType("void")
+
+
+class TestNamedType:
+    def test_renders_as_name(self):
+        assert str(NamedType("Course")) == "Course"
+
+    def test_scalar_name_rejected(self):
+        with pytest.raises(InvalidModelError):
+            NamedType("string")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidModelError):
+            NamedType("")
+
+    def test_leading_digit_rejected(self):
+        with pytest.raises(InvalidModelError):
+            NamedType("1Course")
+
+
+class TestCollectionType:
+    def test_set_rendering(self):
+        assert str(CollectionType("set", NamedType("Employee"))) == "set<Employee>"
+
+    def test_sized_array_rendering(self):
+        assert (
+            str(CollectionType("array", ScalarType("short"), 10))
+            == "array<short, 10>"
+        )
+
+    def test_nested_collection(self):
+        inner = CollectionType("set", NamedType("A"))
+        assert str(CollectionType("list", inner)) == "list<set<A>>"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidModelError):
+            CollectionType("multiset", NamedType("A"))
+
+    def test_size_on_set_rejected(self):
+        with pytest.raises(InvalidModelError):
+            CollectionType("set", NamedType("A"), 5)
+
+    def test_collection_of_void_rejected(self):
+        with pytest.raises(InvalidModelError):
+            CollectionType("set", VOID)
+
+    def test_non_positive_array_size_rejected(self):
+        with pytest.raises(InvalidModelError):
+            CollectionType("array", NamedType("A"), 0)
+
+
+class TestShorthands:
+    def test_scalar_shorthand(self):
+        assert scalar("string", 20) == ScalarType("string", 20)
+
+    def test_named_shorthand(self):
+        assert named("Course") == NamedType("Course")
+
+    def test_set_of_string_argument(self):
+        assert set_of("Employee") == CollectionType("set", NamedType("Employee"))
+
+    def test_set_of_scalar_name(self):
+        assert set_of("long") == CollectionType("set", ScalarType("long"))
+
+    def test_list_bag_array(self):
+        assert str(list_of("A")) == "list<A>"
+        assert str(bag_of("A")) == "bag<A>"
+        assert str(array_of("A", 4)) == "array<A, 4>"
+
+    def test_coerce_rejects_non_types(self):
+        with pytest.raises(InvalidModelError):
+            set_of(42)  # type: ignore[arg-type]
+
+
+class TestIntrospection:
+    def test_is_type_ref(self):
+        assert is_type_ref(scalar("long"))
+        assert is_type_ref(named("A"))
+        assert is_type_ref(set_of("A"))
+        assert not is_type_ref("A")
+
+    def test_referenced_interfaces_scalar(self):
+        assert referenced_interfaces(scalar("long")) == set()
+
+    def test_referenced_interfaces_named(self):
+        assert referenced_interfaces(named("Course")) == {"Course"}
+
+    def test_referenced_interfaces_nested(self):
+        assert referenced_interfaces(list_of(set_of("Course"))) == {"Course"}
+
+
+class TestParseTypeText:
+    def test_scalar(self):
+        assert parse_type_text("string(30)") == scalar("string", 30)
+
+    def test_collection(self):
+        assert parse_type_text("set<Employee>") == set_of("Employee")
+
+    def test_round_trip(self):
+        for text in ("short", "string(5)", "set<A>", "array<long, 3>",
+                     "list<set<B>>"):
+            assert str(parse_type_text(text)) == text

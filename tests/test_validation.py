@@ -1,0 +1,244 @@
+"""Unit tests for structural validation (repro.model.validation)."""
+
+import pytest
+
+from repro.model.errors import ValidationError
+from repro.model.validation import validate_schema
+from repro.odl.parser import parse_schema
+
+
+def issues_of(schema, rule=None):
+    issues = validate_schema(schema)
+    if rule is None:
+        return issues
+    return [issue for issue in issues if issue.rule == rule]
+
+
+def rules_of(schema):
+    return {issue.rule for issue in validate_schema(schema)}
+
+
+class TestDanglingTypes:
+    def test_clean_schema_has_no_issues(self, small):
+        assert validate_schema(small) == []
+
+    def test_dangling_supertype(self):
+        schema = parse_schema("interface A : Ghost {};", name="s")
+        assert "dangling-type" in rules_of(schema)
+
+    def test_dangling_attribute_type(self):
+        schema = parse_schema("interface A { attribute Ghost g; };", name="s")
+        assert "dangling-type" in rules_of(schema)
+
+    def test_dangling_relationship_target(self):
+        schema = parse_schema(
+            "interface A { relationship Ghost g inverse Ghost::h; };", name="s"
+        )
+        issues = issues_of(schema, "dangling-type")
+        assert len(issues) == 2  # target and inverse owner
+
+    def test_dangling_operation_signature(self):
+        schema = parse_schema("interface A { Ghost f(); };", name="s")
+        assert "dangling-type" in rules_of(schema)
+
+
+class TestInverses:
+    def test_missing_inverse(self):
+        schema = parse_schema(
+            """
+            interface A { relationship B to_b inverse B::to_a; };
+            interface B {};
+            """,
+            name="s",
+        )
+        assert "inverse-missing" in rules_of(schema)
+
+    def test_mismatched_inverse_target(self):
+        schema = parse_schema(
+            """
+            interface A { relationship B to_b inverse B::to_a; };
+            interface B { relationship C to_a inverse C::x; };
+            interface C { relationship B x inverse B::to_a; };
+            """,
+            name="s",
+        )
+        assert "inverse-mismatch" in rules_of(schema)
+
+    def test_kind_mismatch(self):
+        schema = parse_schema(
+            """
+            interface A { part_of relationship set<B> parts inverse B::whole; };
+            interface B { relationship A whole inverse A::parts; };
+            """,
+            name="s",
+        )
+        assert "kind-mismatch" in rules_of(schema)
+
+    def test_inverse_owner_differs_from_target(self):
+        schema = parse_schema(
+            """
+            interface A { relationship B to_b inverse C::back; };
+            interface B {};
+            interface C { relationship A back inverse A::to_b; };
+            """,
+            name="s",
+        )
+        assert "inverse-mismatch" in rules_of(schema)
+
+
+class TestCardinalityRoles:
+    def test_part_of_both_ends_to_many(self):
+        schema = parse_schema(
+            """
+            interface A { part_of relationship set<B> parts inverse B::wholes; };
+            interface B { part_of relationship set<A> wholes inverse A::parts; };
+            """,
+            name="s",
+        )
+        assert "cardinality-role" in rules_of(schema)
+
+    def test_instance_of_both_ends_to_one(self):
+        schema = parse_schema(
+            """
+            interface A { instance_of relationship B inst inverse B::gen; };
+            interface B { instance_of relationship A gen inverse A::inst; };
+            """,
+            name="s",
+        )
+        assert "cardinality-role" in rules_of(schema)
+
+    def test_association_may_be_many_to_many(self):
+        schema = parse_schema(
+            """
+            interface A { relationship set<B> bs inverse B::as_; };
+            interface B { relationship set<A> as_ inverse A::bs; };
+            """,
+            name="s",
+        )
+        assert "cardinality-role" not in rules_of(schema)
+
+
+class TestCycles:
+    def test_isa_cycle(self):
+        schema = parse_schema(
+            "interface A : B {}; interface B : A {};", name="s"
+        )
+        assert "isa-cycle" in rules_of(schema)
+
+    def test_part_of_cycle(self):
+        schema = parse_schema(
+            """
+            interface A {
+              part_of relationship set<B> parts inverse B::whole;
+              part_of relationship A2 whole2 inverse A2::parts2;
+            };
+            interface B {
+              part_of relationship A whole inverse A::parts;
+              part_of relationship set<A2> parts2x inverse A2::whole2x;
+            };
+            interface A2 {
+              part_of relationship set<A> parts2 inverse A::whole2;
+              part_of relationship B whole2x inverse B::parts2x;
+            };
+            """,
+            name="s",
+        )
+        assert "part-of-cycle" in rules_of(schema)
+
+    def test_instance_of_cycle(self):
+        schema = parse_schema(
+            """
+            interface A {
+              instance_of relationship set<B> insts inverse B::gen;
+              instance_of relationship B gen2 inverse B::insts2;
+            };
+            interface B {
+              instance_of relationship A gen inverse A::insts;
+              instance_of relationship set<A> insts2 inverse A::gen2;
+            };
+            """,
+            name="s",
+        )
+        assert "instance-of-cycle" in rules_of(schema)
+
+
+class TestKeysAndOrderBy:
+    def test_key_on_unknown_attribute(self):
+        schema = parse_schema(
+            "interface A { keys (ghost); attribute long id; };", name="s"
+        )
+        assert "key-unknown" in rules_of(schema)
+
+    def test_key_on_inherited_attribute_is_fine(self):
+        schema = parse_schema(
+            """
+            interface A { attribute long id; };
+            interface B : A { keys (id); };
+            """,
+            name="s",
+        )
+        assert "key-unknown" not in rules_of(schema)
+
+    def test_order_by_unknown_attribute(self):
+        schema = parse_schema(
+            """
+            interface A { relationship set<B> bs inverse B::a order_by (ghost); };
+            interface B { relationship A a inverse A::bs; };
+            """,
+            name="s",
+        )
+        assert "order-by-unknown" in rules_of(schema)
+
+    def test_order_by_inherited_attribute_is_fine(self):
+        schema = parse_schema(
+            """
+            interface Base { attribute string(5) name; };
+            interface B : Base { relationship A a inverse A::bs; };
+            interface A { relationship set<B> bs inverse B::a order_by (name); };
+            """,
+            name="s",
+        )
+        assert "order-by-unknown" not in rules_of(schema)
+
+
+class TestMultiRoot:
+    def test_multi_root_component_warns(self):
+        schema = parse_schema(
+            """
+            interface A {};
+            interface B {};
+            interface C : A, B {};
+            """,
+            name="s",
+        )
+        issues = issues_of(schema, "multi-root-hierarchy")
+        assert len(issues) == 1
+        assert issues[0].severity == "warning"
+
+    def test_single_root_component_clean(self, university):
+        assert "multi-root-hierarchy" not in rules_of(university)
+
+    def test_warning_does_not_fail_validation(self):
+        schema = parse_schema(
+            """
+            interface A {};
+            interface B {};
+            interface C : A, B {};
+            """,
+            name="s",
+        )
+        schema.validate()  # must not raise: only warnings present
+
+
+class TestRaiseBehaviour:
+    def test_validate_raises_with_issue_list(self):
+        schema = parse_schema("interface A : Ghost {};", name="s")
+        with pytest.raises(ValidationError) as info:
+            validate_schema(schema, raise_on_error=True)
+        assert info.value.issues
+        assert all(i.severity == "error" for i in info.value.issues)
+
+    def test_schema_validate_method(self):
+        schema = parse_schema("interface A : Ghost {};", name="s")
+        with pytest.raises(ValidationError):
+            schema.validate()

@@ -1,0 +1,83 @@
+"""Tests for the synthetic workload generator."""
+
+from repro.knowledge.propagation import expand
+from repro.model.fingerprint import schema_fingerprint
+from repro.ops.base import OperationContext
+from repro.workload.generator import (
+    WorkloadSpec,
+    generate_operations,
+    generate_schema,
+)
+
+
+class TestGenerateSchema:
+    def test_requested_size(self):
+        schema = generate_schema(WorkloadSpec(types=25, seed=1))
+        assert len(schema) == 25
+
+    def test_schema_is_valid(self):
+        generate_schema(WorkloadSpec(types=40, seed=2)).validate()
+
+    def test_deterministic(self):
+        first = generate_schema(WorkloadSpec(types=15, seed=3))
+        second = generate_schema(WorkloadSpec(types=15, seed=3))
+        assert schema_fingerprint(first) == schema_fingerprint(second)
+
+    def test_seed_changes_output(self):
+        first = generate_schema(WorkloadSpec(types=15, seed=3))
+        second = generate_schema(WorkloadSpec(types=15, seed=4))
+        assert schema_fingerprint(first) != schema_fingerprint(second)
+
+    def test_features_present(self):
+        schema = generate_schema(WorkloadSpec(types=30, seed=5))
+        stats = schema.stats()
+        assert stats["supertype_links"] > 0
+        assert stats["part_of_links"] == 3
+        assert stats["instance_of_links"] == 2
+        assert stats["relationship_ends"] > 10
+
+    def test_features_can_be_disabled(self):
+        spec = WorkloadSpec(
+            types=10, isa_fraction=0.0, association_density=0.0,
+            part_of_chain=0, instance_of_chain=0, seed=0,
+        )
+        stats = generate_schema(spec).stats()
+        assert stats["supertype_links"] == 0
+        assert stats["relationship_ends"] == 0
+
+
+class TestGenerateOperations:
+    def test_requested_count(self):
+        schema = generate_schema(WorkloadSpec(types=20, seed=1))
+        operations = generate_operations(schema, 40, seed=2)
+        assert len(operations) == 40
+
+    def test_operations_replay_cleanly(self):
+        schema = generate_schema(WorkloadSpec(types=20, seed=1))
+        operations = generate_operations(schema, 40, seed=2)
+        scratch = schema.copy("replay")
+        context = OperationContext(reference=schema)
+        for operation in operations:
+            for step in expand(scratch, operation, context):
+                step.apply(scratch, context)
+        scratch.validate()
+
+    def test_deterministic(self):
+        schema = generate_schema(WorkloadSpec(types=20, seed=1))
+        first = generate_operations(schema, 25, seed=7)
+        second = generate_operations(schema, 25, seed=7)
+        assert [op.to_text() for op in first] == [
+            op.to_text() for op in second
+        ]
+
+    def test_source_schema_untouched(self):
+        schema = generate_schema(WorkloadSpec(types=20, seed=1))
+        before = schema_fingerprint(schema)
+        generate_operations(schema, 30, seed=2)
+        assert schema_fingerprint(schema) == before
+
+    def test_mix_includes_destructive_operations(self):
+        schema = generate_schema(WorkloadSpec(types=20, seed=1))
+        operations = generate_operations(schema, 80, seed=3)
+        names = {op.op_name for op in operations}
+        assert "delete_attribute" in names or "delete_relationship" in names
