@@ -1,0 +1,17 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench bench-smoke
+
+## tier-1 suite (unit + integration under tests/)
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## full benchmark sweep; reports land in benchmarks/reports/
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q
+
+## fast index-scaling regression tripwire (reduced sizes, relaxed floor)
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_bench_index_scaling.py -q

@@ -96,11 +96,13 @@ def extract_generalization_hierarchy(
     to the hierarchy of their own root.)
     """
     members = {root} | schema.descendants(root)
+    # Visit only the members (declaration order preserved via the index)
+    # instead of scanning every interface per root.
+    order = schema.index.declaration_order()
     edges = tuple(
-        IsaEdge(interface.name, supertype)
-        for interface in schema
-        if interface.name in members
-        for supertype in interface.supertypes
+        IsaEdge(name, supertype)
+        for name in sorted(members, key=order.__getitem__)
+        for supertype in schema.get(name).supertypes
         if supertype in members
     )
     return GeneralizationHierarchy(

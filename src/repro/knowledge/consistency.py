@@ -77,13 +77,14 @@ def concept_interaction_feedback(
 def design_quality_feedback(schema: Schema) -> list[Feedback]:
     """Schema smells worth flagging before the custom schema ships."""
     messages: list[Feedback] = []
+    subtype_map = schema.index.subtype_map()
     for interface in schema:
         has_properties = (
             interface.attributes
             or interface.relationships
             or interface.operations
             or interface.supertypes
-            or schema.subtypes(interface.name)
+            or subtype_map.get(interface.name)
         )
         if not has_properties:
             messages.append(
@@ -94,10 +95,10 @@ def design_quality_feedback(schema: Schema) -> list[Feedback]:
                 )
             )
         if interface.extent is not None and not interface.keys:
+            # ancestors() yields only resolved types, so no guard needed.
             inherited_keys = any(
                 schema.get(ancestor).keys
                 for ancestor in schema.ancestors(interface.name)
-                if ancestor in schema
             )
             if not inherited_keys:
                 messages.append(

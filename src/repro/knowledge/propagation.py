@@ -132,24 +132,21 @@ def _cascades_for_delete_type(
     """Everything referencing *typename* must go (or be re-wired) first."""
     cascades: list[SchemaOperation] = []
     handled_pairs: set[frozenset[tuple[str, str]]] = set()
-    for interface in schema:
-        for end in list(interface.relationships.values()):
-            involves = (
-                interface.name == typename
-                or end.target_type == typename
-                or end.inverse_type == typename
-            )
-            if not involves:
-                continue
-            pair = frozenset(
-                {(interface.name, end.name), (end.inverse_type, end.inverse_name)}
-            )
-            if pair in handled_pairs:
-                continue
-            handled_pairs.add(pair)
-            cascades.append(
-                _DELETE_END_OPS[end.kind](interface.name, end.name)
-            )
+    for owner, end in schema.relationship_pairs():
+        involves = (
+            owner == typename
+            or end.target_type == typename
+            or end.inverse_type == typename
+        )
+        if not involves:
+            continue
+        pair = frozenset(
+            {(owner, end.name), (end.inverse_type, end.inverse_name)}
+        )
+        if pair in handled_pairs:
+            continue
+        handled_pairs.add(pair)
+        cascades.append(_DELETE_END_OPS[end.kind](owner, end.name))
     for interface in schema:
         if interface.name == typename:
             continue

@@ -16,6 +16,7 @@ from repro.model.errors import (
     UnknownTypeError,
     ValidationError,
 )
+from repro.model.index import SchemaIndex
 from repro.model.interface import InterfaceDef
 from repro.model.operations import Operation, Parameter
 from repro.model.relationships import (
@@ -64,6 +65,7 @@ __all__ = [
     "ScalarType",
     "Schema",
     "SchemaError",
+    "SchemaIndex",
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",
     "TypeRef",

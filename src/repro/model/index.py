@@ -1,0 +1,309 @@
+"""Memoized reverse-adjacency indexes over a schema's link graphs.
+
+Every concept-schema extraction, propagation expansion, and consistency
+pass bottoms out in :class:`~repro.model.schema.Schema`'s graph queries.
+Answering them by scanning all interfaces makes ``descendants`` O(N^2)
+and rebuilds the complete part-of edge list on every ``parts`` call.
+:class:`SchemaIndex` maintains the reverse direction of each link family
+once and answers from dictionaries instead:
+
+* ``subtype_map``     -- supertype name -> direct subtype names,
+* ``parts_map``       -- whole name -> direct part names,
+* ``wholes_map``      -- part name -> direct whole names,
+* ``instance_map``    -- generic name -> direct instance names,
+* ``generic_map``     -- instance name -> direct generic names,
+* ``part_of_edges`` / ``instance_of_edges`` -- the cached edge triples,
+* ``relationship_pairs`` -- the cached (owner, end) listing,
+* ``declaration_order``  -- interface name -> declaration position.
+
+**Invalidation contract.**  The owning schema keeps a monotonically
+increasing *generation* counter.  Every mutating entry point bumps it:
+``Schema.add_interface`` / ``Schema.remove_interface`` / ``Schema.touch``
+directly, and every :class:`~repro.model.interface.InterfaceDef` mutator
+indirectly through the owner-notification hook the schema registers on
+each of its interfaces.  Each cache family is stamped with the
+generation it was built at; a query whose stamp no longer matches
+rebuilds that family lazily.  Code that mutates schema content without
+going through those entry points (direct container assignment) must call
+``Schema.touch()`` itself -- see DESIGN.md, "Indexing & invalidation".
+
+The module also ships the ``scan_*`` reference implementations: the
+original full-scan queries, kept as the executable specification the
+index is validated against (property tests) and benchmarked against
+(``benchmarks/test_bench_index_scaling.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.model.relationships import RelationshipEnd, RelationshipKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.model.schema import Schema
+
+#: (one-side owner, many-side target, to-many end) of one hierarchy link.
+Edge = tuple[str, str, RelationshipEnd]
+
+
+class SchemaIndex:
+    """Generation-stamped caches for one schema's graph queries."""
+
+    __slots__ = ("_schema", "_caches", "hits", "misses", "rebuilds")
+
+    def __init__(self, schema: "Schema") -> None:
+        self._schema = schema
+        self._caches: dict[str, tuple[int, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Cache machinery
+    # ------------------------------------------------------------------
+
+    def _get(self, family: str, builder: Callable[[], object]) -> object:
+        generation = self._schema.generation
+        cached = self._caches.get(family)
+        if cached is not None:
+            if cached[0] == generation:
+                self.hits += 1
+                return cached[1]
+            self.rebuilds += 1
+        self.misses += 1
+        value = builder()
+        self._caches[family] = (generation, value)
+        return value
+
+    def invalidate(self) -> None:
+        """Drop every cache family (normally generation stamps suffice)."""
+        self._caches.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit / miss / rebuild counters plus current cache residency."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "rebuilds": self.rebuilds,
+            "cached_families": len(self._caches),
+            "generation": self._schema.generation,
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the counters (benchmarks measure phases separately)."""
+        self.hits = 0
+        self.misses = 0
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Generalization hierarchy
+    # ------------------------------------------------------------------
+
+    def subtype_map(self) -> dict[str, list[str]]:
+        """Supertype name -> direct subtypes, in declaration order.
+
+        Keys include dangling supertype names (a subtype may reference a
+        type the schema does not define); resolution against the schema
+        is the caller's concern.
+        """
+        return self._get("subtypes", self._build_subtype_map)  # type: ignore[return-value]
+
+    def _build_subtype_map(self) -> dict[str, list[str]]:
+        result: dict[str, list[str]] = {}
+        for interface in self._schema:
+            for supertype in interface.supertypes:
+                result.setdefault(supertype, []).append(interface.name)
+        return result
+
+    # ------------------------------------------------------------------
+    # Part-of / instance-of hierarchies
+    # ------------------------------------------------------------------
+
+    def part_of_edges(self) -> list[Edge]:
+        """(whole, part, to-parts end) triples, in declaration order."""
+        return self._get(  # type: ignore[return-value]
+            "part_edges",
+            lambda: scan_link_edges(self._schema, RelationshipKind.PART_OF),
+        )
+
+    def instance_of_edges(self) -> list[Edge]:
+        """(generic, instance, to-instances end) triples."""
+        return self._get(  # type: ignore[return-value]
+            "instance_edges",
+            lambda: scan_link_edges(self._schema, RelationshipKind.INSTANCE_OF),
+        )
+
+    def parts_map(self) -> dict[str, list[str]]:
+        """Whole name -> direct part names."""
+        return self._get(  # type: ignore[return-value]
+            "parts", lambda: _forward_map(self.part_of_edges())
+        )
+
+    def wholes_map(self) -> dict[str, list[str]]:
+        """Part name -> direct whole names."""
+        return self._get(  # type: ignore[return-value]
+            "wholes", lambda: _reverse_map(self.part_of_edges())
+        )
+
+    def instance_map(self) -> dict[str, list[str]]:
+        """Generic name -> direct instance names."""
+        return self._get(  # type: ignore[return-value]
+            "instances", lambda: _forward_map(self.instance_of_edges())
+        )
+
+    def generic_map(self) -> dict[str, list[str]]:
+        """Instance name -> direct generic names."""
+        return self._get(  # type: ignore[return-value]
+            "generics", lambda: _reverse_map(self.instance_of_edges())
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-schema listings
+    # ------------------------------------------------------------------
+
+    def relationship_pairs(self) -> list[tuple[str, RelationshipEnd]]:
+        """Every (owner name, end) pair in declaration order."""
+        return self._get(  # type: ignore[return-value]
+            "pairs", lambda: scan_relationship_pairs(self._schema)
+        )
+
+    def declaration_order(self) -> dict[str, int]:
+        """Interface name -> position in declaration order."""
+        return self._get(  # type: ignore[return-value]
+            "order",
+            lambda: {name: i for i, name in enumerate(self._schema.interfaces)},
+        )
+
+
+def _forward_map(edges: list[Edge]) -> dict[str, list[str]]:
+    result: dict[str, list[str]] = {}
+    for owner, target, _ in edges:
+        result.setdefault(owner, []).append(target)
+    return result
+
+
+def _reverse_map(edges: list[Edge]) -> dict[str, list[str]]:
+    result: dict[str, list[str]] = {}
+    for owner, target, _ in edges:
+        result.setdefault(target, []).append(owner)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Full-scan reference implementations
+# ----------------------------------------------------------------------
+#
+# These are the pre-index query bodies, preserved verbatim in behaviour.
+# The invalidation property tests assert that after any operation stream
+# (including undo / redo / reset) every indexed query still equals its
+# scan counterpart, and the scaling bench quantifies what the index buys
+# over them.
+
+
+def scan_link_edges(schema: "Schema", kind: RelationshipKind) -> list[Edge]:
+    """Directed edges (one-side -> many-side) for part-of/instance-of.
+
+    Only the to-many end contributes an edge so each relationship is
+    counted once; the edge runs from the owner of the to-many end (the
+    whole / the generic entity) to its target (the part / instance).
+    """
+    edges: list[Edge] = []
+    for interface in schema:
+        for end in interface.relationships_of_kind(kind):
+            if end.is_to_many:
+                edges.append((interface.name, end.target_type, end))
+    return edges
+
+
+def scan_subtypes(schema: "Schema", name: str) -> list[str]:
+    """Direct subtypes of *name* by scanning every interface."""
+    return [
+        interface.name
+        for interface in schema
+        if name in interface.supertypes
+    ]
+
+
+def scan_descendants(schema: "Schema", name: str) -> set[str]:
+    """Transitive subtypes of *name* via repeated full scans."""
+    schema.get(name)  # raise for unknown types
+    result: set[str] = set()
+    frontier = scan_subtypes(schema, name)
+    while frontier:
+        current = frontier.pop()
+        if current in result:
+            continue
+        result.add(current)
+        frontier.extend(scan_subtypes(schema, current))
+    return result
+
+
+def scan_ancestors(schema: "Schema", name: str) -> set[str]:
+    """Transitive *resolved* supertypes of *name* (dangling names are
+    not types and are excluded, mirroring ``Schema.ancestors``)."""
+    result: set[str] = set()
+    frontier = [
+        supertype
+        for supertype in schema.get(name).supertypes
+        if supertype in schema.interfaces
+    ]
+    while frontier:
+        current = frontier.pop()
+        if current in result:
+            continue
+        result.add(current)
+        frontier.extend(
+            supertype
+            for supertype in schema.interfaces[current].supertypes
+            if supertype in schema.interfaces
+        )
+    return result
+
+
+def scan_generalization_roots(schema: "Schema") -> list[str]:
+    """Types with subtypes but no *resolved* supertypes."""
+    return [
+        interface.name
+        for interface in schema
+        if not any(s in schema.interfaces for s in interface.supertypes)
+        and scan_subtypes(schema, interface.name)
+    ]
+
+
+def scan_parts(schema: "Schema", name: str) -> list[str]:
+    """Direct components of *name* by rebuilding the edge list."""
+    edges = scan_link_edges(schema, RelationshipKind.PART_OF)
+    return [part for whole, part, _ in edges if whole == name]
+
+
+def scan_wholes(schema: "Schema", name: str) -> list[str]:
+    """Direct wholes of *name* by rebuilding the edge list."""
+    edges = scan_link_edges(schema, RelationshipKind.PART_OF)
+    return [whole for whole, part, _ in edges if part == name]
+
+
+def scan_aggregation_roots(schema: "Schema") -> list[str]:
+    """Wholes that are not themselves parts of anything."""
+    edges = scan_link_edges(schema, RelationshipKind.PART_OF)
+    wholes = {whole for whole, _, _ in edges}
+    parts = {part for _, part, _ in edges}
+    return [name for name in schema.type_names() if name in wholes - parts]
+
+
+def scan_instance_of_roots(schema: "Schema") -> list[str]:
+    """Generic entities that are not instances of anything."""
+    edges = scan_link_edges(schema, RelationshipKind.INSTANCE_OF)
+    generics = {generic for generic, _, _ in edges}
+    instances = {inst for _, inst, _ in edges}
+    return [name for name in schema.type_names() if name in generics - instances]
+
+
+def scan_relationship_pairs(
+    schema: "Schema",
+) -> list[tuple[str, RelationshipEnd]]:
+    """Every (owner name, end) pair in declaration order."""
+    return [
+        (interface.name, end)
+        for interface in schema
+        for end in interface.relationships.values()
+    ]

@@ -15,6 +15,7 @@ the primitive storage layer those operations use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.model.attributes import Attribute
 from repro.model.errors import (
@@ -52,13 +53,38 @@ class InterfaceDef:
             raise InvalidModelError(
                 f"interface {self.name!r} lists a duplicate supertype"
             )
+        # Owning schemas hook their generation bump in here so their
+        # graph indexes are invalidated by interface-level mutators
+        # (see repro.model.index).  Not a dataclass field: hooks carry
+        # identity, not value, and must not take part in __eq__.
+        self._owner_hooks: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Owner notification (index invalidation)
+    # ------------------------------------------------------------------
+
+    def _subscribe_owner(self, hook: Callable[[], None]) -> None:
+        """Register an owning schema's generation-bump hook."""
+        self._owner_hooks.append(hook)
+
+    def _unsubscribe_owner(self, hook: Callable[[], None]) -> None:
+        """Drop one registration of *hook* (no-op when absent)."""
+        try:
+            self._owner_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _touch(self) -> None:
+        """Tell every owning schema this definition changed."""
+        for hook in self._owner_hooks:
+            hook()
 
     # ------------------------------------------------------------------
     # Type properties
     # ------------------------------------------------------------------
 
-    def add_supertype(self, supertype: str) -> None:
-        """Append *supertype* to the ISA list."""
+    def add_supertype(self, supertype: str, position: int | None = None) -> None:
+        """Append *supertype* to the ISA list (or insert at *position*)."""
         if supertype == self.name:
             raise InvalidModelError(
                 f"interface {self.name!r} cannot be its own supertype"
@@ -67,7 +93,11 @@ class InterfaceDef:
             raise DuplicateNameError(
                 f"{self.name!r} already has supertype {supertype!r}"
             )
-        self.supertypes.append(supertype)
+        if position is None:
+            self.supertypes.append(supertype)
+        else:
+            self.supertypes.insert(position, supertype)
+        self._touch()
 
     def remove_supertype(self, supertype: str) -> None:
         """Remove *supertype* from the ISA list."""
@@ -77,6 +107,21 @@ class InterfaceDef:
             raise UnknownPropertyError(
                 f"{self.name!r} has no supertype {supertype!r}"
             ) from None
+        self._touch()
+
+    def set_supertypes(self, supertypes: list[str]) -> None:
+        """Replace the whole ISA list (``modify_supertype`` re-wiring)."""
+        supertypes = list(supertypes)
+        if self.name in supertypes:
+            raise InvalidModelError(
+                f"interface {self.name!r} cannot be its own supertype"
+            )
+        if len(set(supertypes)) != len(supertypes):
+            raise InvalidModelError(
+                f"interface {self.name!r} lists a duplicate supertype"
+            )
+        self.supertypes = supertypes
+        self._touch()
 
     def add_key(self, key: tuple[str, ...]) -> None:
         """Add a key (a tuple of attribute names)."""
@@ -88,6 +133,7 @@ class InterfaceDef:
                 f"{self.name!r} already declares key {key!r}"
             )
         self.keys.append(key)
+        self._touch()
 
     def remove_key(self, key: tuple[str, ...]) -> None:
         """Remove a previously declared key."""
@@ -98,6 +144,7 @@ class InterfaceDef:
             raise UnknownPropertyError(
                 f"{self.name!r} has no key {key!r}"
             ) from None
+        self._touch()
 
     # ------------------------------------------------------------------
     # Instance properties
@@ -113,15 +160,18 @@ class InterfaceDef:
         """Add an attribute; its name must be free in the property namespace."""
         self._check_property_name_free(attribute.name)
         self.attributes[attribute.name] = attribute
+        self._touch()
 
     def remove_attribute(self, name: str) -> Attribute:
         """Remove and return the attribute called *name*."""
         try:
-            return self.attributes.pop(name)
+            removed = self.attributes.pop(name)
         except KeyError:
             raise UnknownPropertyError(
                 f"{self.name!r} has no attribute {name!r}"
             ) from None
+        self._touch()
+        return removed
 
     def get_attribute(self, name: str) -> Attribute:
         """Return the attribute called *name*."""
@@ -136,21 +186,25 @@ class InterfaceDef:
         """Swap in a new value for an existing attribute, returning the old."""
         old = self.get_attribute(attribute.name)
         self.attributes[attribute.name] = attribute
+        self._touch()
         return old
 
     def add_relationship(self, end: RelationshipEnd) -> None:
         """Add a relationship end; its path name must be free."""
         self._check_property_name_free(end.name)
         self.relationships[end.name] = end
+        self._touch()
 
     def remove_relationship(self, name: str) -> RelationshipEnd:
         """Remove and return the relationship end called *name*."""
         try:
-            return self.relationships.pop(name)
+            removed = self.relationships.pop(name)
         except KeyError:
             raise UnknownPropertyError(
                 f"{self.name!r} has no relationship {name!r}"
             ) from None
+        self._touch()
+        return removed
 
     def get_relationship(self, name: str) -> RelationshipEnd:
         """Return the relationship end called *name*."""
@@ -165,6 +219,7 @@ class InterfaceDef:
         """Swap in a new value for an existing end, returning the old."""
         old = self.get_relationship(end.name)
         self.relationships[end.name] = end
+        self._touch()
         return old
 
     def add_operation(self, operation: Operation) -> None:
@@ -175,15 +230,18 @@ class InterfaceDef:
                 f"{operation.name!r}"
             )
         self.operations[operation.name] = operation
+        self._touch()
 
     def remove_operation(self, name: str) -> Operation:
         """Remove and return the operation called *name*."""
         try:
-            return self.operations.pop(name)
+            removed = self.operations.pop(name)
         except KeyError:
             raise UnknownPropertyError(
                 f"{self.name!r} has no operation {name!r}"
             ) from None
+        self._touch()
+        return removed
 
     def get_operation(self, name: str) -> Operation:
         """Return the operation called *name*."""
@@ -198,6 +256,7 @@ class InterfaceDef:
         """Swap in a new value for an existing operation, returning the old."""
         old = self.get_operation(operation.name)
         self.operations[operation.name] = operation
+        self._touch()
         return old
 
     # ------------------------------------------------------------------

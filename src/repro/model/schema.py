@@ -23,8 +23,9 @@ from repro.model.errors import (
     InvalidModelError,
     UnknownTypeError,
 )
+from repro.model.index import SchemaIndex
 from repro.model.interface import InterfaceDef
-from repro.model.relationships import RelationshipEnd, RelationshipKind
+from repro.model.relationships import RelationshipEnd
 
 
 @dataclass
@@ -41,6 +42,39 @@ class Schema:
     def __post_init__(self) -> None:
         if not self.name:
             raise InvalidModelError("a schema must have a name")
+        # Not dataclass fields: the generation stamp and index carry
+        # cache state, not schema content, and must stay out of __eq__.
+        self._generation = 0
+        self._index = SchemaIndex(self)
+        for interface in self.interfaces.values():
+            interface._subscribe_owner(self._bump_generation)
+
+    # ------------------------------------------------------------------
+    # Index & invalidation
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter; stamps the index's caches."""
+        return self._generation
+
+    @property
+    def index(self) -> SchemaIndex:
+        """The memoized reverse-adjacency index over this schema."""
+        return self._index
+
+    def _bump_generation(self) -> None:
+        self._generation += 1
+
+    def touch(self) -> None:
+        """Invalidate the index after an out-of-band mutation.
+
+        Every :class:`InterfaceDef` mutator and the interface-management
+        methods below bump the generation automatically; code that
+        mutates containers directly (e.g. reordering ``interfaces`` to
+        restore declaration order on undo) must call this instead.
+        """
+        self._bump_generation()
 
     # ------------------------------------------------------------------
     # Interface management
@@ -53,15 +87,20 @@ class Schema:
                 f"schema {self.name!r} already defines {interface.name!r}"
             )
         self.interfaces[interface.name] = interface
+        interface._subscribe_owner(self._bump_generation)
+        self._bump_generation()
 
     def remove_interface(self, name: str) -> InterfaceDef:
         """Remove and return the interface called *name*."""
         try:
-            return self.interfaces.pop(name)
+            removed = self.interfaces.pop(name)
         except KeyError:
             raise UnknownTypeError(
                 f"schema {self.name!r} does not define {name!r}"
             ) from None
+        removed._unsubscribe_owner(self._bump_generation)
+        self._bump_generation()
+        return removed
 
     def get(self, name: str) -> InterfaceDef:
         """Return the interface called *name* or raise ``UnknownTypeError``."""
@@ -91,36 +130,47 @@ class Schema:
 
     def subtypes(self, name: str) -> list[str]:
         """Direct subtypes of *name*, in declaration order."""
-        return [
-            interface.name
-            for interface in self
-            if name in interface.supertypes
-        ]
+        return list(self._index.subtype_map().get(name, ()))
 
     def ancestors(self, name: str) -> set[str]:
-        """All (transitive) supertypes of *name*; excludes *name* itself."""
+        """All (transitive) supertypes of *name*; excludes *name* itself.
+
+        Only *resolved* supertypes count: a dangling supertype name is
+        not a type of this schema, and including it would make
+        ``isa_related`` asymmetric with ``descendants`` (which can never
+        reach an undefined type).
+        """
+        interfaces = self.interfaces
         result: set[str] = set()
-        frontier = list(self.get(name).supertypes)
+        frontier = [
+            supertype
+            for supertype in self.get(name).supertypes
+            if supertype in interfaces
+        ]
         while frontier:
             current = frontier.pop()
             if current in result:
                 continue
             result.add(current)
-            if current in self.interfaces:
-                frontier.extend(self.interfaces[current].supertypes)
+            frontier.extend(
+                supertype
+                for supertype in interfaces[current].supertypes
+                if supertype in interfaces
+            )
         return result
 
     def descendants(self, name: str) -> set[str]:
         """All (transitive) subtypes of *name*; excludes *name* itself."""
         self.get(name)  # raise for unknown types
+        subtype_map = self._index.subtype_map()
         result: set[str] = set()
-        frontier = self.subtypes(name)
+        frontier = list(subtype_map.get(name, ()))
         while frontier:
             current = frontier.pop()
             if current in result:
                 continue
             result.add(current)
-            frontier.extend(self.subtypes(current))
+            frontier.extend(subtype_map.get(current, ()))
         return result
 
     def isa_related(self, first: str, second: str) -> bool:
@@ -135,11 +185,18 @@ class Schema:
         return second in self.ancestors(first) or second in self.descendants(first)
 
     def generalization_roots(self) -> list[str]:
-        """Types with subtypes but no supertypes: hierarchy roots."""
+        """Types with subtypes but no resolved supertypes: hierarchy roots.
+
+        A type whose only supertypes are dangling names tops every ISA
+        path that actually exists in the schema, so it counts as a root.
+        """
+        subtype_map = self._index.subtype_map()
+        interfaces = self.interfaces
         return [
             interface.name
             for interface in self
-            if not interface.supertypes and self.subtypes(interface.name)
+            if interface.name in subtype_map
+            and not any(s in interfaces for s in interface.supertypes)
         ]
 
     def inherited_attributes(self, name: str) -> dict[str, str]:
@@ -175,50 +232,38 @@ class Schema:
     # Part-of / instance-of hierarchy queries
     # ------------------------------------------------------------------
 
-    def _link_edges(
-        self, kind: RelationshipKind
-    ) -> list[tuple[str, str, RelationshipEnd]]:
-        """Directed edges (one-side -> many-side) for part-of/instance-of.
-
-        Only the to-many end contributes an edge so each relationship is
-        counted once; the edge runs from the owner of the to-many end (the
-        whole / the generic entity) to its target (the part / instance).
-        """
-        edges = []
-        for interface in self:
-            for end in interface.relationships_of_kind(kind):
-                if end.is_to_many:
-                    edges.append((interface.name, end.target_type, end))
-        return edges
-
     def part_of_edges(self) -> list[tuple[str, str, RelationshipEnd]]:
         """(whole, part, to-parts end) triples, in declaration order."""
-        return self._link_edges(RelationshipKind.PART_OF)
+        return list(self._index.part_of_edges())
 
     def instance_of_edges(self) -> list[tuple[str, str, RelationshipEnd]]:
         """(generic, instance, to-instances end) triples."""
-        return self._link_edges(RelationshipKind.INSTANCE_OF)
+        return list(self._index.instance_of_edges())
 
     def parts(self, name: str) -> list[str]:
         """Direct components of *name* in the aggregation hierarchy."""
-        return [part for whole, part, _ in self.part_of_edges() if whole == name]
+        return list(self._index.parts_map().get(name, ()))
 
     def wholes(self, name: str) -> list[str]:
         """Direct wholes that *name* is a component of."""
-        return [whole for whole, part, _ in self.part_of_edges() if part == name]
+        return list(self._index.wholes_map().get(name, ()))
 
     def aggregation_roots(self) -> list[str]:
         """Wholes that are not themselves parts of anything."""
-        wholes = {whole for whole, _, _ in self.part_of_edges()}
-        parts = {part for _, part, _ in self.part_of_edges()}
-        return [name for name in self.type_names() if name in wholes - parts]
+        wholes = self._index.parts_map()
+        parts = self._index.wholes_map()
+        return [
+            name for name in self.type_names()
+            if name in wholes and name not in parts
+        ]
 
     def instance_of_roots(self) -> list[str]:
         """Generic entities that are not instances of anything."""
-        generics = {generic for generic, _, _ in self.instance_of_edges()}
-        instances = {inst for _, inst, _ in self.instance_of_edges()}
+        generics = self._index.instance_map()
+        instances = self._index.generic_map()
         return [
-            name for name in self.type_names() if name in generics - instances
+            name for name in self.type_names()
+            if name in generics and name not in instances
         ]
 
     # ------------------------------------------------------------------
@@ -227,11 +272,7 @@ class Schema:
 
     def relationship_pairs(self) -> list[tuple[str, RelationshipEnd]]:
         """Every (owner name, end) pair in declaration order."""
-        return [
-            (interface.name, end)
-            for interface in self
-            for end in interface.relationships.values()
-        ]
+        return list(self._index.relationship_pairs())
 
     def find_inverse(self, owner: str, end: RelationshipEnd) -> RelationshipEnd | None:
         """The declared inverse end of *end*, or ``None`` if missing."""
@@ -263,7 +304,8 @@ class Schema:
         validate_schema(self, raise_on_error=True)
 
     def stats(self) -> dict[str, int]:
-        """Simple size metrics, used by benchmarks and reports."""
+        """Size metrics plus index counters, used by benchmarks/reports."""
+        index = self._index.stats()
         return {
             "interfaces": len(self),
             "attributes": sum(len(i.attributes) for i in self),
@@ -272,6 +314,10 @@ class Schema:
             "supertype_links": sum(len(i.supertypes) for i in self),
             "part_of_links": len(self.part_of_edges()),
             "instance_of_links": len(self.instance_of_edges()),
+            "index_hits": index["hits"],
+            "index_misses": index["misses"],
+            "index_rebuilds": index["rebuilds"],
+            "index_generation": index["generation"],
         }
 
     def __str__(self) -> str:

@@ -354,3 +354,4 @@ def _restore_attribute_position(interface, name: str, position: int) -> None:
     names.remove(name)
     names.insert(position, name)
     interface.attributes = {n: interface.attributes[n] for n in names}
+    interface._touch()  # honour the generation-counter contract

@@ -350,3 +350,4 @@ def _restore_operation_position(interface, name: str, position: int) -> None:
     names.remove(name)
     names.insert(position, name)
     interface.operations = {n: interface.operations[n] for n in names}
+    interface._touch()  # honour the generation-counter contract

@@ -124,3 +124,4 @@ def _restore_position(schema: Schema, name: str, position: int) -> None:
     names.remove(name)
     names.insert(position, name)
     schema.interfaces = {n: schema.interfaces[n] for n in names}
+    schema.touch()  # declaration order feeds the index; invalidate it

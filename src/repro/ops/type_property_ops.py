@@ -104,7 +104,7 @@ class DeleteSupertype(SchemaOperation):
         interface.remove_supertype(self.supertype)
 
         def undo() -> None:
-            schema.get(self.typename).supertypes.insert(position, self.supertype)
+            schema.get(self.typename).add_supertype(self.supertype, position)
 
         return undo
 
@@ -153,10 +153,10 @@ class ModifySupertype(SchemaOperation):
         self.validate(schema, context)
         interface = schema.get(self.typename)
         previous = list(interface.supertypes)
-        interface.supertypes = list(self.new_supertypes)
+        interface.set_supertypes(list(self.new_supertypes))
 
         def undo() -> None:
-            schema.get(self.typename).supertypes = list(previous)
+            schema.get(self.typename).set_supertypes(previous)
 
         return undo
 
@@ -377,7 +377,9 @@ class DeleteKeyList(SchemaOperation):
         interface.remove_key(self.key)
 
         def undo() -> None:
-            schema.get(self.typename).keys.insert(position, tuple(self.key))
+            restored = schema.get(self.typename)
+            restored.keys.insert(position, tuple(self.key))
+            restored._touch()
 
         return undo
 
@@ -424,9 +426,12 @@ class ModifyKeyList(SchemaOperation):
         interface = schema.get(self.typename)
         position = interface.keys.index(tuple(self.old_key))
         interface.keys[position] = tuple(self.new_key)
+        interface._touch()
 
         def undo() -> None:
-            schema.get(self.typename).keys[position] = tuple(self.old_key)
+            reverted = schema.get(self.typename)
+            reverted.keys[position] = tuple(self.old_key)
+            reverted._touch()
 
         return undo
 

@@ -165,17 +165,33 @@ class Workspace:
         return entry
 
     def redo(self) -> LogEntry | None:
-        """Re-apply the most recently undone step; returns the new entry."""
+        """Re-apply the most recently undone step; returns the new entry.
+
+        Mirrors :meth:`apply`: if any plan step fails mid-redo, the
+        already re-applied steps are rolled back and the entry stays on
+        the redo stack, leaving the workspace exactly as before the
+        call.  The fresh log entry keeps the original ``propagated``
+        flag so the history stays faithful to how the step was applied.
+        """
         if not self._redo_stack:
             return None
         entry = self._redo_stack.pop()
-        undos = [step.apply(self.schema, self.context) for step in entry.plan]
+        undos: list[Undo] = []
+        try:
+            for step in entry.plan:
+                undos.append(step.apply(self.schema, self.context))
+        except OperationError:
+            for undo in reversed(undos):
+                undo()
+            self._redo_stack.append(entry)
+            raise
         fresh = LogEntry(
             requested=entry.requested,
             plan=entry.plan,
             undos=undos,
             concept_id=entry.concept_id,
             feedback=entry.feedback,
+            propagated=entry.propagated,
         )
         self.log.append(fresh)
         return fresh

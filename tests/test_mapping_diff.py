@@ -2,7 +2,8 @@
 
 from repro.analysis.diff import ChangeStatus, diff_schemas
 from repro.odl.parser import parse_schema
-from repro.repository.mapping import generate_mapping
+from repro.model.interface import InterfaceDef
+from repro.repository.mapping import SchemaMapping, generate_mapping
 
 
 def entries_of(diff, status, category=None):
@@ -129,6 +130,26 @@ class TestMapping:
     def test_reuse_ratio_unchanged_schema(self, small):
         mapping = generate_mapping(small, small.copy("custom"))
         assert mapping.reuse_ratio() == 1.0
+
+    def test_reuse_ratio_of_empty_mapping_is_one(self):
+        """Regression: no entries must not divide by zero."""
+        mapping = SchemaMapping("orig", "custom")
+        assert mapping.reuse_ratio() == 1.0
+        assert "reuse ratio" in mapping.render()
+
+    def test_reuse_ratio_from_empty_shrink_wrap_schema(self):
+        """An empty original has no constructs to lose: ratio is 1.0."""
+        from repro.model.attributes import Attribute
+        from repro.model.schema import Schema
+        from repro.model.types import scalar
+
+        original = Schema("empty")
+        custom = Schema("custom")
+        custom.add_interface(InterfaceDef("Added"))
+        custom.get("Added").add_attribute(Attribute("x", scalar("long")))
+        mapping = generate_mapping(original, custom)
+        assert mapping.reuse_ratio() == 1.0
+        assert len(mapping.added()) > 0
 
     def test_reuse_ratio_counts_survivors(self, small):
         custom = small.copy("custom")

@@ -4,8 +4,9 @@ import pytest
 
 from repro.concepts.base import ConceptKind
 from repro.concepts.decompose import decompose
+from repro.model.attributes import Attribute
 from repro.model.fingerprint import schema_fingerprint, schemas_equal
-from repro.model.types import scalar
+from repro.model.types import NamedType, scalar
 from repro.ops.attribute_ops import AddAttribute, DeleteAttribute
 from repro.ops.base import ConstraintViolation, InadmissibleOperationError
 from repro.ops.type_ops import DeleteTypeDefinition
@@ -104,6 +105,38 @@ class TestHistory:
         workspace.redo()
         assert schema_fingerprint(workspace.schema) == after
         assert len(workspace.log) == 1
+
+    def test_redo_preserves_propagated_flag(self, workspace):
+        workspace.apply(
+            AddAttribute("Person", scalar("date"), "dob"), propagate=False
+        )
+        workspace.undo_last()
+        entry = workspace.redo()
+        assert entry is not None
+        assert entry.propagated is False
+
+    def test_failed_redo_rolls_back_and_keeps_redo_stack(self, workspace):
+        """A step that fails mid-redo must not leave earlier steps applied."""
+        # Deleting Department cascades: plan is [delete relationship ends,
+        # delete type].  After the undo, wire in a *new* reference to
+        # Department so the final plan step fails validation while the
+        # cascade step has already been applied.
+        workspace.apply(DeleteTypeDefinition("Department"))
+        assert len(workspace.log[-1].plan) > 1
+        workspace.undo_last()
+        workspace.schema.get("Person").add_attribute(
+            Attribute("dept_ref", NamedType("Department"))
+        )
+        before = schema_fingerprint(workspace.schema)
+        with pytest.raises(ConstraintViolation):
+            workspace.redo()
+        assert schema_fingerprint(workspace.schema) == before
+        assert workspace.log == []
+        # The entry stays redoable: clear the blocker and redo succeeds.
+        workspace.schema.get("Person").remove_attribute("dept_ref")
+        entry = workspace.redo()
+        assert entry is not None
+        assert "Department" not in workspace.schema
 
     def test_redo_cleared_by_new_apply(self, workspace):
         workspace.apply(AddAttribute("Person", scalar("date"), "dob"))
