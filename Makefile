@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke
+.PHONY: test bench bench-smoke fuzz fuzz-smoke
 
 ## tier-1 suite (unit + integration under tests/)
 test:
@@ -15,3 +15,13 @@ bench:
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_bench_index_scaling.py -q
+
+## differential fuzzing soak: every invariant over catalog + generated
+## schemas, shrinking any failure to a minimal pytest reproducer
+fuzz:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.verify --seeds 25 --steps 200
+
+## ~30s fuzzing tripwire for CI (fixed seeds, deterministic)
+fuzz-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.verify --seeds 20 --steps 200 \
+		--check-every 3

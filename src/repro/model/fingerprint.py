@@ -52,3 +52,16 @@ def schema_fingerprint(schema: Schema) -> str:
 def schemas_equal(first: Schema, second: Schema) -> bool:
     """Content equality, ignoring declaration order and schema names."""
     return schema_fingerprint(first) == schema_fingerprint(second)
+
+
+def memoized_schema_fingerprint(schema: Schema) -> str:
+    """:func:`schema_fingerprint` cached against the schema's generation.
+
+    The verification engine fingerprints the workspace several times per
+    fuzz step (before/after apply, after undo, after redo); between
+    mutations the schema's generation counter is unchanged and the
+    cached rendering is returned instead of re-walking every interface.
+    """
+    return schema.index.memo(  # type: ignore[return-value]
+        "verify_fingerprint", lambda: schema_fingerprint(schema)
+    )

@@ -79,6 +79,17 @@ class SchemaIndex:
         """Drop every cache family (normally generation stamps suffice)."""
         self._caches.clear()
 
+    def memo(self, family: str, builder: Callable[[], object]) -> object:
+        """Generation-stamped memoization for derived whole-schema values.
+
+        Callers own the *family* namespace (prefix it); the cached value
+        is dropped automatically when the schema's generation moves, so
+        the value must be a pure function of schema content.  Used by
+        the verification engine to avoid re-fingerprinting an unchanged
+        schema between differential checks.
+        """
+        return self._get(family, builder)
+
     def stats(self) -> dict[str, int]:
         """Hit / miss / rebuild counters plus current cache residency."""
         return {

@@ -123,6 +123,11 @@ class InterfaceDef:
         self.supertypes = supertypes
         self._touch()
 
+    def set_extent(self, extent: str | None) -> None:
+        """Set or clear the extent name (generation-bumping mutator)."""
+        self.extent = extent
+        self._touch()
+
     def add_key(self, key: tuple[str, ...]) -> None:
         """Add a key (a tuple of attribute names)."""
         key = tuple(key)

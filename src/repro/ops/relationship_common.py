@@ -71,6 +71,62 @@ def _check_target_shape(target: TypeRef, where: str) -> str:
     )
 
 
+def check_hierarchy_stays_acyclic(
+    schema: Schema,
+    kind: RelationshipKind,
+    added_edge: tuple[str, str],
+    dropped_edge: tuple[str, str] | None = None,
+    where: str = "",
+) -> None:
+    """Reject a part-of / instance-of edge that would close a cycle.
+
+    Part-of and instance-of relationships form implicit 1:N hierarchies
+    (Section 3.1): the aggregation and instance-of graphs must stay
+    acyclic, exactly like the generalization hierarchy.  *added_edge* is
+    the prospective (one-side, many-side) edge -- (whole, part) or
+    (generic, instance); *dropped_edge* is an existing edge the same
+    operation removes (re-targeting moves an edge, it does not add one).
+    """
+    one_side, many_side = added_edge
+    label = "aggregation" if kind is RelationshipKind.PART_OF else "instance-of"
+    if one_side == many_side:
+        raise ConstraintViolation(
+            f"{where}: {one_side!r} cannot be its own "
+            f"{'part' if kind is RelationshipKind.PART_OF else 'instance'} "
+            f"(the {label} hierarchy must stay acyclic)"
+        )
+    edges = [
+        (one, many)
+        for one, many, _ in (
+            schema.part_of_edges()
+            if kind is RelationshipKind.PART_OF
+            else schema.instance_of_edges()
+        )
+    ]
+    if dropped_edge is not None and dropped_edge in edges:
+        edges.remove(dropped_edge)
+    adjacency: dict[str, list[str]] = {}
+    for one, many in edges:
+        adjacency.setdefault(one, []).append(many)
+    # A cycle appears iff the new edge's one-side is already reachable
+    # from its many-side along existing edges.
+    frontier = [many_side]
+    seen: set[str] = set()
+    while frontier:
+        current = frontier.pop()
+        if current == one_side:
+            raise ConstraintViolation(
+                f"{where}: adding this {label} link would close a cycle "
+                f"({one_side!r} is already a transitive "
+                f"{'part' if kind is RelationshipKind.PART_OF else 'instance'}"
+                f" of {many_side!r})"
+            )
+        if current in seen:
+            continue
+        seen.add(current)
+        frontier.extend(adjacency.get(current, ()))
+
+
 def default_inverse_target(owner: str, added_end: RelationshipEnd) -> TypeRef:
     """Target for an auto-created inverse end.
 
@@ -128,6 +184,7 @@ class AddRelationshipBase(SchemaOperation):
             )
         end = self._build_end()
         self._check_order_by(schema, target_name)
+        self._check_acyclic(schema)
         inverse = target_interface.relationships.get(self.inverse_name)
         if inverse is None:
             if not _property_name_free(target_interface, self.inverse_name):
@@ -153,6 +210,23 @@ class AddRelationshipBase(SchemaOperation):
                     f"{where}: a {self.kind.value} relationship is "
                     "implicitly 1:N; exactly one end may be to-many"
                 )
+
+    def _check_acyclic(self, schema: Schema) -> None:
+        if self.kind is RelationshipKind.ASSOCIATION:
+            return
+        end = self._build_end()
+        target_name = _check_target_shape(
+            self.target, f"{self.typename}::{self.traversal_path}"
+        )
+        edge = (
+            (self.typename, target_name)
+            if end.is_to_many
+            else (target_name, self.typename)
+        )
+        check_hierarchy_stays_acyclic(
+            schema, self.kind, edge,
+            where=f"{self.typename}::{self.traversal_path}",
+        )
 
     def _check_order_by(self, schema: Schema, target_name: str) -> None:
         if not self.order_by:
@@ -296,6 +370,16 @@ def retarget_end(
         raise ConstraintViolation(
             f"{new_target_name!r} already has a property "
             f"{end.inverse_name!r}; the inverse path cannot move there"
+        )
+    if kind is not RelationshipKind.ASSOCIATION:
+        if end.is_to_many:
+            added = (owner_name, new_target_name)
+            dropped = (owner_name, old_target_name)
+        else:
+            added = (new_target_name, owner_name)
+            dropped = (old_target_name, owner_name)
+        check_hierarchy_stays_acyclic(
+            schema, kind, added, dropped, where=f"{owner_name}::{path}"
         )
     if check_only:
         return None

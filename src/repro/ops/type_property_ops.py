@@ -26,6 +26,54 @@ _GH = frozenset({ConceptKind.GENERALIZATION})
 _WW = frozenset({ConceptKind.WAGON_WHEEL})
 
 
+def _check_nothing_stranded(
+    schema: Schema, typename: str, resulting_supertypes: list[str]
+) -> None:
+    """Re-wiring ISA links must not strand keys or order-by lists.
+
+    Keys and order-by lists may name attributes the type only sees
+    through supertypes the re-wiring drops (directly or in descendants).
+    Propagation cascades the dependent deletions first
+    (:func:`repro.knowledge.propagation._cascades_for_lost_supertype`);
+    applied bare, the operation must refuse instead of leaving the
+    schema unresolvable -- the language stays closed either way.
+    """
+    scratch = schema.copy()
+    scratch.get(typename).set_supertypes(list(resulting_supertypes))
+    affected = {typename} | schema.descendants(typename)
+    for name in sorted(affected):
+        interface = schema.get(name)
+        before = set(interface.attributes) | set(
+            schema.inherited_attributes(name)
+        )
+        after = set(scratch.get(name).attributes) | set(
+            scratch.inherited_attributes(name)
+        )
+        lost = before - after
+        if not lost:
+            continue
+        for key in interface.keys:
+            stranded = sorted(set(key) & lost)
+            if stranded:
+                raise ConstraintViolation(
+                    f"removing supertype(s) of {typename!r} would strand "
+                    f"key {tuple(key)!r} of {name!r} (attribute(s) "
+                    f"{', '.join(stranded)} become unresolvable); delete "
+                    "the key list first"
+                )
+        for owner, end in schema.relationship_pairs():
+            if end.target_type != name:
+                continue
+            stranded = sorted(set(end.order_by) & lost)
+            if stranded:
+                raise ConstraintViolation(
+                    f"removing supertype(s) of {typename!r} would strand "
+                    f"order-by {end.order_by!r} of {owner}.{end.name} "
+                    f"(attribute(s) {', '.join(stranded)} become "
+                    "unresolvable); modify the order-by list first"
+                )
+
+
 def _check_no_isa_cycle(schema: Schema, subtype: str, supertype: str) -> None:
     """Adding subtype -> supertype must not close a generalization cycle."""
     if subtype == supertype:
@@ -96,6 +144,11 @@ class DeleteSupertype(SchemaOperation):
             raise ConstraintViolation(
                 f"{self.typename!r} has no supertype {self.supertype!r}"
             )
+        _check_nothing_stranded(
+            schema,
+            self.typename,
+            [s for s in interface.supertypes if s != self.supertype],
+        )
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
@@ -148,6 +201,13 @@ class ModifySupertype(SchemaOperation):
             if supertype in interface.supertypes:
                 continue  # keeping an existing link cannot add a cycle
             _check_no_isa_cycle(schema, self.typename, supertype)
+        if any(
+            supertype not in self.new_supertypes
+            for supertype in self.old_supertypes
+        ):
+            _check_nothing_stranded(
+                schema, self.typename, list(self.new_supertypes)
+            )
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
@@ -204,10 +264,10 @@ class AddExtentName(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        schema.get(self.typename).extent = self.extent_name
+        schema.get(self.typename).set_extent(self.extent_name)
 
         def undo() -> None:
-            schema.get(self.typename).extent = None
+            schema.get(self.typename).set_extent(None)
 
         return undo
 
@@ -241,10 +301,10 @@ class DeleteExtentName(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        schema.get(self.typename).extent = None
+        schema.get(self.typename).set_extent(None)
 
         def undo() -> None:
-            schema.get(self.typename).extent = self.extent_name
+            schema.get(self.typename).set_extent(self.extent_name)
 
         return undo
 
@@ -290,10 +350,10 @@ class ModifyExtentName(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        schema.get(self.typename).extent = self.new_extent_name
+        schema.get(self.typename).set_extent(self.new_extent_name)
 
         def undo() -> None:
-            schema.get(self.typename).extent = self.old_extent_name
+            schema.get(self.typename).set_extent(self.old_extent_name)
 
         return undo
 

@@ -13,6 +13,7 @@ from repro.concepts.base import ConceptKind, ConceptSchema
 from repro.knowledge.constraints import cautions_for
 from repro.knowledge.feedback import Feedback, info
 from repro.knowledge.propagation import expand
+from repro.model.errors import SchemaError
 from repro.model.schema import Schema
 from repro.ops.base import (
     OperationContext,
@@ -92,7 +93,11 @@ class Workspace:
         try:
             for step in plan:
                 undos.append(step.apply(self.schema, self.context))
-        except OperationError:
+        except (OperationError, SchemaError):
+            # Operations reject with OperationError; a model-layer
+            # SchemaError (unknown type, duplicate name) escaping an
+            # op's validate is the same verdict -- either way the
+            # workspace must be left exactly as it was.
             for undo in reversed(undos):
                 undo()
             raise
@@ -135,7 +140,7 @@ class Workspace:
         try:
             for operation in plan:
                 entries.append(self.apply(operation, concept, propagate))
-        except OperationError:
+        except (OperationError, SchemaError):
             for _ in entries:
                 self.undo_last()
             self._redo_stack.clear()
@@ -153,6 +158,16 @@ class Workspace:
     # ------------------------------------------------------------------
     # History
     # ------------------------------------------------------------------
+
+    @property
+    def undo_depth(self) -> int:
+        """How many applied steps can currently be undone."""
+        return len(self.log)
+
+    @property
+    def redo_depth(self) -> int:
+        """How many undone steps can currently be re-applied."""
+        return len(self._redo_stack)
 
     def undo_last(self) -> LogEntry | None:
         """Undo the most recent step (the whole plan); returns it."""
@@ -180,7 +195,7 @@ class Workspace:
         try:
             for step in entry.plan:
                 undos.append(step.apply(self.schema, self.context))
-        except OperationError:
+        except (OperationError, SchemaError):
             for undo in reversed(undos):
                 undo()
             self._redo_stack.append(entry)

@@ -1,0 +1,51 @@
+"""Differential verification: invariants, fuzzing, shrinking.
+
+The paper's central claim is behavioural -- the modification-operation
+language keeps every customized schema consistent with its shrink wrap
+origin.  This package makes that claim executable: an invariant
+registry (:mod:`repro.verify.invariants`), a seeded operation-sequence
+fuzzer with a differential history model (:mod:`repro.verify.fuzzer`),
+a delta-debugging shrinker emitting pytest reproducers
+(:mod:`repro.verify.shrinker`), and a campaign CLI
+(``python -m repro.verify``, :mod:`repro.verify.runner`).
+"""
+
+from repro.verify.fuzzer import (
+    DifferentialHarness,
+    FuzzFailure,
+    FuzzReport,
+    FuzzStep,
+    fuzz,
+    replay,
+)
+from repro.verify.invariants import (
+    INVARIANTS,
+    Invariant,
+    Violation,
+    check_schema,
+    check_workspace,
+    describe_registry,
+    invariant,
+    workspace_invariant,
+)
+from repro.verify.shrinker import ShrinkResult, emit_pytest, shrink
+
+__all__ = [
+    "DifferentialHarness",
+    "FuzzFailure",
+    "FuzzReport",
+    "FuzzStep",
+    "INVARIANTS",
+    "Invariant",
+    "ShrinkResult",
+    "Violation",
+    "check_schema",
+    "check_workspace",
+    "describe_registry",
+    "emit_pytest",
+    "fuzz",
+    "invariant",
+    "replay",
+    "shrink",
+    "workspace_invariant",
+]

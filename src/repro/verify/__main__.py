@@ -1,0 +1,5 @@
+"""``python -m repro.verify`` -- run the verification campaign."""
+
+from repro.verify.runner import main
+
+raise SystemExit(main())

@@ -1,0 +1,468 @@
+"""Seeded operation-sequence fuzzer with a differential history model.
+
+The fuzzer drives a :class:`~repro.repository.workspace.Workspace`
+through a randomized sequence of ``apply`` / ``apply_bare`` /
+``composite`` / ``undo`` / ``redo`` / ``reset`` steps, drawing concrete
+operations from :mod:`repro.workload.generator` against the *current*
+workspace schema.  Alongside the workspace it maintains its own tiny
+model of what the history must look like -- a stack of schema
+fingerprints mirroring the log and the redo stack -- and after every
+step it checks the workspace against both that model and the invariant
+registry (:mod:`repro.verify.invariants`).
+
+The paper's closure contract makes rejection normal: most generated
+operations are inadmissible in the current state and must raise
+:class:`~repro.ops.base.OperationError` (or a model-layer
+:class:`~repro.model.errors.SchemaError`) *without changing anything*.
+The harness therefore distinguishes three outcomes per step:
+
+* accepted  -- the schema changed; fingerprints and redo model advance;
+* rejected  -- ``OperationError``; the fingerprint, log, and redo stack
+  must be exactly as before (atomicity);
+* broken    -- any other exception, or any model/invariant mismatch.
+
+Everything is deterministic in ``(subject, seed, steps)``; a failing run
+reduces to a minimal trace via :mod:`repro.verify.shrinker`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.model.fingerprint import memoized_schema_fingerprint, schema_fingerprint
+from repro.model.schema import Schema
+from repro.model.errors import SchemaError
+from repro.ops.base import OperationError, SchemaOperation
+from repro.ops.composite import CompositeOperation
+from repro.ops.type_ops import AddTypeDefinition
+from repro.repository.workspace import Workspace
+from repro.verify.invariants import (
+    TIER_CHEAP,
+    TIER_EXPENSIVE,
+    Violation,
+    check_workspace,
+)
+from repro.workload.generator import random_composite, random_operation
+
+#: Exception types that mean "operation rejected, workspace untouched".
+REJECTION_ERRORS = (OperationError, SchemaError)
+
+#: Step kinds the fuzzer can execute.
+ACTIONS = ("apply", "apply_bare", "composite", "undo", "redo", "reset")
+
+#: Cumulative action weights: mostly applies, a healthy dose of history.
+_ACTION_WEIGHTS = (
+    ("apply", 0.60),
+    ("apply_bare", 0.08),
+    ("composite", 0.07),
+    ("undo", 0.12),
+    ("redo", 0.10),
+    ("reset", 0.03),
+)
+
+
+@dataclass(frozen=True)
+class FuzzStep:
+    """One concrete step of a fuzz trace (replayable verbatim)."""
+
+    action: str
+    operation: SchemaOperation | None = None
+    composite: CompositeOperation | None = None
+
+    def describe(self) -> str:
+        if self.operation is not None:
+            return f"{self.action}: {self.operation.to_text()}"
+        if self.composite is not None:
+            return f"{self.action}: {self.composite.describe()}"
+        return self.action
+
+
+@dataclass
+class FuzzFailure:
+    """The first step at which the workspace broke its contract."""
+
+    step_index: int
+    step: FuzzStep
+    violations: list[Violation]
+
+    def render(self) -> str:
+        lines = [f"step {self.step_index}: {self.step.describe()}"]
+        lines.extend(f"  {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    subject: str
+    seed: int
+    trace: list[FuzzStep] = field(default_factory=list)
+    accepted: int = 0
+    rejected: int = 0
+    checks: int = 0
+    failure: FuzzFailure | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return (
+            f"{status} subject={self.subject} seed={self.seed} "
+            f"steps={len(self.trace)} accepted={self.accepted} "
+            f"rejected={self.rejected} checks={self.checks}"
+        )
+
+
+class DifferentialHarness:
+    """A workspace plus the fingerprint model it is checked against.
+
+    ``fps`` mirrors the workspace log: ``fps[0]`` is the reference
+    fingerprint and ``fps[i]`` the schema fingerprint after log entry
+    ``i``.  Composite steps log one entry per primitive but only the
+    final state is observed, so intermediate entries carry ``None`` and
+    are backfilled lazily when an undo exposes them.  ``redo_fps``
+    mirrors the redo stack with the fingerprint each entry must restore.
+    """
+
+    def __init__(
+        self,
+        reference: Schema,
+        check_every: int = 4,
+        invariant_filter: set[str] | None = None,
+    ) -> None:
+        self.workspace = Workspace(reference, f"{reference.name}_fuzz")
+        self.base_fp = schema_fingerprint(reference)
+        self.fps: list[str | None] = [self.base_fp]
+        self.redo_fps: list[str] = []
+        self.check_every = max(1, check_every)
+        self.invariant_filter = invariant_filter
+        self.accepted = 0
+        self.rejected = 0
+        self.checks = 0
+
+    # ------------------------------------------------------------------
+
+    def _fingerprint(self) -> str:
+        return memoized_schema_fingerprint(self.workspace.schema)
+
+    def _model_violation(self, name: str, message: str) -> list[Violation]:
+        if self.invariant_filter is not None and name not in self.invariant_filter:
+            return []
+        return [Violation(name, message)]
+
+    def execute(self, step: FuzzStep, step_index: int) -> list[Violation]:
+        """Run one step; returns every violation it provoked."""
+        try:
+            violations = self._execute_action(step)
+        except Exception as error:  # noqa: BLE001 - escapes are findings
+            return self._model_violation(
+                "unexpected-exception",
+                f"{step.describe()} raised {type(error).__name__}: {error}",
+            )
+        violations.extend(self._check_shape())
+        tiers = [TIER_CHEAP]
+        if (step_index + 1) % self.check_every == 0:
+            tiers.append(TIER_EXPENSIVE)
+        self.checks += 1
+        violations.extend(
+            check_workspace(
+                self.workspace, tiers=tiers, names=self.invariant_filter
+            )
+        )
+        return violations
+
+    def final_check(self) -> list[Violation]:
+        """Full-tier check, then drain the undo stack back to base."""
+        violations = list(
+            check_workspace(self.workspace, names=self.invariant_filter)
+        )
+        while self.workspace.log:
+            violations.extend(self._do_undo())
+            if violations:
+                return violations
+        if self._fingerprint() != self.base_fp:
+            violations.extend(
+                self._model_violation(
+                    "undo-identity",
+                    "undoing every step did not restore the reference schema",
+                )
+            )
+        return violations
+
+    # ------------------------------------------------------------------
+    # Step semantics
+    # ------------------------------------------------------------------
+
+    def _execute_action(self, step: FuzzStep) -> list[Violation]:
+        if step.action in ("apply", "apply_bare"):
+            return self._do_apply(step.operation, step.action == "apply")
+        if step.action == "composite":
+            return self._do_composite(step.composite)
+        if step.action == "undo":
+            return self._do_undo()
+        if step.action == "redo":
+            return self._do_redo()
+        if step.action == "reset":
+            return self._do_reset()
+        raise ValueError(f"unknown fuzz action {step.action!r}")
+
+    def _do_apply(
+        self, operation: SchemaOperation | None, propagate: bool
+    ) -> list[Violation]:
+        assert operation is not None
+        before_redo = len(self.redo_fps)
+        try:
+            self.workspace.apply(operation, propagate=propagate)
+        except REJECTION_ERRORS:
+            self.rejected += 1
+            return self._check_unchanged(
+                f"rejected {operation.to_text()}", before_redo
+            )
+        self.accepted += 1
+        self.fps.append(self._fingerprint())
+        self.redo_fps.clear()
+        return []
+
+    def _do_composite(
+        self, composite: CompositeOperation | None
+    ) -> list[Violation]:
+        assert composite is not None
+        before_redo = len(self.redo_fps)
+        try:
+            entries = self.workspace.apply_composite(composite)
+        except REJECTION_ERRORS:
+            self.rejected += 1
+            violations = []
+            fingerprint = self._fingerprint()
+            if self.fps[-1] is not None and fingerprint != self.fps[-1]:
+                violations.extend(
+                    self._model_violation(
+                        "atomicity",
+                        f"failed composite {composite.describe()!r} changed "
+                        "the schema",
+                    )
+                )
+            # A failed composite clears the redo stack iff at least one
+            # primitive succeeded before the failure (each success goes
+            # through apply, which clears it).  Both depths are legal;
+            # anything else is a history leak.
+            if self.workspace.redo_depth == 0:
+                self.redo_fps.clear()
+            elif self.workspace.redo_depth != before_redo:
+                violations.extend(
+                    self._model_violation(
+                        "history-shape",
+                        "failed composite left redo depth "
+                        f"{self.workspace.redo_depth}, expected 0 or "
+                        f"{before_redo}",
+                    )
+                )
+            return violations
+        if not entries:
+            self.rejected += 1
+            return self._check_unchanged(
+                f"empty composite {composite.describe()!r}", before_redo
+            )
+        self.accepted += 1
+        self.fps.extend([None] * (len(entries) - 1))
+        self.fps.append(self._fingerprint())
+        self.redo_fps.clear()
+        return []
+
+    def _do_undo(self) -> list[Violation]:
+        before = self._fingerprint()
+        entry = self.workspace.undo_last()
+        if entry is None:
+            return self._check_unchanged("undo on empty log", len(self.redo_fps))
+        popped = self.fps.pop()
+        self.redo_fps.append(popped if popped is not None else before)
+        fingerprint = self._fingerprint()
+        if self.fps[-1] is None:
+            # intermediate state of a composite, first time observed
+            self.fps[-1] = fingerprint
+            return []
+        if fingerprint != self.fps[-1]:
+            return self._model_violation(
+                "undo-identity",
+                f"undo of {entry.describe()!r} did not restore the "
+                "pre-operation schema",
+            )
+        return []
+
+    def _do_redo(self) -> list[Violation]:
+        before_redo = len(self.redo_fps)
+        try:
+            entry = self.workspace.redo()
+        except REJECTION_ERRORS:
+            self.rejected += 1
+            return self._check_unchanged("rejected redo", before_redo)
+        if entry is None:
+            if self.redo_fps:
+                return self._model_violation(
+                    "history-shape",
+                    f"redo returned nothing with {len(self.redo_fps)} "
+                    "undone steps outstanding",
+                )
+            return []
+        expected = self.redo_fps.pop()
+        fingerprint = self._fingerprint()
+        self.fps.append(fingerprint)
+        if fingerprint != expected:
+            return self._model_violation(
+                "redo-identity",
+                f"redo of {entry.describe()!r} did not restore the "
+                "post-operation schema",
+            )
+        return []
+
+    def _do_reset(self) -> list[Violation]:
+        self.workspace.reset()
+        self.fps = [self.base_fp]
+        self.redo_fps.clear()
+        if self._fingerprint() != self.base_fp:
+            return self._model_violation(
+                "reset-identity", "reset did not restore the reference schema"
+            )
+        return []
+
+    # ------------------------------------------------------------------
+    # Model checks
+    # ------------------------------------------------------------------
+
+    def _check_unchanged(self, what: str, before_redo: int) -> list[Violation]:
+        violations = []
+        if self.fps[-1] is not None and self._fingerprint() != self.fps[-1]:
+            violations.extend(
+                self._model_violation("atomicity", f"{what} changed the schema")
+            )
+        if self.workspace.redo_depth != before_redo:
+            violations.extend(
+                self._model_violation(
+                    "history-shape",
+                    f"{what} moved redo depth from {before_redo} to "
+                    f"{self.workspace.redo_depth}",
+                )
+            )
+        return violations
+
+    def _check_shape(self) -> list[Violation]:
+        violations = []
+        if len(self.workspace.log) != len(self.fps) - 1:
+            violations.extend(
+                self._model_violation(
+                    "history-shape",
+                    f"log length {len(self.workspace.log)} does not match "
+                    f"the fingerprint model ({len(self.fps) - 1})",
+                )
+            )
+        if self.workspace.redo_depth != len(self.redo_fps):
+            violations.extend(
+                self._model_violation(
+                    "history-shape",
+                    f"redo depth {self.workspace.redo_depth} does not match "
+                    f"the redo model ({len(self.redo_fps)})",
+                )
+            )
+        return violations
+
+
+# ----------------------------------------------------------------------
+# Trace generation and replay
+# ----------------------------------------------------------------------
+
+
+def _pick_action(rng: random.Random) -> str:
+    roll = rng.random()
+    total = 0.0
+    for action, weight in _ACTION_WEIGHTS:
+        total += weight
+        if roll < total:
+            return action
+    return "apply"
+
+
+def _make_step(schema: Schema, rng: random.Random, index: int) -> FuzzStep:
+    action = _pick_action(rng)
+    if action == "composite":
+        composite = random_composite(schema, rng, index)
+        if composite is not None:
+            return FuzzStep("composite", composite=composite)
+        action = "apply"
+    if action in ("apply", "apply_bare"):
+        operation = random_operation(schema, rng, index)
+        if operation is None:
+            operation = AddTypeDefinition(f"GenType{index:04d}")
+        return FuzzStep(action, operation=operation)
+    return FuzzStep(action)
+
+
+def fuzz(
+    reference: Schema,
+    seed: int,
+    steps: int = 100,
+    check_every: int = 4,
+    subject_name: str | None = None,
+) -> FuzzReport:
+    """Run one seeded fuzz sequence against *reference*.
+
+    Steps are generated lazily against the current workspace schema, so
+    later operations can target types earlier operations created.  The
+    resulting trace is concrete -- every step carries its exact
+    operation -- and can be replayed (and shrunk) without the RNG.
+    """
+    rng = random.Random(seed)
+    harness = DifferentialHarness(reference, check_every=check_every)
+    report = FuzzReport(
+        subject=subject_name or reference.name, seed=seed
+    )
+    for index in range(steps):
+        step = _make_step(harness.workspace.schema, rng, index)
+        report.trace.append(step)
+        violations = harness.execute(step, index)
+        if violations:
+            report.failure = FuzzFailure(index, step, violations)
+            break
+    else:
+        violations = harness.final_check()
+        if violations:
+            report.failure = FuzzFailure(
+                len(report.trace),
+                FuzzStep("undo"),
+                violations,
+            )
+    report.accepted = harness.accepted
+    report.rejected = harness.rejected
+    report.checks = harness.checks
+    return report
+
+
+def replay(
+    reference: Schema,
+    trace: list[FuzzStep],
+    check_every: int = 1,
+    invariant_filter: set[str] | None = None,
+    final: bool = True,
+) -> FuzzFailure | None:
+    """Re-run a concrete trace; returns the first failure, if any.
+
+    This is the shrinker's test oracle: it must be deterministic for a
+    fixed trace, and with ``invariant_filter`` it reproduces exactly the
+    violation family under investigation (ignoring unrelated findings a
+    mutated trace might provoke).
+    """
+    harness = DifferentialHarness(
+        reference, check_every=check_every, invariant_filter=invariant_filter
+    )
+    for index, step in enumerate(trace):
+        violations = harness.execute(step, index)
+        if violations:
+            return FuzzFailure(index, step, violations)
+    if final:
+        violations = harness.final_check()
+        if violations:
+            return FuzzFailure(len(trace), FuzzStep("undo"), violations)
+    return None

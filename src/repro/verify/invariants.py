@@ -1,0 +1,475 @@
+"""The invariant registry: machine-checkable paper guarantees.
+
+The paper's contract is that the modification-operation language is
+*closed* and *consistency-preserving*: every admissible edit of a
+concept schema leaves the workspace schema structurally valid (Table 1,
+Appendix A), name-equivalent to its shrink wrap origin, and semantically
+stable, while propagation and undo/redo are lossless.  Each
+:class:`Invariant` here encodes one such clause as a whole-schema (or
+whole-workspace) predicate; the differential fuzzer
+(:mod:`repro.verify.fuzzer`) re-checks the full registry after every
+operation of a randomized sequence.
+
+Invariants come in two tiers:
+
+* ``cheap`` -- structural predicates and index-vs-scan differentials,
+  checked after every fuzz step;
+* ``expensive`` -- whole-schema round trips (ODL, decomposition,
+  mapping, log replay), checked every few steps and at sequence end.
+
+Adding an invariant: write a generator function yielding one message
+string per violation, decorate it with :func:`invariant`, and it is
+checked everywhere automatically (fuzzer, CLI, tests).  Schema-level
+checks receive ``(schema, context)``; workspace-level checks (decorated
+with ``workspace_invariant``) receive the live
+:class:`~repro.repository.workspace.Workspace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.concepts.decompose import decompose, reconstruct
+from repro.knowledge.consistency import structural_feedback
+from repro.knowledge.feedback import FeedbackLevel
+from repro.model import index as index_module
+from repro.model.fingerprint import schema_fingerprint, schemas_equal
+from repro.model.schema import Schema
+from repro.model.relationships import RelationshipKind
+from repro.model.validation import (
+    SEVERITY_ERROR,
+    check_cardinality_roles,
+    check_dangling_types,
+    check_instance_of_cycles,
+    check_inverses,
+    check_isa_cycles,
+    check_keys,
+    check_order_by,
+    check_part_of_cycles,
+)
+from repro.ops.base import OperationContext
+from repro.repository.mapping import generate_mapping
+from repro.repository.workspace import Workspace
+
+TIER_CHEAP = "cheap"
+TIER_EXPENSIVE = "expensive"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure: which contract broke and how."""
+
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.message}"
+
+
+SchemaCheck = Callable[[Schema, OperationContext], Iterator[str]]
+WorkspaceCheck = Callable[[Workspace], Iterator[str]]
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One registered whole-schema / whole-workspace predicate."""
+
+    name: str
+    clause: str  # the paper clause this invariant encodes
+    tier: str
+    check: SchemaCheck | WorkspaceCheck
+    scope: str  # "schema" | "workspace"
+
+
+#: Every registered invariant, in registration order.
+INVARIANTS: list[Invariant] = []
+
+
+def invariant(name: str, clause: str, tier: str = TIER_CHEAP):
+    """Register a schema-level invariant check function."""
+
+    def decorator(check: SchemaCheck) -> SchemaCheck:
+        INVARIANTS.append(Invariant(name, clause, tier, check, "schema"))
+        return check
+
+    return decorator
+
+
+def workspace_invariant(name: str, clause: str, tier: str = TIER_CHEAP):
+    """Register a workspace-level invariant check function."""
+
+    def decorator(check: WorkspaceCheck) -> WorkspaceCheck:
+        INVARIANTS.append(Invariant(name, clause, tier, check, "workspace"))
+        return check
+
+    return decorator
+
+
+def check_schema(
+    schema: Schema,
+    context: OperationContext | None = None,
+    tiers: Iterable[str] = (TIER_CHEAP, TIER_EXPENSIVE),
+    names: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Run every (selected) schema-level invariant over *schema*."""
+    context = context or OperationContext()
+    wanted = None if names is None else set(names)
+    tier_set = set(tiers)
+    violations: list[Violation] = []
+    for inv in INVARIANTS:
+        if inv.scope != "schema" or inv.tier not in tier_set:
+            continue
+        if wanted is not None and inv.name not in wanted:
+            continue
+        violations.extend(
+            Violation(inv.name, message) for message in inv.check(schema, context)
+        )
+    return violations
+
+
+def check_workspace(
+    workspace: Workspace,
+    tiers: Iterable[str] = (TIER_CHEAP, TIER_EXPENSIVE),
+    names: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Run schema invariants on the workspace schema plus history checks."""
+    violations = check_schema(
+        workspace.schema, workspace.context, tiers=tiers, names=names
+    )
+    wanted = None if names is None else set(names)
+    tier_set = set(tiers)
+    for inv in INVARIANTS:
+        if inv.scope != "workspace" or inv.tier not in tier_set:
+            continue
+        if wanted is not None and inv.name not in wanted:
+            continue
+        violations.extend(
+            Violation(inv.name, message) for message in inv.check(workspace)
+        )
+    return violations
+
+
+def describe_registry() -> str:
+    """One line per invariant: name, tier, scope, paper clause."""
+    lines = []
+    for inv in INVARIANTS:
+        lines.append(
+            f"{inv.name:32s} {inv.tier:9s} {inv.scope:9s} {inv.clause}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Structural invariants (Appendix A closure: ops keep the schema valid)
+# ----------------------------------------------------------------------
+
+
+def _rule_messages(rule, schema: Schema) -> Iterator[str]:
+    for issue in rule(schema):
+        if issue.severity == SEVERITY_ERROR:
+            yield str(issue)
+
+
+@invariant(
+    "dangling-types",
+    "Section 3.1: every type name used by a construct is defined",
+)
+def _check_dangling(schema, context):
+    yield from _rule_messages(check_dangling_types, schema)
+
+
+@invariant(
+    "inverse-pairing",
+    "Section 3.1: relationship ends always pair with a declared inverse",
+)
+def _check_inverse_pairing(schema, context):
+    yield from _rule_messages(check_inverses, schema)
+
+
+@invariant(
+    "hierarchy-one-to-many",
+    "Section 3.1: part-of / instance-of traversals are implicitly 1:N",
+)
+def _check_one_to_many(schema, context):
+    yield from _rule_messages(check_cardinality_roles, schema)
+
+
+@invariant(
+    "isa-acyclic",
+    "Section 3.2: the generalization hierarchy is a DAG",
+)
+def _check_isa_acyclic(schema, context):
+    yield from _rule_messages(check_isa_cycles, schema)
+
+
+@invariant(
+    "part-of-acyclic",
+    "Section 3.1: the aggregation (parts explosion) graph is a DAG",
+)
+def _check_part_of_acyclic(schema, context):
+    yield from _rule_messages(check_part_of_cycles, schema)
+
+
+@invariant(
+    "instance-of-acyclic",
+    "Section 3.1: the instance-of (version) graph is a DAG",
+)
+def _check_instance_of_acyclic(schema, context):
+    yield from _rule_messages(check_instance_of_cycles, schema)
+
+
+@invariant(
+    "keys-resolve",
+    "Table 2: key lists name attributes available on the type",
+)
+def _check_keys_resolve(schema, context):
+    yield from _rule_messages(check_keys, schema)
+
+
+@invariant(
+    "order-by-resolve",
+    "Table 3: order-by lists name attributes of the target type",
+)
+def _check_order_by_resolve(schema, context):
+    yield from _rule_messages(check_order_by, schema)
+
+
+@invariant(
+    "extent-unique",
+    "Table 2: extent names are globally unique across the schema",
+)
+def _check_extent_unique(schema, context):
+    owners: dict[str, str] = {}
+    for interface in schema:
+        if interface.extent is None:
+            continue
+        if interface.extent in owners:
+            yield (
+                f"extent {interface.extent!r} is declared by both "
+                f"{owners[interface.extent]!r} and {interface.name!r}"
+            )
+        else:
+            owners[interface.extent] = interface.name
+
+
+@invariant(
+    "feedback-error-free",
+    "Abstract: consistency checks report no error-level feedback",
+)
+def _check_feedback_clean(schema, context):
+    for message in structural_feedback(schema):
+        if message.level is FeedbackLevel.ERROR:
+            yield f"designer feedback error: {message}"
+
+
+# ----------------------------------------------------------------------
+# Index differentials (every indexed query == its scan_* reference)
+# ----------------------------------------------------------------------
+
+
+@invariant(
+    "index-generalization-vs-scan",
+    "DESIGN 5b: indexed ISA queries equal the full-scan reference",
+)
+def _check_index_generalization(schema, context):
+    for name in schema.type_names():
+        indexed = schema.subtypes(name)
+        scanned = index_module.scan_subtypes(schema, name)
+        if indexed != scanned:
+            yield f"subtypes({name!r}): index {indexed!r} != scan {scanned!r}"
+        if schema.descendants(name) != index_module.scan_descendants(schema, name):
+            yield f"descendants({name!r}): index != scan"
+        if schema.ancestors(name) != index_module.scan_ancestors(schema, name):
+            yield f"ancestors({name!r}): index != scan"
+    if schema.generalization_roots() != index_module.scan_generalization_roots(
+        schema
+    ):
+        yield "generalization_roots(): index != scan"
+
+
+@invariant(
+    "index-aggregation-vs-scan",
+    "DESIGN 5b: indexed part-of queries equal the full-scan reference",
+)
+def _check_index_aggregation(schema, context):
+    scanned_edges = index_module.scan_link_edges(
+        schema, RelationshipKind.PART_OF
+    )
+    if schema.part_of_edges() != scanned_edges:
+        yield "part_of_edges(): index != scan"
+    for name in schema.type_names():
+        if schema.parts(name) != index_module.scan_parts(schema, name):
+            yield f"parts({name!r}): index != scan"
+        if schema.wholes(name) != index_module.scan_wholes(schema, name):
+            yield f"wholes({name!r}): index != scan"
+    if schema.aggregation_roots() != index_module.scan_aggregation_roots(schema):
+        yield "aggregation_roots(): index != scan"
+
+
+@invariant(
+    "index-instance-of-vs-scan",
+    "DESIGN 5b: indexed instance-of queries equal the full-scan reference",
+)
+def _check_index_instance_of(schema, context):
+    scanned_edges = index_module.scan_link_edges(
+        schema, RelationshipKind.INSTANCE_OF
+    )
+    if schema.instance_of_edges() != scanned_edges:
+        yield "instance_of_edges(): index != scan"
+    if schema.instance_of_roots() != index_module.scan_instance_of_roots(schema):
+        yield "instance_of_roots(): index != scan"
+
+
+@invariant(
+    "index-pairs-vs-scan",
+    "DESIGN 5b: the indexed relationship listing equals the full scan",
+)
+def _check_index_pairs(schema, context):
+    if schema.relationship_pairs() != index_module.scan_relationship_pairs(
+        schema
+    ):
+        yield "relationship_pairs(): index != scan"
+
+
+# ----------------------------------------------------------------------
+# Round-trip invariants (expensive tier)
+# ----------------------------------------------------------------------
+
+
+@invariant(
+    "odl-round-trip",
+    "Section 3.1: printed extended ODL re-parses to the same schema",
+    tier=TIER_EXPENSIVE,
+)
+def _check_odl_round_trip(schema, context):
+    from repro.odl.parser import parse_schema
+    from repro.odl.printer import print_schema
+
+    text = print_schema(schema)
+    try:
+        parsed = parse_schema(text, name=schema.name)
+    except Exception as error:  # noqa: BLE001 - any escape is the finding
+        yield f"printed ODL does not re-parse: {error}"
+        return
+    if not schemas_equal(schema, parsed):
+        yield "printer -> parser round trip changed the schema"
+    elif print_schema(parsed) != text:
+        yield "printer -> parser -> printer is not idempotent"
+
+
+@invariant(
+    "decomposition-union",
+    "Section 3.3.1: the union of all concept schemas is the schema",
+    tier=TIER_EXPENSIVE,
+)
+def _check_decomposition_union(schema, context):
+    try:
+        rebuilt = reconstruct(decompose(schema))
+    except Exception as error:  # noqa: BLE001
+        yield f"decompose/reconstruct raised: {error}"
+        return
+    if not schemas_equal(schema, rebuilt):
+        yield "reconstruct(decompose(schema)) differs from schema"
+
+
+@invariant(
+    "name-equivalence-mapping",
+    "Section 5: the mapping derives from name equivalence; a schema maps "
+    "onto its copy with every construct unchanged",
+    tier=TIER_EXPENSIVE,
+)
+def _check_name_equivalence(schema, context):
+    mapping = generate_mapping(schema, schema.copy(f"{schema.name}_verify"))
+    if mapping.added() or mapping.deleted():
+        yield (
+            "self-mapping reports "
+            f"{len(mapping.added())} added / {len(mapping.deleted())} "
+            "deleted constructs"
+        )
+    if mapping.entries and mapping.reuse_ratio() != 1.0:
+        yield f"self-mapping reuse ratio is {mapping.reuse_ratio()}, not 1.0"
+    partition = len(mapping.corresponding()) + len(mapping.added()) + len(
+        mapping.deleted()
+    )
+    if partition != len(mapping.entries):
+        yield (
+            "mapping entries do not partition into corresponding/added/"
+            f"deleted ({partition} != {len(mapping.entries)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Workspace (history) invariants
+# ----------------------------------------------------------------------
+
+
+@workspace_invariant(
+    "history-shape",
+    "Figure 1: the workspace log mirrors exactly the undoable steps",
+)
+def _check_history_shape(workspace):
+    if workspace.undo_depth != len(workspace.log):
+        yield (
+            f"undo_depth {workspace.undo_depth} != log length "
+            f"{len(workspace.log)}"
+        )
+    for entry in workspace.log:
+        if len(entry.undos) != len(entry.plan):
+            yield (
+                f"log entry {entry.describe()!r} has {len(entry.plan)} plan "
+                f"steps but {len(entry.undos)} undo closures"
+            )
+
+
+@workspace_invariant(
+    "log-replay",
+    "Section 5 activity 8: the recorded script replays to the same "
+    "custom schema (the log is the customization)",
+    tier=TIER_EXPENSIVE,
+)
+def _check_log_replay(workspace):
+    replay = workspace.reference.copy("verify_replay")
+    context = OperationContext(reference=workspace.reference)
+    try:
+        for step in workspace.applied_operations():
+            step.apply(replay, context)
+    except Exception as error:  # noqa: BLE001
+        yield f"replaying the applied plan steps raised: {error}"
+        return
+    if schema_fingerprint(replay) != schema_fingerprint(workspace.schema):
+        yield "replaying the log does not reproduce the workspace schema"
+
+
+@workspace_invariant(
+    "undo-redo-identity",
+    "Appendix A: undo restores the pre-operation schema and redo the "
+    "post-operation schema, exactly (fingerprint identity)",
+    tier=TIER_EXPENSIVE,
+)
+def _check_undo_redo_identity(workspace):
+    if not workspace.log:
+        return
+    before = schema_fingerprint(workspace.schema)
+    entry = workspace.undo_last()
+    assert entry is not None
+    try:
+        redone = workspace.redo()
+    except Exception as error:  # noqa: BLE001
+        yield (
+            f"redo of just-undone step {entry.describe()!r} raised: {error}"
+        )
+        return
+    if redone is None:
+        yield (
+            f"redo after undo of {entry.describe()!r} found an empty redo "
+            "stack"
+        )
+        return
+    after = schema_fingerprint(workspace.schema)
+    if after != before:
+        yield (
+            f"undo+redo of {entry.describe()!r} changed the schema "
+            "fingerprint"
+        )
+

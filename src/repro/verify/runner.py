@@ -1,0 +1,193 @@
+"""Campaign runner and CLI for the differential verification subsystem.
+
+``python -m repro.verify`` sweeps the fuzzer over every catalog schema
+plus a ladder of generated schemas, one seeded run per (subject, seed)
+pair.  On a failure it delta-debugs the trace to a minimal reproducer
+and prints it as a ready-to-paste pytest module, then exits non-zero --
+the shrunk test is the bug report.
+
+The smoke configuration (``make fuzz-smoke``) keeps the sweep around
+half a minute; the acceptance configuration (``--seeds 25 --steps 200``)
+is the deeper soak the ROADMAP's verification contract calls for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.catalog import SCHEMA_BUILDERS, load
+from repro.model.schema import Schema
+from repro.verify.fuzzer import FuzzReport, fuzz
+from repro.verify.invariants import check_schema, describe_registry
+from repro.verify.shrinker import emit_pytest, shrink
+from repro.workload.generator import WorkloadSpec, generate_schema
+
+
+@dataclass(frozen=True)
+class Subject:
+    """One reference schema the campaign fuzzes against.
+
+    ``source`` is an expression rebuilding the schema -- it goes
+    verbatim into emitted reproducers, so it must be self-contained
+    given the catalog / workload imports.
+    """
+
+    name: str
+    source: str
+    build: Callable[[], Schema]
+
+
+def catalog_subjects() -> list[Subject]:
+    """Every shrink wrap schema shipped in the catalog."""
+    return [
+        Subject(name, f"load({name!r})", lambda name=name: load(name))
+        for name in SCHEMA_BUILDERS
+    ]
+
+
+def generated_subject(seed: int, types: int = 14) -> Subject:
+    """A deterministic synthetic schema (exercises generated shapes)."""
+    spec = WorkloadSpec(types=types, seed=seed)
+    return Subject(
+        f"synthetic_{types}_{seed}",
+        f"generate_schema({spec!r})",
+        lambda: generate_schema(spec),
+    )
+
+
+def campaign_subjects(seeds: int) -> list[tuple[Subject, int]]:
+    """(subject, fuzz seed) pairs: catalog and synthetic interleaved."""
+    catalog = catalog_subjects()
+    pairs: list[tuple[Subject, int]] = []
+    for seed in range(seeds):
+        pairs.append((catalog[seed % len(catalog)], seed))
+        pairs.append((generated_subject(seed), seed))
+    return pairs
+
+
+def run_campaign(
+    seeds: int,
+    steps: int,
+    check_every: int = 4,
+    only_schema: str | None = None,
+    do_shrink: bool = True,
+    fail_fast: bool = True,
+    out=sys.stdout,
+) -> list[FuzzReport]:
+    """Run the sweep; prints one summary line per run, reproducers on
+    failure.  Returns every report (failures included)."""
+    pairs = campaign_subjects(seeds)
+    if only_schema is not None:
+        pairs = [
+            (subject, seed)
+            for subject, seed in pairs
+            if subject.name == only_schema
+        ]
+        if not pairs:
+            raise SystemExit(f"unknown subject {only_schema!r}")
+    reports: list[FuzzReport] = []
+    for subject, seed in pairs:
+        reference = subject.build()
+        baseline = check_schema(reference)
+        if baseline:
+            print(f"SKIP {subject.name}: reference schema is dirty", file=out)
+            for violation in baseline:
+                print(f"  {violation}", file=out)
+            continue
+        report = fuzz(
+            reference,
+            seed=seed,
+            steps=steps,
+            check_every=check_every,
+            subject_name=subject.name,
+        )
+        reports.append(report)
+        print(report.summary(), file=out)
+        if report.failure is not None:
+            print(report.failure.render(), file=out)
+            if do_shrink:
+                result = shrink(
+                    subject.build(), report.trace, report.failure
+                )
+                print(result.summary(), file=out)
+                print("--- minimal reproducer ---", file=out)
+                print(
+                    emit_pytest(
+                        subject.source,
+                        result.steps,
+                        result.failure,
+                        test_name=(
+                            f"test_fuzz_{subject.name}_seed{seed}"
+                        ),
+                    ),
+                    file=out,
+                )
+            if fail_fast:
+                break
+    return reports
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description=(
+            "Differential verification: fuzz operation sequences against "
+            "the invariant registry, shrinking any failure to a minimal "
+            "pytest reproducer."
+        ),
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=10,
+        help="fuzz seeds per subject family (default 10)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=100,
+        help="operations per fuzz run (default 100)",
+    )
+    parser.add_argument(
+        "--check-every", type=int, default=4,
+        help="run expensive-tier invariants every N steps (default 4)",
+    )
+    parser.add_argument(
+        "--schema", default=None,
+        help="restrict the sweep to one subject name",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without delta-debugging them",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="continue the sweep past the first failure",
+    )
+    parser.add_argument(
+        "--list-invariants", action="store_true",
+        help="print the invariant registry and exit",
+    )
+    options = parser.parse_args(argv)
+    if options.list_invariants:
+        print(describe_registry())
+        return 0
+    reports = run_campaign(
+        seeds=options.seeds,
+        steps=options.steps,
+        check_every=options.check_every,
+        only_schema=options.schema,
+        do_shrink=not options.no_shrink,
+        fail_fast=not options.keep_going,
+    )
+    failures = [report for report in reports if not report.ok]
+    accepted = sum(report.accepted for report in reports)
+    rejected = sum(report.rejected for report in reports)
+    print(
+        f"{len(reports)} runs, {accepted} operations accepted, "
+        f"{rejected} rejected, {len(failures)} failing runs"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -29,9 +29,32 @@ from repro.ops.attribute_ops import (
     ModifyAttributeSize,
 )
 from repro.ops.base import OperationContext, SchemaOperation
-from repro.ops.operation_ops import AddOperation
+from repro.ops.composite import (
+    CompositeOperation,
+    ExtractSupertype,
+    IntroduceAbstractSupertype,
+    SplitBySubtyping,
+)
+from repro.ops.instance_of_ops import (
+    AddInstanceOfRelationship,
+    DeleteInstanceOfRelationship,
+)
+from repro.ops.operation_ops import AddOperation, DeleteOperation
+from repro.ops.part_of_ops import (
+    AddPartOfRelationship,
+    DeletePartOfRelationship,
+)
 from repro.ops.relationship_ops import AddRelationship, DeleteRelationship
 from repro.ops.type_ops import AddTypeDefinition, DeleteTypeDefinition
+from repro.ops.type_property_ops import (
+    AddExtentName,
+    AddKeyList,
+    AddSupertype,
+    DeleteExtentName,
+    DeleteKeyList,
+    DeleteSupertype,
+    ModifyExtentName,
+)
 from repro.knowledge.propagation import expand
 
 _SCALARS = (
@@ -186,26 +209,36 @@ def generate_operations(
     private scratch copy so that subsequent operations stay valid; the
     returned list therefore replays cleanly against a fresh copy of
     *schema* in a workspace with propagation enabled.
+
+    The stream covers the whole Appendix A language: attribute,
+    relationship, type, operation, part-of, instance-of, and
+    type-property operations, plus composites (which contribute their
+    expanded primitive plans, so the returned list stays a list of
+    primitive operations).
     """
     rng = random.Random(seed)
     scratch = schema.copy("workload_scratch")
     context = OperationContext(reference=schema)
     operations: list[SchemaOperation] = []
-    makers = (
-        _make_add_attribute,
-        _make_delete_attribute,
-        _make_resize_attribute,
-        _make_add_type,
-        _make_add_relationship,
-        _make_delete_relationship,
-        _make_add_operation,
-        _make_delete_type,
-    )
     attempts = 0
     while len(operations) < count and attempts < count * 50:
         attempts += 1
-        maker = rng.choice(makers)
-        operation = maker(scratch, rng, len(operations))
+        if rng.random() < _COMPOSITE_SHARE:
+            composite = random_composite(scratch, rng, len(operations))
+            if composite is None:
+                continue
+            try:
+                plan = composite.expand_plan(scratch, context)
+                applied: list[SchemaOperation] = []
+                for operation in plan:
+                    for step in expand(scratch, operation, context):
+                        step.apply(scratch, context)
+                    applied.append(operation)
+            except Exception:
+                continue
+            operations.extend(applied)
+            continue
+        operation = random_operation(scratch, rng, len(operations))
         if operation is None:
             continue
         try:
@@ -218,7 +251,37 @@ def generate_operations(
         raise RuntimeError(
             f"could only generate {len(operations)} of {count} operations"
         )
+    del operations[count:]
     return operations
+
+
+#: Fraction of generation draws that attempt a composite operation.
+_COMPOSITE_SHARE = 0.04
+
+
+def random_operation(
+    schema: Schema, rng: random.Random, index: int
+) -> SchemaOperation | None:
+    """One randomly chosen candidate operation against *schema*.
+
+    The operation is built from the current state of *schema* but not
+    applied; it may still fail validation (e.g. a part-of edge that
+    would close a cycle) -- callers decide whether to skip or to treat
+    the rejection itself as part of the workload.  ``None`` means the
+    chosen operation family has no candidate in this schema (e.g. no
+    relationship left to delete).  Deterministic for a given *rng*
+    state, *schema*, and *index*.
+    """
+    maker = rng.choice(_PRIMITIVE_MAKERS)
+    return maker(schema, rng, index)
+
+
+def random_composite(
+    schema: Schema, rng: random.Random, index: int
+) -> CompositeOperation | None:
+    """One randomly chosen composite operation against *schema*."""
+    maker = rng.choice(_COMPOSITE_MAKERS)
+    return maker(schema, rng, index)
 
 
 def _random_type(scratch: Schema, rng: random.Random) -> str | None:
@@ -300,3 +363,204 @@ def _make_add_operation(scratch, rng, index):
     if owner is None:
         return None
     return AddOperation(owner, rng.choice(_SCALARS), f"gen_op{index}")
+
+
+def _make_delete_operation(scratch, rng, index):
+    owner = _random_type(scratch, rng)
+    if owner is None:
+        return None
+    names = list(scratch.get(owner).operations)
+    if not names:
+        return None
+    return DeleteOperation(owner, rng.choice(names))
+
+
+# ----------------------------------------------------------------------
+# Part-of / instance-of operations
+# ----------------------------------------------------------------------
+
+
+def _make_add_part_of(scratch, rng, index):
+    whole = _random_type(scratch, rng)
+    part = _random_type(scratch, rng)
+    if whole is None or part is None or whole == part:
+        return None
+    return AddPartOfRelationship(
+        whole, set_of(part), f"gen_part{index}_to", part, f"gen_part{index}_from"
+    )
+
+
+def _make_delete_part_of(scratch, rng, index):
+    edges = scratch.part_of_edges()
+    if not edges:
+        return None
+    whole, _, end = edges[rng.randrange(len(edges))]
+    return DeletePartOfRelationship(whole, end.name)
+
+
+def _make_add_instance_of(scratch, rng, index):
+    generic = _random_type(scratch, rng)
+    instance = _random_type(scratch, rng)
+    if generic is None or instance is None or generic == instance:
+        return None
+    return AddInstanceOfRelationship(
+        generic, set_of(instance), f"gen_inst{index}_to",
+        instance, f"gen_inst{index}_from",
+    )
+
+
+def _make_delete_instance_of(scratch, rng, index):
+    edges = scratch.instance_of_edges()
+    if not edges:
+        return None
+    generic, _, end = edges[rng.randrange(len(edges))]
+    return DeleteInstanceOfRelationship(generic, end.name)
+
+
+# ----------------------------------------------------------------------
+# Type-property operations (supertypes, extents, keys)
+# ----------------------------------------------------------------------
+
+
+def _make_add_supertype(scratch, rng, index):
+    subtype = _random_type(scratch, rng)
+    supertype = _random_type(scratch, rng)
+    if subtype is None or supertype is None or subtype == supertype:
+        return None
+    return AddSupertype(subtype, supertype)
+
+
+def _make_delete_supertype(scratch, rng, index):
+    candidates = [
+        interface.name for interface in scratch if interface.supertypes
+    ]
+    if not candidates:
+        return None
+    name = rng.choice(candidates)
+    return DeleteSupertype(name, rng.choice(scratch.get(name).supertypes))
+
+
+def _make_add_extent(scratch, rng, index):
+    candidates = [
+        interface.name for interface in scratch if interface.extent is None
+    ]
+    if not candidates:
+        return None
+    return AddExtentName(rng.choice(candidates), f"gen_extent{index}")
+
+
+def _make_modify_extent(scratch, rng, index):
+    candidates = [
+        interface for interface in scratch if interface.extent is not None
+    ]
+    if not candidates:
+        return None
+    interface = candidates[rng.randrange(len(candidates))]
+    return ModifyExtentName(
+        interface.name, interface.extent, f"gen_extent{index}"
+    )
+
+
+def _make_delete_extent(scratch, rng, index):
+    candidates = [
+        interface for interface in scratch if interface.extent is not None
+    ]
+    if not candidates:
+        return None
+    interface = candidates[rng.randrange(len(candidates))]
+    return DeleteExtentName(interface.name, interface.extent)
+
+
+def _make_add_key(scratch, rng, index):
+    owner = _random_type(scratch, rng)
+    if owner is None:
+        return None
+    available = sorted(
+        set(scratch.get(owner).attributes)
+        | set(scratch.inherited_attributes(owner))
+    )
+    if not available:
+        return None
+    return AddKeyList(owner, (rng.choice(available),))
+
+
+def _make_delete_key(scratch, rng, index):
+    candidates = [interface for interface in scratch if interface.keys]
+    if not candidates:
+        return None
+    interface = candidates[rng.randrange(len(candidates))]
+    return DeleteKeyList(
+        interface.name, tuple(interface.keys[rng.randrange(len(interface.keys))])
+    )
+
+
+# ----------------------------------------------------------------------
+# Composite operations (macros expanding to primitive plans)
+# ----------------------------------------------------------------------
+
+
+def _make_introduce_abstract_supertype(scratch, rng, index):
+    names = scratch.type_names()
+    if len(names) < 2:
+        return None
+    subtypes = tuple(rng.sample(names, 2))
+    return IntroduceAbstractSupertype(
+        f"GenSuper{index:04d}", subtypes, lift_common=rng.random() < 0.5
+    )
+
+
+def _make_extract_supertype(scratch, rng, index):
+    candidates = [
+        interface.name
+        for interface in scratch
+        if interface.attributes and scratch.ancestors(interface.name)
+    ]
+    if not candidates:
+        return None
+    source = rng.choice(candidates)
+    supertype = rng.choice(sorted(scratch.ancestors(source)))
+    attribute = rng.choice(list(scratch.get(source).attributes))
+    return ExtractSupertype(source, supertype, (attribute,))
+
+
+def _make_split_by_subtyping(scratch, rng, index):
+    candidates = [
+        interface.name for interface in scratch if interface.attributes
+    ]
+    if not candidates:
+        return None
+    source = rng.choice(candidates)
+    attribute = rng.choice(list(scratch.get(source).attributes))
+    return SplitBySubtyping(source, f"GenSub{index:04d}", (attribute,))
+
+
+#: Every primitive operation family the generator can draw from.
+_PRIMITIVE_MAKERS = (
+    _make_add_attribute,
+    _make_delete_attribute,
+    _make_resize_attribute,
+    _make_add_type,
+    _make_add_relationship,
+    _make_delete_relationship,
+    _make_add_operation,
+    _make_delete_operation,
+    _make_delete_type,
+    _make_add_part_of,
+    _make_delete_part_of,
+    _make_add_instance_of,
+    _make_delete_instance_of,
+    _make_add_supertype,
+    _make_delete_supertype,
+    _make_add_extent,
+    _make_modify_extent,
+    _make_delete_extent,
+    _make_add_key,
+    _make_delete_key,
+)
+
+#: Composite (macro) operation families.
+_COMPOSITE_MAKERS = (
+    _make_introduce_abstract_supertype,
+    _make_extract_supertype,
+    _make_split_by_subtyping,
+)

@@ -5,6 +5,7 @@ import pytest
 from repro.model.fingerprint import schema_fingerprint
 from repro.odl.parser import parse_schema
 from repro.ops.base import ConstraintViolation
+from repro.ops.relationship_ops import ModifyRelationshipOrderBy
 from repro.ops.type_property_ops import (
     AddExtentName,
     AddKeyList,
@@ -47,9 +48,29 @@ class TestSupertypeOps:
         undo()
         assert schema_fingerprint(small) == before
 
-    def test_delete(self, small):
+    def test_delete_bare_refuses_when_order_by_would_strand(self, small):
+        # Department.staff orders by 'name', which Employee only sees
+        # through the Person ISA link: the bare delete must refuse
+        # (closure), and succeeds once the order-by is cleared.
+        with pytest.raises(ConstraintViolation):
+            DeleteSupertype("Employee", "Person").apply(small)
+        ModifyRelationshipOrderBy(
+            "Department", "staff", ("name",), ()
+        ).apply(small)
         DeleteSupertype("Employee", "Person").apply(small)
         assert small.get("Employee").supertypes == []
+
+    def test_delete_via_propagation(self, small):
+        from repro.knowledge.propagation import expand
+        from repro.ops.base import OperationContext
+
+        operation = DeleteSupertype("Employee", "Person")
+        plan = expand(small, operation, OperationContext())
+        assert len(plan) > 1  # the stranded order-by is cascaded away
+        for step in plan:
+            step.apply(small)
+        assert small.get("Employee").supertypes == []
+        small.validate()
 
     def test_delete_missing_rejected(self, small):
         with pytest.raises(ConstraintViolation):
@@ -64,8 +85,15 @@ class TestSupertypeOps:
         assert schema.get("C").supertypes == ["A", "B"]
 
     def test_modify_rewires(self, small):
+        ModifyRelationshipOrderBy(
+            "Department", "staff", ("name",), ()
+        ).apply(small)
         ModifySupertype("Employee", ("Person",), ()).apply(small)
         assert small.get("Employee").supertypes == []
+
+    def test_modify_bare_refuses_when_order_by_would_strand(self, small):
+        with pytest.raises(ConstraintViolation):
+            ModifySupertype("Employee", ("Person",), ()).apply(small)
 
     def test_modify_requires_current_list(self, small):
         with pytest.raises(ConstraintViolation):
@@ -82,6 +110,9 @@ class TestSupertypeOps:
             ModifySupertype("Person", (), ("Employee",)).apply(small)
 
     def test_modify_undo(self, small):
+        ModifyRelationshipOrderBy(
+            "Department", "staff", ("name",), ()
+        ).apply(small)
         before = schema_fingerprint(small)
         undo = ModifySupertype("Employee", ("Person",), ()).apply(small)
         undo()

@@ -1,0 +1,210 @@
+"""Shrunk fuzzer reproducers, checked in as permanent regressions.
+
+Each test here started life as a differential-fuzzer failure
+(``python -m repro.verify``), was delta-debugged to a minimal trace by
+:mod:`repro.verify.shrinker`, and is kept in the emitted-reproducer
+idiom: drive a workspace through the offending steps, assert the
+invariant registry stays clean, then drain the undo log and assert the
+reference schema comes back exactly.
+"""
+
+import pytest
+
+from repro.catalog import load
+from repro.model.errors import SchemaError, UnknownTypeError
+from repro.model.fingerprint import (
+    memoized_schema_fingerprint,
+    schema_fingerprint,
+    schemas_equal,
+)
+from repro.ops.base import OperationError
+from repro.ops.composite import ExtractSupertype, IntroduceAbstractSupertype
+from repro.ops.language import parse_operation
+from repro.repository.workspace import Workspace
+from repro.verify.invariants import check_workspace
+
+
+def _apply(workspace, text, propagate=True):
+    """Apply one operation; rejection is a legal no-op in a trace."""
+    try:
+        workspace.apply(parse_operation(text), propagate=propagate)
+    except (OperationError, SchemaError):
+        pass
+
+
+def _drain_and_check(workspace):
+    assert not check_workspace(workspace), check_workspace(workspace)
+    while workspace.undo_depth:
+        workspace.undo_last()
+    assert schemas_equal(workspace.schema, workspace.reference), (
+        "undoing every step must restore the reference schema"
+    )
+
+
+class TestPartOfCycleAdmission:
+    """Fuzzer finding #1: mutually-inverse part-of links closed a cycle.
+
+    ``add_part_of_relationship`` validated each link locally, so A
+    part-of B followed by B part-of A was admitted and only noticed by
+    ``schema.validate()`` afterwards -- an operation sequence escaping
+    the closed language.  Ops now refuse any aggregation / instance-of
+    link that would close a cycle (or a self-loop).
+    """
+
+    def test_two_step_cycle_rejected(self):
+        workspace = Workspace(load("university"))
+        # violated (pre-fix): part-of-acyclic
+        _apply(workspace, "add_type_definition(A)")
+        _apply(workspace, "add_type_definition(B)")
+        _apply(
+            workspace,
+            "add_part_of_relationship(A, set<B>, parts, B::whole)",
+        )
+        _apply(
+            workspace,
+            "add_part_of_relationship(B, set<A>, parts, A::whole)",
+        )
+        _drain_and_check(workspace)
+
+    def test_self_loop_rejected(self):
+        workspace = Workspace(load("university"))
+        _apply(workspace, "add_type_definition(A)")
+        _apply(
+            workspace,
+            "add_part_of_relationship(A, set<A>, parts, A::whole)",
+        )
+        _drain_and_check(workspace)
+
+    def test_instance_of_cycle_rejected(self):
+        workspace = Workspace(load("university"))
+        _apply(workspace, "add_type_definition(A)")
+        _apply(workspace, "add_type_definition(B)")
+        _apply(
+            workspace,
+            "add_instance_of_relationship(A, set<B>, versions, B::generic)",
+        )
+        _apply(
+            workspace,
+            "add_instance_of_relationship(B, set<A>, versions, A::generic)",
+        )
+        _drain_and_check(workspace)
+
+    def test_legal_chain_still_admitted(self):
+        workspace = Workspace(load("university"))
+        for text in (
+            "add_type_definition(A)",
+            "add_type_definition(B)",
+            "add_type_definition(C)",
+            "add_part_of_relationship(A, set<B>, parts, B::whole)",
+            "add_part_of_relationship(B, set<C>, parts, C::whole)",
+        ):
+            workspace.apply(parse_operation(text))
+        assert workspace.schema.parts("A") == ["B"]
+        _drain_and_check(workspace)
+
+
+class TestExtentGenerationBump:
+    """Fuzzer finding #2: extent edits bypassed index invalidation.
+
+    The extent operations assigned ``interface.extent`` directly, so
+    the schema's generation counter never moved and every
+    generation-stamped cache (including the verification engine's
+    memoized fingerprint) kept serving stale answers.
+    """
+
+    def test_extent_ops_invalidate_caches(self):
+        workspace = Workspace(load("company"))
+        memoized_schema_fingerprint(workspace.schema)  # prime the cache
+        workspace.apply(parse_operation("delete_extent_name(Person, people)"))
+        assert memoized_schema_fingerprint(workspace.schema) == (
+            schema_fingerprint(workspace.schema)
+        )
+        _drain_and_check(workspace)
+
+    def test_undo_of_extent_op_invalidates_too(self):
+        workspace = Workspace(load("company"))
+        workspace.apply(
+            parse_operation("modify_extent_name(Person, people, persons)")
+        )
+        memoized_schema_fingerprint(workspace.schema)
+        workspace.undo_last()
+        assert memoized_schema_fingerprint(workspace.schema) == (
+            schema_fingerprint(workspace.schema)
+        )
+
+
+class TestBareSupertypeDeleteStrandsKey:
+    """Fuzzer finding #3 (shrunk from aatdb seed 22, 32 -> 3 steps).
+
+    ``delete_supertype`` applied bare removed the ISA link even when a
+    key or order-by resolved only through it, leaving ``keys-resolve``
+    violated.  The op now refuses unless the dependents are gone --
+    propagation still cascades them automatically.
+    """
+
+    def test_shrunk_reproducer(self):
+        workspace = Workspace(load("aatdb"))
+        # violated (pre-fix): keys-resolve, feedback-error-free
+        try:
+            workspace.apply_composite(
+                IntroduceAbstractSupertype(
+                    supertype_name="GenSuper0006",
+                    subtype_names=("Lab", "Map"),
+                    lift_common=False,
+                )
+            )
+            workspace.apply_composite(
+                ExtractSupertype(
+                    source="Map",
+                    supertype="GenSuper0006",
+                    attribute_names=("name",),
+                    operation_names=(),
+                )
+            )
+        except (OperationError, SchemaError):
+            pass
+        _apply(workspace, "delete_supertype(Map, GenSuper0006)", propagate=False)
+        _drain_and_check(workspace)
+
+    def test_propagated_delete_still_works(self):
+        workspace = Workspace(load("aatdb"))
+        workspace.apply_composite(
+            IntroduceAbstractSupertype(
+                supertype_name="GenSuper0006",
+                subtype_names=("Lab", "Map"),
+                lift_common=False,
+            )
+        )
+        workspace.apply_composite(
+            ExtractSupertype(
+                source="Map",
+                supertype="GenSuper0006",
+                attribute_names=("name",),
+                operation_names=(),
+            )
+        )
+        workspace.apply(parse_operation("delete_supertype(Map, GenSuper0006)"))
+        assert not check_workspace(workspace)
+
+
+class TestWorkspaceAtomicityOnSchemaError:
+    """Fuzzer finding #4: model-layer errors skipped the rollback.
+
+    The workspace rolled a failing plan back only for ``OperationError``;
+    an op raising a model-layer ``SchemaError`` (e.g. ``UnknownTypeError``
+    for a target created by a step that was later removed from a trace)
+    escaped the except clause.  All apply/redo/composite paths now treat
+    both branches as a rejection with full rollback.
+    """
+
+    def test_unknown_type_leaves_workspace_untouched(self):
+        workspace = Workspace(load("university"))
+        before = schema_fingerprint(workspace.schema)
+        with pytest.raises(UnknownTypeError):
+            workspace.apply(
+                parse_operation("add_extent_name(NoSuchType, things)"),
+                propagate=False,
+            )
+        assert schema_fingerprint(workspace.schema) == before
+        assert workspace.undo_depth == 0
+        assert not check_workspace(workspace)
