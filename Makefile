@@ -11,10 +11,11 @@ test:
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q
 
-## fast index-scaling regression tripwire (reduced sizes, relaxed floor)
+## fast scaling regression tripwire (reduced sizes, relaxed floors)
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
-		benchmarks/test_bench_index_scaling.py -q
+		benchmarks/test_bench_index_scaling.py \
+		benchmarks/test_bench_validation.py -q
 
 ## differential fuzzing soak: every invariant over catalog + generated
 ## schemas, shrinking any failure to a minimal pytest reproducer

@@ -4,15 +4,29 @@ Every bench regenerates one of the paper's tables or figures.  Timing is
 handled by pytest-benchmark; the regenerated artifact itself (the rows /
 series the paper reports) is written to ``benchmarks/reports/<id>.txt``
 so it survives output capturing, and is also printed for ``-s`` runs.
+
+On top of the human-readable reports, every bench session writes a
+machine-readable ``BENCH_PR3.json`` at the repository root (bench name
+-> median seconds + schema size) so the perf trajectory can be compared
+across PRs.  pytest-benchmark timings are harvested automatically; hand
+-timed series (the scaling benches) contribute through the
+``record_bench`` fixture.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
 
 REPORTS_DIR = Path(__file__).parent / "reports"
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR3.json"
+
+#: name -> {"median_seconds": float, "types": int | None} from hand-timed
+#: benches, merged with pytest-benchmark's own stats at session end.
+_MANUAL_RECORDS: dict[str, dict] = {}
 
 
 @pytest.fixture
@@ -27,3 +41,49 @@ def report():
         print(text)
 
     return write
+
+
+@pytest.fixture
+def record_bench():
+    """Record one hand-timed measurement for ``BENCH_PR3.json``."""
+
+    def record(name: str, median_seconds: float, types: int | None = None) -> None:
+        _MANUAL_RECORDS[name] = {
+            "median_seconds": median_seconds,
+            "types": types,
+        }
+
+    return record
+
+
+def _benchmark_median(bench) -> float | None:
+    """Median seconds out of a pytest-benchmark stats object."""
+    stats = getattr(bench, "stats", None)
+    median = getattr(stats, "median", None)
+    if median is None:
+        inner = getattr(stats, "stats", None)
+        median = getattr(inner, "median", None)
+    return median
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge all measurements into the machine-readable trajectory file."""
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return  # the smoke tripwire must not clobber full-sweep medians
+    results: dict[str, dict] = dict(_MANUAL_RECORDS)
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    for bench in getattr(bench_session, "benchmarks", []) or []:
+        median = _benchmark_median(bench)
+        if median is None:
+            continue
+        extra = getattr(bench, "extra_info", {}) or {}
+        results[bench.name] = {
+            "median_seconds": median,
+            "types": extra.get("types"),
+        }
+    if not results:
+        return  # collect-only / filtered runs must not clobber real data
+    BENCH_JSON.write_text(
+        json.dumps(dict(sorted(results.items())), indent=2) + "\n",
+        encoding="utf-8",
+    )

@@ -55,8 +55,9 @@ def impact_stream():
     context = OperationContext(reference=SCHEMA)
     total = 0
     for operation in OPERATIONS[:30]:
-        total += len(expand(scratch, operation, context))
-        for step in expand(scratch, operation, context):
+        plan = expand(scratch, operation, context)
+        total += len(plan)
+        for step in plan:
             step.apply(scratch, context)
     return total
 

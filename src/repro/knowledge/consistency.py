@@ -22,13 +22,15 @@ from repro.knowledge.feedback import (
     warning,
 )
 from repro.model.schema import Schema
-from repro.model.validation import SEVERITY_ERROR, validate_schema
+from repro.model.validation import SEVERITY_ERROR
 
 
 def structural_feedback(schema: Schema) -> list[Feedback]:
     """The structural validation issues as feedback messages."""
     messages: list[Feedback] = []
-    for issue in validate_schema(schema):
+    # The incremental engine returns exactly what the full scan
+    # would (its reference spec) at dirty-set cost per call.
+    for issue in schema.validation.validate():
         level = (
             FeedbackLevel.ERROR
             if issue.severity == SEVERITY_ERROR

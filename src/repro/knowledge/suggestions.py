@@ -15,7 +15,6 @@ from dataclasses import dataclass
 
 from repro.model.relationships import RelationshipKind
 from repro.model.schema import Schema
-from repro.model.validation import validate_schema
 
 _DELETE_END_NAME = {
     RelationshipKind.ASSOCIATION: "delete_relationship",
@@ -62,7 +61,7 @@ def suggest_repairs(schema: Schema) -> list[Suggestion]:
     references it), and applying one usually obsoletes its siblings.
     """
     suggestions: list[Suggestion] = []
-    rules = {issue.rule for issue in validate_schema(schema)}
+    rules = {issue.rule for issue in schema.validation.validate()}
     builders = {
         "dangling-type": _suggest_for_dangling_types,
         "inverse-missing": _suggest_for_broken_inverses,

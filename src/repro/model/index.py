@@ -46,6 +46,98 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 Edge = tuple[str, str, RelationshipEnd]
 
 
+# ----------------------------------------------------------------------
+# Touch aspects & the dirty journal (incremental validation support)
+# ----------------------------------------------------------------------
+#
+# Every InterfaceDef mutator reports *which facet* of the definition it
+# changed; the owning schema records (name, aspects) pairs in a
+# DirtyJournal that the ValidationCache (model/validation_cache.py)
+# drains to derive the minimal set of interfaces and graph rules to
+# re-validate.  Operations declare the same vocabulary as class-level
+# scope metadata (ops/base.py).
+
+ASPECT_ISA = "isa"  # the supertype list
+ASPECT_ATTRS = "attrs"  # attribute definitions
+ASPECT_KEYS = "keys"  # key lists
+ASPECT_EXTENT = "extent"  # the extent name (no validation rule reads it)
+ASPECT_OPS = "ops"  # operation signatures
+ASPECT_REL_ASSOCIATION = "rel-association"  # association ends
+ASPECT_REL_PART_OF = "rel-part-of"  # part-of ends
+ASPECT_REL_INSTANCE_OF = "rel-instance-of"  # instance-of ends
+#: Operation-level pseudo-aspect: the op adds/removes whole interfaces.
+ASPECT_MEMBERSHIP = "membership"
+
+#: Every interface-level aspect; the conservative default for a bare
+#: ``InterfaceDef._touch()`` and for operations without finer metadata.
+ALL_TOUCH_ASPECTS = frozenset(
+    {
+        ASPECT_ISA,
+        ASPECT_ATTRS,
+        ASPECT_KEYS,
+        ASPECT_EXTENT,
+        ASPECT_OPS,
+        ASPECT_REL_ASSOCIATION,
+        ASPECT_REL_PART_OF,
+        ASPECT_REL_INSTANCE_OF,
+    }
+)
+
+_KIND_ASPECTS = {
+    RelationshipKind.ASSOCIATION: ASPECT_REL_ASSOCIATION,
+    RelationshipKind.PART_OF: ASPECT_REL_PART_OF,
+    RelationshipKind.INSTANCE_OF: ASPECT_REL_INSTANCE_OF,
+}
+
+
+def aspect_for_kind(kind: RelationshipKind) -> str:
+    """The touch aspect covering relationship ends of *kind*."""
+    return _KIND_ASPECTS[kind]
+
+
+class DirtyJournal:
+    """What changed in a schema since the validation cache last looked.
+
+    The journal is pure bookkeeping: interface names touched (with the
+    aspects that changed), names added/removed, whether declaration
+    order moved, and whether an out-of-band ``Schema.touch()`` forced a
+    full invalidation.  Every note accompanies a generation bump, so a
+    schema whose generation matches the cache's stamp always has an
+    irrelevant (possibly non-empty) journal.
+    """
+
+    __slots__ = ("touched", "added", "removed", "order_changed", "full")
+
+    def __init__(self) -> None:
+        self.touched: dict[str, set[str]] = {}
+        self.added: set[str] = set()
+        self.removed: set[str] = set()
+        self.order_changed = False
+        self.full = False
+
+    def note_touch(self, name: str, aspects: frozenset[str]) -> None:
+        self.touched.setdefault(name, set()).update(aspects)
+
+    def note_added(self, name: str) -> None:
+        self.added.add(name)
+
+    def note_removed(self, name: str) -> None:
+        self.removed.add(name)
+
+    def note_order(self) -> None:
+        self.order_changed = True
+
+    def note_full(self) -> None:
+        self.full = True
+
+    def clear(self) -> None:
+        self.touched.clear()
+        self.added.clear()
+        self.removed.clear()
+        self.order_changed = False
+        self.full = False
+
+
 class SchemaIndex:
     """Generation-stamped caches for one schema's graph queries."""
 
@@ -143,6 +235,19 @@ class SchemaIndex:
             "instance_edges",
             lambda: scan_link_edges(self._schema, RelationshipKind.INSTANCE_OF),
         )
+
+    def part_of_edge_count(self) -> int:
+        """Number of part-of edges without copying the edge list.
+
+        ``Schema.stats()`` used to materialise a fresh edge-list copy
+        just to ``len()`` it; this answers from the cached family in
+        O(1) once built.
+        """
+        return len(self.part_of_edges())
+
+    def instance_of_edge_count(self) -> int:
+        """Number of instance-of edges without copying the edge list."""
+        return len(self.instance_of_edges())
 
     def parts_map(self) -> dict[str, list[str]]:
         """Whole name -> direct part names."""

@@ -23,6 +23,15 @@ from repro.model.errors import (
     InvalidModelError,
     UnknownPropertyError,
 )
+from repro.model.index import (
+    ALL_TOUCH_ASPECTS,
+    ASPECT_ATTRS,
+    ASPECT_EXTENT,
+    ASPECT_ISA,
+    ASPECT_KEYS,
+    ASPECT_OPS,
+    aspect_for_kind,
+)
 from repro.model.operations import Operation
 from repro.model.relationships import RelationshipEnd, RelationshipKind
 from repro.model.types import referenced_interfaces
@@ -57,27 +66,39 @@ class InterfaceDef:
         # graph indexes are invalidated by interface-level mutators
         # (see repro.model.index).  Not a dataclass field: hooks carry
         # identity, not value, and must not take part in __eq__.
-        self._owner_hooks: list[Callable[[], None]] = []
+        self._owner_hooks: list[Callable[[frozenset[str]], None]] = []
 
     # ------------------------------------------------------------------
     # Owner notification (index invalidation)
     # ------------------------------------------------------------------
 
-    def _subscribe_owner(self, hook: Callable[[], None]) -> None:
-        """Register an owning schema's generation-bump hook."""
+    def _subscribe_owner(self, hook: Callable[[frozenset[str]], None]) -> None:
+        """Register an owning schema's touch hook.
+
+        The hook receives the set of *touch aspects* the mutation
+        changed (``repro.model.index`` aspect constants) so the owner
+        can both bump its generation counter and record a precise dirty
+        note for incremental validation.
+        """
         self._owner_hooks.append(hook)
 
-    def _unsubscribe_owner(self, hook: Callable[[], None]) -> None:
+    def _unsubscribe_owner(self, hook: Callable[[frozenset[str]], None]) -> None:
         """Drop one registration of *hook* (no-op when absent)."""
         try:
             self._owner_hooks.remove(hook)
         except ValueError:
             pass
 
-    def _touch(self) -> None:
-        """Tell every owning schema this definition changed."""
+    def _touch(self, *aspects: str) -> None:
+        """Tell every owning schema this definition changed.
+
+        Called with the aspect constants describing what moved; a bare
+        call (no aspects) is the conservative legacy form and reports
+        every aspect.
+        """
+        changed = frozenset(aspects) if aspects else ALL_TOUCH_ASPECTS
         for hook in self._owner_hooks:
-            hook()
+            hook(changed)
 
     # ------------------------------------------------------------------
     # Type properties
@@ -97,7 +118,7 @@ class InterfaceDef:
             self.supertypes.append(supertype)
         else:
             self.supertypes.insert(position, supertype)
-        self._touch()
+        self._touch(ASPECT_ISA)
 
     def remove_supertype(self, supertype: str) -> None:
         """Remove *supertype* from the ISA list."""
@@ -107,7 +128,7 @@ class InterfaceDef:
             raise UnknownPropertyError(
                 f"{self.name!r} has no supertype {supertype!r}"
             ) from None
-        self._touch()
+        self._touch(ASPECT_ISA)
 
     def set_supertypes(self, supertypes: list[str]) -> None:
         """Replace the whole ISA list (``modify_supertype`` re-wiring)."""
@@ -121,12 +142,12 @@ class InterfaceDef:
                 f"interface {self.name!r} lists a duplicate supertype"
             )
         self.supertypes = supertypes
-        self._touch()
+        self._touch(ASPECT_ISA)
 
     def set_extent(self, extent: str | None) -> None:
         """Set or clear the extent name (generation-bumping mutator)."""
         self.extent = extent
-        self._touch()
+        self._touch(ASPECT_EXTENT)
 
     def add_key(self, key: tuple[str, ...]) -> None:
         """Add a key (a tuple of attribute names)."""
@@ -138,7 +159,7 @@ class InterfaceDef:
                 f"{self.name!r} already declares key {key!r}"
             )
         self.keys.append(key)
-        self._touch()
+        self._touch(ASPECT_KEYS)
 
     def remove_key(self, key: tuple[str, ...]) -> None:
         """Remove a previously declared key."""
@@ -149,7 +170,7 @@ class InterfaceDef:
             raise UnknownPropertyError(
                 f"{self.name!r} has no key {key!r}"
             ) from None
-        self._touch()
+        self._touch(ASPECT_KEYS)
 
     # ------------------------------------------------------------------
     # Instance properties
@@ -165,7 +186,7 @@ class InterfaceDef:
         """Add an attribute; its name must be free in the property namespace."""
         self._check_property_name_free(attribute.name)
         self.attributes[attribute.name] = attribute
-        self._touch()
+        self._touch(ASPECT_ATTRS)
 
     def remove_attribute(self, name: str) -> Attribute:
         """Remove and return the attribute called *name*."""
@@ -175,7 +196,7 @@ class InterfaceDef:
             raise UnknownPropertyError(
                 f"{self.name!r} has no attribute {name!r}"
             ) from None
-        self._touch()
+        self._touch(ASPECT_ATTRS)
         return removed
 
     def get_attribute(self, name: str) -> Attribute:
@@ -191,14 +212,14 @@ class InterfaceDef:
         """Swap in a new value for an existing attribute, returning the old."""
         old = self.get_attribute(attribute.name)
         self.attributes[attribute.name] = attribute
-        self._touch()
+        self._touch(ASPECT_ATTRS)
         return old
 
     def add_relationship(self, end: RelationshipEnd) -> None:
         """Add a relationship end; its path name must be free."""
         self._check_property_name_free(end.name)
         self.relationships[end.name] = end
-        self._touch()
+        self._touch(aspect_for_kind(end.kind))
 
     def remove_relationship(self, name: str) -> RelationshipEnd:
         """Remove and return the relationship end called *name*."""
@@ -208,7 +229,7 @@ class InterfaceDef:
             raise UnknownPropertyError(
                 f"{self.name!r} has no relationship {name!r}"
             ) from None
-        self._touch()
+        self._touch(aspect_for_kind(removed.kind))
         return removed
 
     def get_relationship(self, name: str) -> RelationshipEnd:
@@ -224,7 +245,7 @@ class InterfaceDef:
         """Swap in a new value for an existing end, returning the old."""
         old = self.get_relationship(end.name)
         self.relationships[end.name] = end
-        self._touch()
+        self._touch(aspect_for_kind(old.kind), aspect_for_kind(end.kind))
         return old
 
     def add_operation(self, operation: Operation) -> None:
@@ -235,7 +256,7 @@ class InterfaceDef:
                 f"{operation.name!r}"
             )
         self.operations[operation.name] = operation
-        self._touch()
+        self._touch(ASPECT_OPS)
 
     def remove_operation(self, name: str) -> Operation:
         """Remove and return the operation called *name*."""
@@ -245,7 +266,7 @@ class InterfaceDef:
             raise UnknownPropertyError(
                 f"{self.name!r} has no operation {name!r}"
             ) from None
-        self._touch()
+        self._touch(ASPECT_OPS)
         return removed
 
     def get_operation(self, name: str) -> Operation:
@@ -261,7 +282,7 @@ class InterfaceDef:
         """Swap in a new value for an existing operation, returning the old."""
         old = self.get_operation(operation.name)
         self.operations[operation.name] = operation
-        self._touch()
+        self._touch(ASPECT_OPS)
         return old
 
     # ------------------------------------------------------------------

@@ -16,16 +16,19 @@ The queries here are purely structural; validation rules live in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.model.errors import (
     DuplicateNameError,
     InvalidModelError,
     UnknownTypeError,
 )
-from repro.model.index import SchemaIndex
+from repro.model.index import ASPECT_MEMBERSHIP, DirtyJournal, SchemaIndex
 from repro.model.interface import InterfaceDef
 from repro.model.relationships import RelationshipEnd
+
+if TYPE_CHECKING:
+    from repro.model.validation_cache import ValidationCache
 
 
 @dataclass
@@ -42,12 +45,16 @@ class Schema:
     def __post_init__(self) -> None:
         if not self.name:
             raise InvalidModelError("a schema must have a name")
-        # Not dataclass fields: the generation stamp and index carry
-        # cache state, not schema content, and must stay out of __eq__.
+        # Not dataclass fields: the generation stamp, index, journal and
+        # validation cache carry cache state, not schema content, and
+        # must stay out of __eq__.
         self._generation = 0
         self._index = SchemaIndex(self)
+        self._journal = DirtyJournal()
+        self._validation: "ValidationCache | None" = None
+        self._hooks: dict[str, Callable[[frozenset[str]], None]] = {}
         for interface in self.interfaces.values():
-            interface._subscribe_owner(self._bump_generation)
+            self._subscribe(interface)
 
     # ------------------------------------------------------------------
     # Index & invalidation
@@ -63,18 +70,84 @@ class Schema:
         """The memoized reverse-adjacency index over this schema."""
         return self._index
 
+    @property
+    def journal(self) -> DirtyJournal:
+        """Accumulated dirty notes since the validation cache last read it."""
+        return self._journal
+
+    @property
+    def validation(self) -> "ValidationCache":
+        """The lazily created incremental validation cache."""
+        if self._validation is None:
+            from repro.model.validation_cache import ValidationCache
+
+            self._validation = ValidationCache(self)
+        return self._validation
+
     def _bump_generation(self) -> None:
         self._generation += 1
+
+    def _subscribe(self, interface: InterfaceDef) -> None:
+        name = interface.name
+
+        def hook(aspects: frozenset[str], _name: str = name) -> None:
+            self._generation += 1
+            self._journal.note_touch(_name, aspects)
+
+        self._hooks[name] = hook
+        interface._subscribe_owner(hook)
+
+    def _unsubscribe(self, interface: InterfaceDef) -> None:
+        hook = self._hooks.pop(interface.name, None)
+        if hook is not None:
+            interface._unsubscribe_owner(hook)
 
     def touch(self) -> None:
         """Invalidate the index after an out-of-band mutation.
 
         Every :class:`InterfaceDef` mutator and the interface-management
         methods below bump the generation automatically; code that
-        mutates containers directly (e.g. reordering ``interfaces`` to
-        restore declaration order on undo) must call this instead.
+        mutates schema content directly must call this instead.  The
+        validation cache cannot tell what moved, so it marks everything
+        dirty; prefer :meth:`touch_order` for pure reorderings.
         """
         self._bump_generation()
+        self._journal.note_full()
+
+    def touch_order(self) -> None:
+        """Invalidate after reordering ``interfaces`` without edits.
+
+        Restoring declaration order on undo changes no definition, only
+        the order issues are reported in, so the validation cache only
+        needs to re-assemble (and re-run order-sensitive tie-breaks),
+        not re-check any interface.
+        """
+        self._bump_generation()
+        self._journal.note_order()
+
+    def note_validation_scope(
+        self, names: Iterable[str], aspects: frozenset[str]
+    ) -> None:
+        """Record an operation's declared read/write scope in the journal.
+
+        Belt-and-suspenders over the mutator-level hooks: operations
+        declare the types and aspects they may have touched
+        (``SchemaOperation.validation_scope``), and the workspace feeds
+        that here so the dirty set is correct even for operations whose
+        undo closures mutate state out of band.
+        """
+        if ASPECT_MEMBERSHIP in aspects:
+            for name in names:
+                if name in self.interfaces:
+                    self._journal.note_added(name)
+                else:
+                    self._journal.note_removed(name)
+            rest = aspects - {ASPECT_MEMBERSHIP}
+            if not rest:
+                return
+            aspects = rest
+        for name in names:
+            self._journal.note_touch(name, aspects)
 
     # ------------------------------------------------------------------
     # Interface management
@@ -87,8 +160,9 @@ class Schema:
                 f"schema {self.name!r} already defines {interface.name!r}"
             )
         self.interfaces[interface.name] = interface
-        interface._subscribe_owner(self._bump_generation)
+        self._subscribe(interface)
         self._bump_generation()
+        self._journal.note_added(interface.name)
 
     def remove_interface(self, name: str) -> InterfaceDef:
         """Remove and return the interface called *name*."""
@@ -98,8 +172,9 @@ class Schema:
             raise UnknownTypeError(
                 f"schema {self.name!r} does not define {name!r}"
             ) from None
-        removed._unsubscribe_owner(self._bump_generation)
+        self._unsubscribe(removed)
         self._bump_generation()
+        self._journal.note_removed(name)
         return removed
 
     def get(self, name: str) -> InterfaceDef:
@@ -304,20 +379,35 @@ class Schema:
         validate_schema(self, raise_on_error=True)
 
     def stats(self) -> dict[str, int]:
-        """Size metrics plus index counters, used by benchmarks/reports."""
+        """Size metrics plus index and validation counters."""
         index = self._index.stats()
+        if self._validation is not None:
+            validation = self._validation.stats()
+        else:
+            validation = {
+                "clean_hits": 0,
+                "full_validations": 0,
+                "incremental_validations": 0,
+                "interfaces_revalidated": 0,
+                "interfaces_reused": 0,
+            }
         return {
             "interfaces": len(self),
             "attributes": sum(len(i.attributes) for i in self),
             "relationship_ends": sum(len(i.relationships) for i in self),
             "operations": sum(len(i.operations) for i in self),
             "supertype_links": sum(len(i.supertypes) for i in self),
-            "part_of_links": len(self.part_of_edges()),
-            "instance_of_links": len(self.instance_of_edges()),
+            "part_of_links": self._index.part_of_edge_count(),
+            "instance_of_links": self._index.instance_of_edge_count(),
             "index_hits": index["hits"],
             "index_misses": index["misses"],
             "index_rebuilds": index["rebuilds"],
             "index_generation": index["generation"],
+            "validation_clean_hits": validation["clean_hits"],
+            "validation_full": validation["full_validations"],
+            "validation_incremental": validation["incremental_validations"],
+            "validation_revalidated": validation["interfaces_revalidated"],
+            "validation_reused": validation["interfaces_reused"],
         }
 
     def __str__(self) -> str:

@@ -20,6 +20,22 @@ hold for a schema to *be* a schema of the extended ODMG model:
 Severity ``warning`` marks conditions the paper treats as design smells
 rather than errors (e.g. a multi-rooted generalization component, which
 Section 3.2 says should be fixed by adding an abstract supertype).
+
+The rules come in two shapes.  Five are *per-interface*: their output for
+one interface depends only on that interface and the types it reaches
+(supertypes for inheritance, targets for order-by), so they are exposed
+both as full-scan generators (``check_*``) and as per-interface workers
+(``*_issues``) that :mod:`repro.model.validation_cache` re-runs only for
+dirty interfaces.  The other four are *graph* rules (three cycle checks
+and the multi-root warning) whose unit of work is a connected component
+rather than an interface; the cache re-checks only touched components.
+Each rule declares its read scope in :data:`RULE_SCOPES` so the cache can
+derive the dirty closure from an operation's touch aspects.
+
+:func:`validate_schema` remains the reference specification: the
+incremental engine must reproduce its output byte for byte, and the
+``incremental-vs-full-validation`` differential invariant in
+:mod:`repro.verify.invariants` holds it to that.
 """
 
 from __future__ import annotations
@@ -28,6 +44,16 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
 from repro.model.errors import ValidationError
+from repro.model.index import (
+    ASPECT_ATTRS,
+    ASPECT_ISA,
+    ASPECT_KEYS,
+    ASPECT_OPS,
+    ASPECT_REL_ASSOCIATION,
+    ASPECT_REL_INSTANCE_OF,
+    ASPECT_REL_PART_OF,
+)
+from repro.model.interface import InterfaceDef
 from repro.model.relationships import RelationshipKind
 from repro.model.schema import Schema
 from repro.model.types import referenced_interfaces
@@ -55,56 +81,148 @@ class Issue:
 
 
 Rule = Callable[[Schema], Iterator[Issue]]
+InterfaceRule = Callable[[Schema, InterfaceDef], Iterator[Issue]]
 
 
-def check_dangling_types(schema: Schema) -> Iterator[Issue]:
-    """Every interface name used anywhere must be defined in the schema."""
-    for interface in schema:
-        for supertype in interface.supertypes:
-            if supertype not in schema:
-                yield Issue(
-                    "dangling-type", SEVERITY_ERROR, interface.name,
-                    f"supertype {supertype!r} is not defined",
-                )
-        for attribute in interface.attributes.values():
-            for used in sorted(referenced_interfaces(attribute.type)):
-                if used not in schema:
-                    yield Issue(
-                        "dangling-type", SEVERITY_ERROR,
-                        f"{interface.name}.{attribute.name}",
-                        f"attribute type references undefined {used!r}",
-                    )
-        for end in interface.relationships.values():
-            if end.target_type not in schema:
-                yield Issue(
-                    "dangling-type", SEVERITY_ERROR,
-                    f"{interface.name}.{end.name}",
-                    f"relationship targets undefined {end.target_type!r}",
-                )
-            if end.inverse_type not in schema:
-                yield Issue(
-                    "dangling-type", SEVERITY_ERROR,
-                    f"{interface.name}.{end.name}",
-                    f"inverse names undefined {end.inverse_type!r}",
-                )
-        for operation in interface.operations.values():
-            used_names: set[str] = set(
-                referenced_interfaces(operation.return_type)
+# ----------------------------------------------------------------------
+# Rule scopes
+# ----------------------------------------------------------------------
+
+#: Dirt stays on the touched interface itself (plus interfaces that
+#: reference it, which every reach level implies for membership changes).
+REACH_LOCAL = "local"
+#: Dirt also spreads to interfaces that *reference* the touched one
+#: (inverse declarations read the other end's owner).
+REACH_REFERENCERS = "referencers"
+#: Dirt also spreads down the generalization hierarchy (inherited
+#: attributes feed key and order-by resolution on every descendant).
+REACH_DESCENDANTS = "descendants"
+#: The rule's unit of work is a connected component of one link graph;
+#: dirt re-checks the touched component, not the touched interface.
+REACH_COMPONENT = "component"
+
+
+@dataclass(frozen=True, slots=True)
+class RuleScope:
+    """What one rule reads, for dirty-set derivation.
+
+    ``aspects`` lists the touch aspects (:mod:`repro.model.index`
+    constants) whose change can alter the rule's output; ``reach`` says
+    how far a touch propagates before the rule's output is stable again.
+    """
+
+    rule: str
+    aspects: frozenset[str]
+    reach: str
+
+
+_REL_ASPECTS = frozenset(
+    {ASPECT_REL_ASSOCIATION, ASPECT_REL_PART_OF, ASPECT_REL_INSTANCE_OF}
+)
+
+#: Read scopes of every structural rule.  ``extent`` appears in no
+#: scope: no structural rule reads the extent name, so extent-only
+#: touches are validation no-ops.
+RULE_SCOPES: tuple[RuleScope, ...] = (
+    RuleScope(
+        "dangling-type",
+        frozenset({ASPECT_ISA, ASPECT_ATTRS, ASPECT_OPS}) | _REL_ASPECTS,
+        REACH_REFERENCERS,
+    ),
+    RuleScope("inverse-missing", _REL_ASPECTS, REACH_REFERENCERS),
+    RuleScope("inverse-mismatch", _REL_ASPECTS, REACH_REFERENCERS),
+    RuleScope("kind-mismatch", _REL_ASPECTS, REACH_REFERENCERS),
+    RuleScope(
+        "cardinality-role",
+        frozenset({ASPECT_REL_PART_OF, ASPECT_REL_INSTANCE_OF}),
+        REACH_REFERENCERS,
+    ),
+    RuleScope("isa-cycle", frozenset({ASPECT_ISA}), REACH_COMPONENT),
+    RuleScope("part-of-cycle", frozenset({ASPECT_REL_PART_OF}), REACH_COMPONENT),
+    RuleScope(
+        "instance-of-cycle",
+        frozenset({ASPECT_REL_INSTANCE_OF}),
+        REACH_COMPONENT,
+    ),
+    RuleScope(
+        "key-unknown",
+        frozenset({ASPECT_KEYS, ASPECT_ATTRS, ASPECT_ISA}),
+        REACH_DESCENDANTS,
+    ),
+    RuleScope(
+        "order-by-unknown",
+        frozenset({ASPECT_ATTRS, ASPECT_ISA}) | _REL_ASPECTS,
+        REACH_DESCENDANTS,
+    ),
+    RuleScope("multi-root-hierarchy", frozenset({ASPECT_ISA}), REACH_COMPONENT),
+)
+
+#: Every aspect some rule reads; touches outside this set cannot change
+#: any validation output.
+VALIDATION_ASPECTS: frozenset[str] = frozenset().union(
+    *(scope.aspects for scope in RULE_SCOPES)
+)
+
+#: Aspects whose change can alter what an interface's *descendants*
+#: inherit, so dirt must close over the subtype graph.
+DESCEND_ASPECTS: frozenset[str] = frozenset({ASPECT_ISA, ASPECT_ATTRS})
+
+
+# ----------------------------------------------------------------------
+# Per-interface rules
+# ----------------------------------------------------------------------
+
+
+def dangling_type_issues(
+    schema: Schema, interface: InterfaceDef
+) -> Iterator[Issue]:
+    """Dangling-reference findings of one interface."""
+    for supertype in interface.supertypes:
+        if supertype not in schema:
+            yield Issue(
+                "dangling-type", SEVERITY_ERROR, interface.name,
+                f"supertype {supertype!r} is not defined",
             )
-            for parameter in operation.parameters:
-                used_names |= referenced_interfaces(parameter.type)
-            for used in sorted(used_names):
-                if used not in schema:
-                    yield Issue(
-                        "dangling-type", SEVERITY_ERROR,
-                        f"{interface.name}.{operation.name}",
-                        f"operation signature references undefined {used!r}",
-                    )
+    for attribute in interface.attributes.values():
+        for used in sorted(referenced_interfaces(attribute.type)):
+            if used not in schema:
+                yield Issue(
+                    "dangling-type", SEVERITY_ERROR,
+                    f"{interface.name}.{attribute.name}",
+                    f"attribute type references undefined {used!r}",
+                )
+    for end in interface.relationships.values():
+        if end.target_type not in schema:
+            yield Issue(
+                "dangling-type", SEVERITY_ERROR,
+                f"{interface.name}.{end.name}",
+                f"relationship targets undefined {end.target_type!r}",
+            )
+        if end.inverse_type not in schema:
+            yield Issue(
+                "dangling-type", SEVERITY_ERROR,
+                f"{interface.name}.{end.name}",
+                f"inverse names undefined {end.inverse_type!r}",
+            )
+    for operation in interface.operations.values():
+        used_names: set[str] = set(
+            referenced_interfaces(operation.return_type)
+        )
+        for parameter in operation.parameters:
+            used_names |= referenced_interfaces(parameter.type)
+        for used in sorted(used_names):
+            if used not in schema:
+                yield Issue(
+                    "dangling-type", SEVERITY_ERROR,
+                    f"{interface.name}.{operation.name}",
+                    f"operation signature references undefined {used!r}",
+                )
 
 
-def check_inverses(schema: Schema) -> Iterator[Issue]:
-    """Relationship ends must pair with a consistent declared inverse."""
-    for owner, end in schema.relationship_pairs():
+def inverse_issues(schema: Schema, interface: InterfaceDef) -> Iterator[Issue]:
+    """Inverse-pairing findings of one interface's relationship ends."""
+    owner = interface.name
+    for end in interface.relationships.values():
         if end.inverse_type not in schema:
             continue  # reported by check_dangling_types
         other = schema.get(end.inverse_type)
@@ -137,14 +255,12 @@ def check_inverses(schema: Schema) -> Iterator[Issue]:
             )
 
 
-def check_cardinality_roles(schema: Schema) -> Iterator[Issue]:
-    """Part-of and instance-of relationships are implicitly 1:N.
-
-    Exactly one end of each such relationship may be to-many (the whole's
-    to-parts end / the generic entity's to-instances end); the opposite
-    end must be to-one.
-    """
-    for owner, end in schema.relationship_pairs():
+def cardinality_issues(
+    schema: Schema, interface: InterfaceDef
+) -> Iterator[Issue]:
+    """Implicit-1:N findings of one interface's part-of/instance-of ends."""
+    owner = interface.name
+    for end in interface.relationships.values():
         if end.kind is RelationshipKind.ASSOCIATION:
             continue
         inverse = schema.find_inverse(owner, end)
@@ -157,6 +273,80 @@ def check_cardinality_roles(schema: Schema) -> Iterator[Issue]:
                 f"{end.kind.value} relationship has both ends {shape}; "
                 "the implicit cardinality is 1:N",
             )
+
+
+def key_issues(schema: Schema, interface: InterfaceDef) -> Iterator[Issue]:
+    """Unknown-attribute findings of one interface's key lists."""
+    available = set(interface.attributes)
+    available.update(schema.inherited_attributes(interface.name))
+    for key in interface.keys:
+        for attr_name in key:
+            if attr_name not in available:
+                yield Issue(
+                    "key-unknown", SEVERITY_ERROR,
+                    f"{interface.name}.keys",
+                    f"key {key!r} names unknown attribute {attr_name!r}",
+                )
+
+
+def order_by_issues(schema: Schema, interface: InterfaceDef) -> Iterator[Issue]:
+    """Unknown-order-by findings of one interface's relationship ends."""
+    owner = interface.name
+    for end in interface.relationships.values():
+        if not end.order_by or end.target_type not in schema:
+            continue
+        target = schema.get(end.target_type)
+        available = set(target.attributes)
+        available.update(schema.inherited_attributes(target.name))
+        for attr_name in end.order_by:
+            if attr_name not in available:
+                yield Issue(
+                    "order-by-unknown", SEVERITY_ERROR,
+                    f"{owner}.{end.name}",
+                    f"order_by names unknown attribute {attr_name!r} of "
+                    f"{end.target_type!r}",
+                )
+
+
+#: The five per-interface rules, in reporting order.  The incremental
+#: cache stores one issue tuple per (interface, slot) and re-runs only
+#: dirty interfaces; the full-scan ``check_*`` wrappers below iterate
+#: these over the whole schema.
+INTERFACE_RULES: tuple[InterfaceRule, ...] = (
+    dangling_type_issues,
+    inverse_issues,
+    cardinality_issues,
+    key_issues,
+    order_by_issues,
+)
+
+
+# ----------------------------------------------------------------------
+# Full-scan rules (the reference specification)
+# ----------------------------------------------------------------------
+
+
+def check_dangling_types(schema: Schema) -> Iterator[Issue]:
+    """Every interface name used anywhere must be defined in the schema."""
+    for interface in schema:
+        yield from dangling_type_issues(schema, interface)
+
+
+def check_inverses(schema: Schema) -> Iterator[Issue]:
+    """Relationship ends must pair with a consistent declared inverse."""
+    for interface in schema:
+        yield from inverse_issues(schema, interface)
+
+
+def check_cardinality_roles(schema: Schema) -> Iterator[Issue]:
+    """Part-of and instance-of relationships are implicitly 1:N.
+
+    Exactly one end of each such relationship may be to-many (the whole's
+    to-parts end / the generic entity's to-instances end); the opposite
+    end must be to-one.
+    """
+    for interface in schema:
+        yield from cardinality_issues(schema, interface)
 
 
 def _find_cycle(
@@ -190,82 +380,109 @@ def _find_cycle(
     return None
 
 
-def check_isa_cycles(schema: Schema) -> Iterator[Issue]:
-    """The generalization graph must be acyclic."""
-    cycle = _find_cycle(
-        schema.type_names(),
-        lambda name: (
+def isa_successors(schema: Schema) -> Callable[[str], Iterable[str]]:
+    """Successor function of the resolved generalization graph."""
+    def successors(name: str) -> Iterable[str]:
+        if name not in schema:
+            return ()
+        return (
             supertype
             for supertype in schema.interfaces[name].supertypes
             if supertype in schema
         )
-        if name in schema
-        else (),
+
+    return successors
+
+
+def part_of_successors(schema: Schema) -> Callable[[str], Iterable[str]]:
+    """Successor function of the aggregation graph (whole -> part)."""
+    edges: dict[str, list[str]] = {}
+    for whole, part, _ in schema.part_of_edges():
+        edges.setdefault(whole, []).append(part)
+    return lambda n: edges.get(n, ())
+
+
+def instance_of_successors(schema: Schema) -> Callable[[str], Iterable[str]]:
+    """Successor function of the instance-of graph (generic -> instance)."""
+    edges: dict[str, list[str]] = {}
+    for generic, instance, _ in schema.instance_of_edges():
+        edges.setdefault(generic, []).append(instance)
+    return lambda n: edges.get(n, ())
+
+
+def isa_cycle_issue(cycle: list[str]) -> Issue:
+    """The issue :func:`check_isa_cycles` reports for *cycle*."""
+    return Issue(
+        "isa-cycle", SEVERITY_ERROR, cycle[0],
+        "generalization cycle: " + " -> ".join(cycle),
     )
+
+
+def part_of_cycle_issue(cycle: list[str]) -> Issue:
+    """The issue :func:`check_part_of_cycles` reports for *cycle*."""
+    return Issue(
+        "part-of-cycle", SEVERITY_ERROR, cycle[0],
+        "aggregation cycle: " + " -> ".join(cycle),
+    )
+
+
+def instance_of_cycle_issue(cycle: list[str]) -> Issue:
+    """The issue :func:`check_instance_of_cycles` reports for *cycle*."""
+    return Issue(
+        "instance-of-cycle", SEVERITY_ERROR, cycle[0],
+        "instance-of cycle: " + " -> ".join(cycle),
+    )
+
+
+def check_isa_cycles(schema: Schema) -> Iterator[Issue]:
+    """The generalization graph must be acyclic."""
+    cycle = _find_cycle(schema.type_names(), isa_successors(schema))
     if cycle is not None:
-        yield Issue(
-            "isa-cycle", SEVERITY_ERROR, cycle[0],
-            "generalization cycle: " + " -> ".join(cycle),
-        )
+        yield isa_cycle_issue(cycle)
 
 
 def check_part_of_cycles(schema: Schema) -> Iterator[Issue]:
     """The aggregation graph must be acyclic (no whole is its own part)."""
-    edges: dict[str, list[str]] = {}
-    for whole, part, _ in schema.part_of_edges():
-        edges.setdefault(whole, []).append(part)
-    cycle = _find_cycle(schema.type_names(), lambda n: edges.get(n, ()))
+    cycle = _find_cycle(schema.type_names(), part_of_successors(schema))
     if cycle is not None:
-        yield Issue(
-            "part-of-cycle", SEVERITY_ERROR, cycle[0],
-            "aggregation cycle: " + " -> ".join(cycle),
-        )
+        yield part_of_cycle_issue(cycle)
 
 
 def check_instance_of_cycles(schema: Schema) -> Iterator[Issue]:
     """The instance-of graph must be acyclic."""
-    edges: dict[str, list[str]] = {}
-    for generic, instance, _ in schema.instance_of_edges():
-        edges.setdefault(generic, []).append(instance)
-    cycle = _find_cycle(schema.type_names(), lambda n: edges.get(n, ()))
+    cycle = _find_cycle(schema.type_names(), instance_of_successors(schema))
     if cycle is not None:
-        yield Issue(
-            "instance-of-cycle", SEVERITY_ERROR, cycle[0],
-            "instance-of cycle: " + " -> ".join(cycle),
-        )
+        yield instance_of_cycle_issue(cycle)
 
 
 def check_keys(schema: Schema) -> Iterator[Issue]:
     """Keys must name attributes available on the type (incl. inherited)."""
     for interface in schema:
-        available = set(interface.attributes)
-        available.update(schema.inherited_attributes(interface.name))
-        for key in interface.keys:
-            for attr_name in key:
-                if attr_name not in available:
-                    yield Issue(
-                        "key-unknown", SEVERITY_ERROR,
-                        f"{interface.name}.keys",
-                        f"key {key!r} names unknown attribute {attr_name!r}",
-                    )
+        yield from key_issues(schema, interface)
 
 
 def check_order_by(schema: Schema) -> Iterator[Issue]:
     """order_by lists must name attributes of the relationship target."""
-    for owner, end in schema.relationship_pairs():
-        if not end.order_by or end.target_type not in schema:
-            continue
-        target = schema.get(end.target_type)
-        available = set(target.attributes)
-        available.update(schema.inherited_attributes(target.name))
-        for attr_name in end.order_by:
-            if attr_name not in available:
-                yield Issue(
-                    "order-by-unknown", SEVERITY_ERROR,
-                    f"{owner}.{end.name}",
-                    f"order_by names unknown attribute {attr_name!r} of "
-                    f"{end.target_type!r}",
-                )
+    for interface in schema:
+        yield from order_by_issues(schema, interface)
+
+
+def component_roots(schema: Schema, component: set[str]) -> list[str]:
+    """Sorted resolved-root names of one generalization component."""
+    return sorted(
+        name
+        for name in component
+        if not [s for s in schema.get(name).supertypes if s in schema]
+    )
+
+
+def multi_root_issue(roots: list[str]) -> Issue:
+    """The warning :func:`check_multi_root_components` reports for *roots*."""
+    return Issue(
+        "multi-root-hierarchy", SEVERITY_WARNING, roots[0],
+        "generalization component has several roots "
+        f"({', '.join(roots)}); consider an abstract supertype",
+    )
 
 
 def check_multi_root_components(schema: Schema) -> Iterator[Issue]:
@@ -295,17 +512,9 @@ def check_multi_root_components(schema: Schema) -> Iterator[Issue]:
             component.add(node)
             frontier.extend(neighbours[node] - component)
         seen |= component
-        roots = sorted(
-            name
-            for name in component
-            if not [s for s in schema.get(name).supertypes if s in schema]
-        )
+        roots = component_roots(schema, component)
         if len(roots) > 1:
-            yield Issue(
-                "multi-root-hierarchy", SEVERITY_WARNING, roots[0],
-                "generalization component has several roots "
-                f"({', '.join(roots)}); consider an abstract supertype",
-            )
+            yield multi_root_issue(roots)
 
 
 #: All structural rules, in reporting order.
@@ -328,6 +537,11 @@ def validate_schema(schema: Schema, raise_on_error: bool = False) -> list[Issue]
     With ``raise_on_error`` set, raise
     :class:`~repro.model.errors.ValidationError` when any error-severity
     issue was found (warnings never raise).
+
+    This full scan is the *reference specification* of validation; the
+    incremental engine (:class:`repro.model.validation_cache.
+    ValidationCache`) must return an identical issue list for any schema
+    state, which the fuzzer checks differentially after every operation.
     """
     issues: list[Issue] = []
     for rule in STRUCTURAL_RULES:

@@ -16,7 +16,7 @@ from pathlib import Path
 
 from repro.knowledge.suggestions import suggest_repairs
 from repro.model.errors import SchemaError
-from repro.model.validation import SEVERITY_ERROR, validate_schema
+from repro.model.validation import SEVERITY_ERROR
 from repro.odl.lexer import OdlSyntaxError
 from repro.odl.parser import parse_schema
 
@@ -28,7 +28,7 @@ def check_text(text: str, name: str) -> tuple[bool, list[str]]:
         schema = parse_schema(text, name=name)
     except (OdlSyntaxError, SchemaError) as exc:
         return False, [f"{name}: parse error: {exc}"]
-    issues = validate_schema(schema)
+    issues = schema.validation.validate()
     errors = [issue for issue in issues if issue.severity == SEVERITY_ERROR]
     warnings = [issue for issue in issues if issue.severity != SEVERITY_ERROR]
     stats = schema.stats()

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.concepts.base import ConceptKind
 from repro.model.attributes import Attribute
+from repro.model.index import ASPECT_ATTRS
 from repro.model.schema import Schema
 from repro.model.types import (
     SIZED_SCALAR_NAMES,
@@ -72,6 +73,7 @@ class AddAttribute(SchemaOperation):
     """``add_attribute(typename, domain_type, [size,] attribute_name)``."""
 
     op_name = "add_attribute"
+    touched_aspects = frozenset({ASPECT_ATTRS})
     candidate = "Attribute"
     sub_candidate = "Name"
     action = "add"
@@ -123,6 +125,7 @@ class DeleteAttribute(SchemaOperation):
     """
 
     op_name = "delete_attribute"
+    touched_aspects = frozenset({ASPECT_ATTRS})
     candidate = "Attribute"
     sub_candidate = "Name"
     action = "delete"
@@ -189,6 +192,7 @@ class ModifyAttribute(SchemaOperation):
     """
 
     op_name = "modify_attribute"
+    touched_aspects = frozenset({ASPECT_ATTRS})
     candidate = "Attribute"
     sub_candidate = "Name"
     action = "modify"
@@ -246,6 +250,7 @@ class ModifyAttributeType(SchemaOperation):
     """``modify_attribute_type(typename, attribute_name, old, new)``."""
 
     op_name = "modify_attribute_type"
+    touched_aspects = frozenset({ASPECT_ATTRS})
     candidate = "Attribute"
     sub_candidate = "Type"
     action = "modify"
@@ -298,6 +303,7 @@ class ModifyAttributeSize(SchemaOperation):
     """
 
     op_name = "modify_attribute_size"
+    touched_aspects = frozenset({ASPECT_ATTRS})
     candidate = "Attribute"
     sub_candidate = "Size"
     action = "modify"
@@ -354,4 +360,4 @@ def _restore_attribute_position(interface, name: str, position: int) -> None:
     names.remove(name)
     names.insert(position, name)
     interface.attributes = {n: interface.attributes[n] for n in names}
-    interface._touch()  # honour the generation-counter contract
+    interface._touch(ASPECT_ATTRS)  # honour the generation-counter contract

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import ClassVar
 
+from repro.model.index import aspect_for_kind
 from repro.model.interface import InterfaceDef
 from repro.model.relationships import RelationshipEnd, RelationshipKind
 from repro.model.schema import Schema
@@ -142,8 +143,26 @@ def default_inverse_target(owner: str, added_end: RelationshipEnd) -> TypeRef:
     return set_of(owner)
 
 
+class RelationshipOperation(SchemaOperation):
+    """Base of every relationship operation, scoping dirt by kind.
+
+    Concrete subclasses declare ``kind``; the touch-aspect scope the
+    incremental validator keys dirty-set derivation off follows from it
+    automatically, so the fifteen thin kind-specific classes need not
+    repeat it.
+    """
+
+    kind: ClassVar[RelationshipKind]
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        kind = getattr(cls, "kind", None)
+        if kind is not None:
+            cls.touched_aspects = frozenset({aspect_for_kind(kind)})
+
+
 @dataclass(frozen=True, eq=False)
-class AddRelationshipBase(SchemaOperation):
+class AddRelationshipBase(RelationshipOperation):
     """Generic ``add_*_relationship`` over one relationship kind.
 
     Adds the end declared in ``typename``; when the declared inverse does
@@ -283,7 +302,7 @@ class AddRelationshipBase(SchemaOperation):
 
 
 @dataclass(frozen=True, eq=False)
-class DeleteRelationshipBase(SchemaOperation):
+class DeleteRelationshipBase(RelationshipOperation):
     """Generic ``delete_*_relationship``.
 
     Removes the named end *and* its paired inverse declaration -- a lone
@@ -401,7 +420,7 @@ def retarget_end(
 
 
 @dataclass(frozen=True, eq=False)
-class ModifyTargetTypeBase(SchemaOperation):
+class ModifyTargetTypeBase(RelationshipOperation):
     """Generic ``modify_*_target_type``.
 
     Two call shapes are accepted, following the paper itself:
@@ -484,7 +503,7 @@ class ModifyTargetTypeBase(SchemaOperation):
 
 
 @dataclass(frozen=True, eq=False)
-class ModifyCardinalityBase(SchemaOperation):
+class ModifyCardinalityBase(RelationshipOperation):
     """Generic ``modify_*_cardinality``.
 
     Changes the target-of-path shape of one end (``set<T>`` -> ``list<T>``,
@@ -554,7 +573,7 @@ class ModifyCardinalityBase(SchemaOperation):
 
 
 @dataclass(frozen=True, eq=False)
-class ModifyOrderByBase(SchemaOperation):
+class ModifyOrderByBase(RelationshipOperation):
     """Generic ``modify_*_order_by`` over one relationship kind."""
 
     kind: ClassVar[RelationshipKind]

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.concepts.base import ConceptKind
 from repro.model.interface import InterfaceDef
+from repro.model.index import ASPECT_MEMBERSHIP
 from repro.model.schema import Schema
 from repro.ops.base import (
     FREE_CONTEXT,
@@ -35,6 +36,7 @@ class AddTypeDefinition(SchemaOperation):
     """``add_type_definition(typename)`` -- introduce a new object type."""
 
     op_name = "add_type_definition"
+    touched_aspects = frozenset({ASPECT_MEMBERSHIP})
     candidate = "Interface Definition"
     sub_candidate = "Type name"
     action = "add"
@@ -75,6 +77,7 @@ class DeleteTypeDefinition(SchemaOperation):
     """
 
     op_name = "delete_type_definition"
+    touched_aspects = frozenset({ASPECT_MEMBERSHIP})
     candidate = "Interface Definition"
     sub_candidate = "Type name"
     action = "delete"
@@ -124,4 +127,4 @@ def _restore_position(schema: Schema, name: str, position: int) -> None:
     names.remove(name)
     names.insert(position, name)
     schema.interfaces = {n: schema.interfaces[n] for n in names}
-    schema.touch()  # declaration order feeds the index; invalidate it
+    schema.touch_order()  # declaration order feeds the index and reports

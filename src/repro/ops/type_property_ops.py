@@ -12,6 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.concepts.base import ConceptKind
+from repro.model.index import (
+    ASPECT_EXTENT,
+    ASPECT_ISA,
+    ASPECT_KEYS,
+)
 from repro.model.schema import Schema
 from repro.ops.base import (
     FREE_CONTEXT,
@@ -92,6 +97,7 @@ class AddSupertype(SchemaOperation):
     """``add_supertype(typename, supertype)`` -- add one ISA link."""
 
     op_name = "add_supertype"
+    touched_aspects = frozenset({ASPECT_ISA})
     candidate = "Type Properties"
     sub_candidate = "Supertype (ISA)"
     action = "add"
@@ -130,6 +136,7 @@ class DeleteSupertype(SchemaOperation):
     """``delete_supertype(typename, supertype)`` -- remove one ISA link."""
 
     op_name = "delete_supertype"
+    touched_aspects = frozenset({ASPECT_ISA})
     candidate = "Type Properties"
     sub_candidate = "Supertype (ISA)"
     action = "delete"
@@ -178,6 +185,7 @@ class ModifySupertype(SchemaOperation):
     """
 
     op_name = "modify_supertype"
+    touched_aspects = frozenset({ASPECT_ISA})
     candidate = "Type Properties"
     sub_candidate = "Supertype (ISA)"
     action = "modify"
@@ -236,6 +244,7 @@ class AddExtentName(SchemaOperation):
     """``add_extent_name(typename, extent_name)``."""
 
     op_name = "add_extent_name"
+    touched_aspects = frozenset({ASPECT_EXTENT})
     candidate = "Type Properties"
     sub_candidate = "Extent name"
     action = "add"
@@ -283,6 +292,7 @@ class DeleteExtentName(SchemaOperation):
     """``delete_extent_name(typename, extent_name)``."""
 
     op_name = "delete_extent_name"
+    touched_aspects = frozenset({ASPECT_EXTENT})
     candidate = "Type Properties"
     sub_candidate = "Extent name"
     action = "delete"
@@ -320,6 +330,7 @@ class ModifyExtentName(SchemaOperation):
     """``modify_extent_name(typename, old_extent_name, new_extent_name)``."""
 
     op_name = "modify_extent_name"
+    touched_aspects = frozenset({ASPECT_EXTENT})
     candidate = "Type Properties"
     sub_candidate = "Extent name"
     action = "modify"
@@ -369,6 +380,7 @@ class AddKeyList(SchemaOperation):
     """``add_key_list(typename, (attr, ...))`` -- declare one key."""
 
     op_name = "add_key_list"
+    touched_aspects = frozenset({ASPECT_KEYS})
     candidate = "Type Properties"
     sub_candidate = "Key list"
     action = "add"
@@ -415,6 +427,7 @@ class DeleteKeyList(SchemaOperation):
     """``delete_key_list(typename, (attr, ...))`` -- drop one key."""
 
     op_name = "delete_key_list"
+    touched_aspects = frozenset({ASPECT_KEYS})
     candidate = "Type Properties"
     sub_candidate = "Key list"
     action = "delete"
@@ -439,7 +452,7 @@ class DeleteKeyList(SchemaOperation):
         def undo() -> None:
             restored = schema.get(self.typename)
             restored.keys.insert(position, tuple(self.key))
-            restored._touch()
+            restored._touch(ASPECT_KEYS)
 
         return undo
 
@@ -455,6 +468,7 @@ class ModifyKeyList(SchemaOperation):
     """``modify_key_list(typename, (old...), (new...))`` -- replace a key."""
 
     op_name = "modify_key_list"
+    touched_aspects = frozenset({ASPECT_KEYS})
     candidate = "Type Properties"
     sub_candidate = "Key list"
     action = "modify"
@@ -486,12 +500,12 @@ class ModifyKeyList(SchemaOperation):
         interface = schema.get(self.typename)
         position = interface.keys.index(tuple(self.old_key))
         interface.keys[position] = tuple(self.new_key)
-        interface._touch()
+        interface._touch(ASPECT_KEYS)
 
         def undo() -> None:
             reverted = schema.get(self.typename)
             reverted.keys[position] = tuple(self.old_key)
-            reverted._touch()
+            reverted._touch(ASPECT_KEYS)
 
         return undo
 

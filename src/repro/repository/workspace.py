@@ -3,6 +3,12 @@
 Figure 1 places a "Workspace" data structure between the concept schemas
 and the custom schema: modifications are applied there, one operation at
 a time, each validated, optionally propagated, logged, and undoable.
+
+The paper's loop validates the custom schema after *every* operation;
+the workspace does that through the incremental validation engine
+(:class:`repro.model.validation_cache.ValidationCache`), which re-checks
+only the dirty set each step leaves behind, and keeps the current issue
+list in :attr:`Workspace.issues`.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from repro.knowledge.feedback import Feedback, info
 from repro.knowledge.propagation import expand
 from repro.model.errors import SchemaError
 from repro.model.schema import Schema
+from repro.model.validation import Issue
 from repro.ops.base import (
     OperationContext,
     OperationError,
@@ -51,12 +58,40 @@ class Workspace:
     stability checks and is never modified.
     """
 
-    def __init__(self, reference: Schema, name: str | None = None) -> None:
+    def __init__(
+        self,
+        reference: Schema,
+        name: str | None = None,
+        validate_each_step: bool = True,
+    ) -> None:
         self.reference = reference
         self.schema = reference.copy(name or f"{reference.name}_custom")
         self.context = OperationContext(reference=reference)
         self.log: list[LogEntry] = []
         self._redo_stack: list[LogEntry] = []
+        #: Structural issues of the current custom schema, refreshed
+        #: incrementally after every apply / undo / redo / reset (the
+        #: paper's per-operation validation).  Empty when
+        #: ``validate_each_step`` is off.
+        self.validate_each_step = validate_each_step
+        self.issues: list[Issue] = []
+        self._refresh_issues()
+
+    def _refresh_issues(self) -> None:
+        if self.validate_each_step:
+            self.issues = self.schema.validation.validate()
+
+    def _note_scopes(self, plan: list[SchemaOperation]) -> None:
+        """Feed each step's declared scope into the schema's journal.
+
+        The interface-level mutator hooks already record precise dirt;
+        the operations' declared (types, aspects) scopes are noted as
+        well so out-of-band effects (undo closures, future operations
+        that bypass a mutator) stay covered.
+        """
+        for step in plan:
+            names, aspects = step.validation_scope()
+            self.schema.note_validation_scope(names, aspects)
 
     # ------------------------------------------------------------------
     # Applying operations
@@ -119,6 +154,8 @@ class Workspace:
         )
         self.log.append(entry)
         self._redo_stack.clear()
+        self._note_scopes(plan)
+        self._refresh_issues()
         return entry
 
     def apply_composite(
@@ -177,6 +214,8 @@ class Workspace:
         for undo in reversed(entry.undos):
             undo()
         self._redo_stack.append(entry)
+        self._note_scopes(entry.plan)
+        self._refresh_issues()
         return entry
 
     def redo(self) -> LogEntry | None:
@@ -209,6 +248,8 @@ class Workspace:
             propagated=entry.propagated,
         )
         self.log.append(fresh)
+        self._note_scopes(fresh.plan)
+        self._refresh_issues()
         return fresh
 
     def reset(self) -> None:
@@ -216,6 +257,7 @@ class Workspace:
         self.schema = self.reference.copy(self.schema.name)
         self.log.clear()
         self._redo_stack.clear()
+        self._refresh_issues()
 
     def applied_operations(self) -> list[SchemaOperation]:
         """Every plan step applied so far, in order."""

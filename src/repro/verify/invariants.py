@@ -47,6 +47,7 @@ from repro.model.validation import (
     check_keys,
     check_order_by,
     check_part_of_cycles,
+    validate_schema,
 )
 from repro.ops.base import OperationContext
 from repro.repository.mapping import generate_mapping
@@ -261,6 +262,38 @@ def _check_feedback_clean(schema, context):
     for message in structural_feedback(schema):
         if message.level is FeedbackLevel.ERROR:
             yield f"designer feedback error: {message}"
+
+
+# ----------------------------------------------------------------------
+# Validation differential (incremental engine == full-scan reference)
+# ----------------------------------------------------------------------
+
+
+@invariant(
+    "incremental-vs-full-validation",
+    "DESIGN 5d: the incremental validation cache returns byte-for-byte "
+    "the full scan's issue list",
+)
+def _check_incremental_validation(schema, context):
+    incremental = schema.validation.validate()
+    full = validate_schema(schema)
+    if incremental == full:
+        return
+    missing = [issue for issue in full if issue not in incremental]
+    spurious = [issue for issue in incremental if issue not in full]
+    if not missing and not spurious:
+        yield (
+            "incremental validation reports the full scan's issues in a "
+            f"different order ({len(full)} issues)"
+        )
+        return
+    for issue in missing[:3]:
+        yield f"incremental validation missed: {issue}"
+    for issue in spurious[:3]:
+        yield f"incremental validation fabricated: {issue}"
+    rest = len(missing) + len(spurious) - len(missing[:3]) - len(spurious[:3])
+    if rest:
+        yield f"... and {rest} more validation differences"
 
 
 # ----------------------------------------------------------------------
