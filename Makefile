@@ -1,11 +1,21 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-smoke fuzz fuzz-smoke
+.PHONY: test lint bench bench-smoke fuzz fuzz-smoke
 
 ## tier-1 suite (unit + integration under tests/)
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## static checks: the spine-emission AST check always runs; ruff runs
+## when installed (the sandbox image ships without it, CI installs it)
+lint:
+	$(PYTHON) tools/check_mutators.py
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks tools; \
+	else \
+		echo "lint: ruff not installed; skipping style pass"; \
+	fi
 
 ## full benchmark sweep; reports land in benchmarks/reports/
 bench:
@@ -15,7 +25,8 @@ bench:
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_bench_index_scaling.py \
-		benchmarks/test_bench_validation.py -q
+		benchmarks/test_bench_validation.py \
+		benchmarks/test_bench_spine.py -q
 
 ## differential fuzzing soak: every invariant over catalog + generated
 ## schemas, shrinking any failure to a minimal pytest reproducer

@@ -5,12 +5,15 @@ handled by pytest-benchmark; the regenerated artifact itself (the rows /
 series the paper reports) is written to ``benchmarks/reports/<id>.txt``
 so it survives output capturing, and is also printed for ``-s`` runs.
 
-On top of the human-readable reports, every bench session writes a
-machine-readable ``BENCH_PR3.json`` at the repository root (bench name
--> median seconds + schema size) so the perf trajectory can be compared
-across PRs.  pytest-benchmark timings are harvested automatically; hand
--timed series (the scaling benches) contribute through the
-``record_bench`` fixture.
+On top of the human-readable reports, every bench session merges its
+measurements into a machine-readable ``BENCH_PR4.json`` at the
+repository root (bench name -> median seconds + schema size) so the perf
+trajectory can be compared across PRs.  pytest-benchmark timings are
+harvested automatically; hand-timed series (the scaling and spine
+benches) contribute through the ``record_bench`` fixture.  All writes go
+through one shared helper, :func:`merge_bench_results`, which
+*merge-updates* the file: a filtered run (``pytest benchmarks/ -k
+spine``) refreshes only its own keys instead of clobbering the sweep.
 """
 
 from __future__ import annotations
@@ -22,11 +25,31 @@ from pathlib import Path
 import pytest
 
 REPORTS_DIR = Path(__file__).parent / "reports"
-BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR3.json"
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR4.json"
 
 #: name -> {"median_seconds": float, "types": int | None} from hand-timed
 #: benches, merged with pytest-benchmark's own stats at session end.
 _MANUAL_RECORDS: dict[str, dict] = {}
+
+
+def merge_bench_results(results: dict[str, dict], path: Path = BENCH_JSON) -> None:
+    """Merge *results* into the trajectory file, keeping other keys.
+
+    The single writer every bench measurement funnels through: reads the
+    existing JSON (tolerating a missing or corrupt file), overlays the
+    new measurements key by key, and writes the result back sorted.
+    """
+    existing: dict[str, dict] = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            existing = {}
+    existing.update(results)
+    path.write_text(
+        json.dumps(dict(sorted(existing.items())), indent=2) + "\n",
+        encoding="utf-8",
+    )
 
 
 @pytest.fixture
@@ -45,7 +68,7 @@ def report():
 
 @pytest.fixture
 def record_bench():
-    """Record one hand-timed measurement for ``BENCH_PR3.json``."""
+    """Record one hand-timed measurement for ``BENCH_PR4.json``."""
 
     def record(name: str, median_seconds: float, types: int | None = None) -> None:
         _MANUAL_RECORDS[name] = {
@@ -82,8 +105,5 @@ def pytest_sessionfinish(session, exitstatus):
             "types": extra.get("types"),
         }
     if not results:
-        return  # collect-only / filtered runs must not clobber real data
-    BENCH_JSON.write_text(
-        json.dumps(dict(sorted(results.items())), indent=2) + "\n",
-        encoding="utf-8",
-    )
+        return  # collect-only / filtered runs must not touch real data
+    merge_bench_results(results)

@@ -23,6 +23,7 @@ from repro.analysis.diff import (
     ChangeStatus,
     SchemaDiff,
     diff_schemas,
+    schema_diff,
 )
 from repro.analysis.family import FamilyMember, SchemaFamily
 from repro.analysis.paths import PathStep, find_path, render_path
@@ -63,6 +64,7 @@ __all__ = [
     "name_affinity",
     "render_path",
     "schema_affinity",
+    "schema_diff",
     "schema_metrics",
     "type_affinity",
     "synthesize_operations",

@@ -14,6 +14,15 @@ correspondence is computable purely structurally:
   guarantees moves only happen along ISA paths);
 * anything else present only in the original is ``DELETED``, and present
   only in the custom schema is ``ADDED``.
+
+Two entry points share these rules.  :func:`diff_schemas` is the
+reference: a full structural walk over both schemas.
+:func:`schema_diff` answers the same question from the mutation spine:
+when the two schemas share log lineage (one was forked from the other,
+or both from a common ancestor), only the interfaces named by the
+divergence suffixes of their logs can differ, so the walk is restricted
+to those -- O(changed) instead of O(schema) -- and falls back to the
+full walk when no lineage exists or a log is lossy.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.model.interface import InterfaceDef
+from repro.model.mutation import touched_names_between
 from repro.model.schema import Schema
 
 
@@ -128,6 +138,64 @@ def diff_schemas(original: Schema, custom: Schema) -> SchemaDiff:
             entries.extend(
                 _diff_interface(original, custom, name)
             )
+        else:
+            entries.append(ChangeEntry("type", name, ChangeStatus.DELETED))
+            entries.extend(
+                _members_as(original.get(name), original, custom,
+                            ChangeStatus.DELETED, moved_check=True)
+            )
+    for name in custom.type_names():
+        if name not in original_types:
+            entries.append(ChangeEntry("type", name, ChangeStatus.ADDED))
+            entries.extend(
+                _members_as(custom.get(name), custom, original,
+                            ChangeStatus.ADDED, moved_check=False)
+            )
+    return SchemaDiff(original.name, custom.name, entries)
+
+
+def schema_diff(original: Schema, custom: Schema) -> SchemaDiff:
+    """Record-level diff computed from the two schemas' mutation logs.
+
+    When the schemas are lineage-related (``Schema.fork``), every
+    interface outside their logs' divergence suffixes is provably
+    identical -- the spine records every mutation -- so only the touched
+    names are walked.  The result's :meth:`SchemaDiff.changed` set
+    equals :func:`diff_schemas`'s exactly; untouched types contribute a
+    single type-level ``UNCHANGED`` entry instead of per-member
+    ``UNCHANGED`` detail (the saving *is* the point).
+
+    Falls back to the full structural walk when the schemas share no
+    lineage, a relevant log segment is lossy (an out-of-band
+    ``Schema.touch()``), or the logs disagree with the membership
+    actually observed.
+    """
+    touched = touched_names_between(original, custom)
+    if touched is None:
+        return diff_schemas(original, custom)
+    entries: list[ChangeEntry] = []
+    original_types = set(original.type_names())
+    custom_types = set(custom.type_names())
+    if (original_types ^ custom_types) - touched:
+        # A membership difference the logs failed to name: distrust them.
+        return diff_schemas(original, custom)
+
+    for name in original.type_names():
+        if name not in touched:
+            entries.append(
+                ChangeEntry("type", name, ChangeStatus.UNCHANGED)
+            )
+            continue
+        if name in custom_types:
+            entries.append(
+                ChangeEntry(
+                    "type", name,
+                    ChangeStatus.UNCHANGED
+                    if _interfaces_equal(original.get(name), custom.get(name))
+                    else ChangeStatus.MODIFIED,
+                )
+            )
+            entries.extend(_diff_interface(original, custom, name))
         else:
             entries.append(ChangeEntry("type", name, ChangeStatus.DELETED))
             entries.extend(

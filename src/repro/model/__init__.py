@@ -18,6 +18,13 @@ from repro.model.errors import (
 )
 from repro.model.index import SchemaIndex
 from repro.model.interface import InterfaceDef
+from repro.model.mutation import (
+    Aspect,
+    DirtyJournal,
+    MutationLog,
+    MutationRecord,
+    aspect_for_kind,
+)
 from repro.model.operations import Operation, Parameter
 from repro.model.relationships import (
     Cardinality,
@@ -49,13 +56,17 @@ from repro.model.validation import (
 )
 
 __all__ = [
+    "Aspect",
     "Attribute",
     "Cardinality",
     "CollectionType",
+    "DirtyJournal",
     "DuplicateNameError",
     "InterfaceDef",
     "InvalidModelError",
     "Issue",
+    "MutationLog",
+    "MutationRecord",
     "NamedType",
     "Operation",
     "Parameter",
@@ -74,6 +85,7 @@ __all__ = [
     "VOID",
     "ValidationError",
     "array_of",
+    "aspect_for_kind",
     "association",
     "bag_of",
     "instance_of",

@@ -55,13 +55,15 @@ def schemas_equal(first: Schema, second: Schema) -> bool:
 
 
 def memoized_schema_fingerprint(schema: Schema) -> str:
-    """:func:`schema_fingerprint` cached against the schema's generation.
+    """:func:`schema_fingerprint` cached against the mutation spine.
 
     The verification engine fingerprints the workspace several times per
     fuzz step (before/after apply, after undo, after redo); between
-    mutations the schema's generation counter is unchanged and the
-    cached rendering is returned instead of re-walking every interface.
+    mutations no record lands on the schema's log and the cached
+    rendering is returned instead of re-walking every interface.  The
+    memo invalidates itself on the next emitted record
+    (:meth:`repro.model.mutation.MutationLog.memo`).
     """
-    return schema.index.memo(  # type: ignore[return-value]
+    return schema.log.memo(  # type: ignore[return-value]
         "verify_fingerprint", lambda: schema_fingerprint(schema)
     )

@@ -16,16 +16,16 @@ once and answers from dictionaries instead:
 * ``relationship_pairs`` -- the cached (owner, end) listing,
 * ``declaration_order``  -- interface name -> declaration position.
 
-**Invalidation contract.**  The owning schema keeps a monotonically
-increasing *generation* counter.  Every mutating entry point bumps it:
-``Schema.add_interface`` / ``Schema.remove_interface`` / ``Schema.touch``
-directly, and every :class:`~repro.model.interface.InterfaceDef` mutator
-indirectly through the owner-notification hook the schema registers on
-each of its interfaces.  Each cache family is stamped with the
-generation it was built at; a query whose stamp no longer matches
-rebuilds that family lazily.  Code that mutates schema content without
-going through those entry points (direct container assignment) must call
-``Schema.touch()`` itself -- see DESIGN.md, "Indexing & invalidation".
+**Invalidation contract.**  The index is a subscriber of the schema's
+mutation spine (:mod:`repro.model.mutation`): ``Schema.generation`` is
+the spine's monotonic ``seq``, bumped by every emitted
+:class:`~repro.model.mutation.MutationRecord` -- i.e. by every mutator
+on :class:`~repro.model.schema.Schema` and
+:class:`~repro.model.interface.InterfaceDef`.  Each cache family is
+stamped with the generation it was built at; a query whose stamp no
+longer matches rebuilds that family lazily.  Code that mutates schema
+content without going through a mutator (direct container assignment)
+must call ``Schema.touch()`` itself -- see DESIGN.md §5e.
 
 The module also ships the ``scan_*`` reference implementations: the
 original full-scan queries, kept as the executable specification the
@@ -47,95 +47,31 @@ Edge = tuple[str, str, RelationshipEnd]
 
 
 # ----------------------------------------------------------------------
-# Touch aspects & the dirty journal (incremental validation support)
+# Compatibility re-exports
 # ----------------------------------------------------------------------
 #
-# Every InterfaceDef mutator reports *which facet* of the definition it
-# changed; the owning schema records (name, aspects) pairs in a
-# DirtyJournal that the ValidationCache (model/validation_cache.py)
-# drains to derive the minimal set of interfaces and graph rules to
-# re-validate.  Operations declare the same vocabulary as class-level
-# scope metadata (ops/base.py).
+# The aspect vocabulary and the dirty journal moved to the mutation
+# spine (repro.model.mutation) when mutations were reified; the legacy
+# string constants are now Aspect enum members (StrEnum: they compare
+# and hash like the old strings).  Kept importable from here for one
+# release.
 
-ASPECT_ISA = "isa"  # the supertype list
-ASPECT_ATTRS = "attrs"  # attribute definitions
-ASPECT_KEYS = "keys"  # key lists
-ASPECT_EXTENT = "extent"  # the extent name (no validation rule reads it)
-ASPECT_OPS = "ops"  # operation signatures
-ASPECT_REL_ASSOCIATION = "rel-association"  # association ends
-ASPECT_REL_PART_OF = "rel-part-of"  # part-of ends
-ASPECT_REL_INSTANCE_OF = "rel-instance-of"  # instance-of ends
-#: Operation-level pseudo-aspect: the op adds/removes whole interfaces.
-ASPECT_MEMBERSHIP = "membership"
-
-#: Every interface-level aspect; the conservative default for a bare
-#: ``InterfaceDef._touch()`` and for operations without finer metadata.
-ALL_TOUCH_ASPECTS = frozenset(
-    {
-        ASPECT_ISA,
-        ASPECT_ATTRS,
-        ASPECT_KEYS,
-        ASPECT_EXTENT,
-        ASPECT_OPS,
-        ASPECT_REL_ASSOCIATION,
-        ASPECT_REL_PART_OF,
-        ASPECT_REL_INSTANCE_OF,
-    }
+from repro.model.mutation import (  # noqa: E402,F401 (re-export)
+    ALL_ASPECTS as ALL_TOUCH_ASPECTS,
+    Aspect,
+    DirtyJournal,
+    aspect_for_kind,
 )
 
-_KIND_ASPECTS = {
-    RelationshipKind.ASSOCIATION: ASPECT_REL_ASSOCIATION,
-    RelationshipKind.PART_OF: ASPECT_REL_PART_OF,
-    RelationshipKind.INSTANCE_OF: ASPECT_REL_INSTANCE_OF,
-}
-
-
-def aspect_for_kind(kind: RelationshipKind) -> str:
-    """The touch aspect covering relationship ends of *kind*."""
-    return _KIND_ASPECTS[kind]
-
-
-class DirtyJournal:
-    """What changed in a schema since the validation cache last looked.
-
-    The journal is pure bookkeeping: interface names touched (with the
-    aspects that changed), names added/removed, whether declaration
-    order moved, and whether an out-of-band ``Schema.touch()`` forced a
-    full invalidation.  Every note accompanies a generation bump, so a
-    schema whose generation matches the cache's stamp always has an
-    irrelevant (possibly non-empty) journal.
-    """
-
-    __slots__ = ("touched", "added", "removed", "order_changed", "full")
-
-    def __init__(self) -> None:
-        self.touched: dict[str, set[str]] = {}
-        self.added: set[str] = set()
-        self.removed: set[str] = set()
-        self.order_changed = False
-        self.full = False
-
-    def note_touch(self, name: str, aspects: frozenset[str]) -> None:
-        self.touched.setdefault(name, set()).update(aspects)
-
-    def note_added(self, name: str) -> None:
-        self.added.add(name)
-
-    def note_removed(self, name: str) -> None:
-        self.removed.add(name)
-
-    def note_order(self) -> None:
-        self.order_changed = True
-
-    def note_full(self) -> None:
-        self.full = True
-
-    def clear(self) -> None:
-        self.touched.clear()
-        self.added.clear()
-        self.removed.clear()
-        self.order_changed = False
-        self.full = False
+ASPECT_ISA = Aspect.ISA
+ASPECT_ATTRS = Aspect.ATTRS
+ASPECT_KEYS = Aspect.KEYS
+ASPECT_EXTENT = Aspect.EXTENT
+ASPECT_OPS = Aspect.OPS
+ASPECT_REL_ASSOCIATION = Aspect.REL_ASSOCIATION
+ASPECT_REL_PART_OF = Aspect.REL_PART_OF
+ASPECT_REL_INSTANCE_OF = Aspect.REL_INSTANCE_OF
+ASPECT_MEMBERSHIP = Aspect.MEMBERSHIP
 
 
 class SchemaIndex:

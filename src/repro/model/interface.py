@@ -10,12 +10,17 @@ an immutable dataclass; mutation happens by replacing whole entries.  All
 edits in a design session should go through :mod:`repro.ops` operations so
 that they are validated, logged, and reversible -- the methods here are
 the primitive storage layer those operations use.
+
+Every mutator emits one :class:`~repro.model.mutation.MutationRecord`
+onto each owning schema's mutation spine (``tools/check_mutators.py``
+enforces this), so cache layers never hear about changes through any
+other channel.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING
 
 from repro.model.attributes import Attribute
 from repro.model.errors import (
@@ -23,18 +28,23 @@ from repro.model.errors import (
     InvalidModelError,
     UnknownPropertyError,
 )
-from repro.model.index import (
-    ALL_TOUCH_ASPECTS,
-    ASPECT_ATTRS,
-    ASPECT_EXTENT,
-    ASPECT_ISA,
-    ASPECT_KEYS,
-    ASPECT_OPS,
-    aspect_for_kind,
-)
+from repro.model.mutation import Aspect, aspect_for_kind
 from repro.model.operations import Operation
 from repro.model.relationships import RelationshipEnd, RelationshipKind
 from repro.model.types import referenced_interfaces
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.mutation import MutationLog
+
+# Shared singleton aspect sets so the emit path allocates nothing.
+_ISA = frozenset({Aspect.ISA})
+_EXTENT = frozenset({Aspect.EXTENT})
+_KEYS = frozenset({Aspect.KEYS})
+_ATTRS = frozenset({Aspect.ATTRS})
+_OPS = frozenset({Aspect.OPS})
+_REL = {
+    kind: frozenset({aspect_for_kind(kind)}) for kind in RelationshipKind
+}
 
 
 @dataclass
@@ -62,43 +72,35 @@ class InterfaceDef:
             raise InvalidModelError(
                 f"interface {self.name!r} lists a duplicate supertype"
             )
-        # Owning schemas hook their generation bump in here so their
-        # graph indexes are invalidated by interface-level mutators
-        # (see repro.model.index).  Not a dataclass field: hooks carry
-        # identity, not value, and must not take part in __eq__.
-        self._owner_hooks: list[Callable[[frozenset[str]], None]] = []
+        # Owning schemas attach their mutation spine here so every
+        # mutator below lands one record on it (see repro.model.
+        # mutation).  Not a dataclass field: spines carry identity, not
+        # value, and must not take part in __eq__.
+        self._spines: list["MutationLog"] = []
 
     # ------------------------------------------------------------------
-    # Owner notification (index invalidation)
+    # Owner notification (the mutation spine)
     # ------------------------------------------------------------------
 
-    def _subscribe_owner(self, hook: Callable[[frozenset[str]], None]) -> None:
-        """Register an owning schema's touch hook.
+    def _attach_spine(self, log: "MutationLog") -> None:
+        """Register an owning schema's mutation log."""
+        self._spines.append(log)
 
-        The hook receives the set of *touch aspects* the mutation
-        changed (``repro.model.index`` aspect constants) so the owner
-        can both bump its generation counter and record a precise dirty
-        note for incremental validation.
-        """
-        self._owner_hooks.append(hook)
-
-    def _unsubscribe_owner(self, hook: Callable[[frozenset[str]], None]) -> None:
-        """Drop one registration of *hook* (no-op when absent)."""
+    def _detach_spine(self, log: "MutationLog") -> None:
+        """Drop one registration of *log* (no-op when absent)."""
         try:
-            self._owner_hooks.remove(hook)
+            self._spines.remove(log)
         except ValueError:
             pass
 
-    def _touch(self, *aspects: str) -> None:
-        """Tell every owning schema this definition changed.
-
-        Called with the aspect constants describing what moved; a bare
-        call (no aspects) is the conservative legacy form and reports
-        every aspect.
-        """
-        changed = frozenset(aspects) if aspects else ALL_TOUCH_ASPECTS
-        for hook in self._owner_hooks:
-            hook(changed)
+    def _emit(
+        self, kind: str, aspects: frozenset[Aspect], payload: dict
+    ) -> None:
+        """Emit one mutation record onto every owning schema's spine."""
+        for log in self._spines:
+            log.emit(
+                kind, interface=self.name, aspects=aspects, payload=payload
+            )
 
     # ------------------------------------------------------------------
     # Type properties
@@ -118,7 +120,11 @@ class InterfaceDef:
             self.supertypes.append(supertype)
         else:
             self.supertypes.insert(position, supertype)
-        self._touch(ASPECT_ISA)
+        self._emit(
+            "add_supertype",
+            _ISA,
+            {"supertype": supertype, "position": position},
+        )
 
     def remove_supertype(self, supertype: str) -> None:
         """Remove *supertype* from the ISA list."""
@@ -128,7 +134,7 @@ class InterfaceDef:
             raise UnknownPropertyError(
                 f"{self.name!r} has no supertype {supertype!r}"
             ) from None
-        self._touch(ASPECT_ISA)
+        self._emit("remove_supertype", _ISA, {"supertype": supertype})
 
     def set_supertypes(self, supertypes: list[str]) -> None:
         """Replace the whole ISA list (``modify_supertype`` re-wiring)."""
@@ -142,12 +148,12 @@ class InterfaceDef:
                 f"interface {self.name!r} lists a duplicate supertype"
             )
         self.supertypes = supertypes
-        self._touch(ASPECT_ISA)
+        self._emit("set_supertypes", _ISA, {"supertypes": tuple(supertypes)})
 
     def set_extent(self, extent: str | None) -> None:
-        """Set or clear the extent name (generation-bumping mutator)."""
+        """Set or clear the extent name (spine-emitting mutator)."""
         self.extent = extent
-        self._touch(ASPECT_EXTENT)
+        self._emit("set_extent", _EXTENT, {"extent": extent})
 
     def add_key(self, key: tuple[str, ...]) -> None:
         """Add a key (a tuple of attribute names)."""
@@ -159,7 +165,7 @@ class InterfaceDef:
                 f"{self.name!r} already declares key {key!r}"
             )
         self.keys.append(key)
-        self._touch(ASPECT_KEYS)
+        self._emit("add_key", _KEYS, {"key": key})
 
     def remove_key(self, key: tuple[str, ...]) -> None:
         """Remove a previously declared key."""
@@ -170,7 +176,36 @@ class InterfaceDef:
             raise UnknownPropertyError(
                 f"{self.name!r} has no key {key!r}"
             ) from None
-        self._touch(ASPECT_KEYS)
+        self._emit("remove_key", _KEYS, {"key": key})
+
+    def insert_key(self, key: tuple[str, ...], position: int) -> None:
+        """Insert a key at *position* (undo of a key deletion)."""
+        key = tuple(key)
+        if not key:
+            raise InvalidModelError("a key must name at least one attribute")
+        if key in self.keys:
+            raise DuplicateNameError(
+                f"{self.name!r} already declares key {key!r}"
+            )
+        self.keys.insert(position, key)
+        self._emit("insert_key", _KEYS, {"key": key, "position": position})
+
+    def replace_key_at(self, position: int, key: tuple[str, ...]) -> tuple[str, ...]:
+        """Swap the key at *position* for *key*, returning the old one."""
+        key = tuple(key)
+        if not key:
+            raise InvalidModelError("a key must name at least one attribute")
+        try:
+            old = self.keys[position]
+        except IndexError:
+            raise UnknownPropertyError(
+                f"{self.name!r} has no key at position {position}"
+            ) from None
+        self.keys[position] = key
+        self._emit(
+            "replace_key_at", _KEYS, {"position": position, "key": key}
+        )
+        return old
 
     # ------------------------------------------------------------------
     # Instance properties
@@ -186,7 +221,7 @@ class InterfaceDef:
         """Add an attribute; its name must be free in the property namespace."""
         self._check_property_name_free(attribute.name)
         self.attributes[attribute.name] = attribute
-        self._touch(ASPECT_ATTRS)
+        self._emit("add_attribute", _ATTRS, {"attribute": attribute})
 
     def remove_attribute(self, name: str) -> Attribute:
         """Remove and return the attribute called *name*."""
@@ -196,7 +231,7 @@ class InterfaceDef:
             raise UnknownPropertyError(
                 f"{self.name!r} has no attribute {name!r}"
             ) from None
-        self._touch(ASPECT_ATTRS)
+        self._emit("remove_attribute", _ATTRS, {"name": name})
         return removed
 
     def get_attribute(self, name: str) -> Attribute:
@@ -212,14 +247,24 @@ class InterfaceDef:
         """Swap in a new value for an existing attribute, returning the old."""
         old = self.get_attribute(attribute.name)
         self.attributes[attribute.name] = attribute
-        self._touch(ASPECT_ATTRS)
+        self._emit("replace_attribute", _ATTRS, {"attribute": attribute})
         return old
+
+    def reorder_attributes(self, order: list[str]) -> None:
+        """Rebuild the attribute dict in *order* (undo of a deletion).
+
+        *order* must be a permutation of the current attribute names.
+        """
+        self.attributes = self._reordered(
+            self.attributes, order, "attribute"
+        )
+        self._emit("reorder_attributes", _ATTRS, {"order": tuple(order)})
 
     def add_relationship(self, end: RelationshipEnd) -> None:
         """Add a relationship end; its path name must be free."""
         self._check_property_name_free(end.name)
         self.relationships[end.name] = end
-        self._touch(aspect_for_kind(end.kind))
+        self._emit("add_relationship", _REL[end.kind], {"end": end})
 
     def remove_relationship(self, name: str) -> RelationshipEnd:
         """Remove and return the relationship end called *name*."""
@@ -229,7 +274,9 @@ class InterfaceDef:
             raise UnknownPropertyError(
                 f"{self.name!r} has no relationship {name!r}"
             ) from None
-        self._touch(aspect_for_kind(removed.kind))
+        self._emit(
+            "remove_relationship", _REL[removed.kind], {"name": name}
+        )
         return removed
 
     def get_relationship(self, name: str) -> RelationshipEnd:
@@ -245,7 +292,11 @@ class InterfaceDef:
         """Swap in a new value for an existing end, returning the old."""
         old = self.get_relationship(end.name)
         self.relationships[end.name] = end
-        self._touch(aspect_for_kind(old.kind), aspect_for_kind(end.kind))
+        self._emit(
+            "replace_relationship",
+            _REL[old.kind] | _REL[end.kind],
+            {"end": end},
+        )
         return old
 
     def add_operation(self, operation: Operation) -> None:
@@ -256,7 +307,7 @@ class InterfaceDef:
                 f"{operation.name!r}"
             )
         self.operations[operation.name] = operation
-        self._touch(ASPECT_OPS)
+        self._emit("add_operation", _OPS, {"operation": operation})
 
     def remove_operation(self, name: str) -> Operation:
         """Remove and return the operation called *name*."""
@@ -266,7 +317,7 @@ class InterfaceDef:
             raise UnknownPropertyError(
                 f"{self.name!r} has no operation {name!r}"
             ) from None
-        self._touch(ASPECT_OPS)
+        self._emit("remove_operation", _OPS, {"name": name})
         return removed
 
     def get_operation(self, name: str) -> Operation:
@@ -282,8 +333,24 @@ class InterfaceDef:
         """Swap in a new value for an existing operation, returning the old."""
         old = self.get_operation(operation.name)
         self.operations[operation.name] = operation
-        self._touch(ASPECT_OPS)
+        self._emit("replace_operation", _OPS, {"operation": operation})
         return old
+
+    def reorder_operations(self, order: list[str]) -> None:
+        """Rebuild the operation dict in *order* (undo of a deletion)."""
+        self.operations = self._reordered(
+            self.operations, order, "operation"
+        )
+        self._emit("reorder_operations", _OPS, {"order": tuple(order)})
+
+    def _reordered(self, members: dict, order: list[str], noun: str) -> dict:
+        """*members* rebuilt in *order*; must be an exact permutation."""
+        if set(order) != set(members) or len(order) != len(members):
+            raise UnknownPropertyError(
+                f"{self.name!r}: {noun} reorder {list(order)!r} is not a "
+                f"permutation of {list(members)!r}"
+            )
+        return {name: members[name] for name in order}
 
     # ------------------------------------------------------------------
     # Queries

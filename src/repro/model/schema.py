@@ -11,24 +11,34 @@ families the paper's concept schemas are built from:
 The queries here are purely structural; validation rules live in
 :mod:`repro.model.validation` and concept-schema extraction in
 :mod:`repro.concepts`.
+
+Change propagation runs through one channel: every mutation lands a
+:class:`~repro.model.mutation.MutationRecord` on the schema's
+:class:`~repro.model.mutation.MutationLog`, and the cache layers (index
+generation, validation dirty journal, fingerprint memos) are subscribers
+of that spine -- see DESIGN.md §5e.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.model.errors import (
     DuplicateNameError,
     InvalidModelError,
     UnknownTypeError,
 )
-from repro.model.index import ASPECT_MEMBERSHIP, DirtyJournal, SchemaIndex
+from repro.model.index import SchemaIndex
 from repro.model.interface import InterfaceDef
+from repro.model.mutation import Aspect, DirtyJournal, MutationLog
 from repro.model.relationships import RelationshipEnd
 
 if TYPE_CHECKING:
     from repro.model.validation_cache import ValidationCache
+
+_MEMBERSHIP = frozenset({Aspect.MEMBERSHIP})
+_ORDER: frozenset[Aspect] = frozenset()
 
 
 @dataclass
@@ -45,25 +55,34 @@ class Schema:
     def __post_init__(self) -> None:
         if not self.name:
             raise InvalidModelError("a schema must have a name")
-        # Not dataclass fields: the generation stamp, index, journal and
-        # validation cache carry cache state, not schema content, and
-        # must stay out of __eq__.
-        self._generation = 0
-        self._index = SchemaIndex(self)
+        # Not dataclass fields: the mutation log, index, journal and
+        # validation cache carry cache/history state, not schema
+        # content, and must stay out of __eq__.
+        self._log = MutationLog()
         self._journal = DirtyJournal()
+        self._log.subscribe(self._journal.observe)
+        self._index = SchemaIndex(self)
         self._validation: "ValidationCache | None" = None
-        self._hooks: dict[str, Callable[[frozenset[str]], None]] = {}
         for interface in self.interfaces.values():
-            self._subscribe(interface)
+            self._adopt(interface)
 
     # ------------------------------------------------------------------
-    # Index & invalidation
+    # The mutation spine & its subscribers
     # ------------------------------------------------------------------
 
     @property
+    def log(self) -> MutationLog:
+        """The mutation spine: every change to this schema, in order."""
+        return self._log
+
+    @property
     def generation(self) -> int:
-        """Monotonic mutation counter; stamps the index's caches."""
-        return self._generation
+        """Monotonic mutation counter; stamps the index's caches.
+
+        Derived from the spine -- the generation *is* the log's sequence
+        number, so any emitted record invalidates stamped caches.
+        """
+        return self._log.seq
 
     @property
     def index(self) -> SchemaIndex:
@@ -72,7 +91,10 @@ class Schema:
 
     @property
     def journal(self) -> DirtyJournal:
-        """Accumulated dirty notes since the validation cache last read it."""
+        """Accumulated dirty notes since the validation cache last read it.
+
+        A spine subscriber: records fold into it as they are emitted.
+        """
         return self._journal
 
     @property
@@ -84,35 +106,28 @@ class Schema:
             self._validation = ValidationCache(self)
         return self._validation
 
-    def _bump_generation(self) -> None:
-        self._generation += 1
-
-    def _subscribe(self, interface: InterfaceDef) -> None:
-        name = interface.name
-
-        def hook(aspects: frozenset[str], _name: str = name) -> None:
-            self._generation += 1
-            self._journal.note_touch(_name, aspects)
-
-        self._hooks[name] = hook
-        interface._subscribe_owner(hook)
-
-    def _unsubscribe(self, interface: InterfaceDef) -> None:
-        hook = self._hooks.pop(interface.name, None)
-        if hook is not None:
-            interface._unsubscribe_owner(hook)
+    def _adopt(self, interface: InterfaceDef) -> None:
+        """Attach the spine and record the interface as schema content."""
+        interface._attach_spine(self._log)
+        self._log.emit(
+            "add_interface",
+            interface=interface.name,
+            aspects=_MEMBERSHIP,
+            payload={"interface": interface.copy()},
+        )
 
     def touch(self) -> None:
-        """Invalidate the index after an out-of-band mutation.
+        """Invalidate all caches after an out-of-band mutation.
 
         Every :class:`InterfaceDef` mutator and the interface-management
-        methods below bump the generation automatically; code that
+        methods below emit onto the spine automatically; code that
         mutates schema content directly must call this instead.  The
-        validation cache cannot tell what moved, so it marks everything
-        dirty; prefer :meth:`touch_order` for pure reorderings.
+        emitted record is *lossy* -- subscribers cannot tell what moved
+        (the validation cache marks everything dirty) and the log can no
+        longer be replayed -- so prefer :meth:`reorder_interfaces` for
+        pure reorderings and real mutators for everything else.
         """
-        self._bump_generation()
-        self._journal.note_full()
+        self._log.emit("touch")
 
     def touch_order(self) -> None:
         """Invalidate after reordering ``interfaces`` without edits.
@@ -120,34 +135,46 @@ class Schema:
         Restoring declaration order on undo changes no definition, only
         the order issues are reported in, so the validation cache only
         needs to re-assemble (and re-run order-sensitive tie-breaks),
-        not re-check any interface.
+        not re-check any interface.  Emits the already-applied order so
+        the record stays replayable.
         """
-        self._bump_generation()
-        self._journal.note_order()
+        self._log.emit(
+            "reorder_interfaces",
+            aspects=_ORDER,
+            payload={"order": tuple(self.interfaces)},
+        )
 
     def note_validation_scope(
-        self, names: Iterable[str], aspects: frozenset[str]
+        self, names: Iterable[str], aspects: frozenset[Aspect]
     ) -> None:
-        """Record an operation's declared read/write scope in the journal.
+        """Record an operation's declared read/write scope on the spine.
 
-        Belt-and-suspenders over the mutator-level hooks: operations
+        Belt-and-suspenders over the mutator-level records: operations
         declare the types and aspects they may have touched
         (``SchemaOperation.validation_scope``), and the workspace feeds
         that here so the dirty set is correct even for operations whose
-        undo closures mutate state out of band.
+        undo closures mutate state out of band.  Membership is resolved
+        against current content at emit time so the journal (and any
+        other subscriber) can stay schema-agnostic.
         """
-        if ASPECT_MEMBERSHIP in aspects:
-            for name in names:
-                if name in self.interfaces:
-                    self._journal.note_added(name)
-                else:
-                    self._journal.note_removed(name)
-            rest = aspects - {ASPECT_MEMBERSHIP}
-            if not rest:
-                return
-            aspects = rest
-        for name in names:
-            self._journal.note_touch(name, aspects)
+        names = tuple(names)
+        added: tuple[str, ...] = ()
+        removed: tuple[str, ...] = ()
+        rest = aspects
+        if Aspect.MEMBERSHIP in aspects:
+            added = tuple(n for n in names if n in self.interfaces)
+            removed = tuple(n for n in names if n not in self.interfaces)
+            rest = aspects - _MEMBERSHIP
+        self._log.emit(
+            "scope",
+            aspects=aspects,
+            payload={
+                "names": names,
+                "aspects": rest,
+                "added": added,
+                "removed": removed,
+            },
+        )
 
     # ------------------------------------------------------------------
     # Interface management
@@ -160,9 +187,7 @@ class Schema:
                 f"schema {self.name!r} already defines {interface.name!r}"
             )
         self.interfaces[interface.name] = interface
-        self._subscribe(interface)
-        self._bump_generation()
-        self._journal.note_added(interface.name)
+        self._adopt(interface)
 
     def remove_interface(self, name: str) -> InterfaceDef:
         """Remove and return the interface called *name*."""
@@ -172,10 +197,30 @@ class Schema:
             raise UnknownTypeError(
                 f"schema {self.name!r} does not define {name!r}"
             ) from None
-        self._unsubscribe(removed)
-        self._bump_generation()
-        self._journal.note_removed(name)
+        removed._detach_spine(self._log)
+        self._log.emit(
+            "remove_interface", interface=name, aspects=_MEMBERSHIP
+        )
         return removed
+
+    def reorder_interfaces(self, order: list[str]) -> None:
+        """Rebuild ``interfaces`` in *order* (undo of a type deletion).
+
+        *order* must be a permutation of the current type names.
+        """
+        if set(order) != set(self.interfaces) or len(order) != len(
+            self.interfaces
+        ):
+            raise UnknownTypeError(
+                f"schema {self.name!r}: reorder {list(order)!r} is not a "
+                f"permutation of {self.type_names()!r}"
+            )
+        self.interfaces = {name: self.interfaces[name] for name in order}
+        self._log.emit(
+            "reorder_interfaces",
+            aspects=_ORDER,
+            payload={"order": tuple(order)},
+        )
 
     def get(self, name: str) -> InterfaceDef:
         """Return the interface called *name* or raise ``UnknownTypeError``."""
@@ -368,6 +413,20 @@ class Schema:
             duplicate.add_interface(interface.copy())
         return duplicate
 
+    def fork(self, name: str | None = None) -> "Schema":
+        """A structural copy whose spine records its lineage.
+
+        The copy shares no mutable state with the original -- interface
+        containers are fresh, property values immutable -- but its
+        mutation log remembers the origin log and the seq it branched
+        at, so :func:`repro.analysis.diff.schema_diff` can later diff
+        the two from their divergence suffixes instead of a full
+        structural walk.
+        """
+        duplicate = self.copy(name)
+        duplicate._log.link_origin(self._log)
+        return duplicate
+
     def validate(self) -> None:
         """Raise :class:`~repro.model.errors.ValidationError` on problems.
 
@@ -379,7 +438,13 @@ class Schema:
         validate_schema(self, raise_on_error=True)
 
     def stats(self) -> dict[str, int]:
-        """Size metrics plus index and validation counters."""
+        """Size metrics plus spine and subscriber counters.
+
+        Spine and subscriber counters live under namespaced keys
+        (``spine.seq``, ``index.hits``, ``validation.full`` ...); the
+        flat legacy keys (``index_hits``, ``validation_full`` ...) are
+        kept as aliases for one release.
+        """
         index = self._index.stats()
         if self._validation is not None:
             validation = self._validation.stats()
@@ -391,7 +456,7 @@ class Schema:
                 "interfaces_revalidated": 0,
                 "interfaces_reused": 0,
             }
-        return {
+        stats = {
             "interfaces": len(self),
             "attributes": sum(len(i.attributes) for i in self),
             "relationship_ends": sum(len(i.relationships) for i in self),
@@ -399,16 +464,31 @@ class Schema:
             "supertype_links": sum(len(i.supertypes) for i in self),
             "part_of_links": self._index.part_of_edge_count(),
             "instance_of_links": self._index.instance_of_edge_count(),
-            "index_hits": index["hits"],
-            "index_misses": index["misses"],
-            "index_rebuilds": index["rebuilds"],
-            "index_generation": index["generation"],
-            "validation_clean_hits": validation["clean_hits"],
-            "validation_full": validation["full_validations"],
-            "validation_incremental": validation["incremental_validations"],
-            "validation_revalidated": validation["interfaces_revalidated"],
-            "validation_reused": validation["interfaces_reused"],
+            "spine.seq": self._log.seq,
+            "spine.records": len(self._log),
+            "spine.subscribers": self._log.subscriber_count,
+            "spine.lossy": int(self._log.lossy),
+            "index.hits": index["hits"],
+            "index.misses": index["misses"],
+            "index.rebuilds": index["rebuilds"],
+            "index.generation": index["generation"],
+            "validation.clean_hits": validation["clean_hits"],
+            "validation.full": validation["full_validations"],
+            "validation.incremental": validation["incremental_validations"],
+            "validation.revalidated": validation["interfaces_revalidated"],
+            "validation.reused": validation["interfaces_reused"],
         }
+        # Deprecated flat aliases, kept for one release.
+        stats["index_hits"] = stats["index.hits"]
+        stats["index_misses"] = stats["index.misses"]
+        stats["index_rebuilds"] = stats["index.rebuilds"]
+        stats["index_generation"] = stats["index.generation"]
+        stats["validation_clean_hits"] = stats["validation.clean_hits"]
+        stats["validation_full"] = stats["validation.full"]
+        stats["validation_incremental"] = stats["validation.incremental"]
+        stats["validation_revalidated"] = stats["validation.revalidated"]
+        stats["validation_reused"] = stats["validation.reused"]
+        return stats
 
     def __str__(self) -> str:
         return f"schema {self.name} ({len(self)} interfaces)"

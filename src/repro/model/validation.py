@@ -44,16 +44,8 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
 from repro.model.errors import ValidationError
-from repro.model.index import (
-    ASPECT_ATTRS,
-    ASPECT_ISA,
-    ASPECT_KEYS,
-    ASPECT_OPS,
-    ASPECT_REL_ASSOCIATION,
-    ASPECT_REL_INSTANCE_OF,
-    ASPECT_REL_PART_OF,
-)
 from repro.model.interface import InterfaceDef
+from repro.model.mutation import Aspect
 from repro.model.relationships import RelationshipKind
 from repro.model.schema import Schema
 from repro.model.types import referenced_interfaces
@@ -106,27 +98,27 @@ REACH_COMPONENT = "component"
 class RuleScope:
     """What one rule reads, for dirty-set derivation.
 
-    ``aspects`` lists the touch aspects (:mod:`repro.model.index`
-    constants) whose change can alter the rule's output; ``reach`` says
-    how far a touch propagates before the rule's output is stable again.
+    ``aspects`` lists the :class:`~repro.model.mutation.Aspect` members
+    whose change can alter the rule's output; ``reach`` says how far a
+    touch propagates before the rule's output is stable again.
     """
 
     rule: str
-    aspects: frozenset[str]
+    aspects: frozenset[Aspect]
     reach: str
 
 
 _REL_ASPECTS = frozenset(
-    {ASPECT_REL_ASSOCIATION, ASPECT_REL_PART_OF, ASPECT_REL_INSTANCE_OF}
+    {Aspect.REL_ASSOCIATION, Aspect.REL_PART_OF, Aspect.REL_INSTANCE_OF}
 )
 
-#: Read scopes of every structural rule.  ``extent`` appears in no
-#: scope: no structural rule reads the extent name, so extent-only
+#: Read scopes of every structural rule.  ``Aspect.EXTENT`` appears in
+#: no scope: no structural rule reads the extent name, so extent-only
 #: touches are validation no-ops.
 RULE_SCOPES: tuple[RuleScope, ...] = (
     RuleScope(
         "dangling-type",
-        frozenset({ASPECT_ISA, ASPECT_ATTRS, ASPECT_OPS}) | _REL_ASPECTS,
+        frozenset({Aspect.ISA, Aspect.ATTRS, Aspect.OPS}) | _REL_ASPECTS,
         REACH_REFERENCERS,
     ),
     RuleScope("inverse-missing", _REL_ASPECTS, REACH_REFERENCERS),
@@ -134,38 +126,42 @@ RULE_SCOPES: tuple[RuleScope, ...] = (
     RuleScope("kind-mismatch", _REL_ASPECTS, REACH_REFERENCERS),
     RuleScope(
         "cardinality-role",
-        frozenset({ASPECT_REL_PART_OF, ASPECT_REL_INSTANCE_OF}),
+        frozenset({Aspect.REL_PART_OF, Aspect.REL_INSTANCE_OF}),
         REACH_REFERENCERS,
     ),
-    RuleScope("isa-cycle", frozenset({ASPECT_ISA}), REACH_COMPONENT),
-    RuleScope("part-of-cycle", frozenset({ASPECT_REL_PART_OF}), REACH_COMPONENT),
+    RuleScope("isa-cycle", frozenset({Aspect.ISA}), REACH_COMPONENT),
+    RuleScope(
+        "part-of-cycle", frozenset({Aspect.REL_PART_OF}), REACH_COMPONENT
+    ),
     RuleScope(
         "instance-of-cycle",
-        frozenset({ASPECT_REL_INSTANCE_OF}),
+        frozenset({Aspect.REL_INSTANCE_OF}),
         REACH_COMPONENT,
     ),
     RuleScope(
         "key-unknown",
-        frozenset({ASPECT_KEYS, ASPECT_ATTRS, ASPECT_ISA}),
+        frozenset({Aspect.KEYS, Aspect.ATTRS, Aspect.ISA}),
         REACH_DESCENDANTS,
     ),
     RuleScope(
         "order-by-unknown",
-        frozenset({ASPECT_ATTRS, ASPECT_ISA}) | _REL_ASPECTS,
+        frozenset({Aspect.ATTRS, Aspect.ISA}) | _REL_ASPECTS,
         REACH_DESCENDANTS,
     ),
-    RuleScope("multi-root-hierarchy", frozenset({ASPECT_ISA}), REACH_COMPONENT),
+    RuleScope(
+        "multi-root-hierarchy", frozenset({Aspect.ISA}), REACH_COMPONENT
+    ),
 )
 
 #: Every aspect some rule reads; touches outside this set cannot change
 #: any validation output.
-VALIDATION_ASPECTS: frozenset[str] = frozenset().union(
+VALIDATION_ASPECTS: frozenset[Aspect] = frozenset().union(
     *(scope.aspects for scope in RULE_SCOPES)
 )
 
 #: Aspects whose change can alter what an interface's *descendants*
 #: inherit, so dirt must close over the subtype graph.
-DESCEND_ASPECTS: frozenset[str] = frozenset({ASPECT_ISA, ASPECT_ATTRS})
+DESCEND_ASPECTS: frozenset[Aspect] = frozenset({Aspect.ISA, Aspect.ATTRS})
 
 
 # ----------------------------------------------------------------------

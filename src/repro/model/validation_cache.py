@@ -14,15 +14,15 @@ changed.
 Dirty-set derivation
 --------------------
 
-Mutations reach the cache through two channels that feed one
-:class:`~repro.model.index.DirtyJournal` on the schema:
-
-* every :class:`~repro.model.interface.InterfaceDef` mutator notes the
-  owner name plus the *touch aspects* it changed (supertype list,
-  attributes, keys, each relationship kind, operations, extent);
-* :meth:`Schema.add_interface` / :meth:`Schema.remove_interface` note
-  membership changes, and operations additionally declare their scope
-  via :meth:`Schema.note_validation_scope`.
+Mutations reach the cache through one channel: the schema's mutation
+spine.  The :class:`~repro.model.mutation.DirtyJournal` is a spine
+subscriber that folds every emitted
+:class:`~repro.model.mutation.MutationRecord` into its dirty set —
+interface-level mutator records carry the owner name plus the
+:class:`~repro.model.mutation.Aspect` members they changed, membership
+records mark added/removed names, and operations additionally declare
+their scope via :meth:`Schema.note_validation_scope` (a ``scope``
+record on the same spine).
 
 From the journal the cache closes over the rule scopes declared in
 :data:`repro.model.validation.RULE_SCOPES`:
@@ -70,11 +70,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.model.errors import ValidationError
-from repro.model.index import (
-    ASPECT_ISA,
-    ASPECT_REL_INSTANCE_OF,
-    ASPECT_REL_PART_OF,
-)
+from repro.model.mutation import Aspect
 from repro.model.validation import (
     DESCEND_ASPECTS,
     INTERFACE_RULES,
@@ -147,18 +143,18 @@ def _instance_of_adjacency(schema: "Schema", name: str) -> Iterable[str]:
 
 _CYCLE_FAMILIES: tuple[_CycleFamily, ...] = (
     _CycleFamily(
-        "isa", ASPECT_ISA, isa_successors, isa_cycle_issue, _isa_adjacency
+        "isa", Aspect.ISA, isa_successors, isa_cycle_issue, _isa_adjacency
     ),
     _CycleFamily(
         "part-of",
-        ASPECT_REL_PART_OF,
+        Aspect.REL_PART_OF,
         part_of_successors,
         part_of_cycle_issue,
         _part_of_adjacency,
     ),
     _CycleFamily(
         "instance-of",
-        ASPECT_REL_INSTANCE_OF,
+        Aspect.REL_INSTANCE_OF,
         instance_of_successors,
         instance_of_cycle_issue,
         _instance_of_adjacency,
@@ -462,7 +458,7 @@ class ValidationCache:
         seeds.update(
             name
             for name, aspects in touched.items()
-            if ASPECT_ISA in aspects
+            if Aspect.ISA in aspects
         )
         if not seeds:
             return  # order changes are absorbed by _assemble's sort

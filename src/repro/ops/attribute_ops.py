@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.concepts.base import ConceptKind
 from repro.model.attributes import Attribute
-from repro.model.index import ASPECT_ATTRS
+from repro.model.mutation import Aspect
 from repro.model.schema import Schema
 from repro.model.types import (
     SIZED_SCALAR_NAMES,
@@ -73,7 +73,7 @@ class AddAttribute(SchemaOperation):
     """``add_attribute(typename, domain_type, [size,] attribute_name)``."""
 
     op_name = "add_attribute"
-    touched_aspects = frozenset({ASPECT_ATTRS})
+    touched_aspects = frozenset({Aspect.ATTRS})
     candidate = "Attribute"
     sub_candidate = "Name"
     action = "add"
@@ -125,7 +125,7 @@ class DeleteAttribute(SchemaOperation):
     """
 
     op_name = "delete_attribute"
-    touched_aspects = frozenset({ASPECT_ATTRS})
+    touched_aspects = frozenset({Aspect.ATTRS})
     candidate = "Attribute"
     sub_candidate = "Name"
     action = "delete"
@@ -192,7 +192,7 @@ class ModifyAttribute(SchemaOperation):
     """
 
     op_name = "modify_attribute"
-    touched_aspects = frozenset({ASPECT_ATTRS})
+    touched_aspects = frozenset({Aspect.ATTRS})
     candidate = "Attribute"
     sub_candidate = "Name"
     action = "modify"
@@ -250,7 +250,7 @@ class ModifyAttributeType(SchemaOperation):
     """``modify_attribute_type(typename, attribute_name, old, new)``."""
 
     op_name = "modify_attribute_type"
-    touched_aspects = frozenset({ASPECT_ATTRS})
+    touched_aspects = frozenset({Aspect.ATTRS})
     candidate = "Attribute"
     sub_candidate = "Type"
     action = "modify"
@@ -303,7 +303,7 @@ class ModifyAttributeSize(SchemaOperation):
     """
 
     op_name = "modify_attribute_size"
-    touched_aspects = frozenset({ASPECT_ATTRS})
+    touched_aspects = frozenset({Aspect.ATTRS})
     candidate = "Attribute"
     sub_candidate = "Size"
     action = "modify"
@@ -359,5 +359,4 @@ def _restore_attribute_position(interface, name: str, position: int) -> None:
     names = list(interface.attributes)
     names.remove(name)
     names.insert(position, name)
-    interface.attributes = {n: interface.attributes[n] for n in names}
-    interface._touch(ASPECT_ATTRS)  # honour the generation-counter contract
+    interface.reorder_attributes(names)

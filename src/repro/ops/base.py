@@ -35,7 +35,7 @@ from typing import Callable, ClassVar
 
 from repro.concepts.base import ConceptKind
 from repro.model.errors import ReproError
-from repro.model.index import ALL_TOUCH_ASPECTS
+from repro.model.mutation import ALL_ASPECTS, Aspect
 from repro.model.schema import Schema
 
 
@@ -121,12 +121,12 @@ class SchemaOperation(abc.ABC):
     sub_candidate: ClassVar[str] = ""
     action: ClassVar[str]
     admissible_in: ClassVar[frozenset[ConceptKind]]
-    #: Touch aspects (:mod:`repro.model.index` constants) this operation
-    #: may change on its affected types.  The default claims everything;
+    #: :class:`~repro.model.mutation.Aspect` members this operation may
+    #: change on its affected types.  The default claims everything;
     #: concrete operations narrow it so incremental validation can skip
     #: rules whose read scope is disjoint (see
     #: :data:`repro.model.validation.RULE_SCOPES`).
-    touched_aspects: ClassVar[frozenset[str]] = ALL_TOUCH_ASPECTS
+    touched_aspects: ClassVar[frozenset[Aspect]] = ALL_ASPECTS
 
     @abc.abstractmethod
     def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
@@ -152,13 +152,13 @@ class SchemaOperation(abc.ABC):
     def affected_types(self) -> tuple[str, ...]:
         """Interface names this operation touches (for impact/mapping)."""
 
-    def validation_scope(self) -> tuple[tuple[str, ...], frozenset[str]]:
-        """(affected type names, touch aspects) for dirty-set derivation.
+    def validation_scope(self) -> tuple[tuple[str, ...], frozenset[Aspect]]:
+        """(affected type names, aspects) for dirty-set derivation.
 
         The workspace feeds this to
         :meth:`repro.model.schema.Schema.note_validation_scope` after a
         successful apply/undo/redo, as a declarative complement to the
-        mutator-level journal notes.
+        mutator-level spine records.
         """
         return self.affected_types(), self.touched_aspects
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.concepts.base import ConceptKind
-from repro.model.index import ASPECT_OPS
+from repro.model.mutation import Aspect
 from repro.model.operations import Operation, Parameter
 from repro.model.schema import Schema
 from repro.model.types import TypeRef, referenced_interfaces
@@ -51,7 +51,7 @@ class AddOperation(SchemaOperation):
     """``add_operation(typename, return_type, name[, (args)][, (raises)])``."""
 
     op_name = "add_operation"
-    touched_aspects = frozenset({ASPECT_OPS})
+    touched_aspects = frozenset({Aspect.OPS})
     candidate = "Operation"
     sub_candidate = "Name"
     action = "add"
@@ -108,7 +108,7 @@ class DeleteOperation(SchemaOperation):
     """``delete_operation(typename, operation_name)``."""
 
     op_name = "delete_operation"
-    touched_aspects = frozenset({ASPECT_OPS})
+    touched_aspects = frozenset({Aspect.OPS})
     candidate = "Operation"
     sub_candidate = "Name"
     action = "delete"
@@ -154,7 +154,7 @@ class ModifyOperation(SchemaOperation):
     """
 
     op_name = "modify_operation"
-    touched_aspects = frozenset({ASPECT_OPS})
+    touched_aspects = frozenset({Aspect.OPS})
     candidate = "Operation"
     sub_candidate = "Name"
     action = "modify"
@@ -209,7 +209,7 @@ class ModifyOperationReturnType(SchemaOperation):
     """``modify_operation_return_type(typename, name, old, new)``."""
 
     op_name = "modify_operation_return_type"
-    touched_aspects = frozenset({ASPECT_OPS})
+    touched_aspects = frozenset({Aspect.OPS})
     candidate = "Operation"
     sub_candidate = "Return type"
     action = "modify"
@@ -258,7 +258,7 @@ class ModifyOperationArgList(SchemaOperation):
     """``modify_operation_arg_list(typename, name, (old...), (new...))``."""
 
     op_name = "modify_operation_arg_list"
-    touched_aspects = frozenset({ASPECT_OPS})
+    touched_aspects = frozenset({Aspect.OPS})
     candidate = "Operation"
     sub_candidate = "Argument list"
     action = "modify"
@@ -310,7 +310,7 @@ class ModifyOperationExceptionsRaised(SchemaOperation):
     """``modify_operation_exceptions_raised(typename, name, (old), (new))``."""
 
     op_name = "modify_operation_exceptions_raised"
-    touched_aspects = frozenset({ASPECT_OPS})
+    touched_aspects = frozenset({Aspect.OPS})
     candidate = "Operation"
     sub_candidate = "Exceptions Raised"
     action = "modify"
@@ -356,5 +356,4 @@ def _restore_operation_position(interface, name: str, position: int) -> None:
     names = list(interface.operations)
     names.remove(name)
     names.insert(position, name)
-    interface.operations = {n: interface.operations[n] for n in names}
-    interface._touch(ASPECT_OPS)  # honour the generation-counter contract
+    interface.reorder_operations(names)

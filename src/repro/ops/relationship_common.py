@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import ClassVar
 
-from repro.model.index import aspect_for_kind
+from repro.model.mutation import aspect_for_kind
 from repro.model.interface import InterfaceDef
 from repro.model.relationships import RelationshipEnd, RelationshipKind
 from repro.model.schema import Schema

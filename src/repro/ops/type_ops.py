@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.concepts.base import ConceptKind
 from repro.model.interface import InterfaceDef
-from repro.model.index import ASPECT_MEMBERSHIP
+from repro.model.mutation import Aspect
 from repro.model.schema import Schema
 from repro.ops.base import (
     FREE_CONTEXT,
@@ -36,7 +36,7 @@ class AddTypeDefinition(SchemaOperation):
     """``add_type_definition(typename)`` -- introduce a new object type."""
 
     op_name = "add_type_definition"
-    touched_aspects = frozenset({ASPECT_MEMBERSHIP})
+    touched_aspects = frozenset({Aspect.MEMBERSHIP})
     candidate = "Interface Definition"
     sub_candidate = "Type name"
     action = "add"
@@ -77,7 +77,7 @@ class DeleteTypeDefinition(SchemaOperation):
     """
 
     op_name = "delete_type_definition"
-    touched_aspects = frozenset({ASPECT_MEMBERSHIP})
+    touched_aspects = frozenset({Aspect.MEMBERSHIP})
     candidate = "Interface Definition"
     sub_candidate = "Type name"
     action = "delete"
@@ -126,5 +126,4 @@ def _restore_position(schema: Schema, name: str, position: int) -> None:
     names = schema.type_names()
     names.remove(name)
     names.insert(position, name)
-    schema.interfaces = {n: schema.interfaces[n] for n in names}
-    schema.touch_order()  # declaration order feeds the index and reports
+    schema.reorder_interfaces(names)

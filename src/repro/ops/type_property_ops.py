@@ -12,11 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.concepts.base import ConceptKind
-from repro.model.index import (
-    ASPECT_EXTENT,
-    ASPECT_ISA,
-    ASPECT_KEYS,
-)
+from repro.model.mutation import Aspect
 from repro.model.schema import Schema
 from repro.ops.base import (
     FREE_CONTEXT,
@@ -97,7 +93,7 @@ class AddSupertype(SchemaOperation):
     """``add_supertype(typename, supertype)`` -- add one ISA link."""
 
     op_name = "add_supertype"
-    touched_aspects = frozenset({ASPECT_ISA})
+    touched_aspects = frozenset({Aspect.ISA})
     candidate = "Type Properties"
     sub_candidate = "Supertype (ISA)"
     action = "add"
@@ -136,7 +132,7 @@ class DeleteSupertype(SchemaOperation):
     """``delete_supertype(typename, supertype)`` -- remove one ISA link."""
 
     op_name = "delete_supertype"
-    touched_aspects = frozenset({ASPECT_ISA})
+    touched_aspects = frozenset({Aspect.ISA})
     candidate = "Type Properties"
     sub_candidate = "Supertype (ISA)"
     action = "delete"
@@ -185,7 +181,7 @@ class ModifySupertype(SchemaOperation):
     """
 
     op_name = "modify_supertype"
-    touched_aspects = frozenset({ASPECT_ISA})
+    touched_aspects = frozenset({Aspect.ISA})
     candidate = "Type Properties"
     sub_candidate = "Supertype (ISA)"
     action = "modify"
@@ -244,7 +240,7 @@ class AddExtentName(SchemaOperation):
     """``add_extent_name(typename, extent_name)``."""
 
     op_name = "add_extent_name"
-    touched_aspects = frozenset({ASPECT_EXTENT})
+    touched_aspects = frozenset({Aspect.EXTENT})
     candidate = "Type Properties"
     sub_candidate = "Extent name"
     action = "add"
@@ -292,7 +288,7 @@ class DeleteExtentName(SchemaOperation):
     """``delete_extent_name(typename, extent_name)``."""
 
     op_name = "delete_extent_name"
-    touched_aspects = frozenset({ASPECT_EXTENT})
+    touched_aspects = frozenset({Aspect.EXTENT})
     candidate = "Type Properties"
     sub_candidate = "Extent name"
     action = "delete"
@@ -330,7 +326,7 @@ class ModifyExtentName(SchemaOperation):
     """``modify_extent_name(typename, old_extent_name, new_extent_name)``."""
 
     op_name = "modify_extent_name"
-    touched_aspects = frozenset({ASPECT_EXTENT})
+    touched_aspects = frozenset({Aspect.EXTENT})
     candidate = "Type Properties"
     sub_candidate = "Extent name"
     action = "modify"
@@ -380,7 +376,7 @@ class AddKeyList(SchemaOperation):
     """``add_key_list(typename, (attr, ...))`` -- declare one key."""
 
     op_name = "add_key_list"
-    touched_aspects = frozenset({ASPECT_KEYS})
+    touched_aspects = frozenset({Aspect.KEYS})
     candidate = "Type Properties"
     sub_candidate = "Key list"
     action = "add"
@@ -427,7 +423,7 @@ class DeleteKeyList(SchemaOperation):
     """``delete_key_list(typename, (attr, ...))`` -- drop one key."""
 
     op_name = "delete_key_list"
-    touched_aspects = frozenset({ASPECT_KEYS})
+    touched_aspects = frozenset({Aspect.KEYS})
     candidate = "Type Properties"
     sub_candidate = "Key list"
     action = "delete"
@@ -450,9 +446,7 @@ class DeleteKeyList(SchemaOperation):
         interface.remove_key(self.key)
 
         def undo() -> None:
-            restored = schema.get(self.typename)
-            restored.keys.insert(position, tuple(self.key))
-            restored._touch(ASPECT_KEYS)
+            schema.get(self.typename).insert_key(tuple(self.key), position)
 
         return undo
 
@@ -468,7 +462,7 @@ class ModifyKeyList(SchemaOperation):
     """``modify_key_list(typename, (old...), (new...))`` -- replace a key."""
 
     op_name = "modify_key_list"
-    touched_aspects = frozenset({ASPECT_KEYS})
+    touched_aspects = frozenset({Aspect.KEYS})
     candidate = "Type Properties"
     sub_candidate = "Key list"
     action = "modify"
@@ -499,13 +493,12 @@ class ModifyKeyList(SchemaOperation):
         self.validate(schema, context)
         interface = schema.get(self.typename)
         position = interface.keys.index(tuple(self.old_key))
-        interface.keys[position] = tuple(self.new_key)
-        interface._touch(ASPECT_KEYS)
+        interface.replace_key_at(position, tuple(self.new_key))
 
         def undo() -> None:
-            reverted = schema.get(self.typename)
-            reverted.keys[position] = tuple(self.old_key)
-            reverted._touch(ASPECT_KEYS)
+            schema.get(self.typename).replace_key_at(
+                position, tuple(self.old_key)
+            )
 
         return undo
 

@@ -9,6 +9,14 @@ the workspace does that through the incremental validation engine
 (:class:`repro.model.validation_cache.ValidationCache`), which re-checks
 only the dirty set each step leaves behind, and keeps the current issue
 list in :attr:`Workspace.issues`.
+
+On top of the mutation spine the workspace offers cheap what-if
+branches: :meth:`Workspace.snapshot` is an O(1) watermark (a seq on the
+schema's mutation log plus an undo depth), :meth:`Workspace.fork` clones
+the current state into an independent workspace whose spine remembers
+its lineage (so :func:`repro.analysis.diff.schema_diff` can diff the two
+branches from their divergence suffixes), and :meth:`Workspace.undo_to`
+rewinds to a snapshot through the ordinary undo machinery.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from repro.knowledge.constraints import cautions_for
 from repro.knowledge.feedback import Feedback, info
 from repro.knowledge.propagation import expand
 from repro.model.errors import SchemaError
+from repro.model.mutation import MutationLog
 from repro.model.schema import Schema
 from repro.model.validation import Issue
 from repro.ops.base import (
@@ -29,6 +38,25 @@ from repro.ops.base import (
     Undo,
 )
 from repro.ops.registry import check_admissible
+
+
+@dataclass(frozen=True)
+class WorkspaceSnapshot:
+    """An O(1) bookmark of a workspace state.
+
+    ``seq`` is the watermark on the schema's mutation log at snapshot
+    time and ``depth`` the undo depth; ``log`` pins the identity of the
+    spine the snapshot was taken on, so a snapshot is rejected after
+    :meth:`Workspace.reset` (which replaces the schema and its log).
+    Taking a snapshot copies nothing -- restoring one
+    (:meth:`Workspace.undo_to`) or branching from one
+    (:meth:`Workspace.fork` with ``at=``) pays only for the distance
+    travelled.
+    """
+
+    log: MutationLog
+    seq: int
+    depth: int
 
 
 @dataclass
@@ -251,6 +279,108 @@ class Workspace:
         self._note_scopes(fresh.plan)
         self._refresh_issues()
         return fresh
+
+    # ------------------------------------------------------------------
+    # Snapshots & forking
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> WorkspaceSnapshot:
+        """Bookmark the current state in O(1).
+
+        The snapshot is just a watermark on the schema's mutation spine
+        plus the current undo depth -- nothing is copied.  Rewind to it
+        with :meth:`undo_to`, or branch an independent workspace off it
+        with :meth:`fork(at=...) <fork>`.  A snapshot is invalidated by
+        :meth:`reset` (the schema and its spine are replaced).
+        """
+        return WorkspaceSnapshot(
+            log=self.schema.log,
+            seq=self.schema.log.seq,
+            depth=self.undo_depth,
+        )
+
+    def _check_snapshot(self, snapshot: WorkspaceSnapshot) -> None:
+        if snapshot.log is not self.schema.log:
+            raise ValueError(
+                "snapshot belongs to a different workspace state "
+                "(taken before a reset, or on another workspace)"
+            )
+        if snapshot.depth > self.undo_depth:
+            raise ValueError(
+                f"snapshot depth {snapshot.depth} is ahead of the "
+                f"current history ({self.undo_depth} steps); the steps "
+                "it bookmarked were undone and overwritten"
+            )
+
+    def undo_to(self, snapshot: WorkspaceSnapshot) -> int:
+        """Rewind to *snapshot* via undo; returns how many steps unwound.
+
+        Runs the ordinary :meth:`undo_last` machinery, so the unwound
+        steps land on the redo stack and can be replayed with
+        :meth:`redo` -- a snapshot is a named point in the same history,
+        not a separate timeline.
+        """
+        self._check_snapshot(snapshot)
+        unwound = 0
+        while self.undo_depth > snapshot.depth:
+            self.undo_last()
+            unwound += 1
+        return unwound
+
+    def fork(
+        self,
+        name: str | None = None,
+        at: WorkspaceSnapshot | None = None,
+    ) -> "Workspace":
+        """An independent what-if branch of this workspace.
+
+        Without ``at``, the fork clones the *current* state: the schema
+        is copied shallowly (fresh containers, shared immutable values)
+        and its mutation log records the lineage, so record-level
+        diffing of the two branches stays cheap.  The fork starts with
+        an empty undo history -- its log entries' undo closures would
+        otherwise be bound to this workspace's objects -- and inherits
+        the current issue list without revalidating (its first
+        validation after a mutation is a full rebuild).
+
+        With ``at`` (a snapshot of this workspace), the fork replays the
+        bookmarked plan prefix onto a fresh copy of the reference,
+        reproducing the state the snapshot bookmarked *with* a live undo
+        history, while this workspace stays untouched.
+        """
+        if at is not None:
+            self._check_snapshot(at)
+            branch = Workspace(
+                self.reference,
+                name or f"{self.schema.name}_fork",
+                validate_each_step=self.validate_each_step,
+            )
+            for entry in self.log[: at.depth]:
+                undos: list[Undo] = []
+                for step in entry.plan:
+                    undos.append(step.apply(branch.schema, branch.context))
+                branch.log.append(
+                    LogEntry(
+                        requested=entry.requested,
+                        plan=entry.plan,
+                        undos=undos,
+                        concept_id=entry.concept_id,
+                        feedback=entry.feedback,
+                        propagated=entry.propagated,
+                    )
+                )
+                branch._note_scopes(entry.plan)
+            branch._refresh_issues()
+            return branch
+        branch = Workspace.__new__(Workspace)
+        branch.reference = self.reference
+        branch.schema = self.schema.fork(name or f"{self.schema.name}_fork")
+        branch.context = OperationContext(reference=self.reference)
+        branch.log = []
+        branch._redo_stack = []
+        branch.validate_each_step = self.validate_each_step
+        branch.issues = list(self.issues)
+        return branch
 
     def reset(self) -> None:
         """Throw away all customization and start over."""

@@ -366,6 +366,81 @@ def _check_index_pairs(schema, context):
 
 
 # ----------------------------------------------------------------------
+# Mutation-spine invariants (the stream is complete and sufficient)
+# ----------------------------------------------------------------------
+
+
+@invariant(
+    "spine-generation",
+    "DESIGN 5e: the schema's generation is derived from the mutation "
+    "spine (generation == log.seq, records dense in seq)",
+)
+def _check_spine_generation(schema, context):
+    log = schema.log
+    if schema.generation != log.seq:
+        yield f"generation {schema.generation} != spine seq {log.seq}"
+    if len(log) != log.seq:
+        yield (
+            f"spine holds {len(log)} records but seq is {log.seq}; "
+            "records are no longer dense"
+        )
+
+
+@invariant(
+    "spine-replay",
+    "DESIGN 5e: replaying the mutation log from an empty schema "
+    "reproduces the live schema's fingerprint (mutations are reified "
+    "completely)",
+    tier=TIER_EXPENSIVE,
+)
+def _check_spine_replay(schema, context):
+    log = schema.log
+    if log.lossy:
+        return  # an out-of-band touch was recorded; replay is undefined
+    try:
+        rebuilt = log.replay(schema.name)
+    except Exception as error:  # noqa: BLE001 - any escape is the finding
+        yield f"replaying the mutation log raised: {error}"
+        return
+    if schema_fingerprint(rebuilt) != schema_fingerprint(schema):
+        yield (
+            "replaying the mutation log from empty does not reproduce "
+            "the live schema"
+        )
+    if rebuilt.type_names() != schema.type_names():
+        yield (
+            "replaying the mutation log does not reproduce declaration "
+            "order"
+        )
+
+
+@invariant(
+    "spine-subscribers-vs-rebuild",
+    "DESIGN 5e: every subscriber's derived state equals a from-scratch "
+    "rebuild -- fresh index maps and a fresh full validation match the "
+    "live schema's",
+    tier=TIER_EXPENSIVE,
+)
+def _check_spine_subscribers(schema, context):
+    fresh = schema.copy(f"{schema.name}_rebuild")
+    if schema.index.subtype_map() != fresh.index.subtype_map():
+        yield "live subtype_map differs from a from-scratch rebuild"
+    if schema.index.parts_map() != fresh.index.parts_map():
+        yield "live parts_map differs from a from-scratch rebuild"
+    if schema.index.instance_map() != fresh.index.instance_map():
+        yield "live instance_map differs from a from-scratch rebuild"
+    if schema.index.declaration_order() != fresh.index.declaration_order():
+        yield "live declaration_order differs from a from-scratch rebuild"
+    live_issues = schema.validation.validate()
+    fresh_issues = fresh.validation.validate()
+    if live_issues != fresh_issues:
+        yield (
+            "live validation cache differs from a fresh cache's full "
+            f"build ({len(live_issues)} vs {len(fresh_issues)} issues)"
+        )
+
+
+# ----------------------------------------------------------------------
 # Round-trip invariants (expensive tier)
 # ----------------------------------------------------------------------
 

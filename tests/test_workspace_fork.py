@@ -1,0 +1,175 @@
+"""Tests for workspace snapshots, fork semantics, and record-level diff.
+
+These pin the PR's satellite contract: fork-then-diverge isolation,
+undo/redo across a snapshot watermark, forking a workspace that has
+pending validation issues, and ``schema_diff`` agreeing with the
+structural ``diff_schemas`` on the changed set.
+"""
+
+import pytest
+
+from repro.analysis.diff import diff_schemas, schema_diff
+from repro.model.fingerprint import schema_fingerprint, schemas_equal
+from repro.model.types import scalar
+from repro.ops.attribute_ops import AddAttribute, DeleteAttribute
+from repro.ops.type_ops import AddTypeDefinition, DeleteTypeDefinition
+from repro.ops.type_property_ops import AddSupertype
+from repro.repository.workspace import Workspace
+
+
+@pytest.fixture
+def workspace(small):
+    return Workspace(small, name="small_custom")
+
+
+class TestSnapshot:
+    def test_snapshot_is_a_watermark(self, workspace):
+        snap = workspace.snapshot()
+        assert snap.seq == workspace.schema.log.seq
+        assert snap.depth == 0
+        workspace.apply(AddAttribute("Person", scalar("date"), "dob"))
+        later = workspace.snapshot()
+        assert later.depth == 1
+        assert later.seq > snap.seq
+
+    def test_undo_to_rewinds_and_feeds_redo(self, workspace):
+        before = schema_fingerprint(workspace.schema)
+        snap = workspace.snapshot()
+        workspace.apply(AddAttribute("Person", scalar("date"), "dob"))
+        workspace.apply(AddSupertype("Department", "Person"))
+        unwound = workspace.undo_to(snap)
+        assert unwound == 2
+        assert schema_fingerprint(workspace.schema) == before
+        # The unwound steps sit on the redo stack: same history.
+        assert workspace.redo_depth == 2
+        workspace.redo()
+        workspace.redo()
+        assert "dob" in workspace.schema.get("Person").attributes
+        assert "Person" in workspace.schema.get("Department").supertypes
+
+    def test_undo_to_noop_at_watermark(self, workspace):
+        workspace.apply(AddAttribute("Person", scalar("date"), "dob"))
+        snap = workspace.snapshot()
+        assert workspace.undo_to(snap) == 0
+
+    def test_snapshot_rejected_after_reset(self, workspace):
+        snap = workspace.snapshot()
+        workspace.reset()
+        with pytest.raises(ValueError):
+            workspace.undo_to(snap)
+
+    def test_snapshot_ahead_of_history_rejected(self, workspace):
+        workspace.apply(AddAttribute("Person", scalar("date"), "dob"))
+        snap = workspace.snapshot()
+        workspace.undo_last()
+        with pytest.raises(ValueError):
+            workspace.undo_to(snap)
+
+    def test_foreign_snapshot_rejected(self, workspace, small):
+        other = Workspace(small, name="other")
+        with pytest.raises(ValueError):
+            workspace.undo_to(other.snapshot())
+
+
+class TestFork:
+    def test_fork_then_diverge_isolation(self, workspace):
+        workspace.apply(AddAttribute("Person", scalar("date"), "dob"))
+        branch = workspace.fork("branch")
+        assert schemas_equal(branch.schema, workspace.schema)
+        branch.apply(AddAttribute("Person", scalar("string"), "email"))
+        workspace.apply(DeleteAttribute("Person", "dob"))
+        assert "email" not in workspace.schema.get("Person").attributes
+        assert "dob" in branch.schema.get("Person").attributes
+        assert workspace.reference is branch.reference
+
+    def test_fork_starts_with_empty_history(self, workspace):
+        workspace.apply(AddAttribute("Person", scalar("date"), "dob"))
+        branch = workspace.fork()
+        assert branch.undo_depth == 0
+        assert branch.redo_depth == 0
+        assert branch.undo_last() is None
+
+    def test_fork_with_pending_validation_issues(self, workspace):
+        workspace.apply(AddSupertype("Employee", "Department"))
+        # The hierarchy now has two roots -> a warning is pending.
+        assert workspace.issues
+        branch = workspace.fork("branch")
+        assert branch.issues == workspace.issues
+        # The fork revalidates independently: rooting the hierarchy in
+        # the branch clears its warning but not the origin's.
+        branch.apply(AddSupertype("Department", "Person"))
+        assert branch.issues != workspace.issues
+        assert workspace.issues
+
+    def test_fork_at_snapshot_replays_prefix(self, workspace):
+        workspace.apply(AddAttribute("Person", scalar("date"), "dob"))
+        snap = workspace.snapshot()
+        workspace.apply(AddSupertype("Department", "Person"))
+        branch = workspace.fork("branch", at=snap)
+        assert "dob" in branch.schema.get("Person").attributes
+        assert "Person" not in branch.schema.get("Department").supertypes
+        # The replayed prefix is live history: it can be undone.
+        assert branch.undo_depth == 1
+        branch.undo_last()
+        assert "dob" not in branch.schema.get("Person").attributes
+        # The origin workspace is untouched by the branch replay.
+        assert "Person" in workspace.schema.get("Department").supertypes
+
+    def test_fork_lineage_supports_record_diff(self, workspace):
+        branch = workspace.fork("branch")
+        branch.apply(AddAttribute("Person", scalar("date"), "dob"))
+        diff = schema_diff(workspace.schema, branch.schema)
+        assert _changed_keys(diff) == {
+            ("type", "Person", "modified"),
+            ("attribute", "Person.dob", "added"),
+        }
+
+
+def _changed_keys(diff):
+    return {
+        (entry.category, entry.path, entry.status.value)
+        for entry in diff.changed()
+    }
+
+
+class TestSchemaDiff:
+    def changed_sets_match(self, original, custom):
+        fast = schema_diff(original, custom)
+        slow = diff_schemas(original, custom)
+        assert _changed_keys(fast) == _changed_keys(slow)
+        return fast
+
+    def test_matches_structural_diff_after_divergence(self, workspace):
+        branch = workspace.fork("branch")
+        branch.apply(AddAttribute("Person", scalar("date"), "dob"))
+        branch.apply(DeleteAttribute("Department", "code"))
+        workspace.apply(AddSupertype("Department", "Person"))
+        self.changed_sets_match(workspace.schema, branch.schema)
+
+    def test_membership_changes(self, workspace):
+        branch = workspace.fork("branch")
+        branch.apply(AddTypeDefinition("Project"))
+        branch.apply(DeleteTypeDefinition("Employee"))
+        diff = self.changed_sets_match(workspace.schema, branch.schema)
+        keys = _changed_keys(diff)
+        assert ("type", "Project", "added") in keys
+        assert ("type", "Employee", "deleted") in keys
+
+    def test_identical_forks_diff_empty(self, workspace):
+        branch = workspace.fork("branch")
+        diff = self.changed_sets_match(workspace.schema, branch.schema)
+        assert diff.is_empty()
+
+    def test_unrelated_schemas_fall_back(self, small, company):
+        fast = schema_diff(small, company)
+        slow = diff_schemas(small, company)
+        assert _changed_keys(fast) == _changed_keys(slow)
+
+    def test_lossy_divergence_falls_back(self, workspace):
+        branch = workspace.fork("branch")
+        branch.apply(AddAttribute("Person", scalar("date"), "dob"))
+        branch.schema.touch()
+        fast = schema_diff(workspace.schema, branch.schema)
+        slow = diff_schemas(workspace.schema, branch.schema)
+        assert _changed_keys(fast) == _changed_keys(slow)
+        assert {e.path for e in fast.changed()} == {"Person", "Person.dob"}

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Static check: every public mutator lands a record on the spine.
+
+The mutation spine only works as a single source of change truth if no
+mutator forgets to emit -- exactly the per-layer-hook bug class the
+refactor deleted.  This script parses ``interface.py`` and ``schema.py``
+with the stdlib ``ast`` and asserts that every public mutator method
+(``add_*`` / ``remove_*`` / ``replace_*`` / ``set_*`` / ``insert_*`` /
+``reorder_*`` / ``touch*``) on :class:`InterfaceDef` / :class:`Schema`
+reaches a ``self._emit(...)`` or ``self._log.emit(...)`` call, directly
+or through other methods of the same class (fixpoint over ``self.``
+calls, so ``Schema.add_interface -> self._adopt -> self._log.emit``
+counts).
+
+Run via ``make lint`` and CI; exits 1 listing every silent mutator.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro" / "model"
+
+#: file -> class whose mutators must emit
+TARGETS = {
+    "interface.py": "InterfaceDef",
+    "schema.py": "Schema",
+}
+
+MUTATOR_PREFIXES = (
+    "add_",
+    "remove_",
+    "replace_",
+    "set_",
+    "insert_",
+    "reorder_",
+    "touch",
+)
+
+
+def _is_emit_call(node: ast.Call) -> bool:
+    """True for ``self._emit(...)`` or ``self._log.emit(...)``."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr == "_emit":
+        return isinstance(func.value, ast.Name) and func.value.id == "self"
+    if func.attr == "emit":
+        inner = func.value
+        return (
+            isinstance(inner, ast.Attribute)
+            and inner.attr == "_log"
+            and isinstance(inner.value, ast.Name)
+            and inner.value.id == "self"
+        )
+    return False
+
+
+def _self_calls(function: ast.FunctionDef) -> set[str]:
+    """Names of other ``self.method(...)`` calls inside *function*."""
+    names: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            target = node.func
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                names.add(target.attr)
+    return names
+
+
+def _methods_of(tree: ast.Module, class_name: str) -> dict[str, ast.FunctionDef]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return {
+                item.name: item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+    raise SystemExit(f"class {class_name} not found")
+
+
+def _emitting_methods(methods: dict[str, ast.FunctionDef]) -> set[str]:
+    """Fixpoint: methods that reach an emit call through ``self.``."""
+    emitting = {
+        name
+        for name, function in methods.items()
+        if any(
+            isinstance(node, ast.Call) and _is_emit_call(node)
+            for node in ast.walk(function)
+        )
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, function in methods.items():
+            if name in emitting:
+                continue
+            if _self_calls(function) & emitting:
+                emitting.add(name)
+                changed = True
+    return emitting
+
+
+def main() -> int:
+    failures: list[str] = []
+    checked = 0
+    for filename, class_name in TARGETS.items():
+        path = SRC / filename
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        methods = _methods_of(tree, class_name)
+        emitting = _emitting_methods(methods)
+        for name in sorted(methods):
+            if name.startswith("_") or not name.startswith(MUTATOR_PREFIXES):
+                continue
+            checked += 1
+            if name not in emitting:
+                failures.append(
+                    f"{path}:{methods[name].lineno}: "
+                    f"{class_name}.{name} mutates without emitting a "
+                    "MutationRecord (self._emit / self._log.emit unreachable)"
+                )
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(
+            f"\n{len(failures)} silent mutator(s); every public mutator "
+            "must land a record on the mutation spine (DESIGN.md 5e).",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_mutators: {checked} public mutators all emit records")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
