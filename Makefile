@@ -7,12 +7,18 @@ PYTHONPATH := src
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
-## static checks: the spine-emission AST check always runs; ruff runs
-## when installed (the sandbox image ships without it, CI installs it)
+## static checks: the spine-emission and effect-declaration AST checks
+## always run; ruff runs when installed (the sandbox image ships
+## without it) and is mandatory when REPRO_REQUIRE_RUFF=1 (CI sets it,
+## so a broken ruff install fails loudly there instead of skipping)
 lint:
 	$(PYTHON) tools/check_mutators.py
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/check_effects.py
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tests benchmarks tools; \
+	elif [ -n "$$REPRO_REQUIRE_RUFF" ]; then \
+		echo "lint: ruff required (REPRO_REQUIRE_RUFF) but not installed"; \
+		exit 1; \
 	else \
 		echo "lint: ruff not installed; skipping style pass"; \
 	fi
@@ -26,12 +32,13 @@ bench-smoke:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_bench_index_scaling.py \
 		benchmarks/test_bench_validation.py \
-		benchmarks/test_bench_spine.py -q
+		benchmarks/test_bench_spine.py \
+		benchmarks/test_bench_plan.py -q
 
 ## differential fuzzing soak: every invariant over catalog + generated
 ## schemas, shrinking any failure to a minimal pytest reproducer
 fuzz:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.verify --seeds 25 --steps 200
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.verify --seeds 40 --steps 200
 
 ## ~30s fuzzing tripwire for CI (fixed seeds, deterministic)
 fuzz-smoke:

@@ -6,7 +6,7 @@ series the paper reports) is written to ``benchmarks/reports/<id>.txt``
 so it survives output capturing, and is also printed for ``-s`` runs.
 
 On top of the human-readable reports, every bench session merges its
-measurements into a machine-readable ``BENCH_PR4.json`` at the
+measurements into a machine-readable ``BENCH_PR5.json`` at the
 repository root (bench name -> median seconds + schema size) so the perf
 trajectory can be compared across PRs.  pytest-benchmark timings are
 harvested automatically; hand-timed series (the scaling and spine
@@ -25,7 +25,7 @@ from pathlib import Path
 import pytest
 
 REPORTS_DIR = Path(__file__).parent / "reports"
-BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR4.json"
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR5.json"
 
 #: name -> {"median_seconds": float, "types": int | None} from hand-timed
 #: benches, merged with pytest-benchmark's own stats at session end.
@@ -68,7 +68,7 @@ def report():
 
 @pytest.fixture
 def record_bench():
-    """Record one hand-timed measurement for ``BENCH_PR4.json``."""
+    """Record one hand-timed measurement for the bench trajectory JSON."""
 
     def record(name: str, median_seconds: float, types: int | None = None) -> None:
         _MANUAL_RECORDS[name] = {

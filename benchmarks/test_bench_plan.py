@@ -1,0 +1,136 @@
+"""Batched plan application and analyzer overhead (ISSUE 5).
+
+Two measurements, merged into the bench trajectory JSON:
+
+* **Naive vs batched plan application** at shrink-wrap scale: applying
+  a 100-op plan through :meth:`Workspace.apply` validates after every
+  op; :meth:`Workspace.apply_plan` runs the static analyzer once,
+  partitions the plan into runs of pairwise-commuting ops, and
+  validates once per batch.  The two paths are asserted
+  fingerprint-identical (the bench doubles as the batching
+  differential), then timed.  Floor (ISSUE 5): >= 2x at 200 types /
+  100 ops, target 3x.
+* **Analyzer overhead**: :func:`~repro.analysis.plan.analyze_plan` on
+  the same plan, alone, as a fraction of the naive apply time -- the
+  pre-flight must stay a small add-on, not a second apply loop.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis.plan import analyze_plan
+from repro.model.fingerprint import schema_fingerprint
+from repro.repository.workspace import Workspace
+from repro.workload.generator import (
+    WorkloadSpec,
+    generate_operations,
+    generate_schema,
+)
+
+from benchmarks.test_bench_spine import _median_time
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+STRICT = not SMOKE
+SIZE = 60 if SMOKE else 200
+PLAN_OPS = 30 if SMOKE else 100
+REPEATS = 3 if SMOKE else 5
+
+
+def _workload():
+    spec = WorkloadSpec(
+        types=SIZE,
+        seed=42,
+        isa_fraction=0.45,
+        part_of_chain=max(4, SIZE // 4),
+        instance_of_chain=max(3, SIZE // 8),
+    )
+    schema = generate_schema(spec)
+    plan = generate_operations(schema, PLAN_OPS, seed=11)
+    return schema, plan
+
+
+def test_bench_plan_batched_vs_naive(report, record_bench):
+    """apply_plan (validate per batch) vs apply (validate per op)."""
+    schema, plan = _workload()
+
+    def naive():
+        workspace = Workspace(schema, "naive")
+        for operation in plan:
+            workspace.apply(operation)
+        return workspace
+
+    def batched():
+        workspace = Workspace(schema, "batched")
+        workspace.apply_plan(plan)
+        return workspace
+
+    assert schema_fingerprint(naive().schema) == schema_fingerprint(
+        batched().schema
+    ), "batched apply_plan diverged from naive per-op application"
+
+    naive_time = _median_time(naive, repeats=REPEATS)
+    batched_time = _median_time(batched, repeats=REPEATS)
+    speedup = naive_time / batched_time if batched_time else float("inf")
+    batches = len(analyze_plan(plan, schema).batches)
+
+    record_bench(f"plan_naive[{SIZE}x{PLAN_OPS}]", naive_time, types=SIZE)
+    record_bench(f"plan_batched[{SIZE}x{PLAN_OPS}]", batched_time, types=SIZE)
+    lines = [
+        "plan application: per-op validation vs per-batch validation",
+        f"mode: {'smoke' if SMOKE else 'full'}; {SIZE} types, "
+        f"{len(plan)}-op plan, {batches} batches",
+        "",
+        f"naive (validate/op):      {naive_time * 1e3:9.3f}ms",
+        f"batched (validate/batch): {batched_time * 1e3:9.3f}ms",
+        f"speedup:                  {speedup:9.2f}x "
+        "(floor at 200 types / 100 ops: >= 2x, target 3x)",
+    ]
+    report("plan_batched_vs_naive", "\n".join(lines))
+    if STRICT:
+        assert speedup >= 2.0, (
+            f"apply_plan at {SIZE} types / {len(plan)} ops: only "
+            f"{speedup:.2f}x over per-op validation (>= 2x required)"
+        )
+    else:
+        assert speedup >= 1.0, (
+            f"apply_plan lost to per-op validation in smoke mode "
+            f"({speedup:.2f}x)"
+        )
+
+
+def test_bench_plan_analyzer_overhead(report, record_bench):
+    """Static analysis cost as a fraction of actually applying the plan."""
+    schema, plan = _workload()
+
+    analyze_time = _median_time(
+        lambda: analyze_plan(plan, schema), repeats=REPEATS
+    )
+
+    def naive():
+        workspace = Workspace(schema, "overhead_naive")
+        for operation in plan:
+            workspace.apply(operation)
+
+    naive_time = _median_time(naive, repeats=REPEATS)
+    fraction = analyze_time / naive_time if naive_time else 0.0
+
+    record_bench(
+        f"plan_analyze[{SIZE}x{PLAN_OPS}]", analyze_time, types=SIZE
+    )
+    record_bench("plan_analyze_fraction", fraction)
+    lines = [
+        "static plan analysis vs applying the plan",
+        f"mode: {'smoke' if SMOKE else 'full'}; {SIZE} types, "
+        f"{len(plan)}-op plan",
+        "",
+        f"analyze_plan: {analyze_time * 1e3:9.3f}ms",
+        f"naive apply:  {naive_time * 1e3:9.3f}ms",
+        f"fraction:     {fraction * 100:9.2f}%",
+    ]
+    report("plan_analyzer_overhead", "\n".join(lines))
+    # Pre-flight must stay much cheaper than running the plan.
+    assert fraction <= 0.5, (
+        f"analyze_plan costs {fraction * 100:.0f}% of applying the plan"
+    )

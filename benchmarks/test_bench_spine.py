@@ -1,6 +1,6 @@
 """The mutation spine's costs and payoffs (ISSUE 4).
 
-Three measurements, all merged into ``BENCH_PR4.json``:
+Three measurements, all merged into the bench trajectory JSON:
 
 * **Per-op spine overhead** on the PR 3 validation workload: every
   mutator now lands a :class:`~repro.model.mutation.MutationRecord` on

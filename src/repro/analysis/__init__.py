@@ -37,11 +37,40 @@ from repro.analysis.similarity import (
 )
 from repro.analysis.synthesis import SynthesisError, synthesize_operations
 
+_PLAN_EXPORTS = frozenset({
+    "ConflictEdge",
+    "Diagnostic",
+    "PlanAnalysis",
+    "PlanPreflightError",
+    "analyze_plan",
+    "conflict_edges",
+    "normalize_plan",
+    "partition_batches",
+})
+
+
+def __getattr__(name: str):
+    # repro.analysis.plan is loaded lazily so that running the CLI
+    # (``python -m repro.analysis.plan``) does not import the module
+    # twice (runpy warns when the package __init__ pre-imports it).
+    if name in _PLAN_EXPORTS:
+        from repro.analysis import plan
+
+        return getattr(plan, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 __all__ = [
     "AffinityReport",
     "ChangeEntry",
     "ChangeStatus",
+    "ConflictEdge",
     "CoverageRow",
+    "Diagnostic",
+    "PlanAnalysis",
+    "PlanPreflightError",
     "DecompositionPayoff",
     "FamilyMember",
     "PathStep",
@@ -54,6 +83,8 @@ __all__ = [
     "add_only_script",
     "affinity_matrix",
     "affinity_report",
+    "analyze_plan",
+    "conflict_edges",
     "coverage_gaps",
     "decomposition_payoff",
     "delete_only_script",
@@ -62,6 +93,8 @@ __all__ = [
     "format_table",
     "full_rebuild_script",
     "name_affinity",
+    "normalize_plan",
+    "partition_batches",
     "render_path",
     "schema_affinity",
     "schema_diff",

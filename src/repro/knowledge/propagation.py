@@ -38,6 +38,7 @@ from repro.ops.type_property_ops import (
     DeleteKeyList,
     DeleteSupertype,
     ModifySupertype,
+    attributes_visible_with_supertypes,
 )
 
 _DELETE_END_OPS = {
@@ -52,6 +53,18 @@ _ORDER_BY_OPS = {
     RelationshipKind.INSTANCE_OF: ModifyInstanceOfOrderBy,
 }
 
+#: The only operation classes :func:`direct_cascades` ever cascades for.
+#: Every other class expands to itself alone, which lets :func:`expand`
+#: skip the scratch copy entirely -- the dominant cost of applying a
+#: long plan of non-destructive operations on a large schema.
+_CASCADING_OPS = (
+    DeleteTypeDefinition,
+    DeleteAttribute,
+    ModifyAttribute,
+    DeleteSupertype,
+    ModifySupertype,
+)
+
 
 def expand(
     schema: Schema,
@@ -63,11 +76,75 @@ def expand(
     The plan is computed against a scratch copy of *schema*; nothing is
     mutated.  Applying the plan in order on the real schema succeeds
     whenever each step's own constraints hold.
+
+    Operations that can never cascade skip the scratch copy and return
+    ``[operation]`` directly; an invalid such operation then rejects
+    when the plan is applied (same exception, same rollback) rather
+    than during expansion.
     """
+    if not isinstance(operation, _CASCADING_OPS):
+        return [operation]
     scratch = schema.copy()
     plan: list[SchemaOperation] = []
     _expand_into(scratch, operation, context, plan, depth=0)
     return plan
+
+
+def expand_applying(
+    schema: Schema,
+    operation: SchemaOperation,
+    context: OperationContext,
+    before_step=None,
+) -> tuple[list[SchemaOperation], list]:
+    """Single-pass :func:`expand`: compute the plan while applying it.
+
+    Cascades are computed against the *live* schema -- each one is
+    applied as soon as it is known, so the next ``direct_cascades`` call
+    sees exactly the state the scratch copy would have reached -- which
+    skips the scratch copy entirely, the dominant cost of expanding
+    destructive ops on a large schema.  On any failure every applied
+    step is undone and the error re-raised; *schema* is then untouched.
+
+    ``before_step(step)``, when given, runs just before each step
+    applies (the workspace collects cautions there).  Returns the
+    ``(plan, undos)`` pair the workspace logs.
+    """
+    plan: list[SchemaOperation] = []
+    undos: list = []
+    try:
+        _expand_applying_into(
+            schema, operation, context, plan, undos, before_step, depth=0
+        )
+    except BaseException:
+        for undo in reversed(undos):
+            undo()
+        raise
+    return plan, undos
+
+
+def _expand_applying_into(
+    schema: Schema,
+    operation: SchemaOperation,
+    context: OperationContext,
+    plan: list[SchemaOperation],
+    undos: list,
+    before_step,
+    depth: int,
+) -> None:
+    if depth > 100:
+        raise RuntimeError(
+            f"propagation for {operation.to_text()} did not converge"
+        )
+    if isinstance(operation, _CASCADING_OPS):
+        for cascade in direct_cascades(schema, operation):
+            _expand_applying_into(
+                schema, cascade, context, plan, undos, before_step,
+                depth + 1,
+            )
+    if before_step is not None:
+        before_step(operation)
+    undos.append(operation.apply(schema, context))
+    plan.append(operation)
 
 
 def direct_cascades(
@@ -219,18 +296,21 @@ def _cascades_for_lost_supertype(
     """Dropping an ISA link strands keys/orderings on inherited attributes."""
     if supertype not in schema or typename not in schema:
         return []
-    # Attributes the subtree would still see through other paths survive.
-    scratch = schema.copy()
-    scratch.get(typename).remove_supertype(supertype)
+    # Attributes the subtree would still see through other paths survive:
+    # compare visibility with and without the dropped link, as a plain
+    # ancestry walk (no scratch copy of the schema).
+    current = tuple(schema.get(typename).supertypes)
+    remaining = tuple(s for s in current if s != supertype)
     cascades: list[SchemaOperation] = []
     affected = {typename} | schema.descendants(typename)
+    ends_by_target: dict[str, list] | None = None
     for name in sorted(affected):
         interface = schema.get(name)
-        before = set(interface.attributes) | set(
-            schema.inherited_attributes(name)
+        before = attributes_visible_with_supertypes(
+            schema, name, typename, current
         )
-        after = set(scratch.get(name).attributes) | set(
-            scratch.inherited_attributes(name)
+        after = attributes_visible_with_supertypes(
+            schema, name, typename, remaining
         )
         lost = before - after
         if not lost:
@@ -238,9 +318,13 @@ def _cascades_for_lost_supertype(
         for key in list(interface.keys):
             if set(key) & lost:
                 cascades.append(DeleteKeyList(name, key))
-        for owner, end in schema.relationship_pairs():
-            if end.target_type != name:
-                continue
+        if ends_by_target is None:
+            ends_by_target = {}
+            for owner, end in schema.relationship_pairs():
+                ends_by_target.setdefault(end.target_type, []).append(
+                    (owner, end)
+                )
+        for owner, end in ends_by_target.get(name, ()):
             dangling = [a for a in end.order_by if a in lost]
             if dangling:
                 new_order = tuple(a for a in end.order_by if a not in lost)

@@ -29,9 +29,27 @@ from repro.ops.base import (
     SchemaOperation,
     Undo,
 )
+from repro.ops.effects import WILDCARD
 
 _WW = frozenset({ConceptKind.WAGON_WHEEL})
 _GH = frozenset({ConceptKind.GENERALIZATION})
+
+#: Relationship-end aspects, all three kinds.
+_REL_ASPECTS = (
+    Aspect.REL_ASSOCIATION, Aspect.REL_PART_OF, Aspect.REL_INSTANCE_OF,
+)
+
+#: Cells the delete/move family may rewrite via propagation: keys and
+#: order-by lists naming the lost attribute anywhere in the schema.
+_LOSER_CASCADES = frozenset({(WILDCARD, Aspect.KEYS)}) | frozenset(
+    (WILDCARD, aspect) for aspect in _REL_ASPECTS
+)
+
+#: Cells :func:`attribute_losers` and the dependent-use scan inspect.
+_LOSER_READS = _LOSER_CASCADES | frozenset({
+    (WILDCARD, Aspect.ISA),
+    (WILDCARD, Aspect.ATTRS),
+})
 
 
 def _check_domain_type(schema: Schema, type_ref: TypeRef, what: str) -> None:
@@ -115,6 +133,18 @@ class AddAttribute(SchemaOperation):
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
 
+    def required_names(self) -> tuple[str, ...]:
+        return (
+            self.typename,
+            *sorted(referenced_interfaces(self.domain_type)),
+        )
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        # The property-name clash check reads attributes and ends.
+        return frozenset({(self.typename, Aspect.ATTRS)}) | frozenset(
+            (self.typename, aspect) for aspect in _REL_ASPECTS
+        )
+
 
 @dataclass(frozen=True, eq=False)
 class DeleteAttribute(SchemaOperation):
@@ -180,6 +210,12 @@ class DeleteAttribute(SchemaOperation):
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
 
+    def written_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        return frozenset({(self.typename, Aspect.ATTRS)}) | _LOSER_CASCADES
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        return frozenset({(self.typename, Aspect.ATTRS)}) | _LOSER_READS
+
 
 @dataclass(frozen=True, eq=False)
 class ModifyAttribute(SchemaOperation):
@@ -244,6 +280,17 @@ class ModifyAttribute(SchemaOperation):
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename, self.new_typename)
 
+    def written_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        return frozenset({
+            (self.typename, Aspect.ATTRS),
+            (self.new_typename, Aspect.ATTRS),
+        }) | _LOSER_CASCADES
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        return self.written_footprint() | _LOSER_READS | frozenset(
+            (self.new_typename, aspect) for aspect in _REL_ASPECTS
+        )
+
 
 @dataclass(frozen=True, eq=False)
 class ModifyAttributeType(SchemaOperation):
@@ -292,6 +339,12 @@ class ModifyAttributeType(SchemaOperation):
 
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
+
+    def required_names(self) -> tuple[str, ...]:
+        return (
+            self.typename,
+            *sorted(referenced_interfaces(self.new_type)),
+        )
 
 
 @dataclass(frozen=True, eq=False)

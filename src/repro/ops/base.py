@@ -162,6 +162,54 @@ class SchemaOperation(abc.ABC):
         """
         return self.affected_types(), self.touched_aspects
 
+    # ------------------------------------------------------------------
+    # Effect signatures (static plan analysis, repro.analysis.plan)
+    # ------------------------------------------------------------------
+    #
+    # The default signature is derived from the validation-scope
+    # machinery above: the op may write every declared aspect of every
+    # affected type, reads what it writes, and requires each affected
+    # name to exist.  Concrete operations narrow the hooks below; the
+    # precision contract (writes/reads over-approximate, requires
+    # under-approximates, creates/deletes exact) is documented in
+    # :mod:`repro.ops.effects`.
+
+    def created_names(self) -> tuple[str, ...]:
+        """Interface names this operation introduces into the schema."""
+        return ()
+
+    def deleted_names(self) -> tuple[str, ...]:
+        """Interface names this operation removes from the schema."""
+        return ()
+
+    def required_names(self) -> tuple[str, ...]:
+        """Names whose absence makes ``validate`` reject the operation."""
+        return self.affected_types()
+
+    def written_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        """(interface, Aspect) cells ``apply`` (with cascades) may mutate."""
+        return frozenset(
+            (name, aspect)
+            for name in self.affected_types()
+            for aspect in self.touched_aspects
+        )
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        """(interface, Aspect) cells ``validate`` may inspect."""
+        return self.written_footprint()
+
+    def effect_signature(self) -> "EffectSignature":
+        """The operation's static footprint (see :mod:`repro.ops.effects`)."""
+        from repro.ops.effects import EffectSignature
+
+        return EffectSignature(
+            reads=self.read_footprint(),
+            writes=self.written_footprint(),
+            creates=frozenset(self.created_names()),
+            deletes=frozenset(self.deleted_names()),
+            requires=frozenset(self.required_names()),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.to_text()}>"
 

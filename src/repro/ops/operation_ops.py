@@ -23,6 +23,7 @@ from repro.ops.base import (
     Undo,
     render_list,
 )
+from repro.ops.effects import WILDCARD
 
 _WW = frozenset({ConceptKind.WAGON_WHEEL})
 _GH = frozenset({ConceptKind.GENERALIZATION})
@@ -44,6 +45,16 @@ def _check_signature_types(
 
 def _render_parameters(parameters: tuple[Parameter, ...]) -> str:
     return f"({', '.join(str(p) for p in parameters)})"
+
+
+def _signature_names(
+    return_type: TypeRef, parameters: tuple[Parameter, ...]
+) -> tuple[str, ...]:
+    """Interface names a signature references (for effect signatures)."""
+    used: set[str] = set(referenced_interfaces(return_type))
+    for parameter in parameters:
+        used |= referenced_interfaces(parameter.type)
+    return tuple(sorted(used))
 
 
 @dataclass(frozen=True, eq=False)
@@ -101,6 +112,11 @@ class AddOperation(SchemaOperation):
 
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
+
+    def required_names(self) -> tuple[str, ...]:
+        return (self.typename, *_signature_names(
+            self.return_type, tuple(self.parameters)
+        ))
 
 
 @dataclass(frozen=True, eq=False)
@@ -203,6 +219,12 @@ class ModifyOperation(SchemaOperation):
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename, self.new_typename)
 
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        # Semantic stability reads the generalization hierarchy.
+        return self.written_footprint() | frozenset({
+            (WILDCARD, Aspect.ISA),
+        })
+
 
 @dataclass(frozen=True, eq=False)
 class ModifyOperationReturnType(SchemaOperation):
@@ -251,6 +273,9 @@ class ModifyOperationReturnType(SchemaOperation):
 
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
+
+    def required_names(self) -> tuple[str, ...]:
+        return (self.typename, *_signature_names(self.new_return_type, ()))
 
 
 @dataclass(frozen=True, eq=False)
@@ -303,6 +328,12 @@ class ModifyOperationArgList(SchemaOperation):
 
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
+
+    def required_names(self) -> tuple[str, ...]:
+        names: set[str] = set()
+        for parameter in self.new_parameters:
+            names |= referenced_interfaces(parameter.type)
+        return (self.typename, *sorted(names))
 
 
 @dataclass(frozen=True, eq=False)

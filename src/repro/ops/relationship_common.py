@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import ClassVar
 
-from repro.model.mutation import aspect_for_kind
+from repro.model.mutation import Aspect, aspect_for_kind
 from repro.model.interface import InterfaceDef
 from repro.model.relationships import RelationshipEnd, RelationshipKind
 from repro.model.schema import Schema
@@ -41,6 +41,7 @@ from repro.ops.base import (
     Undo,
     render_list,
 )
+from repro.ops.effects import WILDCARD
 
 
 def get_end_of_kind(
@@ -159,6 +160,10 @@ class RelationshipOperation(SchemaOperation):
         kind = getattr(cls, "kind", None)
         if kind is not None:
             cls.touched_aspects = frozenset({aspect_for_kind(kind)})
+
+    def _kind_aspect(self) -> Aspect:
+        """The relationship-end aspect this operation's kind maps to."""
+        return aspect_for_kind(self.kind)
 
 
 @dataclass(frozen=True, eq=False)
@@ -300,6 +305,35 @@ class AddRelationshipBase(RelationshipOperation):
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename, self.inverse_type)
 
+    def required_names(self) -> tuple[str, ...]:
+        # validate resolves the owner and the shape-derived target name;
+        # a malformed target shape fails for its own (static) reason.
+        names = [self.typename]
+        if isinstance(self.target, NamedType):
+            names.append(self.target.name)
+        elif isinstance(self.target, CollectionType) and isinstance(
+            self.target.element, NamedType
+        ):
+            names.append(self.target.element.name)
+        return tuple(dict.fromkeys(names))
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        aspect = self._kind_aspect()
+        cells = {
+            (self.typename, Aspect.ATTRS),
+            (self.typename, aspect),
+            (self.inverse_type, Aspect.ATTRS),
+            (self.inverse_type, aspect),
+        }
+        if self.kind is not RelationshipKind.ASSOCIATION:
+            # The acyclicity check walks the whole implicit hierarchy.
+            cells.add((WILDCARD, aspect))
+        if self.order_by:
+            # Order-by attributes resolve through the inheritance closure.
+            cells.add((WILDCARD, Aspect.ATTRS))
+            cells.add((WILDCARD, Aspect.ISA))
+        return frozenset(cells)
+
 
 @dataclass(frozen=True, eq=False)
 class DeleteRelationshipBase(RelationshipOperation):
@@ -347,6 +381,15 @@ class DeleteRelationshipBase(RelationshipOperation):
 
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
+
+    def written_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        # The paired inverse lives in the end's (statically unknown)
+        # target type; the wildcard keeps the footprint honest.
+        aspect = self._kind_aspect()
+        return frozenset({(self.typename, aspect), (WILDCARD, aspect)})
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        return self.written_footprint()
 
 
 def retarget_end(
@@ -501,6 +544,26 @@ class ModifyTargetTypeBase(RelationshipOperation):
             affected.append(self.old_target_type)
         return tuple(affected)
 
+    def required_names(self) -> tuple[str, ...]:
+        # The old target is only matched against the end's declaration;
+        # it need not resolve.  The resolved end's inverse may live in a
+        # third type, so writes stay wildcard below.
+        return tuple(dict.fromkeys((self.typename, self.new_target_type)))
+
+    def written_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        aspect = self._kind_aspect()
+        return frozenset({
+            (self.typename, aspect),
+            (self.new_target_type, aspect),
+            (WILDCARD, aspect),
+        })
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        return self.written_footprint() | frozenset({
+            (WILDCARD, Aspect.ISA),
+            (self.new_target_type, Aspect.ATTRS),
+        })
+
 
 @dataclass(frozen=True, eq=False)
 class ModifyCardinalityBase(RelationshipOperation):
@@ -625,3 +688,12 @@ class ModifyOrderByBase(RelationshipOperation):
 
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        cells = {(self.typename, self._kind_aspect())}
+        if self.new_order_by:
+            # The new ordering's attributes resolve through the target's
+            # inheritance closure.
+            cells.add((WILDCARD, Aspect.ATTRS))
+            cells.add((WILDCARD, Aspect.ISA))
+        return frozenset(cells)

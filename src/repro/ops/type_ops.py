@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.concepts.base import ConceptKind
 from repro.model.interface import InterfaceDef
-from repro.model.mutation import Aspect
+from repro.model.mutation import ALL_ASPECTS, Aspect
 from repro.model.schema import Schema
 from repro.ops.base import (
     FREE_CONTEXT,
@@ -27,6 +27,7 @@ from repro.ops.base import (
     SchemaOperation,
     Undo,
 )
+from repro.ops.effects import WILDCARD
 
 _ALL_KINDS = frozenset(ConceptKind)
 
@@ -64,6 +65,15 @@ class AddTypeDefinition(SchemaOperation):
 
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
+
+    def created_names(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+    def required_names(self) -> tuple[str, ...]:
+        return ()
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        return frozenset({(self.typename, Aspect.MEMBERSHIP)})
 
 
 @dataclass(frozen=True, eq=False)
@@ -119,6 +129,20 @@ class DeleteTypeDefinition(SchemaOperation):
 
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
+
+    def deleted_names(self) -> tuple[str, ...]:
+        return (self.typename,)
+
+    def written_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        # Bare, the op only removes the interface; under propagation its
+        # cascades may rewrite any construct that referenced the type.
+        return frozenset({(self.typename, Aspect.MEMBERSHIP)}) | frozenset(
+            (WILDCARD, aspect) for aspect in ALL_ASPECTS
+        )
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        # The reference check scans every interface for uses of the name.
+        return frozenset((WILDCARD, aspect) for aspect in ALL_ASPECTS)
 
 
 def _restore_position(schema: Schema, name: str, position: int) -> None:

@@ -22,9 +22,59 @@ from repro.ops.base import (
     Undo,
     render_list,
 )
+from repro.ops.effects import WILDCARD
 
 _GH = frozenset({ConceptKind.GENERALIZATION})
 _WW = frozenset({ConceptKind.WAGON_WHEEL})
+
+#: Cells the supertype re-wiring family may rewrite via propagation:
+#: keys and relationship order-by lists stranded in any descendant.
+_STRAND_CASCADES = frozenset({
+    (WILDCARD, Aspect.KEYS),
+    (WILDCARD, Aspect.REL_ASSOCIATION),
+    (WILDCARD, Aspect.REL_PART_OF),
+    (WILDCARD, Aspect.REL_INSTANCE_OF),
+})
+
+#: Cells :func:`_check_nothing_stranded` inspects.
+_STRAND_READS = _STRAND_CASCADES | frozenset({
+    (WILDCARD, Aspect.ISA),
+    (WILDCARD, Aspect.ATTRS),
+})
+
+
+def attributes_visible_with_supertypes(
+    schema: Schema,
+    name: str,
+    override_type: str,
+    override_supertypes: tuple[str, ...],
+) -> set[str]:
+    """Attribute names *name* would see were *override_type* re-wired.
+
+    Equivalent to forking the schema, giving *override_type* the
+    supertype list *override_supertypes*, and unioning *name*'s own and
+    inherited attribute names -- but computed as a plain ancestry walk,
+    so the ISA re-wiring family and its propagation cascades never pay
+    for a scratch schema copy.  Dangling supertype names are skipped,
+    matching ``Schema.ancestors``.
+    """
+    interfaces = schema.interfaces
+    seen: set[str] = set()
+    attrs: set[str] = set()
+    stack = [name]
+    while stack:
+        current = stack.pop()
+        if current in seen or current not in interfaces:
+            continue
+        seen.add(current)
+        attrs.update(interfaces[current].attributes)
+        supertypes = (
+            override_supertypes
+            if current == override_type
+            else interfaces[current].supertypes
+        )
+        stack.extend(supertypes)
+    return attrs
 
 
 def _check_nothing_stranded(
@@ -39,16 +89,17 @@ def _check_nothing_stranded(
     applied bare, the operation must refuse instead of leaving the
     schema unresolvable -- the language stays closed either way.
     """
-    scratch = schema.copy()
-    scratch.get(typename).set_supertypes(list(resulting_supertypes))
+    current = tuple(schema.get(typename).supertypes)
+    resulting = tuple(resulting_supertypes)
     affected = {typename} | schema.descendants(typename)
+    ends_by_target: dict[str, list] | None = None
     for name in sorted(affected):
         interface = schema.get(name)
-        before = set(interface.attributes) | set(
-            schema.inherited_attributes(name)
+        before = attributes_visible_with_supertypes(
+            schema, name, typename, current
         )
-        after = set(scratch.get(name).attributes) | set(
-            scratch.inherited_attributes(name)
+        after = attributes_visible_with_supertypes(
+            schema, name, typename, resulting
         )
         lost = before - after
         if not lost:
@@ -62,9 +113,13 @@ def _check_nothing_stranded(
                     f"{', '.join(stranded)} become unresolvable); delete "
                     "the key list first"
                 )
-        for owner, end in schema.relationship_pairs():
-            if end.target_type != name:
-                continue
+        if ends_by_target is None:
+            ends_by_target = {}
+            for owner, end in schema.relationship_pairs():
+                ends_by_target.setdefault(end.target_type, []).append(
+                    (owner, end)
+                )
+        for owner, end in ends_by_target.get(name, ()):
             stranded = sorted(set(end.order_by) & lost)
             if stranded:
                 raise ConstraintViolation(
@@ -126,6 +181,15 @@ class AddSupertype(SchemaOperation):
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename, self.supertype)
 
+    def written_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        return frozenset({(self.typename, Aspect.ISA)})
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        # The cycle check walks the whole generalization graph.
+        return frozenset(
+            {(self.typename, Aspect.ISA), (WILDCARD, Aspect.ISA)}
+        )
+
 
 @dataclass(frozen=True, eq=False)
 class DeleteSupertype(SchemaOperation):
@@ -169,6 +233,16 @@ class DeleteSupertype(SchemaOperation):
 
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename, self.supertype)
+
+    def required_names(self) -> tuple[str, ...]:
+        # The supertype link may dangle; only the subtype must exist.
+        return (self.typename,)
+
+    def written_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        return frozenset({(self.typename, Aspect.ISA)}) | _STRAND_CASCADES
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        return frozenset({(self.typename, Aspect.ISA)}) | _STRAND_READS
 
 
 @dataclass(frozen=True, eq=False)
@@ -234,6 +308,17 @@ class ModifySupertype(SchemaOperation):
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename, *self.old_supertypes, *self.new_supertypes)
 
+    def required_names(self) -> tuple[str, ...]:
+        # validate resolves the type and each *new* supertype; the old
+        # list only has to match the (possibly dangling) current links.
+        return (self.typename, *self.new_supertypes)
+
+    def written_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        return frozenset({(self.typename, Aspect.ISA)}) | _STRAND_CASCADES
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        return frozenset({(self.typename, Aspect.ISA)}) | _STRAND_READS
+
 
 @dataclass(frozen=True, eq=False)
 class AddExtentName(SchemaOperation):
@@ -281,6 +366,10 @@ class AddExtentName(SchemaOperation):
 
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        # Name equivalence: the clash check scans every extent.
+        return frozenset({(WILDCARD, Aspect.EXTENT)})
 
 
 @dataclass(frozen=True, eq=False)
@@ -370,6 +459,10 @@ class ModifyExtentName(SchemaOperation):
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
 
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        # Name equivalence: the clash check scans every extent.
+        return frozenset({(WILDCARD, Aspect.EXTENT)})
+
 
 @dataclass(frozen=True, eq=False)
 class AddKeyList(SchemaOperation):
@@ -416,6 +509,14 @@ class AddKeyList(SchemaOperation):
 
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        # Key attributes resolve through the inheritance closure.
+        return frozenset({
+            (self.typename, Aspect.KEYS),
+            (WILDCARD, Aspect.ATTRS),
+            (WILDCARD, Aspect.ISA),
+        })
 
 
 @dataclass(frozen=True, eq=False)
@@ -507,3 +608,11 @@ class ModifyKeyList(SchemaOperation):
 
     def affected_types(self) -> tuple[str, ...]:
         return (self.typename,)
+
+    def read_footprint(self) -> frozenset[tuple[str, Aspect]]:
+        # The new key's attributes resolve through the inheritance closure.
+        return frozenset({
+            (self.typename, Aspect.KEYS),
+            (WILDCARD, Aspect.ATTRS),
+            (WILDCARD, Aspect.ISA),
+        })

@@ -21,12 +21,13 @@ rewinds to a snapshot through the ordinary undo machinery.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.concepts.base import ConceptKind, ConceptSchema
 from repro.knowledge.constraints import cautions_for
 from repro.knowledge.feedback import Feedback, info
-from repro.knowledge.propagation import expand
+from repro.knowledge.propagation import expand, expand_applying
 from repro.model.errors import SchemaError
 from repro.model.mutation import MutationLog
 from repro.model.schema import Schema
@@ -143,6 +144,15 @@ class Workspace:
         The ablation bench uses this to quantify what the propagation
         rules buy.
         """
+        return self._apply_entry(operation, concept, propagate, refresh=True)
+
+    def _apply_entry(
+        self,
+        operation: SchemaOperation,
+        concept: ConceptSchema | None,
+        propagate: bool,
+        refresh: bool,
+    ) -> LogEntry:
         if concept is not None:
             check_admissible(operation, concept.kind)
         if propagate:
@@ -183,7 +193,104 @@ class Workspace:
         self.log.append(entry)
         self._redo_stack.clear()
         self._note_scopes(plan)
-        self._refresh_issues()
+        if refresh:
+            self._refresh_issues()
+        return entry
+
+    def apply_plan(
+        self,
+        plan: list[SchemaOperation],
+        concept: ConceptSchema | None = None,
+        propagate: bool = True,
+        normalize: bool = True,
+    ) -> list[LogEntry]:
+        """Pre-flight, normalize, and apply a whole plan at once.
+
+        The plan is first vetted statically
+        (:func:`repro.analysis.plan.analyze_plan` against the current
+        schema and, when *concept* is given, its Table 1 kind); if any
+        diagnostic fires, :class:`~repro.analysis.plan.PlanPreflightError`
+        is raised before anything runs.  A clean plan is normalized
+        (unless ``normalize`` is off) and applied batch by batch: every
+        op still goes through the full :meth:`apply` machinery
+        (admissibility, propagation, cautions, one log entry each), but
+        the per-step validation runs once per *batch* of commuting ops
+        instead of once per op -- the paper's validate-after-every-
+        operation loop at a fraction of the cost.
+
+        Returns one :class:`LogEntry` per *executed* (normalized) op.
+        If any op fails dynamically mid-plan, everything applied so far
+        is undone and the error re-raised, leaving the workspace as it
+        was.
+        """
+        from repro.analysis.plan import PlanPreflightError, analyze_plan
+
+        kind = concept.kind if concept is not None else None
+        analysis = analyze_plan(
+            plan, self.schema, kind=kind, normalize=normalize, edges=False
+        )
+        if analysis.diagnostics:
+            raise PlanPreflightError(analysis.diagnostics)
+        entries: list[LogEntry] = []
+        try:
+            for batch in analysis.batches:
+                for operation in batch:
+                    if propagate:
+                        entries.append(self._apply_fast(operation, concept))
+                    else:
+                        entries.append(self._apply_entry(
+                            operation, concept, propagate, refresh=False
+                        ))
+                self._refresh_issues()
+        except (OperationError, SchemaError):
+            for _ in entries:
+                self.undo_last()
+            self._redo_stack.clear()
+            self._refresh_issues()
+            raise
+        return entries
+
+    def _apply_fast(
+        self, operation: SchemaOperation, concept: ConceptSchema | None
+    ) -> LogEntry:
+        """:meth:`apply` minus the scratch-copy expansion and validation.
+
+        Used by :meth:`apply_plan` only: cascades are computed against
+        the live schema and applied in the same breath
+        (:func:`~repro.knowledge.propagation.expand_applying`), which is
+        safe there because the op either completes with undo closures
+        recorded or rolls itself back.  Cautions are consequently
+        evaluated against the state each step actually applies to, and
+        the caller is responsible for refreshing validation.
+        """
+        if concept is not None:
+            check_admissible(operation, concept.kind)
+        feedback: list[Feedback] = []
+        plan, undos = expand_applying(
+            self.schema, operation, self.context,
+            before_step=lambda step: feedback.extend(
+                cautions_for(self.schema, step)
+            ),
+        )
+        for step in plan:
+            if step is not operation:
+                feedback.append(
+                    info(
+                        "cascaded", step.to_text(),
+                        f"performed automatically for {operation.op_name}",
+                    )
+                )
+        entry = LogEntry(
+            requested=operation,
+            plan=plan,
+            undos=undos,
+            concept_id=concept.identifier if concept else None,
+            feedback=feedback,
+            propagated=True,
+        )
+        self.log.append(entry)
+        self._redo_stack.clear()
+        self._note_scopes(plan)
         return entry
 
     def apply_composite(
@@ -346,32 +453,28 @@ class Workspace:
         With ``at`` (a snapshot of this workspace), the fork replays the
         bookmarked plan prefix onto a fresh copy of the reference,
         reproducing the state the snapshot bookmarked *with* a live undo
-        history, while this workspace stays untouched.
+        history, while this workspace stays untouched.  When the replay
+        cannot reproduce the state -- the schema was edited out-of-band
+        (its mutation log is lossy), so the op log alone no longer tells
+        the whole story -- the fork falls back to rewinding this
+        workspace to the snapshot, cloning, and replaying forward again;
+        the branch is then state-correct but starts with an empty undo
+        history, and a :class:`RuntimeWarning` says so.
         """
         if at is not None:
             self._check_snapshot(at)
-            branch = Workspace(
-                self.reference,
-                name or f"{self.schema.name}_fork",
-                validate_each_step=self.validate_each_step,
-            )
-            for entry in self.log[: at.depth]:
-                undos: list[Undo] = []
-                for step in entry.plan:
-                    undos.append(step.apply(branch.schema, branch.context))
-                branch.log.append(
-                    LogEntry(
-                        requested=entry.requested,
-                        plan=entry.plan,
-                        undos=undos,
-                        concept_id=entry.concept_id,
-                        feedback=entry.feedback,
-                        propagated=entry.propagated,
-                    )
+            if self.schema.log.lossy:
+                return self._fork_by_rewind(
+                    name, at,
+                    "the schema was edited out-of-band "
+                    "(its mutation log is lossy)",
                 )
-                branch._note_scopes(entry.plan)
-            branch._refresh_issues()
-            return branch
+            try:
+                return self._fork_by_replay(name, at)
+            except (OperationError, SchemaError) as error:
+                return self._fork_by_rewind(
+                    name, at, f"replaying the op log failed ({error})"
+                )
         branch = Workspace.__new__(Workspace)
         branch.reference = self.reference
         branch.schema = self.schema.fork(name or f"{self.schema.name}_fork")
@@ -381,6 +484,57 @@ class Workspace:
         branch.validate_each_step = self.validate_each_step
         branch.issues = list(self.issues)
         return branch
+
+    def _fork_by_replay(
+        self, name: str | None, at: WorkspaceSnapshot
+    ) -> "Workspace":
+        """The normal ``fork(at=...)`` path: replay the op-log prefix."""
+        branch = Workspace(
+            self.reference,
+            name or f"{self.schema.name}_fork",
+            validate_each_step=self.validate_each_step,
+        )
+        for entry in self.log[: at.depth]:
+            undos: list[Undo] = []
+            for step in entry.plan:
+                undos.append(step.apply(branch.schema, branch.context))
+            branch.log.append(
+                LogEntry(
+                    requested=entry.requested,
+                    plan=entry.plan,
+                    undos=undos,
+                    concept_id=entry.concept_id,
+                    feedback=entry.feedback,
+                    propagated=entry.propagated,
+                )
+            )
+            branch._note_scopes(entry.plan)
+        branch._refresh_issues()
+        return branch
+
+    def _fork_by_rewind(
+        self, name: str | None, at: WorkspaceSnapshot, reason: str
+    ) -> "Workspace":
+        """Fallback ``fork(at=...)``: rewind, clone, roll forward again.
+
+        State-correct even when the op log alone cannot rebuild the
+        schema, at the price of an empty undo history on the branch.
+        Out-of-band edits are not position-tracked, so the branch
+        reflects them even when they happened after the snapshot.
+        """
+        warnings.warn(
+            f"fork(at=...) cannot replay the bookmarked prefix: {reason}; "
+            "falling back to rewind-and-clone -- the branch is "
+            "state-correct but starts with an empty undo history",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        unwound = self.undo_to(at)
+        try:
+            return self.fork(name)
+        finally:
+            for _ in range(unwound):
+                self.redo()
 
     def reset(self) -> None:
         """Throw away all customization and start over."""

@@ -49,7 +49,8 @@ from repro.model.validation import (
     check_part_of_cycles,
     validate_schema,
 )
-from repro.ops.base import OperationContext
+from repro.model.errors import SchemaError
+from repro.ops.base import OperationContext, OperationError
 from repro.repository.mapping import generate_mapping
 from repro.repository.workspace import Workspace
 
@@ -580,4 +581,67 @@ def _check_undo_redo_identity(workspace):
             f"undo+redo of {entry.describe()!r} changed the schema "
             "fingerprint"
         )
+
+
+@workspace_invariant(
+    "plan-analyzer-differential",
+    "DESIGN 5f: pre-flight diagnostics are exactly the dynamically "
+    "failing ops -- valid plans analyze clean, batched apply_plan "
+    "equals naive per-op application, and every diagnostic on a "
+    "perturbed plan reproduces as a real failure",
+    tier=TIER_EXPENSIVE,
+)
+def _check_plan_analyzer(workspace):
+    from repro.analysis.plan import analyze_plan
+    from repro.workload.generator import generate_operations
+
+    schema = workspace.schema
+    if len(schema) < 2:
+        return
+    seed = schema.generation * 31 + len(schema)
+    try:
+        plan = generate_operations(schema, 4, seed=seed)
+    except RuntimeError:
+        return  # too constrained to derive a plan here; nothing to check
+    analysis = analyze_plan(plan, schema)
+    for diagnostic in analysis.diagnostics:
+        yield (
+            "generated (valid) plan drew a pre-flight diagnostic: "
+            f"{diagnostic}"
+        )
+    if analysis.diagnostics:
+        return
+    naive = Workspace(schema, "plan_naive", validate_each_step=False)
+    try:
+        for operation in plan:
+            naive.apply(operation)
+    except (OperationError, SchemaError) as error:
+        yield f"pre-flight-clean generated plan failed to apply: {error}"
+        return
+    batched = Workspace(schema, "plan_batched", validate_each_step=False)
+    batched.apply_plan(plan)
+    if schema_fingerprint(naive.schema) != schema_fingerprint(
+        batched.schema
+    ):
+        yield "apply_plan diverged from naive per-op application"
+    if len(plan) < 2:
+        return
+    # Drop one op: whatever pre-flight then flags must actually fail
+    # when the remaining ops run with skip-on-failure semantics.
+    perturbed = list(plan)
+    del perturbed[seed % len(plan)]
+    verdict = analyze_plan(perturbed, schema, normalize=False)
+    replay = Workspace(schema, "plan_perturbed", validate_each_step=False)
+    failed: set[int] = set()
+    for index, operation in enumerate(perturbed):
+        try:
+            replay.apply(operation)
+        except (OperationError, SchemaError):
+            failed.add(index)
+    for diagnostic in verdict.diagnostics:
+        if diagnostic.index not in failed:
+            yield (
+                "diagnostic on perturbed plan did not reproduce "
+                f"dynamically: {diagnostic}"
+            )
 

@@ -1,0 +1,73 @@
+"""Tests for the ``tools/check_effects.py`` lint gate.
+
+The checker traces the spine mutators reachable from each operation
+class's ``apply`` and asserts ``touched_aspects`` covers them.  These
+tests pin both directions: every registered class passes, and a
+deliberately under-declared class is caught.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.model.mutation import Aspect
+from repro.ops.attribute_ops import AddAttribute
+from repro.ops.registry import OPERATION_CLASSES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_effects.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_effects", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_registered_class_declares_its_mutators():
+    checker = _load_checker()
+    failures = {
+        klass.__name__: missing
+        for klass in OPERATION_CLASSES
+        if (missing := checker.check_operation_class(klass))
+    }
+    assert failures == {}
+
+
+def test_checker_reaches_mutators_for_each_class():
+    """The tracer must actually find mutators (not silently see none)."""
+    checker = _load_checker()
+    traced = sum(
+        1 for klass in OPERATION_CLASSES
+        if checker.reachable_mutators(klass)
+    )
+    # Every Appendix A op mutates the schema somehow; if the tracer
+    # found mutators for only a handful, it is broken, not the ops.
+    assert traced == len(OPERATION_CLASSES)
+
+
+class _UnderDeclared(AddAttribute):
+    """Same apply as AddAttribute, but claims it touches nothing."""
+
+    touched_aspects = frozenset()
+
+
+def test_under_declared_class_is_caught():
+    checker = _load_checker()
+    missing = checker.check_operation_class(_UnderDeclared)
+    assert missing
+    assert any(
+        "add_attribute" in message and str(Aspect.ATTRS.value) in message
+        for message in missing
+    )
+
+
+def test_cli_passes_on_current_tree():
+    result = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "operation classes declare every aspect" in result.stdout

@@ -173,3 +173,77 @@ class TestSchemaDiff:
         slow = diff_schemas(workspace.schema, branch.schema)
         assert _changed_keys(fast) == _changed_keys(slow)
         assert {e.path for e in fast.changed()} == {"Person", "Person.dob"}
+
+
+class TestForkAtRewindFallback:
+    """``fork(at=...)`` on a lossy log: warn, rewind-and-clone, restore."""
+
+    def _diverge_with_out_of_band_edit(self, workspace):
+        from repro.model.attributes import Attribute
+
+        workspace.apply(AddAttribute("Person", scalar("date"), "dob"))
+        snap = workspace.snapshot()
+        workspace.apply(AddSupertype("Department", "Person"))
+        # Out-of-band edit: a raw mutator call with no operation behind
+        # it, then touch() -- the mutation log is now lossy, so the
+        # branch-by-replay path cannot trust it.
+        workspace.schema.get("Person").add_attribute(
+            Attribute("oob", scalar("long"))
+        )
+        workspace.schema.touch()
+        assert workspace.schema.log.lossy
+        return snap
+
+    def test_lossy_log_warns_and_falls_back(self, workspace):
+        snap = self._diverge_with_out_of_band_edit(workspace)
+        with pytest.warns(RuntimeWarning, match="rewind-and-clone"):
+            branch = workspace.fork("branch", at=snap)
+        # Pre-snapshot state is present, post-snapshot state is not.
+        assert "dob" in branch.schema.get("Person").attributes
+        assert "Person" not in branch.schema.get("Department").supertypes
+        # Out-of-band edits are not position-tracked: they survive.
+        assert "oob" in branch.schema.get("Person").attributes
+        # The fallback branch starts with an empty undo history.
+        assert branch.undo_depth == 0
+
+    def test_fallback_branch_state_matches_rewound_original(self, workspace):
+        snap = self._diverge_with_out_of_band_edit(workspace)
+        with pytest.warns(RuntimeWarning):
+            branch = workspace.fork("branch", at=snap)
+        unwound = workspace.undo_to(snap)
+        assert schema_fingerprint(branch.schema) == schema_fingerprint(
+            workspace.schema
+        )
+        for _ in range(unwound):
+            workspace.redo()
+
+    def test_original_workspace_fully_restored(self, workspace):
+        snap = self._diverge_with_out_of_band_edit(workspace)
+        with pytest.warns(RuntimeWarning):
+            branch = workspace.fork("branch", at=snap)
+        assert workspace.undo_depth == 2
+        assert workspace.redo_depth == 0
+        assert "Person" in workspace.schema.get("Department").supertypes
+        # Branch and original diverge independently afterwards.
+        branch.apply(AddAttribute("Person", scalar("string"), "email"))
+        assert "email" not in workspace.schema.get("Person").attributes
+
+    def test_fallback_branch_still_diffs_against_original(self, workspace):
+        snap = self._diverge_with_out_of_band_edit(workspace)
+        with pytest.warns(RuntimeWarning):
+            branch = workspace.fork("branch", at=snap)
+        fast = schema_diff(workspace.schema, branch.schema)
+        slow = diff_schemas(workspace.schema, branch.schema)
+        assert _changed_keys(fast) == _changed_keys(slow)
+
+    def test_replay_path_does_not_warn_on_clean_log(self, workspace):
+        import warnings
+
+        workspace.apply(AddAttribute("Person", scalar("date"), "dob"))
+        snap = workspace.snapshot()
+        workspace.apply(AddSupertype("Department", "Person"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            branch = workspace.fork("branch", at=snap)
+        # The replay path keeps live history on the branch.
+        assert branch.undo_depth == 1
