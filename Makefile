@@ -33,12 +33,15 @@ bench-smoke:
 		benchmarks/test_bench_index_scaling.py \
 		benchmarks/test_bench_validation.py \
 		benchmarks/test_bench_spine.py \
-		benchmarks/test_bench_plan.py -q
+		benchmarks/test_bench_plan.py \
+		benchmarks/test_bench_compact.py -q
 
 ## differential fuzzing soak: every invariant over catalog + generated
-## schemas, shrinking any failure to a minimal pytest reproducer
+## schemas plus the large-schema profile (1k-10k types, deep ISA chains,
+## wide hubs), shrinking any failure to a minimal pytest reproducer
 fuzz:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.verify --seeds 40 --steps 200
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.verify --seeds 40 --steps 200 \
+		--large-seeds 4
 
 ## ~30s fuzzing tripwire for CI (fixed seeds, deterministic)
 fuzz-smoke:

@@ -206,26 +206,39 @@ def _expand_into(
 def _cascades_for_delete_type(
     schema: Schema, typename: str
 ) -> list[SchemaOperation]:
-    """Everything referencing *typename* must go (or be re-wired) first."""
+    """Everything referencing *typename* must go (or be re-wired) first.
+
+    An end, attribute, operation or supertype entry involving *typename*
+    implies its owner references *typename*, so both walks restrict to
+    the index's incremental reverse-reference set (plus *typename*
+    itself for its own ends) instead of scanning every property of
+    every interface; the emitted cascade order is unchanged.
+    """
     cascades: list[SchemaOperation] = []
+    referencers = schema.index.referencers_of(typename)
+    involved = referencers | {typename}
     handled_pairs: set[frozenset[tuple[str, str]]] = set()
-    for owner, end in schema.relationship_pairs():
-        involves = (
-            owner == typename
-            or end.target_type == typename
-            or end.inverse_type == typename
-        )
-        if not involves:
-            continue
-        pair = frozenset(
-            {(owner, end.name), (end.inverse_type, end.inverse_name)}
-        )
-        if pair in handled_pairs:
-            continue
-        handled_pairs.add(pair)
-        cascades.append(_DELETE_END_OPS[end.kind](owner, end.name))
     for interface in schema:
-        if interface.name == typename:
+        owner = interface.name
+        if owner not in involved:
+            continue
+        for end in interface.relationships.values():
+            involves = (
+                owner == typename
+                or end.target_type == typename
+                or end.inverse_type == typename
+            )
+            if not involves:
+                continue
+            pair = frozenset(
+                {(owner, end.name), (end.inverse_type, end.inverse_name)}
+            )
+            if pair in handled_pairs:
+                continue
+            handled_pairs.add(pair)
+            cascades.append(_DELETE_END_OPS[end.kind](owner, end.name))
+    for interface in schema:
+        if interface.name == typename or interface.name not in referencers:
             continue
         for attribute in list(interface.attributes.values()):
             if typename in referenced_interfaces(attribute.type):
@@ -256,8 +269,8 @@ def _cascades_for_lost_attribute(
         for key in list(interface.keys):
             if attribute_name in key:
                 cascades.append(DeleteKeyList(name, key))
-    for owner, end in schema.relationship_pairs():
-        if end.target_type in losers and attribute_name in end.order_by:
+    for owner, end in schema.index.ends_targeting(losers):
+        if attribute_name in end.order_by:
             new_order = tuple(a for a in end.order_by if a != attribute_name)
             cascades.append(
                 _ORDER_BY_OPS[end.kind](owner, end.name, end.order_by, new_order)
@@ -281,8 +294,8 @@ def _cascades_for_attribute_move(
         for key in list(interface.keys):
             if attribute_name in key:
                 cascades.append(DeleteKeyList(name, key))
-    for owner, end in schema.relationship_pairs():
-        if end.target_type in losers and attribute_name in end.order_by:
+    for owner, end in schema.index.ends_targeting(losers):
+        if attribute_name in end.order_by:
             new_order = tuple(a for a in end.order_by if a != attribute_name)
             cascades.append(
                 _ORDER_BY_OPS[end.kind](owner, end.name, end.order_by, new_order)
@@ -320,7 +333,7 @@ def _cascades_for_lost_supertype(
                 cascades.append(DeleteKeyList(name, key))
         if ends_by_target is None:
             ends_by_target = {}
-            for owner, end in schema.relationship_pairs():
+            for owner, end in schema.index.ends_targeting(affected):
                 ends_by_target.setdefault(end.target_type, []).append(
                     (owner, end)
                 )

@@ -58,9 +58,13 @@ Edge = tuple[str, str, RelationshipEnd]
 
 from repro.model.mutation import (  # noqa: E402,F401 (re-export)
     ALL_ASPECTS as ALL_TOUCH_ASPECTS,
+    ORDER_CLOCK,
     Aspect,
+    AspectClock,
     DirtyJournal,
+    MutationRecord,
     aspect_for_kind,
+    replayable_kind,
 )
 
 ASPECT_ISA = Aspect.ISA
@@ -74,17 +78,156 @@ ASPECT_REL_INSTANCE_OF = Aspect.REL_INSTANCE_OF
 ASPECT_MEMBERSHIP = Aspect.MEMBERSHIP
 
 
-class SchemaIndex:
-    """Generation-stamped caches for one schema's graph queries."""
+# Aspect-sharded stamp dependencies per cache family.  A family rebuilds
+# only when a record carrying one of its dependency clocks has landed on
+# the spine since it was built (membership and declaration order affect
+# every listing's content or ordering).
+_ISA_DEPS = (Aspect.ISA, Aspect.MEMBERSHIP, ORDER_CLOCK)
+_PART_DEPS = (Aspect.REL_PART_OF, Aspect.MEMBERSHIP, ORDER_CLOCK)
+_INSTANCE_DEPS = (Aspect.REL_INSTANCE_OF, Aspect.MEMBERSHIP, ORDER_CLOCK)
+_PAIR_DEPS = (
+    Aspect.REL_ASSOCIATION,
+    Aspect.REL_PART_OF,
+    Aspect.REL_INSTANCE_OF,
+    Aspect.MEMBERSHIP,
+    ORDER_CLOCK,
+)
+_ORDER_DEPS = (Aspect.MEMBERSHIP, ORDER_CLOCK)
 
-    __slots__ = ("_schema", "_caches", "hits", "misses", "rebuilds")
+#: Mutator kinds that change the ISA adjacency incrementally.
+_ISA_KINDS = frozenset(
+    {"add_supertype", "remove_supertype", "set_supertypes"}
+)
+
+
+class SchemaIndex:
+    """Aspect-stamped caches plus incremental compact adjacency.
+
+    Two complementary mechanisms keep graph queries fast at 10k+ types:
+
+    * **Aspect-sharded stamps** -- each scan-built cache family stamps
+      the :class:`~repro.model.mutation.AspectClock` counters of only
+      the aspects whose records can change it, so an attribute edit no
+      longer forces an O(N) subtype-map rebuild.
+    * **Incremental compact structures** -- the ISA child sets (interned
+      names) and the reverse-reference map are folded record-by-record
+      from the spine, so ``descendants`` and "who references type X"
+      answer in O(result) with no per-mutation rebuild at all.
+
+    ``scope`` records are declarative annotations (belt-and-suspenders
+    for the validation journal's dirty-name set); actual content changes
+    always land as mutator records (``tools/check_mutators.py`` and the
+    spine differentials enforce this), so they advance no clock here.
+    Lossy records (``touch`` / unknown kinds) invalidate everything.
+    """
+
+    __slots__ = (
+        "_schema",
+        "_caches",
+        "_clock",
+        "_isa_children",
+        "_isa_parents",
+        "_isa_dirty",
+        "_refs_of",
+        "_referencers",
+        "_refs_pending",
+        "_refs_dirty",
+        "hits",
+        "misses",
+        "rebuilds",
+    )
 
     def __init__(self, schema: "Schema") -> None:
         self._schema = schema
-        self._caches: dict[str, tuple[int, object]] = {}
+        self._caches: dict[str, tuple[object, object]] = {}
+        self._clock = AspectClock()
+        # parent name -> set of live interfaces listing it as supertype;
+        # name -> its current supertype tuple (to unhook on removal).
+        self._isa_children: dict[str, set[str]] = {}
+        self._isa_parents: dict[str, tuple[str, ...]] = {}
+        self._isa_dirty = True
+        # interface name -> frozenset of names it references;
+        # target name -> set of owners referencing it; owners whose
+        # reference sets need re-deriving before the next query.
+        self._refs_of: dict[str, frozenset[str]] = {}
+        self._referencers: dict[str, set[str]] = {}
+        self._refs_pending: set[str] = set()
+        self._refs_dirty = True
         self.hits = 0
         self.misses = 0
         self.rebuilds = 0
+        schema.log.subscribe(self._observe)
+
+    # ------------------------------------------------------------------
+    # Spine subscriber
+    # ------------------------------------------------------------------
+
+    def _observe(self, record: MutationRecord) -> None:
+        """Fold one mutation record into clocks and compact structures."""
+        kind = record.kind
+        if kind == "scope":
+            return
+        self._clock.observe(record)
+        name = record.interface
+        if name is not None:
+            if not self._refs_dirty:
+                self._refs_pending.add(name)
+            if not self._isa_dirty:
+                if kind in _ISA_KINDS:
+                    self._isa_update(name, record)
+                elif kind == "add_interface":
+                    self._isa_link(
+                        name, tuple(self._schema.interfaces[name].supertypes)
+                    )
+                elif kind == "remove_interface":
+                    self._isa_unlink(name)
+        elif not replayable_kind(kind):
+            # Out-of-band mutation: rebuild from the scans lazily.
+            self._isa_dirty = True
+            self._refs_dirty = True
+
+    def _isa_link(self, name: str, parents: tuple[str, ...]) -> None:
+        self._isa_parents[name] = parents
+        children = self._isa_children
+        for parent in parents:
+            children.setdefault(parent, set()).add(name)
+
+    def _isa_unlink(self, name: str) -> None:
+        children = self._isa_children
+        for parent in self._isa_parents.pop(name, ()):
+            bucket = children.get(parent)
+            if bucket is not None:
+                bucket.discard(name)
+
+    def _isa_update(self, name: str, record: MutationRecord) -> None:
+        kind = record.kind
+        parents = self._isa_parents.get(name, ())
+        children = self._isa_children
+        if kind == "add_supertype":
+            supertype = record.payload["supertype"]
+            self._isa_parents[name] = parents + (supertype,)
+            children.setdefault(supertype, set()).add(name)
+        elif kind == "remove_supertype":
+            supertype = record.payload["supertype"]
+            self._isa_parents[name] = tuple(
+                parent for parent in parents if parent != supertype
+            )
+            bucket = children.get(supertype)
+            if bucket is not None:
+                bucket.discard(name)
+        else:  # set_supertypes
+            new = tuple(record.payload["supertypes"])
+            self._isa_parents[name] = new
+            new_set = set(new)
+            for parent in parents:
+                if parent not in new_set:
+                    bucket = children.get(parent)
+                    if bucket is not None:
+                        bucket.discard(name)
+            old_set = set(parents)
+            for parent in new:
+                if parent not in old_set:
+                    children.setdefault(parent, set()).add(name)
 
     # ------------------------------------------------------------------
     # Cache machinery
@@ -103,9 +246,30 @@ class SchemaIndex:
         self._caches[family] = (generation, value)
         return value
 
+    def _get_sharded(
+        self,
+        family: str,
+        deps: tuple[object, ...],
+        builder: Callable[[], object],
+    ) -> object:
+        """Like :meth:`_get` but stamped with per-aspect clocks."""
+        stamp = self._clock.stamp(deps)
+        cached = self._caches.get(family)
+        if cached is not None:
+            if cached[0] == stamp:
+                self.hits += 1
+                return cached[1]
+            self.rebuilds += 1
+        self.misses += 1
+        value = builder()
+        self._caches[family] = (stamp, value)
+        return value
+
     def invalidate(self) -> None:
-        """Drop every cache family (normally generation stamps suffice)."""
+        """Drop every cache family (normally the stamps suffice)."""
         self._caches.clear()
+        self._isa_dirty = True
+        self._refs_dirty = True
 
     def memo(self, family: str, builder: Callable[[], object]) -> object:
         """Generation-stamped memoization for derived whole-schema values.
@@ -145,7 +309,9 @@ class SchemaIndex:
         type the schema does not define); resolution against the schema
         is the caller's concern.
         """
-        return self._get("subtypes", self._build_subtype_map)  # type: ignore[return-value]
+        return self._get_sharded(  # type: ignore[return-value]
+            "subtypes", _ISA_DEPS, self._build_subtype_map
+        )
 
     def _build_subtype_map(self) -> dict[str, list[str]]:
         result: dict[str, list[str]] = {}
@@ -154,21 +320,166 @@ class SchemaIndex:
                 result.setdefault(supertype, []).append(interface.name)
         return result
 
+    def _isa_sets(self) -> dict[str, set[str]]:
+        """Parent name -> set of direct subtypes, maintained incrementally.
+
+        The unordered twin of :meth:`subtype_map`: the same adjacency
+        with declaration order dropped, which is exactly what closure
+        walks (``descendants``, the validation cache's dirty-descendant
+        expansion, weak-component scans) need.  Folded record-by-record
+        from the spine, so a 100-op plan pays O(ops) maintenance instead
+        of O(N) rebuilds.
+        """
+        if self._isa_dirty:
+            self.misses += 1
+            self._isa_children = {}
+            self._isa_parents = {}
+            for interface in self._schema:
+                self._isa_link(
+                    interface.name, tuple(interface.supertypes)
+                )
+            self._isa_dirty = False
+        else:
+            self.hits += 1
+        return self._isa_children
+
+    def descendants_of(self, name: str) -> set[str]:
+        """Transitive subtypes of *name*; excludes *name* itself."""
+        children = self._isa_sets()
+        result: set[str] = set()
+        frontier = list(children.get(name, ()))
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            bucket = children.get(current)
+            if bucket:
+                frontier.extend(bucket)
+        return result
+
+    def descendants_closure(self, seeds: set[str]) -> set[str]:
+        """Every descendant of any seed, the seeds themselves excluded
+        unless reachable from another seed."""
+        children = self._isa_sets()
+        result: set[str] = set()
+        frontier: list[str] = []
+        for seed in seeds:
+            bucket = children.get(seed)
+            if bucket:
+                frontier.extend(bucket)
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            bucket = children.get(current)
+            if bucket:
+                frontier.extend(bucket)
+        return result
+
+    # ------------------------------------------------------------------
+    # Reverse references (who mentions type X?)
+    # ------------------------------------------------------------------
+
+    def referencers_of(self, target: str) -> set[str]:
+        """Names of interfaces whose definition references *target*.
+
+        Reference = supertype entry, attribute domain, relationship
+        target/inverse type, or operation signature type — exactly
+        :meth:`InterfaceDef.referenced_type_names`.  Maintained
+        incrementally: a mutator record only marks its owner pending,
+        and pending owners re-derive their reference sets lazily here.
+        """
+        self._fold_refs()
+        owners = self._referencers.get(target)
+        return set(owners) if owners else set()
+
+    def _fold_refs(self) -> None:
+        interfaces = self._schema.interfaces
+        if self._refs_dirty:
+            self.misses += 1
+            self._refs_of = {}
+            self._referencers = {}
+            referencers = self._referencers
+            for interface in self._schema:
+                refs = frozenset(interface.referenced_type_names())
+                self._refs_of[interface.name] = refs
+                for target in refs:
+                    referencers.setdefault(target, set()).add(interface.name)
+            self._refs_dirty = False
+            self._refs_pending.clear()
+            return
+        self.hits += 1
+        if not self._refs_pending:
+            return
+        referencers = self._referencers
+        for name in self._refs_pending:
+            interface = interfaces.get(name)
+            new = (
+                frozenset(interface.referenced_type_names())
+                if interface is not None
+                else frozenset()
+            )
+            old = self._refs_of.get(name, frozenset())
+            for target in old - new:
+                bucket = referencers.get(target)
+                if bucket is not None:
+                    bucket.discard(name)
+            for target in new - old:
+                referencers.setdefault(target, set()).add(name)
+            if interface is None:
+                self._refs_of.pop(name, None)
+            else:
+                self._refs_of[name] = new
+        self._refs_pending.clear()
+
+    def ends_targeting(
+        self, targets: set[str]
+    ) -> list[tuple[str, RelationshipEnd]]:
+        """(owner, end) pairs with ``end.target_type`` in *targets*.
+
+        Same relative order as :meth:`relationship_pairs`, but computed
+        from the incremental reverse-reference map: an end targeting X
+        implies its owner references X (``referenced_type_names``
+        includes every end's target type), so only referencing owners'
+        end lists are inspected — no whole-schema pair listing rebuild.
+        """
+        self._fold_refs()
+        referencers = self._referencers
+        owners: set[str] = set(targets)
+        for target in targets:
+            bucket = referencers.get(target)
+            if bucket:
+                owners.update(bucket)
+        pairs: list[tuple[str, RelationshipEnd]] = []
+        if not owners:
+            return pairs
+        for name in self._schema.interfaces:
+            if name not in owners:
+                continue
+            for end in self._schema.interfaces[name].relationships.values():
+                if end.target_type in targets:
+                    pairs.append((name, end))
+        return pairs
+
     # ------------------------------------------------------------------
     # Part-of / instance-of hierarchies
     # ------------------------------------------------------------------
 
     def part_of_edges(self) -> list[Edge]:
         """(whole, part, to-parts end) triples, in declaration order."""
-        return self._get(  # type: ignore[return-value]
+        return self._get_sharded(  # type: ignore[return-value]
             "part_edges",
+            _PART_DEPS,
             lambda: scan_link_edges(self._schema, RelationshipKind.PART_OF),
         )
 
     def instance_of_edges(self) -> list[Edge]:
         """(generic, instance, to-instances end) triples."""
-        return self._get(  # type: ignore[return-value]
+        return self._get_sharded(  # type: ignore[return-value]
             "instance_edges",
+            _INSTANCE_DEPS,
             lambda: scan_link_edges(self._schema, RelationshipKind.INSTANCE_OF),
         )
 
@@ -187,26 +498,30 @@ class SchemaIndex:
 
     def parts_map(self) -> dict[str, list[str]]:
         """Whole name -> direct part names."""
-        return self._get(  # type: ignore[return-value]
-            "parts", lambda: _forward_map(self.part_of_edges())
+        return self._get_sharded(  # type: ignore[return-value]
+            "parts", _PART_DEPS, lambda: _forward_map(self.part_of_edges())
         )
 
     def wholes_map(self) -> dict[str, list[str]]:
         """Part name -> direct whole names."""
-        return self._get(  # type: ignore[return-value]
-            "wholes", lambda: _reverse_map(self.part_of_edges())
+        return self._get_sharded(  # type: ignore[return-value]
+            "wholes", _PART_DEPS, lambda: _reverse_map(self.part_of_edges())
         )
 
     def instance_map(self) -> dict[str, list[str]]:
         """Generic name -> direct instance names."""
-        return self._get(  # type: ignore[return-value]
-            "instances", lambda: _forward_map(self.instance_of_edges())
+        return self._get_sharded(  # type: ignore[return-value]
+            "instances",
+            _INSTANCE_DEPS,
+            lambda: _forward_map(self.instance_of_edges()),
         )
 
     def generic_map(self) -> dict[str, list[str]]:
         """Instance name -> direct generic names."""
-        return self._get(  # type: ignore[return-value]
-            "generics", lambda: _reverse_map(self.instance_of_edges())
+        return self._get_sharded(  # type: ignore[return-value]
+            "generics",
+            _INSTANCE_DEPS,
+            lambda: _reverse_map(self.instance_of_edges()),
         )
 
     # ------------------------------------------------------------------
@@ -215,14 +530,15 @@ class SchemaIndex:
 
     def relationship_pairs(self) -> list[tuple[str, RelationshipEnd]]:
         """Every (owner name, end) pair in declaration order."""
-        return self._get(  # type: ignore[return-value]
-            "pairs", lambda: scan_relationship_pairs(self._schema)
+        return self._get_sharded(  # type: ignore[return-value]
+            "pairs", _PAIR_DEPS, lambda: scan_relationship_pairs(self._schema)
         )
 
     def declaration_order(self) -> dict[str, int]:
         """Interface name -> position in declaration order."""
-        return self._get(  # type: ignore[return-value]
+        return self._get_sharded(  # type: ignore[return-value]
             "order",
+            _ORDER_DEPS,
             lambda: {name: i for i, name in enumerate(self._schema.interfaces)},
         )
 

@@ -20,6 +20,7 @@ other channel.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from sys import intern
 from typing import TYPE_CHECKING
 
 from repro.model.attributes import Attribute
@@ -47,7 +48,7 @@ _REL = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class InterfaceDef:
     """One object type of a schema.
 
@@ -55,6 +56,10 @@ class InterfaceDef:
     traversal path may not collide with an attribute name); operations
     live in their own namespace because ODL signatures are syntactically
     distinct.  Insertion order is preserved so printed ODL is stable.
+
+    Storage is slotted and all graph-bearing strings (interface name,
+    supertype entries, property dict keys) are interned, so identity
+    comparison and set membership on them stay cheap at 10k+ types.
     """
 
     name: str
@@ -64,6 +69,12 @@ class InterfaceDef:
     attributes: dict[str, Attribute] = field(default_factory=dict)
     relationships: dict[str, RelationshipEnd] = field(default_factory=dict)
     operations: dict[str, Operation] = field(default_factory=dict)
+    # Owning schemas attach their mutation spine here so every mutator
+    # below lands one record on it (see repro.model.mutation).  Spines
+    # carry identity, not value, and must not take part in __eq__/repr.
+    _spines: list["MutationLog"] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.name or not self.name[0].isalpha():
@@ -72,11 +83,18 @@ class InterfaceDef:
             raise InvalidModelError(
                 f"interface {self.name!r} lists a duplicate supertype"
             )
-        # Owning schemas attach their mutation spine here so every
-        # mutator below lands one record on it (see repro.model.
-        # mutation).  Not a dataclass field: spines carry identity, not
-        # value, and must not take part in __eq__.
-        self._spines: list["MutationLog"] = []
+        self.name = intern(self.name)
+        self.supertypes = [intern(name) for name in self.supertypes]
+        self.keys = [tuple(intern(part) for part in key) for key in self.keys]
+        self.attributes = {
+            intern(name): value for name, value in self.attributes.items()
+        }
+        self.relationships = {
+            intern(name): value for name, value in self.relationships.items()
+        }
+        self.operations = {
+            intern(name): value for name, value in self.operations.items()
+        }
 
     # ------------------------------------------------------------------
     # Owner notification (the mutation spine)
@@ -116,6 +134,7 @@ class InterfaceDef:
             raise DuplicateNameError(
                 f"{self.name!r} already has supertype {supertype!r}"
             )
+        supertype = intern(supertype)
         if position is None:
             self.supertypes.append(supertype)
         else:
@@ -138,7 +157,7 @@ class InterfaceDef:
 
     def set_supertypes(self, supertypes: list[str]) -> None:
         """Replace the whole ISA list (``modify_supertype`` re-wiring)."""
-        supertypes = list(supertypes)
+        supertypes = [intern(name) for name in supertypes]
         if self.name in supertypes:
             raise InvalidModelError(
                 f"interface {self.name!r} cannot be its own supertype"
@@ -157,7 +176,7 @@ class InterfaceDef:
 
     def add_key(self, key: tuple[str, ...]) -> None:
         """Add a key (a tuple of attribute names)."""
-        key = tuple(key)
+        key = tuple(intern(part) for part in key)
         if not key:
             raise InvalidModelError("a key must name at least one attribute")
         if key in self.keys:
@@ -180,7 +199,7 @@ class InterfaceDef:
 
     def insert_key(self, key: tuple[str, ...], position: int) -> None:
         """Insert a key at *position* (undo of a key deletion)."""
-        key = tuple(key)
+        key = tuple(intern(part) for part in key)
         if not key:
             raise InvalidModelError("a key must name at least one attribute")
         if key in self.keys:
@@ -192,7 +211,7 @@ class InterfaceDef:
 
     def replace_key_at(self, position: int, key: tuple[str, ...]) -> tuple[str, ...]:
         """Swap the key at *position* for *key*, returning the old one."""
-        key = tuple(key)
+        key = tuple(intern(part) for part in key)
         if not key:
             raise InvalidModelError("a key must name at least one attribute")
         try:
@@ -220,7 +239,7 @@ class InterfaceDef:
     def add_attribute(self, attribute: Attribute) -> None:
         """Add an attribute; its name must be free in the property namespace."""
         self._check_property_name_free(attribute.name)
-        self.attributes[attribute.name] = attribute
+        self.attributes[intern(attribute.name)] = attribute
         self._emit("add_attribute", _ATTRS, {"attribute": attribute})
 
     def remove_attribute(self, name: str) -> Attribute:
@@ -263,7 +282,7 @@ class InterfaceDef:
     def add_relationship(self, end: RelationshipEnd) -> None:
         """Add a relationship end; its path name must be free."""
         self._check_property_name_free(end.name)
-        self.relationships[end.name] = end
+        self.relationships[intern(end.name)] = end
         self._emit("add_relationship", _REL[end.kind], {"end": end})
 
     def remove_relationship(self, name: str) -> RelationshipEnd:
@@ -306,7 +325,7 @@ class InterfaceDef:
                 f"interface {self.name!r} already has operation "
                 f"{operation.name!r}"
             )
-        self.operations[operation.name] = operation
+        self.operations[intern(operation.name)] = operation
         self._emit("add_operation", _OPS, {"operation": operation})
 
     def remove_operation(self, name: str) -> Operation:

@@ -73,6 +73,12 @@ class RelationshipEnd:
     inverse_name: str
     kind: RelationshipKind = RelationshipKind.ASSOCIATION
     order_by: tuple[str, ...] = field(default_factory=tuple)
+    # Derived from ``target`` once at construction (the dataclass is
+    # frozen): hot-path graph walks read these hundreds of thousands of
+    # times per plan, so recomputing the isinstance chain per access is
+    # measurable at 10k-type scale.
+    _is_to_many: bool = field(init=False, repr=False, compare=False)
+    _target_type: str = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name or not (self.name[0].isalpha() or self.name[0] == "_"):
@@ -80,6 +86,12 @@ class RelationshipEnd:
         if not isinstance(self.order_by, tuple):
             object.__setattr__(self, "order_by", tuple(self.order_by))
         self._check_target()
+        target = self.target
+        many = isinstance(target, CollectionType)
+        object.__setattr__(self, "_is_to_many", many)
+        object.__setattr__(
+            self, "_target_type", target.element.name if many else target.name
+        )
         if not self.inverse_type or not self.inverse_name:
             raise InvalidModelError(
                 f"relationship {self.name!r} must declare an inverse "
@@ -111,7 +123,7 @@ class RelationshipEnd:
     @property
     def is_to_many(self) -> bool:
         """True when the end targets a collection of objects."""
-        return isinstance(self.target, CollectionType)
+        return self._is_to_many
 
     @property
     def cardinality(self) -> Cardinality:
@@ -121,12 +133,7 @@ class RelationshipEnd:
     @property
     def target_type(self) -> str:
         """Name of the interface this end points at."""
-        if isinstance(self.target, CollectionType):
-            element = self.target.element
-            assert isinstance(element, NamedType)
-            return element.name
-        assert isinstance(self.target, NamedType)
-        return self.target.name
+        return self._target_type
 
     @property
     def collection_kind(self) -> str | None:

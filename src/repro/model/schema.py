@@ -41,7 +41,7 @@ _MEMBERSHIP = frozenset({Aspect.MEMBERSHIP})
 _ORDER: frozenset[Aspect] = frozenset()
 
 
-@dataclass
+@dataclass(slots=True)
 class Schema:
     """A named, global schema: the unit the paper calls *shrink wrap*.
 
@@ -51,18 +51,30 @@ class Schema:
 
     name: str
     interfaces: dict[str, InterfaceDef] = field(default_factory=dict)
+    # Cache/history state, not schema content: excluded from __eq__/repr.
+    _log: MutationLog = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+    _journal: DirtyJournal = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+    _index: SchemaIndex = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+    _validation: "ValidationCache | None" = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    _analysis_hits: int = field(init=False, repr=False, compare=False, default=0)
+    _analysis_misses: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if not self.name:
             raise InvalidModelError("a schema must have a name")
-        # Not dataclass fields: the mutation log, index, journal and
-        # validation cache carry cache/history state, not schema
-        # content, and must stay out of __eq__.
         self._log = MutationLog()
         self._journal = DirtyJournal()
         self._log.subscribe(self._journal.observe)
         self._index = SchemaIndex(self)
-        self._validation: "ValidationCache | None" = None
+        self._validation = None
         for interface in self.interfaces.values():
             self._adopt(interface)
 
@@ -280,18 +292,14 @@ class Schema:
         return result
 
     def descendants(self, name: str) -> set[str]:
-        """All (transitive) subtypes of *name*; excludes *name* itself."""
+        """All (transitive) subtypes of *name*; excludes *name* itself.
+
+        Served from the index's incrementally maintained compact ISA
+        adjacency (O(result) per query, no per-mutation rebuild); the
+        ``index-vs-scan`` differential pins it to ``scan_descendants``.
+        """
         self.get(name)  # raise for unknown types
-        subtype_map = self._index.subtype_map()
-        result: set[str] = set()
-        frontier = list(subtype_map.get(name, ()))
-        while frontier:
-            current = frontier.pop()
-            if current in result:
-                continue
-            result.add(current)
-            frontier.extend(subtype_map.get(current, ()))
-        return result
+        return self._index.descendants_of(name)
 
     def isa_related(self, first: str, second: str) -> bool:
         """True when the two types lie on one generalization path.
@@ -333,19 +341,28 @@ class Schema:
         return result
 
     def _linearised_ancestry(self, name: str) -> list[str]:
-        """*name* followed by its ancestors, nearest first, depth-first."""
-        order: list[str] = []
-        seen: set[str] = set()
+        """*name* followed by its ancestors, nearest first, depth-first.
 
-        def visit(current: str) -> None:
-            if current in seen or current not in self.interfaces:
-                return
-            seen.add(current)
-            order.append(current)
-            for supertype in self.interfaces[current].supertypes:
-                visit(supertype)
-
-        visit(name)
+        Iterative (explicit iterator stack) so 10k-deep supertype chains
+        stay well clear of the interpreter recursion limit, preserving
+        the exact preorder the recursive form produced.
+        """
+        interfaces = self.interfaces
+        if name not in interfaces:
+            return []
+        order = [name]
+        seen = {name}
+        stack = [iter(interfaces[name].supertypes)]
+        while stack:
+            for supertype in stack[-1]:
+                if supertype in seen or supertype not in interfaces:
+                    continue
+                seen.add(supertype)
+                order.append(supertype)
+                stack.append(iter(interfaces[supertype].supertypes))
+                break
+            else:
+                stack.pop()
         return order
 
     # ------------------------------------------------------------------
@@ -437,6 +454,17 @@ class Schema:
 
         validate_schema(self, raise_on_error=True)
 
+    def note_analysis_cache(self, hit: bool) -> None:
+        """Count one plan-analysis memo lookup (hit or miss).
+
+        Fed by :meth:`repro.repository.workspace.Workspace.apply_plan`'s
+        analysis memo so ``stats()`` exposes the retry-reuse rate.
+        """
+        if hit:
+            self._analysis_hits += 1
+        else:
+            self._analysis_misses += 1
+
     def stats(self) -> dict[str, int]:
         """Size metrics plus spine and subscriber counters.
 
@@ -477,6 +505,8 @@ class Schema:
             "validation.incremental": validation["incremental_validations"],
             "validation.revalidated": validation["interfaces_revalidated"],
             "validation.reused": validation["interfaces_reused"],
+            "analysis.hits": self._analysis_hits,
+            "analysis.misses": self._analysis_misses,
         }
         # Deprecated flat aliases, kept for one release.
         stats["index_hits"] = stats["index.hits"]

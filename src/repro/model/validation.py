@@ -348,31 +348,39 @@ def check_cardinality_roles(schema: Schema) -> Iterator[Issue]:
 def _find_cycle(
     nodes: Iterable[str], successors: Callable[[str], Iterable[str]]
 ) -> list[str] | None:
-    """Return one directed cycle as a node list, or ``None``."""
+    """Return one directed cycle as a node list, or ``None``.
+
+    Iterative DFS (an explicit stack of successor iterators) with the
+    exact traversal order — and therefore the exact reported cycle — of
+    the recursive form it replaced, which hit the interpreter recursion
+    limit on ISA chains a few thousand types deep.
+    """
     visiting: set[str] = set()
     done: set[str] = set()
     stack: list[str] = []
-
-    def visit(node: str) -> list[str] | None:
-        if node in done:
-            return None
-        if node in visiting:
-            return stack[stack.index(node):] + [node]
-        visiting.add(node)
-        stack.append(node)
-        for nxt in successors(node):
-            found = visit(nxt)
-            if found is not None:
-                return found
-        stack.pop()
-        visiting.discard(node)
-        done.add(node)
-        return None
+    pending: list[Iterable[str]] = []
 
     for start in nodes:
-        found = visit(start)
-        if found is not None:
-            return found
+        if start in done:
+            continue
+        visiting.add(start)
+        stack.append(start)
+        pending.append(iter(successors(start)))
+        while pending:
+            for nxt in pending[-1]:
+                if nxt in done:
+                    continue
+                if nxt in visiting:
+                    return stack[stack.index(nxt):] + [nxt]
+                visiting.add(nxt)
+                stack.append(nxt)
+                pending.append(iter(successors(nxt)))
+                break
+            else:
+                pending.pop()
+                node = stack.pop()
+                visiting.discard(node)
+                done.add(node)
     return None
 
 

@@ -172,6 +172,22 @@ class ValidationCache:
     previous call.
     """
 
+    __slots__ = (
+        "_schema",
+        "_stamp",
+        "_interface_issues",
+        "_refs_of",
+        "_referencers",
+        "_cycle_issues",
+        "_components",
+        "_assembled",
+        "clean_hits",
+        "full_validations",
+        "incremental_validations",
+        "interfaces_revalidated",
+        "interfaces_reused",
+    )
+
     def __init__(self, schema: "Schema") -> None:
         self._schema = schema
         #: Generation at the last (re)validation; ``None`` = never ran.
@@ -326,21 +342,15 @@ class ValidationCache:
         self._update_components(touched, membership, journal)
 
     def _descendants_of(self, roots: set[str]) -> set[str]:
-        """Transitive subtypes of *roots* (roots excluded) via the index."""
+        """Transitive subtypes of *roots* (roots excluded) via the index.
+
+        Uses the index's incrementally maintained compact ISA adjacency,
+        so seeding the dirty closure never forces an O(N) subtype-map
+        rebuild mid-plan.
+        """
         if not roots:
             return set()
-        subtype_map = self._schema.index.subtype_map()
-        result: set[str] = set()
-        frontier: list[str] = []
-        for root in roots:
-            frontier.extend(subtype_map.get(root, ()))
-        while frontier:
-            current = frontier.pop()
-            if current in result:
-                continue
-            result.add(current)
-            frontier.extend(subtype_map.get(current, ()))
-        return result
+        return self._schema.index.descendants_closure(roots)
 
     # ------------------------------------------------------------------
     # Per-interface slots and the reference maps

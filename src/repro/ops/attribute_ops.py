@@ -186,8 +186,8 @@ class DeleteAttribute(SchemaOperation):
             for key in schema.get(name).keys:
                 if self.attribute_name in key:
                     uses.append(f"key {key!r} of {name!r}")
-        for owner, end in schema.relationship_pairs():
-            if end.target_type in losers and self.attribute_name in end.order_by:
+        for owner, end in schema.index.ends_targeting(losers):
+            if self.attribute_name in end.order_by:
                 uses.append(f"order_by of {owner}::{end.name}")
         return uses
 

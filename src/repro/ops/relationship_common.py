@@ -97,21 +97,17 @@ def check_hierarchy_stays_acyclic(
             f"{'part' if kind is RelationshipKind.PART_OF else 'instance'} "
             f"(the {label} hierarchy must stay acyclic)"
         )
-    edges = [
-        (one, many)
-        for one, many, _ in (
-            schema.part_of_edges()
-            if kind is RelationshipKind.PART_OF
-            else schema.instance_of_edges()
-        )
-    ]
-    if dropped_edge is not None and dropped_edge in edges:
-        edges.remove(dropped_edge)
-    adjacency: dict[str, list[str]] = {}
-    for one, many in edges:
-        adjacency.setdefault(one, []).append(many)
     # A cycle appears iff the new edge's one-side is already reachable
-    # from its many-side along existing edges.
+    # from its many-side along existing edges.  Every edge of the
+    # hierarchy is derived from its to-many end's owner (see
+    # ``scan_link_edges``), so a visited node's successors are read off
+    # that node's own end list -- the walk touches only the reachable
+    # subgraph instead of rebuilding the whole-schema edge listing.
+    interfaces = schema.interfaces
+    drop_one, drop_many = dropped_edge if dropped_edge is not None else (
+        None,
+        None,
+    )
     frontier = [many_side]
     seen: set[str] = set()
     while frontier:
@@ -126,7 +122,19 @@ def check_hierarchy_stays_acyclic(
         if current in seen:
             continue
         seen.add(current)
-        frontier.extend(adjacency.get(current, ()))
+        interface = interfaces.get(current)
+        if interface is None:
+            continue
+        # One occurrence of *dropped_edge* is being moved by this same
+        # operation and must not count (mirrors ``edges.remove``).
+        skip_pending = current == drop_one
+        for end in interface.relationships_of_kind(kind):
+            if end.is_to_many:
+                target = end.target_type
+                if skip_pending and target == drop_many:
+                    skip_pending = False
+                    continue
+                frontier.append(target)
 
 
 def default_inverse_target(owner: str, added_end: RelationshipEnd) -> TypeRef:

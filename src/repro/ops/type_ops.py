@@ -106,12 +106,12 @@ class DeleteTypeDefinition(SchemaOperation):
             )
 
     def _referencing_types(self, schema: Schema) -> set[str]:
-        return {
-            interface.name
-            for interface in schema
-            if interface.name != self.typename
-            and self.typename in interface.referenced_type_names()
-        }
+        # Served by the index's incremental reverse-reference map:
+        # O(|referencers|) instead of re-deriving every interface's
+        # reference set (O(N * properties)) per validation.
+        users = schema.index.referencers_of(self.typename)
+        users.discard(self.typename)
+        return users
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)

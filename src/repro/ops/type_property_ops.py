@@ -115,7 +115,7 @@ def _check_nothing_stranded(
                 )
         if ends_by_target is None:
             ends_by_target = {}
-            for owner, end in schema.relationship_pairs():
+            for owner, end in schema.index.ends_targeting(affected):
                 ends_by_target.setdefault(end.target_type, []).append(
                     (owner, end)
                 )

@@ -104,6 +104,11 @@ class Workspace:
         #: ``validate_each_step`` is off.
         self.validate_each_step = validate_each_step
         self.issues: list[Issue] = []
+        #: Last plan analysis, keyed by (plan fingerprint, concept kind,
+        #: normalize flag) and stamped with the spine it was computed
+        #: against -- retrying a rejected plan reuses it instead of
+        #: re-running the whole static analysis.
+        self._analysis_memo: tuple | None = None
         self._refresh_issues()
 
     def _refresh_issues(self) -> None:
@@ -223,12 +228,10 @@ class Workspace:
         is undone and the error re-raised, leaving the workspace as it
         was.
         """
-        from repro.analysis.plan import PlanPreflightError, analyze_plan
+        from repro.analysis.plan import PlanPreflightError
 
         kind = concept.kind if concept is not None else None
-        analysis = analyze_plan(
-            plan, self.schema, kind=kind, normalize=normalize, edges=False
-        )
+        analysis = self._analyzed(plan, kind, normalize)
         if analysis.diagnostics:
             raise PlanPreflightError(analysis.diagnostics)
         entries: list[LogEntry] = []
@@ -248,6 +251,102 @@ class Workspace:
             self._redo_stack.clear()
             self._refresh_issues()
             raise
+        return entries
+
+    def _analyzed(self, plan, kind, normalize: bool):
+        """Plan analysis, memoized on (plan fingerprint, spine seq).
+
+        A rejected plan raises :class:`~repro.analysis.plan.
+        PlanPreflightError` *before* anything mutates, so the schema's
+        spine seq is unchanged on retry and the (deterministic) analysis
+        can be reused wholesale -- it is ~19% of batched apply time
+        (BENCH_PR5.json ``plan_analyze_fraction``).  Any mutation bumps
+        the seq and naturally invalidates the memo.  Hits and misses are
+        counted in ``Schema.stats()`` (``analysis.hits`` / ``.misses``).
+        """
+        from repro.analysis.plan import analyze_plan
+
+        key = (tuple(op.to_text() for op in plan), kind, normalize)
+        log = self.schema.log
+        memo = self._analysis_memo
+        if (
+            memo is not None
+            and memo[0] == key
+            and memo[1] is log
+            and memo[2] == log.seq
+        ):
+            self.schema.note_analysis_cache(True)
+            return memo[3]
+        self.schema.note_analysis_cache(False)
+        analysis = analyze_plan(
+            plan, self.schema, kind=kind, normalize=normalize, edges=False
+        )
+        self._analysis_memo = (key, log, log.seq, analysis)
+        return analysis
+
+    def apply_plan_compiled(
+        self,
+        plan: list[SchemaOperation],
+        concept: ConceptSchema | None = None,
+        normalize: bool = True,
+    ) -> list[LogEntry]:
+        """The fused compiled-plan path: one mutation pass, one validate.
+
+        Same pre-flight and normalization as :meth:`apply_plan`, but the
+        clean, batched plan is then *compiled down* to a single pass:
+        every op (with its cascades) mutates the live schema through
+        :func:`~repro.knowledge.propagation.expand_applying` exactly as
+        the per-op path does, and validation runs once at the end
+        instead of once per batch.  Designer feedback (cautions,
+        cascade notes) is skipped -- this path is for bulk application
+        where the pre-flight already vetted the plan, e.g. replaying a
+        reviewed script onto a 10k-type schema.
+
+        The emitted ``MutationRecord`` stream is identical to the
+        per-op path's, record for record: all mutation flows through the
+        same ``step.apply`` calls inside ``expand_applying`` followed by
+        the same per-step scope notes (``tools/check_mutators.py``
+        AST-checks this path mutates through no other channel).  On a
+        dynamic failure mid-pass, every applied undo closure runs in
+        reverse and the error is re-raised with the history untouched.
+        """
+        from repro.analysis.plan import PlanPreflightError
+
+        kind = concept.kind if concept is not None else None
+        analysis = self._analyzed(plan, kind, normalize)
+        if analysis.diagnostics:
+            raise PlanPreflightError(analysis.diagnostics)
+        concept_id = concept.identifier if concept else None
+        entries: list[LogEntry] = []
+        try:
+            for batch in analysis.batches:
+                for operation in batch:
+                    if concept is not None:
+                        check_admissible(operation, concept.kind)
+                    step_plan, undos = expand_applying(
+                        self.schema, operation, self.context
+                    )
+                    entries.append(
+                        LogEntry(
+                            requested=operation,
+                            plan=step_plan,
+                            undos=undos,
+                            concept_id=concept_id,
+                            feedback=[],
+                            propagated=True,
+                        )
+                    )
+                    self._note_scopes(step_plan)
+        except (OperationError, SchemaError):
+            for entry in reversed(entries):
+                for undo in reversed(entry.undos):
+                    undo()
+                self._note_scopes(entry.plan)
+            self._refresh_issues()
+            raise
+        self.log.extend(entries)
+        self._redo_stack.clear()
+        self._refresh_issues()
         return entries
 
     def _apply_fast(
@@ -483,6 +582,7 @@ class Workspace:
         branch._redo_stack = []
         branch.validate_each_step = self.validate_each_step
         branch.issues = list(self.issues)
+        branch._analysis_memo = None
         return branch
 
     def _fork_by_replay(

@@ -68,6 +68,42 @@ def campaign_subjects(seeds: int) -> list[tuple[Subject, int]]:
     return pairs
 
 
+# Sizes the large profile ladders through, cycled per seed.  Each step
+# on these subjects is cheap, but every invariant sweep is a full scan,
+# so run_campaign checks them sparsely (see large_check_every).
+LARGE_SIZES = (1_000, 2_000, 5_000, 10_000)
+
+
+def large_subject(seed: int, types: int) -> Subject:
+    """A large synthetic schema: deep ISA chain plus a wide hub.
+
+    These shapes (thousands of types, a supertype chain hundreds deep, a
+    wagon-wheel hub with hundreds of spokes) are the ones that exposed
+    the PR 6 scale bugs; the profile keeps fuzzing them.
+    """
+    spec = WorkloadSpec(
+        types=types,
+        seed=seed,
+        isa_chain=types // 5,
+        hub_fanout=min(200, types // 5),
+        part_of_chain=min(100, types // 10),
+        instance_of_chain=min(50, types // 20),
+    )
+    return Subject(
+        f"large_{types}_{seed}",
+        f"generate_schema({spec!r})",
+        lambda: generate_schema(spec),
+    )
+
+
+def large_subjects(seeds: int) -> list[tuple[Subject, int]]:
+    """(subject, fuzz seed) pairs laddering through LARGE_SIZES."""
+    return [
+        (large_subject(seed, LARGE_SIZES[seed % len(LARGE_SIZES)]), seed)
+        for seed in range(seeds)
+    ]
+
+
 def run_campaign(
     seeds: int,
     steps: int,
@@ -75,21 +111,33 @@ def run_campaign(
     only_schema: str | None = None,
     do_shrink: bool = True,
     fail_fast: bool = True,
+    large_seeds: int = 0,
+    large_steps: int = 60,
+    large_check_every: int = 30,
     out=sys.stdout,
 ) -> list[FuzzReport]:
     """Run the sweep; prints one summary line per run, reproducers on
-    failure.  Returns every report (failures included)."""
-    pairs = campaign_subjects(seeds)
+    failure.  Returns every report (failures included).
+
+    ``large_seeds`` appends the large-schema profile: 1k-10k-type
+    subjects fuzzed for ``large_steps`` steps with *both* invariant
+    tiers spaced ``large_check_every`` steps apart -- on these subjects
+    even the cheap tier is a full scan.
+    """
+    runs = [
+        (subject, seed, steps, check_every, 1)
+        for subject, seed in campaign_subjects(seeds)
+    ]
+    runs.extend(
+        (subject, seed, large_steps, large_check_every, large_check_every)
+        for subject, seed in large_subjects(large_seeds)
+    )
     if only_schema is not None:
-        pairs = [
-            (subject, seed)
-            for subject, seed in pairs
-            if subject.name == only_schema
-        ]
-        if not pairs:
+        runs = [run for run in runs if run[0].name == only_schema]
+        if not runs:
             raise SystemExit(f"unknown subject {only_schema!r}")
     reports: list[FuzzReport] = []
-    for subject, seed in pairs:
+    for subject, seed, run_steps, run_check_every, run_cheap_every in runs:
         reference = subject.build()
         baseline = check_schema(reference)
         if baseline:
@@ -100,9 +148,10 @@ def run_campaign(
         report = fuzz(
             reference,
             seed=seed,
-            steps=steps,
-            check_every=check_every,
+            steps=run_steps,
+            check_every=run_check_every,
             subject_name=subject.name,
+            cheap_every=run_cheap_every,
         )
         reports.append(report)
         print(report.summary(), file=out)
@@ -152,6 +201,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="run expensive-tier invariants every N steps (default 4)",
     )
     parser.add_argument(
+        "--large-seeds", type=int, default=0,
+        help=(
+            "append N large-schema runs (1k-10k types, deep ISA chains, "
+            "wide hubs); default 0 (off)"
+        ),
+    )
+    parser.add_argument(
+        "--large-steps", type=int, default=60,
+        help="operations per large-schema run (default 60)",
+    )
+    parser.add_argument(
+        "--large-check-every", type=int, default=30,
+        help=(
+            "invariant cadence (both tiers) on large subjects "
+            "(default 30)"
+        ),
+    )
+    parser.add_argument(
         "--schema", default=None,
         help="restrict the sweep to one subject name",
     )
@@ -178,6 +245,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         only_schema=options.schema,
         do_shrink=not options.no_shrink,
         fail_fast=not options.keep_going,
+        large_seeds=options.large_seeds,
+        large_steps=options.large_steps,
+        large_check_every=options.large_check_every,
     )
     failures = [report for report in reports if not report.ok]
     accepted = sum(report.accepted for report in reports)

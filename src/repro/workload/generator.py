@@ -79,6 +79,8 @@ class WorkloadSpec:
     isa_fraction: float = 0.3  # fraction of types placed under a parent
     part_of_chain: int = 4  # length of the generated parts explosion
     instance_of_chain: int = 3  # length of the generated version chain
+    isa_chain: int = 0  # depth of one dedicated supertype chain
+    hub_fanout: int = 0  # spokes of one wide wagon-wheel hub type
     seed: int = 0
 
 
@@ -103,7 +105,9 @@ def generate_schema(spec: WorkloadSpec, name: str | None = None) -> Schema:
             )
         schema.add_interface(interface)
 
+    _wire_isa_chain(schema, type_names, spec)
     _wire_generalization(schema, type_names, spec, rng)
+    _wire_hub_fanout(schema, type_names, spec)
     _wire_associations(schema, type_names, spec, rng)
     _wire_part_of_chain(schema, type_names, spec)
     _wire_instance_of_chain(schema, type_names, spec)
@@ -121,12 +125,51 @@ def _make_operation(op_name: str, rng: random.Random):
     return Operation(op_name, rng.choice(_SCALARS), parameters)
 
 
+def _wire_isa_chain(schema, type_names, spec) -> None:
+    """One deep supertype chain across the first ``isa_chain`` types.
+
+    Models the degenerate-depth hierarchies that exposed the recursive
+    ancestry/cycle walks (they overflowed the interpreter stack beyond
+    ~1 000 levels); the large-schema fuzz profile and the deep-chain
+    regression tests generate through this.
+    """
+    chain = type_names[: max(0, min(spec.isa_chain, len(type_names)))]
+    for parent, child in zip(chain, chain[1:]):
+        schema.get(child).add_supertype(parent)
+
+
 def _wire_generalization(schema, type_names, spec, rng) -> None:
     """Attach a fraction of types under earlier types (guaranteed acyclic)."""
     for index, type_name in enumerate(type_names[1:], start=1):
         if rng.random() < spec.isa_fraction:
             parent = type_names[rng.randrange(0, index)]
-            schema.get(type_name).add_supertype(parent)
+            interface = schema.get(type_name)
+            if parent not in interface.supertypes:
+                interface.add_supertype(parent)
+
+
+def _wire_hub_fanout(schema, type_names, spec) -> None:
+    """One wide wagon-wheel hub: the first type linked to the next N.
+
+    Stresses the fan-out shape of Figure 3's wagon wheel at scale -- a
+    single interface owning hundreds of association ends, each with its
+    inverse on a distinct rim type.
+    """
+    if spec.hub_fanout <= 0 or len(type_names) < 2:
+        return
+    hub_name = type_names[0]
+    hub = schema.get(hub_name)
+    for spoke, target_name in enumerate(
+        type_names[1 : spec.hub_fanout + 1]
+    ):
+        path = f"spoke{spoke}_to"
+        inverse_path = f"spoke{spoke}_from"
+        hub.add_relationship(
+            _end(path, set_of(target_name), target_name, inverse_path)
+        )
+        schema.get(target_name).add_relationship(
+            _end(inverse_path, NamedType(hub_name), hub_name, path)
+        )
 
 
 def _wire_associations(schema, type_names, spec, rng) -> None:

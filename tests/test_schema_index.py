@@ -80,6 +80,7 @@ class TestIndexedQueriesMatchScans:
 
     def test_queries_hit_the_cache_when_unchanged(self, workload_schema):
         workload_schema.descendants("Type000")
+        workload_schema.subtypes("Type001")
         before = workload_schema.index.stats()
         workload_schema.descendants("Type000")
         workload_schema.subtypes("Type001")

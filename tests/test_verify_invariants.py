@@ -132,6 +132,55 @@ class TestIndexDifferentials:
         assert "index-generalization-vs-scan" in violated
 
 
+class TestDifferentialSampling:
+    """Past _DIFFERENTIAL_SAMPLE types the per-type index differentials
+    probe a deterministic stride sample -- exhaustive probing calls an
+    O(types) scan per type, which the large fuzz profile cannot afford.
+    """
+
+    def test_small_schemas_are_swept_exhaustively(self):
+        from repro.verify.invariants import _sampled_type_names
+
+        schema = load("university")
+        assert _sampled_type_names(schema) == schema.type_names()
+
+    def test_large_schemas_sample_boundedly_and_deterministically(self):
+        from repro.verify.invariants import (
+            _DIFFERENTIAL_SAMPLE,
+            _sampled_type_names,
+        )
+
+        schema = generate_schema(WorkloadSpec(types=1_000, seed=1))
+        sample = _sampled_type_names(schema)
+        assert len(sample) <= _DIFFERENTIAL_SAMPLE
+        assert sample == _sampled_type_names(schema)
+        assert set(sample) <= set(schema.type_names())
+
+    def test_successive_generations_rotate_the_sample(self):
+        from repro.verify.invariants import _sampled_type_names
+
+        schema = generate_schema(WorkloadSpec(types=1_000, seed=1))
+        seen: set[str] = set(_sampled_type_names(schema))
+        stride = -(-len(schema.type_names()) // 256)
+        for _ in range(stride - 1):
+            schema.touch()
+            seen.update(_sampled_type_names(schema))
+        # One sweep per generation residue covers every declared type.
+        assert seen == set(schema.type_names())
+
+    def test_sampled_differential_still_detects_stale_caches(self):
+        from repro.verify.invariants import _sampled_type_names
+
+        schema = generate_schema(WorkloadSpec(types=1_000, seed=1))
+        # Divergence planted on a type the current sample will probe.
+        victim = _sampled_type_names(schema)[0]
+        schema.subtypes(victim)  # prime the indexed answer
+        new = InterfaceDef("Imposter", supertypes=[victim])
+        schema.interfaces[new.name] = new
+        violated = {v.invariant for v in check_schema(schema)}
+        assert "index-generalization-vs-scan" in violated
+
+
 class TestWorkspaceInvariants:
     def test_corrupted_undo_closures_detected(self):
         workspace = Workspace(load("university"))

@@ -208,3 +208,96 @@ class TestWorkspaceAtomicityOnSchemaError:
         assert schema_fingerprint(workspace.schema) == before
         assert workspace.undo_depth == 0
         assert not check_workspace(workspace)
+
+
+class TestForkRewindFallback:
+    """PR 6 differential: ``fork(at=)`` rewind fallback vs rewound state.
+
+    The ``fork-rewind-differential`` invariant fabricates a mid-history
+    snapshot and checks the lossy-log fallback (`_fork_by_rewind`)
+    against a structural copy of the rewound workspace.  These traces
+    pin the scenarios the differential exercises: a lossy log, a
+    pending redo stack across the fallback, and an out-of-band edit
+    landing after the snapshot (which the branch must still reflect --
+    out-of-band edits are not position-tracked).
+    """
+
+    def _snapshot_after(self, workspace, texts, snapshot_index):
+        snapshot = None
+        for index, text in enumerate(texts):
+            workspace.apply(parse_operation(text))
+            if index == snapshot_index:
+                snapshot = workspace.snapshot()
+        assert snapshot is not None
+        return snapshot
+
+    def _rewound_fingerprint(self, workspace, snapshot):
+        before = schema_fingerprint(workspace.schema)
+        unwound = workspace.undo_to(snapshot)
+        expected = schema_fingerprint(workspace.schema)
+        for _ in range(unwound):
+            workspace.redo()
+        assert schema_fingerprint(workspace.schema) == before
+        return expected
+
+    def test_lossy_log_fork_matches_rewound_state(self):
+        workspace = Workspace(load("university"))
+        snapshot = self._snapshot_after(workspace, [
+            "add_type_definition(A)",
+            "add_attribute(A, long, x)",
+            "add_type_definition(B)",
+            "add_relationship(A, set<B>, friends, B::friend_of)",
+            "delete_type_definition(B)",
+        ], snapshot_index=1)
+        expected = self._rewound_fingerprint(workspace, snapshot)
+        before = schema_fingerprint(workspace.schema)
+        workspace.schema.touch()  # out-of-band marker: the log is lossy
+        with pytest.warns(RuntimeWarning, match="rewind-and-clone"):
+            branch = workspace.fork(at=snapshot)
+        assert schema_fingerprint(branch.schema) == expected
+        assert branch.undo_depth == 0
+        assert schema_fingerprint(workspace.schema) == before
+        assert not check_workspace(workspace)
+
+    def test_fallback_preserves_pending_redo_entries(self):
+        workspace = Workspace(load("university"))
+        snapshot = self._snapshot_after(workspace, [
+            "add_type_definition(A)",
+            "add_attribute(A, long, x)",
+            "add_type_definition(B)",
+            "add_attribute(B, long, y)",
+        ], snapshot_index=1)
+        workspace.undo_last()  # leave add_attribute(B, long, y) redoable
+        expected = self._rewound_fingerprint(workspace, snapshot)
+        before = schema_fingerprint(workspace.schema)
+        workspace.schema.touch()
+        with pytest.warns(RuntimeWarning):
+            branch = workspace.fork(at=snapshot)
+        assert schema_fingerprint(branch.schema) == expected
+        assert schema_fingerprint(workspace.schema) == before
+        assert workspace.redo_depth == 1
+        redone = workspace.redo()
+        assert redone is not None
+
+    def test_out_of_band_edit_after_snapshot_reaches_branch(self):
+        from repro.model.attributes import Attribute
+        from repro.model.types import scalar
+
+        workspace = Workspace(load("university"))
+        snapshot = self._snapshot_after(workspace, [
+            "add_type_definition(A)",
+            "add_attribute(A, long, x)",
+            "add_type_definition(B)",
+        ], snapshot_index=1)
+        # Out-of-band edit: direct container write plus touch().  It is
+        # not position-tracked, so the branch reflects it even though it
+        # landed after the snapshot (documented fallback semantics).
+        workspace.schema.interfaces["A"].attributes["oob"] = Attribute(
+            "oob", scalar("long")
+        )
+        workspace.schema.touch()
+        expected = self._rewound_fingerprint(workspace, snapshot)
+        with pytest.warns(RuntimeWarning):
+            branch = workspace.fork(at=snapshot)
+        assert schema_fingerprint(branch.schema) == expected
+        assert "oob" in branch.schema.interfaces["A"].attributes

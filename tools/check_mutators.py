@@ -12,6 +12,16 @@ or through other methods of the same class (fixpoint over ``self.``
 calls, so ``Schema.add_interface -> self._adopt -> self._log.emit``
 counts).
 
+It also checks the compiled-plan fast path:
+``Workspace.apply_plan_compiled`` promises the same ``MutationRecord``
+stream as per-op application, which holds only if every mutation flows
+through ``expand_applying`` (the ops' own ``step.apply``) followed by
+``self._note_scopes``.  The check asserts both calls are present and
+that neither the method nor any ``Workspace`` helper reachable from it
+calls a mutator-prefixed method or writes model containers directly --
+either would put records on the spine the per-op path does not (or,
+worse, mutate without a record at all).
+
 Run via ``make lint`` and CI; exits 1 listing every silent mutator.
 """
 
@@ -38,6 +48,9 @@ MUTATOR_PREFIXES = (
     "reorder_",
     "touch",
 )
+
+WORKSPACE_PATH = SRC.parent / "repository" / "workspace.py"
+COMPILED_ENTRY = "apply_plan_compiled"
 
 
 def _is_emit_call(node: ast.Call) -> bool:
@@ -102,6 +115,91 @@ def _emitting_methods(methods: dict[str, ast.FunctionDef]) -> set[str]:
     return emitting
 
 
+def _reachable_methods(
+    methods: dict[str, ast.FunctionDef], entry: str
+) -> dict[str, ast.FunctionDef]:
+    """*entry* plus every same-class method reachable via ``self.``."""
+    frontier = [entry]
+    reached: dict[str, ast.FunctionDef] = {}
+    while frontier:
+        name = frontier.pop()
+        if name in reached or name not in methods:
+            continue
+        reached[name] = methods[name]
+        frontier.extend(_self_calls(methods[name]))
+    return reached
+
+
+def _calls_in(function: ast.FunctionDef) -> list[ast.Call]:
+    return [
+        node for node in ast.walk(function) if isinstance(node, ast.Call)
+    ]
+
+
+def _call_name(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def check_compiled_plan(path: Path = WORKSPACE_PATH) -> list[str]:
+    """The compiled-plan path mutates only through the sanctioned calls.
+
+    ``apply_plan_compiled`` must reach ``expand_applying`` (every
+    mutation is a ``step.apply`` inside it, emitting the same records
+    the per-op path emits) and ``self._note_scopes`` (the same per-step
+    scope notes).  Conversely, no method reachable from it may call a
+    mutator-prefixed method or store/delete through a subscript -- any
+    such channel would skew the record stream away from per-op parity.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    methods = _methods_of(tree, "Workspace")
+    if COMPILED_ENTRY not in methods:
+        return [f"{path}: Workspace.{COMPILED_ENTRY} not found"]
+    entry = methods[COMPILED_ENTRY]
+    failures: list[str] = []
+    called = {_call_name(call) for call in _calls_in(entry)}
+    for required in ("expand_applying", "_note_scopes"):
+        if required not in called:
+            failures.append(
+                f"{path}:{entry.lineno}: Workspace.{COMPILED_ENTRY} no "
+                f"longer calls {required}; the compiled pass must mutate "
+                "through expand_applying and note each step's scope"
+            )
+    for name, function in sorted(_reachable_methods(
+        methods, COMPILED_ENTRY
+    ).items()):
+        for call in _calls_in(function):
+            target = _call_name(call)
+            if target is not None and target.startswith(MUTATOR_PREFIXES):
+                failures.append(
+                    f"{path}:{call.lineno}: Workspace.{name} (reachable "
+                    f"from {COMPILED_ENTRY}) calls mutator {target!r}; "
+                    "compiled plans must mutate only via expand_applying"
+                )
+        for node in ast.walk(function):
+            targets: list[ast.expr] = []
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    failures.append(
+                        f"{path}:{node.lineno}: Workspace.{name} "
+                        f"(reachable from {COMPILED_ENTRY}) writes a "
+                        "container by subscript; compiled plans must not "
+                        "mutate model state outside expand_applying"
+                    )
+    return failures
+
+
 def main() -> int:
     failures: list[str] = []
     checked = 0
@@ -120,15 +218,28 @@ def main() -> int:
                     f"{class_name}.{name} mutates without emitting a "
                     "MutationRecord (self._emit / self._log.emit unreachable)"
                 )
-    if failures:
-        print("\n".join(failures), file=sys.stderr)
-        print(
-            f"\n{len(failures)} silent mutator(s); every public mutator "
-            "must land a record on the mutation spine (DESIGN.md 5e).",
-            file=sys.stderr,
-        )
+    compiled_failures = check_compiled_plan()
+    if failures or compiled_failures:
+        if failures:
+            print("\n".join(failures), file=sys.stderr)
+            print(
+                f"\n{len(failures)} silent mutator(s); every public mutator "
+                "must land a record on the mutation spine (DESIGN.md 5e).",
+                file=sys.stderr,
+            )
+        if compiled_failures:
+            print("\n".join(compiled_failures), file=sys.stderr)
+            print(
+                f"\n{len(compiled_failures)} compiled-plan violation(s); "
+                "apply_plan_compiled must emit the per-op record stream "
+                "(DESIGN.md 5g).",
+                file=sys.stderr,
+            )
         return 1
-    print(f"check_mutators: {checked} public mutators all emit records")
+    print(
+        f"check_mutators: {checked} public mutators all emit records; "
+        "compiled-plan path mutates only via expand_applying"
+    )
     return 0
 
 
