@@ -43,7 +43,8 @@ fuzz:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.verify --seeds 40 --steps 200 \
 		--large-seeds 4
 
-## ~30s fuzzing tripwire for CI (fixed seeds, deterministic)
+## ~70s fuzzing tripwire for CI (fixed seeds, deterministic); carries
+## witness populations at a cheap cadence so reproducers include data
 fuzz-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.verify --seeds 20 --steps 200 \
-		--check-every 3
+		--check-every 3 --with-populations

@@ -15,6 +15,8 @@ Commands::
     apply <operation(...)>   apply one operation in the current concept
     refactor <composite(...)>  apply a composite (macro) operation
     impact <operation(...)>  preview an operation's impact
+    preview <op(...)[; op(...)]>  example data a pending plan admits/forbids
+    examples [<type>] [<kind>]  witness + near-miss populations per constraint
     explain [<id>]           plain-prose explanation of a concept schema
     suggest                  repair suggestions for current findings
     alias <path> <name>      record a local name (Type or Type.member)
@@ -88,6 +90,32 @@ def execute(session: DesignSession, line: str) -> str:
             return f"{status}: {recent.message}"
         if command == "impact":
             return session.preview(argument)
+        if command == "preview":
+            from repro.ops.language import parse_script
+
+            plan = parse_script(argument)
+            if not plan:
+                return "usage: preview <operation(...)[; operation(...)]>"
+            return session.repository.workspace.preview(plan).render()
+        if command == "examples":
+            from repro.examples.generator import (
+                CONSTRAINT_KINDS, significant_examples,
+            )
+
+            parts = argument.split()
+            interfaces = kinds = None
+            for part in parts:
+                if part in CONSTRAINT_KINDS:
+                    kinds = (kinds or ()) + (part,)
+                else:
+                    interfaces = (interfaces or ()) + (part,)
+            pairs = significant_examples(
+                session.repository.workspace.schema,
+                interfaces=interfaces, kinds=kinds,
+            )
+            if not pairs:
+                return "(no example pairs for that selection)"
+            return "\n\n".join(pair.render() for pair in pairs)
         if command == "explain":
             return session.explain(argument or None)
         if command == "suggest":

@@ -1,0 +1,36 @@
+"""Significant examples: witness and near-miss populations per constraint.
+
+Following Proper's "Generating Significant Examples for Conceptual
+Schema Validation", each instance-level constraint of a schema is
+illustrated by a *pair* of minimal populations: a **witness** the
+constraint admits and a **near-miss** it rejects.  Showing both is the
+strongest feedback a designer can get about what a schema (or a pending
+modification) actually means.
+
+The generator (:func:`~repro.examples.generator.significant_examples`)
+is best-effort: every pair it emits is verified against
+:func:`~repro.instances.check.check_population` -- the witness checks
+clean and the near-miss provokes the pair's constraint kind -- and
+sites it cannot instantiate (e.g. an interface whose key attributes are
+not scalar-fillable) are silently skipped.  ``check_population`` is the
+specification; the generator only samples it.
+
+``python -m repro.examples <catalog-schema>`` prints the pairs;
+:func:`~repro.examples.preview.preview_plan` diffs them across a
+pending plan for designer feedback.
+"""
+
+from repro.examples.generator import (
+    CONSTRAINT_KINDS,
+    ExamplePair,
+    significant_examples,
+)
+from repro.examples.preview import PlanPreview, preview_plan
+
+__all__ = [
+    "CONSTRAINT_KINDS",
+    "ExamplePair",
+    "PlanPreview",
+    "preview_plan",
+    "significant_examples",
+]

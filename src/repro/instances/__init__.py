@@ -1,0 +1,34 @@
+"""The instance layer: populations of objects conforming to a schema.
+
+A schema describes which *populations* -- finite sets of objects with
+attribute values, relationship links, and part-of / instance-of
+membership -- it admits.  This package makes that notion concrete:
+
+* :class:`~repro.instances.population.Population` /
+  :class:`~repro.instances.population.InstanceObject` model one
+  candidate population;
+* :func:`~repro.instances.check.check_population` is the admission
+  spec: it checks a population against a schema's cardinalities,
+  inverse pairing, keys, order-bys, ISA extent containment, and
+  part-of / instance-of semantics, returning one
+  :class:`~repro.instances.population.PopulationIssue` per violation.
+
+The significant-example generator (:mod:`repro.examples`) builds on
+this layer; ``check_population`` is the specification it is filtered
+against.
+"""
+
+from repro.instances.check import available_relationships, check_population
+from repro.instances.population import (
+    InstanceObject,
+    Population,
+    PopulationIssue,
+)
+
+__all__ = [
+    "InstanceObject",
+    "Population",
+    "PopulationIssue",
+    "available_relationships",
+    "check_population",
+]

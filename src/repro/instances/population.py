@@ -1,0 +1,163 @@
+"""The population model: objects, attribute values, relationship links.
+
+A :class:`Population` is one candidate instance world for a schema: a
+set of :class:`InstanceObject` records, each carrying
+
+* a direct type (the interface the object instantiates -- through ISA
+  extent containment the object is also a member of every ancestor's
+  extent);
+* attribute values, keyed by attribute name (a value may be missing;
+  :func:`~repro.instances.check.check_population` only requires values
+  that a constraint needs, e.g. key attributes);
+* relationship links, keyed by traversal-path name, each an *ordered*
+  tuple of target object ids (order is what order-by constrains);
+  part-of and instance-of membership are links over ends of those
+  relationship kinds.
+
+Populations are plain mutable builders -- the checker treats them as
+data -- and render to a compact text form so witness populations can
+ride along in designer feedback and fuzzer reproducers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.model.schema import Schema
+
+#: Attribute values are plain Python scalars, object ids (for
+#: interface-typed attributes), or lists/tuples of either.
+Value = object
+
+
+@dataclass(frozen=True)
+class PopulationIssue:
+    """One way a population violates a schema constraint.
+
+    ``kind`` is a stable constraint-family label (``cardinality``,
+    ``inverse``, ``key``, ``order-by``, ``isa-extent``, ``part-of``,
+    ``instance-of``, plus the structural families ``object-type``,
+    ``attribute``, and ``link``); ``location`` names the object (or
+    ``object.path``) at fault.
+    """
+
+    kind: str
+    location: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.location}: {self.message}"
+
+
+@dataclass
+class InstanceObject:
+    """One object of a population."""
+
+    oid: str
+    type_name: str
+    attributes: dict[str, Value] = field(default_factory=dict)
+    links: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        parts = [f"{self.oid}: {self.type_name}"]
+        attrs = ", ".join(
+            f"{name}={value!r}" for name, value in self.attributes.items()
+        )
+        parts.append("{" + attrs + "}")
+        for path, targets in self.links.items():
+            parts.append(f"{path}=[{', '.join(targets)}]")
+        return " ".join(parts)
+
+    def copy(self) -> "InstanceObject":
+        return InstanceObject(
+            self.oid,
+            self.type_name,
+            dict(self.attributes),
+            dict(self.links),
+        )
+
+
+class Population:
+    """A finite set of instance objects, by id, in insertion order."""
+
+    def __init__(self, name: str = "population") -> None:
+        self.name = name
+        self.objects: dict[str, InstanceObject] = {}
+
+    def __iter__(self) -> Iterator[InstanceObject]:
+        return iter(self.objects.values())
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __contains__(self, oid: str) -> bool:
+        return oid in self.objects
+
+    def get(self, oid: str) -> InstanceObject:
+        return self.objects[oid]
+
+    def add(
+        self, oid: str, type_name: str, **attributes: Value
+    ) -> InstanceObject:
+        """Add one object; returns it for further wiring."""
+        if oid in self.objects:
+            raise ValueError(f"duplicate object id {oid!r}")
+        obj = InstanceObject(oid, type_name, dict(attributes))
+        self.objects[oid] = obj
+        return obj
+
+    def link(self, owner_oid: str, path: str, *target_oids: str) -> None:
+        """Append targets to ``owner.path`` (one direction, no mirror)."""
+        owner = self.objects[owner_oid]
+        owner.links[path] = owner.links.get(path, ()) + tuple(target_oids)
+
+    def wire(
+        self,
+        schema: "Schema",
+        owner_oid: str,
+        path: str,
+        target_oid: str,
+        mirror: bool = True,
+    ) -> None:
+        """Link ``owner.path -> target`` and mirror the declared inverse.
+
+        The inverse traversal path is looked up on the *defining* owner
+        of *path* (walking the owner's ancestry, since relationships are
+        inherited).  With no well-formed inverse in the schema -- or
+        ``mirror=False`` for deliberately broken near-misses -- only the
+        forward link is recorded.
+        """
+        from repro.instances.check import available_relationships
+
+        self.link(owner_oid, path, target_oid)
+        if not mirror:
+            return
+        owner = self.objects[owner_oid]
+        ends = available_relationships(schema, owner.type_name)
+        found = ends.get(path)
+        if found is None:
+            return
+        defining_owner, end = found
+        if schema.find_inverse(defining_owner, end) is None:
+            return
+        self.link(target_oid, end.inverse_name, owner_oid)
+
+    def copy(self, name: str | None = None) -> "Population":
+        duplicate = Population(name or self.name)
+        duplicate.objects = {
+            oid: obj.copy() for oid, obj in self.objects.items()
+        }
+        return duplicate
+
+    def render(self) -> str:
+        """Compact one-object-per-line rendering for feedback/reports."""
+        if not self.objects:
+            return f"{self.name}: (empty)"
+        lines = [f"{self.name}:"]
+        lines.extend(f"  {obj.describe()}" for obj in self)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Population {self.name!r} with {len(self)} object(s)>"

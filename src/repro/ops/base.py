@@ -127,6 +127,11 @@ class SchemaOperation(abc.ABC):
     #: rules whose read scope is disjoint (see
     #: :data:`repro.model.validation.RULE_SCOPES`).
     touched_aspects: ClassVar[frozenset[Aspect]] = ALL_ASPECTS
+    #: True for operations that never change which populations a schema
+    #: admits (operation signatures, extent renames, pure reorderings of
+    #: unordered clauses).  Declares ``instance_impact()`` empty, which
+    #: the example-preservation oracle and ``Workspace.preview`` rely on.
+    instance_neutral: ClassVar[bool] = False
 
     @abc.abstractmethod
     def validate(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> None:
@@ -198,6 +203,24 @@ class SchemaOperation(abc.ABC):
         """(interface, Aspect) cells ``validate`` may inspect."""
         return self.written_footprint()
 
+    def instance_impact(self) -> frozenset[str]:
+        """Interface names whose admitted populations may change.
+
+        The instance-level analogue of ``written_footprint()``: an
+        over-approximation of the interfaces for which
+        :func:`repro.instances.check.check_population` may give a
+        different verdict after ``apply``.  Defaults to every written,
+        created, or deleted name; operations that only rename extents,
+        edit operation signatures, or reorder unordered clauses set
+        :attr:`instance_neutral` and declare the empty set.
+        """
+        if self.instance_neutral:
+            return frozenset()
+        impacted = {name for name, _ in self.written_footprint()}
+        impacted.update(self.created_names())
+        impacted.update(self.deleted_names())
+        return frozenset(impacted)
+
     def effect_signature(self) -> "EffectSignature":
         """The operation's static footprint (see :mod:`repro.ops.effects`)."""
         from repro.ops.effects import EffectSignature
@@ -208,6 +231,7 @@ class SchemaOperation(abc.ABC):
             creates=frozenset(self.created_names()),
             deletes=frozenset(self.deleted_names()),
             requires=frozenset(self.required_names()),
+            instances=self.instance_impact(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -137,6 +137,10 @@ def _witness(
     return name, sorted(pool, key=lambda aspect: aspect.value)[0]
 
 
+#: The empty instance-impact facet (for instance-neutral operations).
+NO_INSTANCES: frozenset[str] = frozenset()
+
+
 @dataclass(frozen=True)
 class EffectSignature:
     """Static read/write footprint and name-binding effects of one op."""
@@ -146,6 +150,14 @@ class EffectSignature:
     creates: frozenset[str]
     deletes: frozenset[str]
     requires: frozenset[str]
+    #: The instance-impact facet: interface names whose *admitted
+    #: populations* the operation may change (:data:`WILDCARD` for "any").
+    #: Over-approximates, like ``writes``; instance-neutral operations
+    #: (operation signatures, extent renames, pure reorderings) declare
+    #: the empty set, which is what lets the example-preservation oracle
+    #: (:mod:`repro.verify`) demand that witness populations of
+    #: untouched interfaces survive a plan unchanged.
+    instances: frozenset[str] = NO_INSTANCES
 
     @cached_property
     def _read_index(self) -> dict[str, frozenset[Aspect]]:

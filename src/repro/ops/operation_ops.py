@@ -63,6 +63,7 @@ class AddOperation(SchemaOperation):
 
     op_name = "add_operation"
     touched_aspects = frozenset({Aspect.OPS})
+    instance_neutral = True
     candidate = "Operation"
     sub_candidate = "Name"
     action = "add"
@@ -125,6 +126,7 @@ class DeleteOperation(SchemaOperation):
 
     op_name = "delete_operation"
     touched_aspects = frozenset({Aspect.OPS})
+    instance_neutral = True
     candidate = "Operation"
     sub_candidate = "Name"
     action = "delete"
@@ -171,6 +173,7 @@ class ModifyOperation(SchemaOperation):
 
     op_name = "modify_operation"
     touched_aspects = frozenset({Aspect.OPS})
+    instance_neutral = True
     candidate = "Operation"
     sub_candidate = "Name"
     action = "modify"
@@ -232,6 +235,7 @@ class ModifyOperationReturnType(SchemaOperation):
 
     op_name = "modify_operation_return_type"
     touched_aspects = frozenset({Aspect.OPS})
+    instance_neutral = True
     candidate = "Operation"
     sub_candidate = "Return type"
     action = "modify"
@@ -284,6 +288,7 @@ class ModifyOperationArgList(SchemaOperation):
 
     op_name = "modify_operation_arg_list"
     touched_aspects = frozenset({Aspect.OPS})
+    instance_neutral = True
     candidate = "Operation"
     sub_candidate = "Argument list"
     action = "modify"
@@ -342,6 +347,7 @@ class ModifyOperationExceptionsRaised(SchemaOperation):
 
     op_name = "modify_operation_exceptions_raised"
     touched_aspects = frozenset({Aspect.OPS})
+    instance_neutral = True
     candidate = "Operation"
     sub_candidate = "Exceptions Raised"
     action = "modify"

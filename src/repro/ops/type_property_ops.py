@@ -326,6 +326,7 @@ class AddExtentName(SchemaOperation):
 
     op_name = "add_extent_name"
     touched_aspects = frozenset({Aspect.EXTENT})
+    instance_neutral = True
     candidate = "Type Properties"
     sub_candidate = "Extent name"
     action = "add"
@@ -378,6 +379,7 @@ class DeleteExtentName(SchemaOperation):
 
     op_name = "delete_extent_name"
     touched_aspects = frozenset({Aspect.EXTENT})
+    instance_neutral = True
     candidate = "Type Properties"
     sub_candidate = "Extent name"
     action = "delete"
@@ -416,6 +418,7 @@ class ModifyExtentName(SchemaOperation):
 
     op_name = "modify_extent_name"
     touched_aspects = frozenset({Aspect.EXTENT})
+    instance_neutral = True
     candidate = "Type Properties"
     sub_candidate = "Extent name"
     action = "modify"

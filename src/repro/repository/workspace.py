@@ -392,6 +392,21 @@ class Workspace:
         self._note_scopes(plan)
         return entry
 
+    def preview(self, plan: list[SchemaOperation], concept=None):
+        """What data a pending plan newly admits or forbids; mutates nothing.
+
+        The plan is applied to a throw-away fork, significant example
+        populations (:mod:`repro.examples`) are generated on both sides
+        for the interfaces the plan's instance-impact facet names, and
+        every admission flip is reported as designer feedback: a caution
+        per population the plan newly forbids, an info per population it
+        newly admits.  Returns a
+        :class:`~repro.examples.preview.PlanPreview`.
+        """
+        from repro.examples.preview import preview_plan
+
+        return preview_plan(self, plan, concept)
+
     def apply_composite(
         self,
         composite,

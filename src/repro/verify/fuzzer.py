@@ -134,6 +134,7 @@ class DifferentialHarness:
         check_every: int = 4,
         invariant_filter: set[str] | None = None,
         cheap_every: int = 1,
+        with_populations: bool = False,
     ) -> None:
         self.workspace = Workspace(reference, f"{reference.name}_fuzz")
         self.base_fp = schema_fingerprint(reference)
@@ -146,6 +147,12 @@ class DifferentialHarness:
         # profiles raise this to check sparsely; the O(1) model checks
         # (_check_shape, fingerprint identities) still run every step.
         self.cheap_every = max(1, cheap_every)
+        # Carry populations alongside the schema: at the expensive-tier
+        # cadence, generate a witness population for the current schema
+        # and require (a) the schema admits it and (b) a structural copy
+        # agrees -- so a shrunk reproducer shows concrete witnessing
+        # data, not just the operation trace.
+        self.with_populations = with_populations
         self.invariant_filter = invariant_filter
         self.accepted = 0
         self.rejected = 0
@@ -183,6 +190,45 @@ class DifferentialHarness:
                     self.workspace, tiers=tiers, names=self.invariant_filter
                 )
             )
+        if self.with_populations and TIER_EXPENSIVE in tiers:
+            violations.extend(self._check_populations(step_index))
+        return violations
+
+    def _check_populations(self, step_index: int) -> list[Violation]:
+        """The population differential (``with_populations`` runs only).
+
+        :func:`~repro.workload.population.generate_population` guarantees
+        its result is clean under the schema it generated against, so a
+        live-schema rejection means the generator and
+        :func:`~repro.instances.check.check_population` disagree about
+        what the schema admits.  The structural-copy leg then re-checks
+        the same population against ``schema.copy()``: a disagreement
+        there means the verdict depended on the evolved schema's
+        incremental caches rather than its structure.  Violation
+        messages embed the rendered population -- the witnessing data a
+        shrunk reproducer needs.
+        """
+        from repro.instances.check import check_population
+        from repro.workload.population import generate_population
+
+        schema = self.workspace.schema
+        pop = generate_population(schema, seed=step_index)
+        live = check_population(schema, pop)
+        violations = []
+        if live:
+            violations.extend(self._model_violation(
+                "population-admission",
+                f"the schema rejects its own generated population: "
+                f"{live[0]}\n{pop.render()}",
+            ))
+        rebuilt = check_population(schema.copy(), pop)
+        if [str(issue) for issue in rebuilt] != [str(issue) for issue in live]:
+            detail = rebuilt[0] if rebuilt else live[0]
+            violations.extend(self._model_violation(
+                "population-differential",
+                "check_population disagrees between the live schema and "
+                f"its structural copy: {detail}\n{pop.render()}",
+            ))
         return violations
 
     def final_check(self) -> list[Violation]:
@@ -417,6 +463,7 @@ def fuzz(
     check_every: int = 4,
     subject_name: str | None = None,
     cheap_every: int = 1,
+    with_populations: bool = False,
 ) -> FuzzReport:
     """Run one seeded fuzz sequence against *reference*.
 
@@ -429,7 +476,10 @@ def fuzz(
     """
     rng = random.Random(seed)
     harness = DifferentialHarness(
-        reference, check_every=check_every, cheap_every=cheap_every
+        reference,
+        check_every=check_every,
+        cheap_every=cheap_every,
+        with_populations=with_populations,
     )
     report = FuzzReport(
         subject=subject_name or reference.name, seed=seed
@@ -461,16 +511,23 @@ def replay(
     check_every: int = 1,
     invariant_filter: set[str] | None = None,
     final: bool = True,
+    with_populations: bool = False,
 ) -> FuzzFailure | None:
     """Re-run a concrete trace; returns the first failure, if any.
 
     This is the shrinker's test oracle: it must be deterministic for a
     fixed trace, and with ``invariant_filter`` it reproduces exactly the
     violation family under investigation (ignoring unrelated findings a
-    mutated trace might provoke).
+    mutated trace might provoke).  ``with_populations`` must match the
+    original run when the failure under investigation is a population
+    violation; ``invariant_filter`` keeps the oracle deterministic
+    either way, since the population checks respect it by name.
     """
     harness = DifferentialHarness(
-        reference, check_every=check_every, invariant_filter=invariant_filter
+        reference,
+        check_every=check_every,
+        invariant_filter=invariant_filter,
+        with_populations=with_populations,
     )
     for index, step in enumerate(trace):
         violations = harness.execute(step, index)

@@ -732,3 +732,88 @@ def _check_fork_rewind(workspace):
             f"({redo_before} -> {workspace.redo_depth})"
         )
 
+
+
+@workspace_invariant(
+    "example-preservation",
+    "DESIGN 5h: a behavior-preserving plan (instance-impact facet "
+    "disjoint from an interface and its ancestry) keeps that "
+    "interface's witness populations valid, and check_population "
+    "agrees between the live evolved schema, a structural copy, and "
+    "the state an undo/redo round trip restores",
+    tier=TIER_EXPENSIVE,
+)
+def _check_example_preservation(workspace):
+    from repro.examples.generator import significant_examples
+    from repro.examples.preview import plan_instance_impact
+    from repro.instances.check import check_population
+    from repro.ops.effects import WILDCARD
+    from repro.workload.generator import generate_operations
+    from repro.workload.population import generate_population
+
+    schema = workspace.schema
+    if len(schema) < 2:
+        return
+    seed = schema.generation * 37 + len(schema)
+    try:
+        plan = generate_operations(schema, 3, seed=seed)
+    except RuntimeError:
+        return  # too constrained to derive a plan here; nothing to check
+    impacted = plan_instance_impact(plan)
+    if WILDCARD in impacted:
+        return  # cascading family: the facet reserves the whole schema
+    # An interface counts as untouched only when neither it nor any
+    # ancestor is impacted -- a key or extent change on a supertype
+    # legitimately re-judges the populations of every descendant.
+    untouched = {
+        name
+        for name in schema.type_names()
+        if name not in impacted and not (schema.ancestors(name) & impacted)
+    }
+    ordered = sorted(untouched)
+    sample = ordered[:: max(1, len(ordered) // 4)][:4]
+    pairs = [
+        pair
+        for pair in significant_examples(schema, interfaces=sample)
+        if {obj.type_name for obj in pair.witness} <= untouched
+    ][:4]
+    scratch = Workspace(schema, "example_preservation",
+                        validate_each_step=False)
+    try:
+        scratch.apply_plan(plan)
+    except (OperationError, SchemaError):
+        return  # the plan does not apply in this state; nothing to check
+    after = scratch.schema
+    for pair in pairs:
+        issues = check_population(after, pair.witness)
+        if issues:
+            yield (
+                f"plan with instance impact {sorted(impacted)} broke the "
+                f"witness population of untouched {pair.subject}: "
+                f"{issues[0]}"
+            )
+    pop = generate_population(after, seed=seed)
+    live = [str(issue) for issue in check_population(after, pop)]
+    if live:
+        yield (
+            "the evolved schema rejects its own generated population: "
+            f"{live[0]}"
+        )
+    rebuilt = [str(issue) for issue in check_population(after.copy(), pop)]
+    if rebuilt != live:
+        yield (
+            "check_population disagrees between the evolved schema and "
+            "its structural copy"
+        )
+    undone = 0
+    while scratch.log:
+        scratch.undo_last()
+        undone += 1
+    for _ in range(undone):
+        scratch.redo()
+    replayed = [str(issue) for issue in check_population(scratch.schema, pop)]
+    if replayed != live:
+        yield (
+            "check_population disagrees after an undo/redo round trip "
+            "of the plan"
+        )

@@ -114,6 +114,7 @@ def run_campaign(
     large_seeds: int = 0,
     large_steps: int = 60,
     large_check_every: int = 30,
+    with_populations: bool = False,
     out=sys.stdout,
 ) -> list[FuzzReport]:
     """Run the sweep; prints one summary line per run, reproducers on
@@ -152,6 +153,7 @@ def run_campaign(
             check_every=run_check_every,
             subject_name=subject.name,
             cheap_every=run_cheap_every,
+            with_populations=with_populations,
         )
         reports.append(report)
         print(report.summary(), file=out)
@@ -159,7 +161,10 @@ def run_campaign(
             print(report.failure.render(), file=out)
             if do_shrink:
                 result = shrink(
-                    subject.build(), report.trace, report.failure
+                    subject.build(),
+                    report.trace,
+                    report.failure,
+                    with_populations=with_populations,
                 )
                 print(result.summary(), file=out)
                 print("--- minimal reproducer ---", file=out)
@@ -223,6 +228,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="restrict the sweep to one subject name",
     )
     parser.add_argument(
+        "--with-populations", action="store_true",
+        help=(
+            "carry witness populations alongside each schema: at the "
+            "expensive-tier cadence, generate a population the current "
+            "schema must admit and cross-check it against a structural "
+            "copy (reproducers then include the witnessing data)"
+        ),
+    )
+    parser.add_argument(
         "--no-shrink", action="store_true",
         help="report failures without delta-debugging them",
     )
@@ -248,6 +262,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         large_seeds=options.large_seeds,
         large_steps=options.large_steps,
         large_check_every=options.large_check_every,
+        with_populations=options.with_populations,
     )
     failures = [report for report in reports if not report.ok]
     accepted = sum(report.accepted for report in reports)

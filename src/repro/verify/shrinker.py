@@ -50,8 +50,14 @@ def shrink(
     trace: list[FuzzStep],
     failure: FuzzFailure,
     max_replays: int = 2000,
+    with_populations: bool = False,
 ) -> ShrinkResult:
-    """Minimize *trace* while it still reproduces *failure*'s invariants."""
+    """Minimize *trace* while it still reproduces *failure*'s invariants.
+
+    Pass ``with_populations=True`` when the original run carried
+    populations -- the population checks fire during replay too, and the
+    ``wanted`` filter keeps the oracle locked on the failing family.
+    """
     wanted = {violation.invariant for violation in failure.violations}
     replays = 0
 
@@ -59,7 +65,11 @@ def shrink(
         nonlocal replays
         replays += 1
         return replay(
-            reference, candidate, check_every=1, invariant_filter=wanted
+            reference,
+            candidate,
+            check_every=1,
+            invariant_filter=wanted,
+            with_populations=with_populations,
         )
 
     # The trace beyond the failing step never ran; drop it outright.

@@ -5,5 +5,11 @@ from repro.workload.generator import (
     generate_operations,
     generate_schema,
 )
+from repro.workload.population import generate_population
 
-__all__ = ["WorkloadSpec", "generate_operations", "generate_schema"]
+__all__ = [
+    "WorkloadSpec",
+    "generate_operations",
+    "generate_population",
+    "generate_schema",
+]

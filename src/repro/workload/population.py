@@ -1,0 +1,161 @@
+"""Seeded, best-effort population generation for fuzzing.
+
+:func:`generate_population` builds a small :class:`~repro.instances
+.population.Population` that the schema *admits* -- objects with
+key-satisfying attribute values and mirrored relationship links that
+respect cardinalities, order-bys, and the part-of/instance-of hierarchy
+rules.  The fuzzer (PR 7) carries these populations alongside the
+schemas it evolves, so a shrunk reproducer shows not just the operation
+trace but concrete witnessing data.
+
+The generator is deliberately *best effort*:
+:func:`repro.instances.check.check_population` is the specification,
+not this module.  After building, the population is self-checked; if
+the schema rejects it (exotic key shapes, inverse arity tangles on
+fuzz-evolved schemas), the generator degrades to a link-free
+population, and failing even that, to the empty population -- both of
+which every schema admits.  The one guarantee is therefore: the
+returned population is always clean under ``check_population``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.examples.generator import _Builder
+from repro.instances.check import available_relationships, check_population
+from repro.instances.population import Population
+from repro.model.relationships import RelationshipKind
+from repro.model.schema import Schema
+from repro.model.types import CollectionType
+
+#: Soft cap on distinct interfaces a generated population draws from.
+_MAX_TYPES = 24
+
+#: Objects created per sampled interface (1..this).
+_MAX_PER_TYPE = 2
+
+
+def _extent_members(
+    schema: Schema, objects_by_type: dict[str, list[str]], interface: str
+) -> list[str]:
+    """Oids whose object type lies in *interface*'s extent."""
+    members: list[str] = []
+    for type_name, oids in objects_by_type.items():
+        if type_name == interface or interface in schema.ancestors(type_name):
+            members.extend(oids)
+    return members
+
+
+def _capacity(end, existing: int) -> int:
+    """How many more targets the end admits (arity only)."""
+    if not end.is_to_many:
+        return 1 - existing
+    target = end.target
+    if isinstance(target, CollectionType) and target.size is not None:
+        return target.size - existing
+    return 2 - existing  # soft cap: small populations shrink better
+
+
+def generate_population(
+    schema: Schema, *, seed: int = 0, name: str | None = None
+) -> Population:
+    """A small population the schema admits (seeded, deterministic)."""
+    rng = random.Random(seed)
+    pop = Population(name or f"{schema.name}_pop_{seed}")
+    builder = _Builder(schema)
+    type_names = sorted(schema.type_names())
+    if len(type_names) > _MAX_TYPES:
+        type_names = rng.sample(type_names, _MAX_TYPES)
+        type_names.sort()
+
+    objects_by_type: dict[str, list[str]] = {}
+    order: dict[str, int] = {}  # creation rank, for hierarchy acyclicity
+    for type_name in type_names:
+        for index in range(rng.randint(1, _MAX_PER_TYPE)):
+            oid = f"{type_name.lower()}_{index}"
+            if not builder.make(pop, type_name, oid):
+                continue
+            if check_population(schema, pop):
+                # e.g. a boolean key attribute admits only two objects
+                # across the whole extent closure -- drop the clash.
+                del pop.objects[oid]
+                continue
+            objects_by_type.setdefault(type_name, []).append(oid)
+            order[oid] = len(order)
+
+    hierarchy_owned: set[tuple[str, str, str]] = set()
+    for type_name in sorted(objects_by_type):
+        ends = available_relationships(schema, type_name)
+        for oid in objects_by_type[type_name]:
+            for path in sorted(ends):
+                defining_type, end = ends[path]
+                if rng.random() > 0.6:
+                    continue
+                room = _capacity(end, len(pop.get(oid).links.get(path, ())))
+                if room <= 0:
+                    continue
+                candidates = [
+                    target
+                    for target in _extent_members(
+                        schema, objects_by_type, end.target_type
+                    )
+                    if target != oid
+                    and target not in pop.get(oid).links.get(path, ())
+                ]
+                if end.kind is not RelationshipKind.ASSOCIATION:
+                    # Exclusive membership per relationship, and only
+                    # earlier->later links, so the object graph of each
+                    # hierarchy stays acyclic by construction.
+                    candidates = [
+                        target
+                        for target in candidates
+                        if order[target] > order[oid]
+                        and (defining_type, path, target)
+                        not in hierarchy_owned
+                    ]
+                inverse = schema.find_inverse(defining_type, end)
+                if inverse is not None:
+                    candidates = [
+                        target
+                        for target in candidates
+                        if _capacity(
+                            inverse,
+                            len(pop.get(target).links.get(end.inverse_name, ())),
+                        ) > 0
+                    ]
+                if not candidates:
+                    continue
+                count = min(room, rng.randint(1, 2), len(candidates))
+                chosen = rng.sample(candidates, count)
+                if end.order_by:
+                    if not all(
+                        builder.fill_attributes(
+                            pop, target, pop.get(target).type_name,
+                            end.order_by,
+                        )
+                        for target in chosen
+                    ):
+                        continue
+                    try:
+                        chosen.sort(key=lambda target: tuple(
+                            pop.get(target).attributes.get(attr)
+                            for attr in end.order_by
+                        ))
+                    except TypeError:
+                        continue
+                for target in chosen:
+                    pop.wire(schema, oid, path, target)
+                    if end.kind is not RelationshipKind.ASSOCIATION:
+                        hierarchy_owned.add((defining_type, path, target))
+
+    if not check_population(schema, pop):
+        return pop
+    # Degrade: objects alone were clean when created (checked above), so
+    # dropping the links restores that; failing even that (it should
+    # not happen), the empty population is admitted by every schema.
+    for instance in pop:
+        instance.links.clear()
+    if not check_population(schema, pop):
+        return pop
+    return Population(pop.name)

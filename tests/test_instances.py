@@ -1,0 +1,283 @@
+"""Tests for the population model and ``check_population``.
+
+The checker is the *specification* of what a schema admits (PR 7): each
+test pins one constraint family with a minimal admitted population and
+a minimal rejected one, mirroring the witness / near-miss pairs the
+example generator derives automatically.
+"""
+
+import pytest
+
+from repro.instances import (
+    Population,
+    available_relationships,
+    check_population,
+)
+from repro.odl import parse_schema
+
+WORLD_ODL = """
+interface Person {
+    extent people;
+    keys (id);
+    attribute long id;
+    attribute string(30) name;
+};
+
+interface Employee : Person {
+    attribute float salary;
+    relationship Department works_in inverse Department::staff;
+};
+
+interface Manager : Employee {
+};
+
+interface Department {
+    extent departments;
+    keys (code);
+    attribute string(10) code;
+    relationship set<Employee> staff inverse Employee::works_in
+        order_by (name);
+};
+
+interface Assembly {
+    part_of relationship set<Part> parts inverse Part::whole;
+};
+
+interface Part {
+    part_of relationship Assembly whole inverse Assembly::parts;
+};
+
+interface Release {
+    instance_of relationship set<Install> installs inverse Install::release;
+};
+
+interface Install {
+    instance_of relationship Release release
+        inverse Release::installs;
+};
+"""
+
+
+@pytest.fixture
+def world():
+    schema = parse_schema(WORLD_ODL, name="world")
+    schema.validate()
+    return schema
+
+
+def kinds(issues):
+    return {issue.kind for issue in issues}
+
+
+class TestStructural:
+    def test_empty_population_is_admitted(self, world):
+        assert check_population(world, Population()) == []
+
+    def test_unknown_object_type(self, world):
+        pop = Population()
+        pop.add("x1", "Nowhere")
+        assert kinds(check_population(world, pop)) == {"object-type"}
+
+    def test_unknown_attribute_and_bad_scalar(self, world):
+        pop = Population()
+        pop.add("p1", "Person", id=1, nickname="zed")
+        assert kinds(check_population(world, pop)) == {"attribute"}
+        pop2 = Population()
+        pop2.add("p1", "Person", id="not-a-long")
+        assert kinds(check_population(world, pop2)) == {"attribute"}
+
+    def test_string_size_is_enforced(self, world):
+        pop = Population()
+        pop.add("d1", "Department", code="x" * 11)
+        assert kinds(check_population(world, pop)) == {"attribute"}
+
+    def test_dangling_and_unknown_links(self, world):
+        pop = Population()
+        pop.add("e1", "Employee", id=1)
+        pop.link("e1", "works_in", "ghost")
+        assert kinds(check_population(world, pop)) == {"link"}
+        pop2 = Population()
+        pop2.add("e1", "Employee", id=1)
+        pop2.link("e1", "no_such_path", "e1")
+        assert kinds(check_population(world, pop2)) == {"link"}
+
+    def test_available_relationships_walks_ancestry(self, world):
+        ends = available_relationships(world, "Manager")
+        assert "works_in" in ends  # inherited from Employee
+        defining, _end = ends["works_in"]
+        assert defining == "Employee"
+
+
+class TestCardinality:
+    def test_to_one_admits_one_target(self, world):
+        pop = Population()
+        pop.add("d1", "Department", code="d1")
+        pop.add("e1", "Employee", id=1, name="ann")
+        pop.wire(world, "e1", "works_in", "d1")
+        assert check_population(world, pop) == []
+
+    def test_to_one_rejects_two_targets(self, world):
+        pop = Population()
+        pop.add("d1", "Department", code="d1")
+        pop.add("d2", "Department", code="d2")
+        pop.add("e1", "Employee", id=1)
+        pop.wire(world, "e1", "works_in", "d1")
+        pop.wire(world, "e1", "works_in", "d2")
+        assert "cardinality" in kinds(check_population(world, pop))
+
+    def test_set_rejects_duplicate_targets(self, world):
+        pop = Population()
+        pop.add("d1", "Department", code="d1")
+        pop.add("e1", "Employee", id=1, name="a")
+        pop.link("d1", "staff", "e1", "e1")
+        pop.link("e1", "works_in", "d1")
+        assert "cardinality" in kinds(check_population(world, pop))
+
+
+class TestInverse:
+    def test_missing_mirror_is_flagged(self, world):
+        pop = Population()
+        pop.add("d1", "Department", code="d1")
+        pop.add("e1", "Employee", id=1)
+        pop.wire(world, "e1", "works_in", "d1", mirror=False)
+        assert kinds(check_population(world, pop)) == {"inverse"}
+
+    def test_wire_mirrors_the_inverse(self, world):
+        pop = Population()
+        pop.add("d1", "Department", code="d1")
+        pop.add("e1", "Employee", id=1)
+        pop.wire(world, "e1", "works_in", "d1")
+        assert pop.get("d1").links["staff"] == ("e1",)
+
+
+class TestKeys:
+    def test_distinct_key_values_admitted(self, world):
+        pop = Population()
+        pop.add("p1", "Person", id=1)
+        pop.add("p2", "Person", id=2)
+        assert check_population(world, pop) == []
+
+    def test_duplicate_key_rejected(self, world):
+        pop = Population()
+        pop.add("p1", "Person", id=7)
+        pop.add("p2", "Person", id=7)
+        assert kinds(check_population(world, pop)) == {"key"}
+
+    def test_key_spans_the_extent_closure(self, world):
+        # An Employee is in Person's extent: Person's key applies to it.
+        pop = Population()
+        pop.add("p1", "Person", id=7)
+        pop.add("e1", "Employee", id=7)
+        assert kinds(check_population(world, pop)) == {"key"}
+
+    def test_missing_key_value_rejected(self, world):
+        pop = Population()
+        pop.add("p1", "Person")
+        assert kinds(check_population(world, pop)) == {"key"}
+
+
+class TestOrderBy:
+    def _staffed(self, world, first, second):
+        pop = Population()
+        pop.add("d1", "Department", code="d1")
+        pop.add("e1", "Employee", id=1, name=first)
+        pop.add("e2", "Employee", id=2, name=second)
+        pop.link("d1", "staff", "e1", "e2")
+        pop.link("e1", "works_in", "d1")
+        pop.link("e2", "works_in", "d1")
+        return pop
+
+    def test_sorted_sequence_admitted(self, world):
+        assert check_population(world, self._staffed(world, "ann", "bob")) == []
+
+    def test_unsorted_sequence_rejected(self, world):
+        issues = check_population(world, self._staffed(world, "bob", "ann"))
+        assert kinds(issues) == {"order-by"}
+
+    def test_missing_order_attribute_rejected(self, world):
+        pop = Population()
+        pop.add("d1", "Department", code="d1")
+        pop.add("e1", "Employee", id=1)
+        pop.wire(world, "d1", "staff", "e1")
+        assert "order-by" in kinds(check_population(world, pop))
+
+
+class TestIsaExtent:
+    def test_subtype_member_is_in_target_extent(self, world):
+        pop = Population()
+        pop.add("d1", "Department", code="d1")
+        pop.add("m1", "Manager", id=1, name="ann")
+        pop.wire(world, "d1", "staff", "m1")
+        assert check_population(world, pop) == []
+
+    def test_unrelated_type_is_not(self, world):
+        pop = Population()
+        pop.add("d1", "Department", code="d1")
+        pop.add("p1", "Person", id=1, name="ann")
+        pop.wire(world, "d1", "staff", "p1")
+        assert "isa-extent" in kinds(check_population(world, pop))
+
+
+class TestHierarchies:
+    def test_exclusive_part_membership(self, world):
+        pop = Population()
+        pop.add("a1", "Assembly")
+        pop.add("a2", "Assembly")
+        pop.add("x1", "Part")
+        pop.link("a1", "parts", "x1")
+        pop.link("a2", "parts", "x1")
+        assert "part-of" in kinds(check_population(world, pop))
+
+    def test_instance_of_exclusive_membership(self, world):
+        pop = Population()
+        pop.add("r1", "Release")
+        pop.add("r2", "Release")
+        pop.add("i1", "Install")
+        pop.link("r1", "installs", "i1")
+        pop.link("r2", "installs", "i1")
+        assert "instance-of" in kinds(check_population(world, pop))
+
+    def test_part_of_object_cycle_rejected(self):
+        schema = parse_schema(
+            "interface Box { part_of relationship set<Box> boxes "
+            "inverse Box::holder; "
+            "part_of relationship Box holder inverse Box::boxes; };",
+            name="boxes",
+        )
+        pop = Population()
+        pop.add("b1", "Box")
+        pop.add("b2", "Box")
+        pop.wire(schema, "b1", "boxes", "b2")
+        pop.wire(schema, "b2", "boxes", "b1")
+        issues = check_population(schema, pop)
+        assert "part-of" in kinds(issues)
+
+    def test_clean_part_tree_admitted(self, world):
+        pop = Population()
+        pop.add("a1", "Assembly")
+        pop.add("x1", "Part")
+        pop.add("x2", "Part")
+        pop.wire(world, "a1", "parts", "x1")
+        pop.wire(world, "a1", "parts", "x2")
+        assert check_population(world, pop) == []
+
+
+class TestRendering:
+    def test_issue_str_and_population_render(self, world):
+        pop = Population("w")
+        pop.add("p1", "Person", id=1)
+        text = pop.render()
+        assert text.startswith("w:")
+        assert "p1: Person" in text
+        pop2 = Population()
+        pop2.add("p1", "Person", id=7)
+        pop2.add("p2", "Person", id=7)
+        issue = check_population(world, pop2)[0]
+        assert str(issue).startswith("[key]")
+
+    def test_copy_is_deep_enough(self, world):
+        pop = Population()
+        pop.add("p1", "Person", id=1)
+        dup = pop.copy("dup")
+        dup.get("p1").attributes["id"] = 2
+        assert pop.get("p1").attributes["id"] == 1

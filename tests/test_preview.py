@@ -1,0 +1,152 @@
+"""Tests for ``Workspace.preview(plan)`` and the instance-impact facet.
+
+Designer feedback direction of the PR 7 tentpole: a pending plan is
+applied to a throw-away fork, significant examples are diffed across
+the two schemas, and what the plan newly admits or forbids surfaces as
+ordinary feedback messages -- without mutating the workspace.
+"""
+
+import pytest
+
+from repro.catalog import load
+from repro.examples.preview import plan_instance_impact
+from repro.knowledge.feedback import FeedbackLevel
+from repro.model.fingerprint import schema_fingerprint
+from repro.ops.effects import WILDCARD
+from repro.ops.language import parse_operation
+from repro.repository.workspace import Workspace
+
+
+@pytest.fixture
+def workspace():
+    return Workspace(load("university"), "university_custom")
+
+
+def op(text):
+    return parse_operation(text)
+
+
+class TestInstanceImpactFacet:
+    def test_default_impact_covers_written_names(self):
+        operation = op("add_attribute(Person, long, badge)")
+        assert operation.instance_impact() == {"Person"}
+        assert operation.effect_signature().instances == {"Person"}
+
+    def test_operation_signature_ops_are_neutral(self):
+        operation = op("add_operation(Person, void, greet)")
+        assert operation.instance_neutral
+        assert operation.instance_impact() == frozenset()
+
+    def test_extent_name_ops_are_neutral(self):
+        operation = op("modify_extent_name(Person, persons, people2)")
+        assert operation.instance_neutral
+        assert operation.instance_impact() == frozenset()
+
+    def test_cascading_ops_reserve_the_whole_schema(self):
+        operation = op("delete_type_definition(Person)")
+        assert WILDCARD in operation.instance_impact()
+
+    def test_plan_impact_is_the_union(self):
+        plan = [
+            op("add_attribute(Person, long, badge)"),
+            op("add_operation(Person, void, greet)"),
+            op("add_attribute(Course, long, ects)"),
+        ]
+        assert plan_instance_impact(plan) == {"Person", "Course"}
+
+
+class TestPreview:
+    def test_preview_does_not_mutate_the_workspace(self, workspace):
+        before = schema_fingerprint(workspace.schema)
+        depth = len(workspace.log)
+        workspace.preview([op("add_attribute(Person, long, badge)")])
+        assert schema_fingerprint(workspace.schema) == before
+        assert len(workspace.log) == depth
+
+    def test_instance_neutral_plan_says_so(self, workspace):
+        preview = workspace.preview([op("add_operation(Person, void, greet)")])
+        assert preview.ok
+        assert preview.impacted == ()
+        assert [f.code for f in preview.feedback] == ["instance-neutral"]
+
+    def test_tightening_a_cardinality_forbids_data(self, workspace):
+        preview = workspace.preview([op(
+            "modify_relationship_cardinality"
+            "(Department, members, set<Faculty>, Faculty)"
+        )])
+        assert preview.ok
+        assert preview.impacted == ("Department",)
+        assert preview.newly_forbidden
+        cautions = [f for f in preview.feedback
+                    if f.level is FeedbackLevel.CAUTION]
+        assert cautions
+        assert any("forbids" in str(f) for f in cautions)
+        # The feedback carries the witnessing population itself.
+        assert any("members=[" in str(f) for f in cautions)
+
+    def test_loosening_a_cardinality_admits_data(self, workspace):
+        tightened = Workspace(load("university"), "tight")
+        tightened.apply(op(
+            "modify_relationship_cardinality"
+            "(Department, members, set<Faculty>, Faculty)"
+        ))
+        preview = tightened.preview([op(
+            "modify_relationship_cardinality"
+            "(Department, members, Faculty, set<Faculty>)"
+        )])
+        assert preview.ok
+        assert preview.newly_admitted
+        assert not preview.newly_forbidden
+
+    def test_preflight_failure_reports_error_feedback(self, workspace):
+        preview = workspace.preview([op("delete_attribute(Nope, x)")])
+        assert not preview.ok
+        assert all(f.level is FeedbackLevel.ERROR for f in preview.feedback)
+        assert preview.feedback[0].code == "plan-preflight"
+
+    def test_render_is_nonempty_either_way(self, workspace):
+        preview = workspace.preview([op("add_operation(Person, void, greet)")])
+        assert preview.render().strip()
+
+
+class TestDesignerCliCommands:
+    @pytest.fixture
+    def session(self):
+        from repro.designer.session import DesignSession
+        from repro.odl.printer import print_schema
+
+        return DesignSession.from_odl(
+            print_schema(load("university")), name="university"
+        )
+
+    def test_examples_command(self, session):
+        from repro.designer.cli import execute
+
+        out = execute(session, "examples Department key")
+        assert "admitted" in out and "rejected" in out
+
+    def test_examples_command_empty_selection(self, session):
+        from repro.designer.cli import execute
+
+        out = execute(session, "examples NoSuchType")
+        assert "no example pairs" in out
+
+    def test_preview_command(self, session):
+        from repro.designer.cli import execute
+
+        out = execute(session, (
+            "preview modify_relationship_cardinality"
+            "(Department, members, set<Faculty>, Faculty)"
+        ))
+        assert "forbids" in out
+
+    def test_preview_command_usage(self, session):
+        from repro.designer.cli import execute
+
+        assert execute(session, "preview").startswith("usage:")
+
+    def test_help_lists_the_new_commands(self, session):
+        from repro.designer.cli import execute
+
+        text = execute(session, "help")
+        assert "preview" in text and "examples" in text

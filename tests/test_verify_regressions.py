@@ -301,3 +301,63 @@ class TestForkRewindFallback:
             branch = workspace.fork(at=snapshot)
         assert schema_fingerprint(branch.schema) == expected
         assert "oob" in branch.schema.interfaces["A"].attributes
+
+
+class TestAnalysisMemoAcrossFork:
+    """PR 7 satellite: the apply_plan analysis memo must not leak
+    across ``fork()`` -- each branch analyzes against its own schema
+    after divergent edits.  ``fork()`` drops the memo outright (it is
+    keyed to the parent's mutation-log identity), so these are plain
+    behavior pins, not bug reproducers.
+    """
+
+    def test_fork_drops_the_memo(self):
+        from repro.analysis.plan import PlanPreflightError
+
+        workspace = Workspace(load("university"), "parent")
+        bad_plan = [parse_operation("add_attribute(Ghost, long, x)")]
+        with pytest.raises(PlanPreflightError):
+            workspace.apply_plan(bad_plan)
+        assert workspace._analysis_memo is not None
+        branch = workspace.fork("branch")
+        assert branch._analysis_memo is None
+
+    def test_branches_analyze_their_own_schema_after_divergence(self):
+        from repro.analysis.plan import PlanPreflightError
+
+        workspace = Workspace(load("university"), "parent")
+        bad_plan = [parse_operation("add_attribute(Ghost, long, x)")]
+        with pytest.raises(PlanPreflightError):
+            workspace.apply_plan(bad_plan)  # memoized rejection
+        branch = workspace.fork("branch")
+        # Diverge: the branch grows the missing type, the parent the
+        # same-named attribute elsewhere.
+        branch.apply(parse_operation("add_type_definition(Ghost)"))
+        workspace.apply(parse_operation("add_attribute(Person, long, x)"))
+        # The branch must now accept the very plan the parent memoized
+        # as rejected...
+        branch.apply_plan(bad_plan)
+        assert "x" in branch.schema.get("Ghost").attributes
+        # ...while the parent keeps rejecting it with a fresh analysis
+        # of its own (divergently edited) schema.
+        with pytest.raises(PlanPreflightError):
+            workspace.apply_plan(bad_plan)
+        assert "Ghost" not in workspace.schema
+
+    def test_memo_hit_requires_same_log_and_seq(self):
+        from repro.analysis.plan import PlanPreflightError
+
+        workspace = Workspace(load("university"), "parent")
+        bad_plan = [parse_operation("add_attribute(Ghost, long, x)")]
+        for _ in range(2):
+            with pytest.raises(PlanPreflightError):
+                workspace.apply_plan(bad_plan)
+        stats = workspace.schema.stats()
+        assert stats["analysis.hits"] >= 1  # second rejection reused
+        branch = workspace.fork("branch")
+        with pytest.raises(PlanPreflightError):
+            branch.apply_plan(bad_plan)
+        # The branch recomputed: its first rejection is a miss, and its
+        # memo is its own (parent memo object was not inherited).
+        assert branch._analysis_memo is not None
+        assert branch._analysis_memo is not workspace._analysis_memo

@@ -247,3 +247,109 @@ class TestForkAtRewindFallback:
             branch = workspace.fork("branch", at=snap)
         # The replay path keeps live history on the branch.
         assert branch.undo_depth == 1
+
+
+class TestForkRewindUnderPopulations:
+    """PR 7 satellite: the rewind-fallback branch judges populations
+    exactly as the rewound original does -- admission verdicts are a
+    behavioral fingerprint the lossy-log fallback must preserve.
+    """
+
+    def _lossy_snapshot(self, workspace):
+        from repro.model.attributes import Attribute
+
+        workspace.apply(AddAttribute("Person", scalar("date"), "dob"))
+        snap = workspace.snapshot()
+        workspace.apply(AddSupertype("Department", "Person"))
+        workspace.schema.get("Person").add_attribute(
+            Attribute("oob", scalar("long"))
+        )
+        workspace.schema.touch()
+        assert workspace.schema.log.lossy
+        return snap
+
+    def test_branch_admits_the_generated_population(self, workspace):
+        from repro.instances import check_population
+        from repro.workload.population import generate_population
+
+        snap = self._lossy_snapshot(workspace)
+        with pytest.warns(RuntimeWarning):
+            branch = workspace.fork("branch", at=snap)
+        pop = generate_population(branch.schema, seed=11)
+        assert len(pop) > 0
+        assert check_population(branch.schema, pop) == []
+
+    def test_branch_and_rewound_original_agree_on_admission(self, workspace):
+        from repro.instances import Population, check_population
+
+        snap = self._lossy_snapshot(workspace)
+        with pytest.warns(RuntimeWarning):
+            branch = workspace.fork("branch", at=snap)
+        # A witness exercising the snapshot-time schema: Person has a
+        # key on id, Department.staff is set<Employee> order_by (name).
+        pop = Population("witness")
+        pop.add("d1", "Department", code="d1")
+        pop.add("e1", "Employee", id=1, name="ann")
+        pop.wire(branch.schema, "e1", "works_in", "d1")
+        # And a near-miss: duplicate key values.
+        bad = pop.copy("near_miss")
+        bad.add("p1", "Person", id=1)
+        bad.add("p2", "Person", id=1)
+        unwound = workspace.undo_to(snap)
+        try:
+            for candidate in (pop, bad):
+                branch_issues = [
+                    str(issue)
+                    for issue in check_population(branch.schema, candidate)
+                ]
+                original_issues = [
+                    str(issue)
+                    for issue in check_population(
+                        workspace.schema, candidate
+                    )
+                ]
+                assert branch_issues == original_issues
+        finally:
+            for _ in range(unwound):
+                workspace.redo()
+        assert check_population(branch.schema, pop) == []
+        assert any(
+            issue.kind == "key"
+            for issue in check_population(branch.schema, bad)
+        )
+
+    def test_post_snapshot_constraints_do_not_leak_into_branch(
+        self, workspace
+    ):
+        from repro.instances import Population, check_population
+        from repro.ops.language import parse_operation
+
+        workspace.apply(AddAttribute("Person", scalar("date"), "dob"))
+        snap = workspace.snapshot()
+        # Post-snapshot: tighten Department.staff to a to-one end (the
+        # order_by list must go first; to-one ends are unordered).
+        workspace.apply(parse_operation(
+            "modify_relationship_order_by(Department, staff, (name), ())"
+        ))
+        workspace.apply(parse_operation(
+            "modify_relationship_cardinality"
+            "(Department, staff, set<Employee>, Employee)"
+        ))
+        workspace.schema.get("Person").attributes.pop("dob")
+        workspace.schema.touch()
+        assert workspace.schema.log.lossy
+        with pytest.warns(RuntimeWarning):
+            branch = workspace.fork("branch", at=snap)
+        pop = Population("two_staff")
+        pop.add("d1", "Department", code="d1")
+        pop.add("e1", "Employee", id=1, name="ann")
+        pop.add("e2", "Employee", id=2, name="bob")
+        pop.wire(branch.schema, "e1", "works_in", "d1")
+        pop.wire(branch.schema, "e2", "works_in", "d1")
+        # The branch still has the set-valued end: two staff are fine.
+        assert check_population(branch.schema, pop) == []
+        # The live workspace kept the tightened end: same data rejected.
+        assert any(
+            issue.kind == "cardinality"
+            for issue in check_population(workspace.schema, pop)
+        )
