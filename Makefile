@@ -34,14 +34,16 @@ bench-smoke:
 		benchmarks/test_bench_validation.py \
 		benchmarks/test_bench_spine.py \
 		benchmarks/test_bench_plan.py \
-		benchmarks/test_bench_compact.py -q
+		benchmarks/test_bench_compact.py \
+		benchmarks/test_bench_columnar.py -q
 
 ## differential fuzzing soak: every invariant over catalog + generated
 ## schemas plus the large-schema profile (1k-10k types, deep ISA chains,
-## wide hubs), shrinking any failure to a minimal pytest reproducer
+## wide hubs, O(changed) scoped sweeps), seed-sharded over one worker
+## per core, shrinking any failure to a minimal pytest reproducer
 fuzz:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.verify --seeds 40 --steps 200 \
-		--large-seeds 4
+		--large-seeds 4 --jobs auto
 
 ## ~70s fuzzing tripwire for CI (fixed seeds, deterministic); carries
 ## witness populations at a cheap cadence so reproducers include data

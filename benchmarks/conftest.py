@@ -6,14 +6,27 @@ series the paper reports) is written to ``benchmarks/reports/<id>.txt``
 so it survives output capturing, and is also printed for ``-s`` runs.
 
 On top of the human-readable reports, every bench session merges its
-measurements into a machine-readable ``BENCH_PR5.json`` at the
-repository root (bench name -> median seconds + schema size) so the perf
+measurements into a machine-readable trajectory file at the repository
+root (bench name -> median seconds + schema size) so the perf
 trajectory can be compared across PRs.  pytest-benchmark timings are
 harvested automatically; hand-timed series (the scaling and spine
 benches) contribute through the ``record_bench`` fixture.  All writes go
 through one shared helper, :func:`merge_bench_results`, which
 *merge-updates* the file: a filtered run (``pytest benchmarks/ -k
 spine``) refreshes only its own keys instead of clobbering the sweep.
+
+BENCH_* naming convention
+-------------------------
+
+``BENCH_PR<n>.json`` at the repository root holds the measurements a
+PR's headline claims rest on, frozen when that PR lands: ``BENCH_PR5``
+(validation/spine), ``BENCH_PR6`` (compact core), ``BENCH_PR8``
+(columnar core).  Earlier files are never rewritten -- they are the
+baselines later PRs' floors assert against (CI compares the columnar
+compiled-plan point against ``BENCH_PR6.json``).  ``BENCH_JSON`` below
+names the file the *current* PR's sessions write; bump it when a new
+PR starts a new measurement set, and route any bench that belongs to a
+prior set explicitly via ``merge_bench_results(..., path=...)``.
 """
 
 from __future__ import annotations
@@ -25,7 +38,8 @@ from pathlib import Path
 import pytest
 
 REPORTS_DIR = Path(__file__).parent / "reports"
-BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR5.json"
+#: The current PR's trajectory file (see the BENCH_* convention above).
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR8.json"
 
 #: name -> {"median_seconds": float, "types": int | None} from hand-timed
 #: benches, merged with pytest-benchmark's own stats at session end.

@@ -1,0 +1,202 @@
+"""Columnar-core scaling curve: the 100k-type regime (ISSUE 8).
+
+PR 8 moves the hot adjacency of :class:`~repro.model.index.SchemaIndex`
+onto a struct-of-arrays store (interned name ids, flat ``array('i')``
+parents / children / reference columns with free-list reuse -- DESIGN
+5i) and makes post-plan verification O(changed) via the spine's
+touched-interface set.  This bench records the types-axis curve the
+ISSUE asks for at 200 / 1k / 10k / 100k types:
+
+* ``build``    -- workload generation of the reference schema;
+* ``plan``     -- the same 100-op seeded plan through the fused
+  compiled path (median, state undone between reps);
+* ``fork``     -- one what-if branch of the evolved workspace;
+* ``verify``   -- a full structural sweep (``validate_schema``, the
+  O(types + ends) reference scan; the *invariant-registry* full sweep
+  is quadratic in schema size by design -- its per-type probes call
+  O(types) scans -- so past 10k types it exists only as the fuzzer's
+  final check, not a per-plan cost);
+* ``scoped``   -- the O(changed) post-plan sweep: ``check_schema``
+  fed the plan's touched-interface closure (DESIGN 5i).
+
+plus peak-RSS and tracemalloc deltas for the build, all merged into
+``BENCH_PR8.json`` (see the BENCH_* convention in ``conftest.py``).
+
+Floors: at full scale the 100-op compiled plan stays under 1 s median
+and peak RSS under 2 GB at 100k types.  The smoke configuration (CI's
+``bench-columnar-smoke``) runs the 200 / 1k points only and asserts
+the 1k compiled-plan point regresses < 20 % against the frozen
+``BENCH_PR6.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import statistics
+import time
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import merge_bench_results
+from repro.model.validation import validate_schema
+from repro.repository.workspace import Workspace
+from repro.verify.invariants import check_schema
+from repro.workload.generator import (
+    WorkloadSpec,
+    generate_operations,
+    generate_schema,
+)
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+STRICT = not SMOKE
+SIZES = (200, 1_000) if SMOKE else (200, 1_000, 10_000, 100_000)
+PLAN_OPS = 100  # the smoke floor compares against a 100-op baseline
+PLAN_FLOOR_SECONDS = 1.0
+RSS_FLOOR_MB = 2048
+#: < 20 % regression vs the frozen PR 6 compiled-plan point at 1k types.
+SMOKE_REGRESSION_FACTOR = 1.20
+
+BENCH_PR6_JSON = Path(__file__).parent.parent / "BENCH_PR6.json"
+
+
+def _repeats(size: int) -> int:
+    return 3 if size >= 100_000 else 5
+
+
+def _spec(size: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        types=size,
+        seed=42,
+        isa_fraction=0.45,
+        part_of_chain=min(100, max(4, size // 4)),
+        instance_of_chain=min(50, max(3, size // 8)),
+    )
+
+
+def _rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _median_plan_time(workspace: Workspace, operations: list, size: int) -> float:
+    times = []
+    for _ in range(_repeats(size)):
+        plan = list(operations)
+        start = time.perf_counter()
+        entries = workspace.apply_plan_compiled(plan)
+        times.append(time.perf_counter() - start)
+        for _ in range(len(entries)):
+            workspace.undo_last()
+    return statistics.median(times)
+
+
+def _scoped_verify_time(workspace: Workspace, operations: list) -> float:
+    """Apply the plan once, then time the O(changed) post-plan sweep."""
+    schema = workspace.schema
+    seq_before = schema.log.seq
+    entries = workspace.apply_plan_compiled(list(operations))
+    touched: set[str] = set()
+    for record in schema.log.records_since(seq_before):
+        touched.update(record.names())
+    start = time.perf_counter()
+    violations = check_schema(schema, touched=touched)
+    elapsed = time.perf_counter() - start
+    assert not violations, violations[:3]
+    for _ in range(len(entries)):
+        workspace.undo_last()
+    return elapsed
+
+
+def test_bench_columnar_scaling(report, record_bench):
+    """200 / 1k / 10k / 100k curve over the columnar core."""
+    rows = []
+    results: dict[str, dict] = {}
+    for size in SIZES:
+        tracemalloc.start()
+        start = time.perf_counter()
+        schema = generate_schema(_spec(size))
+        build = time.perf_counter() - start
+        _, traced_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        traced_mb = traced_peak / (1024 * 1024)
+
+        workspace = Workspace(schema)
+        operations = list(generate_operations(workspace.schema, PLAN_OPS, seed=11))
+        plan = _median_plan_time(workspace, operations, size)
+        scoped = _scoped_verify_time(workspace, operations)
+
+        start = time.perf_counter()
+        workspace.fork("bench_fork")
+        fork = time.perf_counter() - start
+
+        start = time.perf_counter()
+        issues = validate_schema(workspace.schema)
+        verify = time.perf_counter() - start
+        assert not issues, issues[:3]
+
+        rss = _rss_mb()
+        rows.append((size, build, plan, fork, verify, scoped, traced_mb, rss))
+        for metric, value in (
+            ("build", build), ("plan_compiled", plan), ("fork", fork),
+            ("full_verify", verify), ("scoped_verify", scoped),
+        ):
+            results[f"columnar_{metric}[{size}]"] = {
+                "median_seconds": value,
+                "types": size,
+                "plan_ops": PLAN_OPS,
+            }
+        results[f"columnar_build_memory[{size}]"] = {
+            "median_seconds": None,
+            "types": size,
+            "tracemalloc_peak_mb": round(traced_mb, 1),
+            "peak_rss_mb": round(rss, 1),
+        }
+        record_bench(f"columnar_plan_compiled[{size}]", plan, types=size)
+
+    lines = [
+        f"{'types':>7}  {'build':>8}  {'plan':>8}  {'fork':>8}  "
+        f"{'verify':>8}  {'scoped':>8}  {'traced':>8}  {'rss':>8}"
+    ]
+    for size, build, plan, fork, verify, scoped, traced_mb, rss in rows:
+        lines.append(
+            f"{size:>7}  {build:>7.2f}s  {plan * 1000:>6.1f}ms  "
+            f"{fork * 1000:>6.1f}ms  {verify * 1000:>6.1f}ms  "
+            f"{scoped * 1000:>6.1f}ms  {traced_mb:>6.0f}MB  {rss:>6.0f}MB"
+        )
+    report("columnar_scaling", "\n".join(lines))
+
+    if not SMOKE:
+        merge_bench_results(results)
+
+    if STRICT:
+        largest = rows[-1]
+        assert largest[0] == 100_000
+        assert largest[2] < PLAN_FLOOR_SECONDS, (
+            f"compiled 100-op plan at 100k types took "
+            f"{largest[2]:.3f}s median (floor {PLAN_FLOOR_SECONDS:.1f}s)"
+        )
+        assert largest[7] < RSS_FLOOR_MB, (
+            f"peak RSS at 100k types was {largest[7]:.0f}MB "
+            f"(floor {RSS_FLOOR_MB}MB)"
+        )
+    else:
+        # CI smoke floor: the columnar compiled-plan point at 1k types
+        # must stay within 20 % of the frozen PR 6 baseline.
+        if not BENCH_PR6_JSON.exists():
+            pytest.skip("BENCH_PR6.json baseline not present")
+        baseline = json.loads(BENCH_PR6_JSON.read_text(encoding="utf-8"))
+        entry = baseline.get("compact_plan_compiled[1000]")
+        if not entry or not entry.get("median_seconds"):
+            pytest.skip("no compact_plan_compiled[1000] baseline recorded")
+        floor = entry["median_seconds"] * SMOKE_REGRESSION_FACTOR
+        point = dict(
+            (row[0], row[2]) for row in rows
+        )[1_000]
+        assert point < floor, (
+            f"columnar compiled-plan at 1k types took {point * 1000:.1f}ms "
+            f"median, > {SMOKE_REGRESSION_FACTOR:.0%} of the PR 6 baseline "
+            f"({entry['median_seconds'] * 1000:.1f}ms)"
+        )

@@ -66,6 +66,7 @@ from repro.model.mutation import (  # noqa: E402,F401 (re-export)
     aspect_for_kind,
     replayable_kind,
 )
+from repro.model.columnar import ColumnarAdjacency  # noqa: E402
 
 ASPECT_ISA = Aspect.ISA
 ASPECT_ATTRS = Aspect.ATTRS
@@ -94,25 +95,25 @@ _PAIR_DEPS = (
 )
 _ORDER_DEPS = (Aspect.MEMBERSHIP, ORDER_CLOCK)
 
-#: Mutator kinds that change the ISA adjacency incrementally.
-_ISA_KINDS = frozenset(
-    {"add_supertype", "remove_supertype", "set_supertypes"}
-)
-
 
 class SchemaIndex:
-    """Aspect-stamped caches plus incremental compact adjacency.
+    """Aspect-stamped caches plus the columnar incremental adjacency.
 
-    Two complementary mechanisms keep graph queries fast at 10k+ types:
+    Two complementary mechanisms keep graph queries fast at 100k types:
 
     * **Aspect-sharded stamps** -- each scan-built cache family stamps
       the :class:`~repro.model.mutation.AspectClock` counters of only
       the aspects whose records can change it, so an attribute edit no
       longer forces an O(N) subtype-map rebuild.
-    * **Incremental compact structures** -- the ISA child sets (interned
-      names) and the reverse-reference map are folded record-by-record
-      from the spine, so ``descendants`` and "who references type X"
-      answer in O(result) with no per-mutation rebuild at all.
+    * **Columnar adjacency** -- ISA parents/children and the reverse
+      reference map live in :class:`~repro.model.columnar.
+      ColumnarAdjacency`: interned-name integer ids over flat
+      ``array('i')`` rows with free-list id reuse, folded
+      record-by-record from the spine, so ``descendants`` and "who
+      references type X" answer in O(result) with no per-mutation
+      rebuild at all and no per-edge container overhead.  The previous
+      dict implementation survives as :class:`~repro.model.columnar.
+      DictAdjacency`, the differential reference spec.
 
     ``scope`` records are declarative annotations (belt-and-suspenders
     for the validation journal's dirty-name set); actual content changes
@@ -125,13 +126,7 @@ class SchemaIndex:
         "_schema",
         "_caches",
         "_clock",
-        "_isa_children",
-        "_isa_parents",
-        "_isa_dirty",
-        "_refs_of",
-        "_referencers",
-        "_refs_pending",
-        "_refs_dirty",
+        "adjacency",
         "hits",
         "misses",
         "rebuilds",
@@ -141,18 +136,13 @@ class SchemaIndex:
         self._schema = schema
         self._caches: dict[str, tuple[object, object]] = {}
         self._clock = AspectClock()
-        # parent name -> set of live interfaces listing it as supertype;
-        # name -> its current supertype tuple (to unhook on removal).
-        self._isa_children: dict[str, set[str]] = {}
-        self._isa_parents: dict[str, tuple[str, ...]] = {}
-        self._isa_dirty = True
-        # interface name -> frozenset of names it references;
-        # target name -> set of owners referencing it; owners whose
-        # reference sets need re-deriving before the next query.
-        self._refs_of: dict[str, frozenset[str]] = {}
-        self._referencers: dict[str, set[str]] = {}
-        self._refs_pending: set[str] = set()
-        self._refs_dirty = True
+        #: The columnar (struct-of-arrays) ISA / reverse-reference store:
+        #: interned-name ids, flat ``array('i')`` rows, free-list reuse.
+        #: The dict implementation it replaced survives as
+        #: :class:`repro.model.columnar.DictAdjacency`, the reference
+        #: spec the ``columnar-vs-dict-adjacency`` differential holds
+        #: this store to.
+        self.adjacency = ColumnarAdjacency(schema)
         self.hits = 0
         self.misses = 0
         self.rebuilds = 0
@@ -163,71 +153,18 @@ class SchemaIndex:
     # ------------------------------------------------------------------
 
     def _observe(self, record: MutationRecord) -> None:
-        """Fold one mutation record into clocks and compact structures."""
-        kind = record.kind
-        if kind == "scope":
+        """Fold one mutation record into clocks and the columnar store."""
+        if record.kind == "scope":
             return
         self._clock.observe(record)
-        name = record.interface
-        if name is not None:
-            if not self._refs_dirty:
-                self._refs_pending.add(name)
-            if not self._isa_dirty:
-                if kind in _ISA_KINDS:
-                    self._isa_update(name, record)
-                elif kind == "add_interface":
-                    self._isa_link(
-                        name, tuple(self._schema.interfaces[name].supertypes)
-                    )
-                elif kind == "remove_interface":
-                    self._isa_unlink(name)
-        elif not replayable_kind(kind):
-            # Out-of-band mutation: rebuild from the scans lazily.
-            self._isa_dirty = True
-            self._refs_dirty = True
+        self.adjacency.observe(record)
 
-    def _isa_link(self, name: str, parents: tuple[str, ...]) -> None:
-        self._isa_parents[name] = parents
-        children = self._isa_children
-        for parent in parents:
-            children.setdefault(parent, set()).add(name)
-
-    def _isa_unlink(self, name: str) -> None:
-        children = self._isa_children
-        for parent in self._isa_parents.pop(name, ()):
-            bucket = children.get(parent)
-            if bucket is not None:
-                bucket.discard(name)
-
-    def _isa_update(self, name: str, record: MutationRecord) -> None:
-        kind = record.kind
-        parents = self._isa_parents.get(name, ())
-        children = self._isa_children
-        if kind == "add_supertype":
-            supertype = record.payload["supertype"]
-            self._isa_parents[name] = parents + (supertype,)
-            children.setdefault(supertype, set()).add(name)
-        elif kind == "remove_supertype":
-            supertype = record.payload["supertype"]
-            self._isa_parents[name] = tuple(
-                parent for parent in parents if parent != supertype
-            )
-            bucket = children.get(supertype)
-            if bucket is not None:
-                bucket.discard(name)
-        else:  # set_supertypes
-            new = tuple(record.payload["supertypes"])
-            self._isa_parents[name] = new
-            new_set = set(new)
-            for parent in parents:
-                if parent not in new_set:
-                    bucket = children.get(parent)
-                    if bucket is not None:
-                        bucket.discard(name)
-            old_set = set(parents)
-            for parent in new:
-                if parent not in old_set:
-                    children.setdefault(parent, set()).add(name)
+    def _count_adjacency(self, rebuilt: bool) -> None:
+        """Keep the hit/miss counters honest for columnar answers."""
+        if rebuilt:
+            self.misses += 1
+        else:
+            self.hits += 1
 
     # ------------------------------------------------------------------
     # Cache machinery
@@ -268,8 +205,7 @@ class SchemaIndex:
     def invalidate(self) -> None:
         """Drop every cache family (normally the stamps suffice)."""
         self._caches.clear()
-        self._isa_dirty = True
-        self._refs_dirty = True
+        self.adjacency.mark_dirty()
 
     def memo(self, family: str, builder: Callable[[], object]) -> object:
         """Generation-stamped memoization for derived whole-schema values.
@@ -284,12 +220,17 @@ class SchemaIndex:
 
     def stats(self) -> dict[str, int]:
         """Hit / miss / rebuild counters plus current cache residency."""
+        adjacency = self.adjacency.stats()
         return {
             "hits": self.hits,
             "misses": self.misses,
             "rebuilds": self.rebuilds,
             "cached_families": len(self._caches),
             "generation": self._schema.generation,
+            "adjacency_ids": adjacency["ids"],
+            "adjacency_capacity": adjacency["capacity"],
+            "adjacency_free_ids": adjacency["free_ids"],
+            "adjacency_rebuilds": adjacency["rebuilds"],
         }
 
     def reset_stats(self) -> None:
@@ -320,63 +261,21 @@ class SchemaIndex:
                 result.setdefault(supertype, []).append(interface.name)
         return result
 
-    def _isa_sets(self) -> dict[str, set[str]]:
-        """Parent name -> set of direct subtypes, maintained incrementally.
-
-        The unordered twin of :meth:`subtype_map`: the same adjacency
-        with declaration order dropped, which is exactly what closure
-        walks (``descendants``, the validation cache's dirty-descendant
-        expansion, weak-component scans) need.  Folded record-by-record
-        from the spine, so a 100-op plan pays O(ops) maintenance instead
-        of O(N) rebuilds.
-        """
-        if self._isa_dirty:
-            self.misses += 1
-            self._isa_children = {}
-            self._isa_parents = {}
-            for interface in self._schema:
-                self._isa_link(
-                    interface.name, tuple(interface.supertypes)
-                )
-            self._isa_dirty = False
-        else:
-            self.hits += 1
-        return self._isa_children
-
     def descendants_of(self, name: str) -> set[str]:
-        """Transitive subtypes of *name*; excludes *name* itself."""
-        children = self._isa_sets()
-        result: set[str] = set()
-        frontier = list(children.get(name, ()))
-        while frontier:
-            current = frontier.pop()
-            if current in result:
-                continue
-            result.add(current)
-            bucket = children.get(current)
-            if bucket:
-                frontier.extend(bucket)
-        return result
+        """Transitive subtypes of *name*; excludes *name* itself.
+
+        Answered from the columnar store: an integer BFS over the flat
+        ISA-children rows, folded record-by-record from the spine, so a
+        100-op plan pays O(ops) maintenance instead of O(N) rebuilds.
+        """
+        self._count_adjacency(self.adjacency.ensure_fresh())
+        return self.adjacency.descendants_of(name)
 
     def descendants_closure(self, seeds: set[str]) -> set[str]:
         """Every descendant of any seed, the seeds themselves excluded
         unless reachable from another seed."""
-        children = self._isa_sets()
-        result: set[str] = set()
-        frontier: list[str] = []
-        for seed in seeds:
-            bucket = children.get(seed)
-            if bucket:
-                frontier.extend(bucket)
-        while frontier:
-            current = frontier.pop()
-            if current in result:
-                continue
-            result.add(current)
-            bucket = children.get(current)
-            if bucket:
-                frontier.extend(bucket)
-        return result
+        self._count_adjacency(self.adjacency.ensure_fresh())
+        return self.adjacency.descendants_closure(seeds)
 
     # ------------------------------------------------------------------
     # Reverse references (who mentions type X?)
@@ -389,50 +288,10 @@ class SchemaIndex:
         target/inverse type, or operation signature type — exactly
         :meth:`InterfaceDef.referenced_type_names`.  Maintained
         incrementally: a mutator record only marks its owner pending,
-        and pending owners re-derive their reference sets lazily here.
+        and pending owners re-derive their reference rows lazily.
         """
-        self._fold_refs()
-        owners = self._referencers.get(target)
-        return set(owners) if owners else set()
-
-    def _fold_refs(self) -> None:
-        interfaces = self._schema.interfaces
-        if self._refs_dirty:
-            self.misses += 1
-            self._refs_of = {}
-            self._referencers = {}
-            referencers = self._referencers
-            for interface in self._schema:
-                refs = frozenset(interface.referenced_type_names())
-                self._refs_of[interface.name] = refs
-                for target in refs:
-                    referencers.setdefault(target, set()).add(interface.name)
-            self._refs_dirty = False
-            self._refs_pending.clear()
-            return
-        self.hits += 1
-        if not self._refs_pending:
-            return
-        referencers = self._referencers
-        for name in self._refs_pending:
-            interface = interfaces.get(name)
-            new = (
-                frozenset(interface.referenced_type_names())
-                if interface is not None
-                else frozenset()
-            )
-            old = self._refs_of.get(name, frozenset())
-            for target in old - new:
-                bucket = referencers.get(target)
-                if bucket is not None:
-                    bucket.discard(name)
-            for target in new - old:
-                referencers.setdefault(target, set()).add(name)
-            if interface is None:
-                self._refs_of.pop(name, None)
-            else:
-                self._refs_of[name] = new
-        self._refs_pending.clear()
+        self._count_adjacency(self.adjacency.ensure_fresh())
+        return self.adjacency.referencers_of(target)
 
     def ends_targeting(
         self, targets: set[str]
@@ -440,18 +299,15 @@ class SchemaIndex:
         """(owner, end) pairs with ``end.target_type`` in *targets*.
 
         Same relative order as :meth:`relationship_pairs`, but computed
-        from the incremental reverse-reference map: an end targeting X
+        from the incremental reverse-reference rows: an end targeting X
         implies its owner references X (``referenced_type_names``
         includes every end's target type), so only referencing owners'
         end lists are inspected — no whole-schema pair listing rebuild.
         """
-        self._fold_refs()
-        referencers = self._referencers
+        self._count_adjacency(self.adjacency.ensure_fresh())
         owners: set[str] = set(targets)
         for target in targets:
-            bucket = referencers.get(target)
-            if bucket:
-                owners.update(bucket)
+            owners.update(self.adjacency.referencers_of(target))
         pairs: list[tuple[str, RelationshipEnd]] = []
         if not owners:
             return pairs

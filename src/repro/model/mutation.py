@@ -102,11 +102,29 @@ class MutationRecord:
     payload: dict
 
     def names(self) -> Iterator[str]:
-        """Every interface name this record may have changed."""
+        """Every interface name this record may have changed.
+
+        ISA mutations also name the supertypes involved: adding or
+        removing a parent changes that parent's derived state (its
+        subtree), so O(changed) verification sweeps must treat it as
+        touched.  ``remove_interface`` carries no payload; the parents
+        it detached from are only covered by the final full sweep.
+        """
         if self.interface is not None:
             yield self.interface
-        if self.kind == "scope":
+        kind = self.kind
+        if kind == "scope":
             yield from self.payload.get("names", ())
+        elif kind in ("add_supertype", "remove_supertype"):
+            supertype = self.payload.get("supertype")
+            if supertype is not None:
+                yield supertype
+        elif kind == "set_supertypes":
+            yield from self.payload.get("supertypes", ())
+        elif kind == "add_interface":
+            definition = self.payload.get("interface")
+            if definition is not None:
+                yield from definition.supertypes
 
     def __str__(self) -> str:
         where = f" {self.interface}" if self.interface else ""

@@ -67,7 +67,7 @@ step.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.model.errors import ValidationError
 from repro.model.mutation import Aspect
@@ -248,6 +248,47 @@ class ValidationCache:
                     issues=errors,
                 )
         return issues
+
+    def recheck_interfaces(self, names: Iterable[str]) -> Iterator[str]:
+        """Differential over the cached per-interface issue slots.
+
+        For each *name*, recompute the ``INTERFACE_RULES`` slots from
+        the live interface and compare them with what the cache holds
+        (removed names must hold nothing); yield one message per
+        mismatch.  Callers fold pending dirt first with
+        :meth:`validate`.  This is the O(changed) form of the
+        ``incremental-vs-full-validation`` invariant (DESIGN 5i): cost
+        is O(names x rules), never O(schema).
+        """
+        schema = self._schema
+        for name in names:
+            interface = schema.interfaces.get(name)
+            cached = self._interface_issues.get(name)
+            if interface is None:
+                if cached is not None:
+                    yield (
+                        f"validation cache still holds issue slots for "
+                        f"removed interface {name!r}"
+                    )
+                continue
+            if cached is None:
+                yield (
+                    f"validation cache has no issue slots for live "
+                    f"interface {name!r}"
+                )
+                continue
+            fresh = tuple(
+                tuple(rule(schema, interface)) for rule in INTERFACE_RULES
+            )
+            if fresh != cached:
+                for slot, (want, got) in enumerate(zip(fresh, cached)):
+                    if want != got:
+                        yield (
+                            f"cached issues for {name!r} slot {slot} "
+                            f"({INTERFACE_RULES[slot].__name__}) are stale: "
+                            f"cache {[str(i) for i in got]!r} != fresh "
+                            f"{[str(i) for i in want]!r}"
+                        )
 
     def stats(self) -> dict[str, int]:
         """Hit/miss counters (also folded into ``Schema.stats()``)."""

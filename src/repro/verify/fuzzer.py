@@ -31,6 +31,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.model.fingerprint import memoized_schema_fingerprint, schema_fingerprint
+from repro.model.mutation import replayable_kind
 from repro.model.schema import Schema
 from repro.model.errors import SchemaError
 from repro.ops.base import OperationError, SchemaOperation
@@ -102,6 +103,12 @@ class FuzzReport:
     accepted: int = 0
     rejected: int = 0
     checks: int = 0
+    #: Mid-run sweeps that ran in O(changed) scoped mode (DESIGN 5i).
+    scoped_sweeps: int = 0
+    #: Sweeps whose per-type differentials stride-sampled instead of
+    #: probing exhaustively (the runner surfaces these -- no silent
+    #: coverage caps).
+    sampled_sweeps: int = 0
     failure: FuzzFailure | None = None
 
     @property
@@ -110,11 +117,14 @@ class FuzzReport:
 
     def summary(self) -> str:
         status = "ok" if self.ok else "FAIL"
-        return (
+        text = (
             f"{status} subject={self.subject} seed={self.seed} "
             f"steps={len(self.trace)} accepted={self.accepted} "
             f"rejected={self.rejected} checks={self.checks}"
         )
+        if self.scoped_sweeps:
+            text += f" scoped={self.scoped_sweeps}"
+        return text
 
 
 class DifferentialHarness:
@@ -135,6 +145,7 @@ class DifferentialHarness:
         invariant_filter: set[str] | None = None,
         cheap_every: int = 1,
         with_populations: bool = False,
+        scoped_checks: bool = False,
     ) -> None:
         self.workspace = Workspace(reference, f"{reference.name}_fuzz")
         self.base_fp = schema_fingerprint(reference)
@@ -153,10 +164,20 @@ class DifferentialHarness:
         # agrees -- so a shrunk reproducer shows concrete witnessing
         # data, not just the operation trace.
         self.with_populations = with_populations
+        # O(changed) mode: mid-run sweeps pass the spine's
+        # touched-interface set since the last sweep to check_workspace,
+        # so their cost is proportional to the steps between sweeps,
+        # not the schema.  final_check stays a full sweep -- that is
+        # the deferred half of the scoped-verification contract
+        # (DESIGN 5i).
+        self.scoped_checks = scoped_checks
+        self._watermark_log = self.workspace.schema.log
+        self._watermark_seq = self._watermark_log.seq
         self.invariant_filter = invariant_filter
         self.accepted = 0
         self.rejected = 0
         self.checks = 0
+        self.scoped_sweeps = 0
 
     # ------------------------------------------------------------------
 
@@ -185,14 +206,41 @@ class DifferentialHarness:
             tiers.append(TIER_EXPENSIVE)
         if tiers:
             self.checks += 1
+            touched = self._touched_since_sweep() if self.scoped_checks else None
+            if touched is not None:
+                self.scoped_sweeps += 1
             violations.extend(
                 check_workspace(
-                    self.workspace, tiers=tiers, names=self.invariant_filter
+                    self.workspace, tiers=tiers, names=self.invariant_filter,
+                    touched=touched,
                 )
             )
+            self._advance_watermark()
         if self.with_populations and TIER_EXPENSIVE in tiers:
             violations.extend(self._check_populations(step_index))
         return violations
+
+    def _touched_since_sweep(self) -> set[str] | None:
+        """Interface names the spine recorded since the last sweep.
+
+        ``None`` forces a full sweep: the workspace swapped schemas
+        (reset installs a fresh copy with its own log), or a lossy
+        record (out-of-band ``touch``) hides what changed.
+        """
+        log = self.workspace.schema.log
+        if log is not self._watermark_log:
+            return None
+        touched: set[str] = set()
+        for record in log.records_since(self._watermark_seq):
+            if record.interface is None and not replayable_kind(record.kind):
+                return None
+            touched.update(record.names())
+        return touched
+
+    def _advance_watermark(self) -> None:
+        log = self.workspace.schema.log
+        self._watermark_log = log
+        self._watermark_seq = log.seq
 
     def _check_populations(self, step_index: int) -> list[Violation]:
         """The population differential (``with_populations`` runs only).
@@ -464,6 +512,7 @@ def fuzz(
     subject_name: str | None = None,
     cheap_every: int = 1,
     with_populations: bool = False,
+    scoped_checks: bool = False,
 ) -> FuzzReport:
     """Run one seeded fuzz sequence against *reference*.
 
@@ -472,18 +521,24 @@ def fuzz(
     resulting trace is concrete -- every step carries its exact
     operation -- and can be replayed (and shrunk) without the RNG.
     ``cheap_every`` spaces out the cheap invariant tier for large
-    subjects where its full-scan differentials dominate the run.
+    subjects where its full-scan differentials dominate the run;
+    ``scoped_checks`` switches mid-run sweeps to the O(changed) scoped
+    mode (the final sweep stays full).
     """
+    from repro.verify.invariants import consume_sampling_events
+
     rng = random.Random(seed)
     harness = DifferentialHarness(
         reference,
         check_every=check_every,
         cheap_every=cheap_every,
         with_populations=with_populations,
+        scoped_checks=scoped_checks,
     )
     report = FuzzReport(
         subject=subject_name or reference.name, seed=seed
     )
+    consume_sampling_events()  # drain events left over from other runs
     for index in range(steps):
         step = _make_step(harness.workspace.schema, rng, index)
         report.trace.append(step)
@@ -502,6 +557,8 @@ def fuzz(
     report.accepted = harness.accepted
     report.rejected = harness.rejected
     report.checks = harness.checks
+    report.scoped_sweeps = harness.scoped_sweeps
+    report.sampled_sweeps = consume_sampling_events()
     return report
 
 
@@ -522,6 +579,9 @@ def replay(
     original run when the failure under investigation is a population
     violation; ``invariant_filter`` keeps the oracle deterministic
     either way, since the population checks respect it by name.
+    Replay always sweeps in full -- scoped mode exists to make *live*
+    runs affordable; the oracle wants maximal sensitivity, and full
+    sweeps check a superset of what any scoped sweep checked.
     """
     harness = DifferentialHarness(
         reference,

@@ -23,6 +23,18 @@ checked everywhere automatically (fuzzer, CLI, tests).  Schema-level
 checks receive ``(schema, context)``; workspace-level checks (decorated
 with ``workspace_invariant``) receive the live
 :class:`~repro.repository.workspace.Workspace`.
+
+**O(changed) sweeps.**  Passing ``touched`` (the interface names the
+spine recorded since the previous sweep) to :func:`check_schema` /
+:func:`check_workspace` switches to scoped mode: invariants with a
+:func:`scoped_invariant` variant check only the touched closure
+(touched + ISA descendants + referencers), the O(1)/O(history)
+invariants in :data:`ALWAYS_FULL` still run whole, and everything else
+is *deferred* -- the caller owes one full-registry sweep at sequence
+end (the fuzzer's ``final_check``).  That makes per-step verification
+cost proportional to the plan, not the schema, which is what lets
+``make fuzz --large-seeds`` keep both tiers on at 10k types
+(DESIGN.md §5i).
 """
 
 from __future__ import annotations
@@ -34,11 +46,14 @@ from repro.concepts.decompose import decompose, reconstruct
 from repro.knowledge.consistency import structural_feedback
 from repro.knowledge.feedback import FeedbackLevel
 from repro.model import index as index_module
+from repro.model.columnar import DictAdjacency, adjacency_differential
 from repro.model.fingerprint import schema_fingerprint, schemas_equal
 from repro.model.schema import Schema
 from repro.model.relationships import RelationshipKind
 from repro.model.validation import (
     SEVERITY_ERROR,
+    _find_cycle,
+    cardinality_issues,
     check_cardinality_roles,
     check_dangling_types,
     check_instance_of_cycles,
@@ -47,6 +62,14 @@ from repro.model.validation import (
     check_keys,
     check_order_by,
     check_part_of_cycles,
+    dangling_type_issues,
+    instance_of_cycle_issue,
+    inverse_issues,
+    isa_cycle_issue,
+    isa_successors,
+    key_issues,
+    order_by_issues,
+    part_of_cycle_issue,
     validate_schema,
 )
 from repro.model.errors import SchemaError
@@ -87,6 +110,48 @@ class Invariant:
 #: Every registered invariant, in registration order.
 INVARIANTS: list[Invariant] = []
 
+#: Scoped (O(changed)) variants keyed by invariant name.  A scoped
+#: check receives ``(schema, context, scoped)`` where ``scoped`` is the
+#: sorted, defined touched closure (touched names + their ISA
+#: descendants + their referencers) and must verify the same clause
+#: restricted to that neighbourhood.
+SCOPED_CHECKS: dict[str, Callable[..., Iterator[str]]] = {}
+
+#: Invariants that run in full even during a scoped sweep: they are
+#: O(1)/O(history) in the schema size, so skipping them buys nothing
+#: and they anchor the sweep (generation bookkeeping, history shape).
+ALWAYS_FULL = frozenset({"spine-generation", "history-shape"})
+
+
+def scoped_invariant(name: str):
+    """Register the O(changed) variant of the invariant *name*."""
+
+    def decorator(check: Callable[..., Iterator[str]]):
+        SCOPED_CHECKS[name] = check
+        return check
+
+    return decorator
+
+
+def touched_closure(schema: Schema, touched: Iterable[str]) -> list[str]:
+    """The defined neighbourhood a change to *touched* can affect.
+
+    Touched names plus their ISA descendants (inherited keys, order-by
+    and extent visibility flow down the hierarchy) plus everything
+    referencing them (dangling/inverse checks judge the *referencing*
+    end), filtered to currently-defined interfaces and sorted for
+    deterministic reporting.  Cost is O(closure), served by the
+    columnar adjacency -- never O(schema).
+    """
+    adjacency = schema.index.adjacency
+    adjacency.ensure_fresh()
+    seeds = set(touched)
+    closure = set(seeds)
+    closure |= adjacency.descendants_closure(seeds)
+    for name in seeds:
+        closure.update(adjacency.referencers_of(name))
+    return sorted(name for name in closure if name in schema.interfaces)
+
 
 def invariant(name: str, clause: str, tier: str = TIER_CHEAP):
     """Register a schema-level invariant check function."""
@@ -113,20 +178,39 @@ def check_schema(
     context: OperationContext | None = None,
     tiers: Iterable[str] = (TIER_CHEAP, TIER_EXPENSIVE),
     names: Iterable[str] | None = None,
+    touched: Iterable[str] | None = None,
 ) -> list[Violation]:
-    """Run every (selected) schema-level invariant over *schema*."""
+    """Run every (selected) schema-level invariant over *schema*.
+
+    With *touched* (interface names the spine recorded since the last
+    sweep) the run is *scoped*: invariants with a registered
+    :data:`SCOPED_CHECKS` variant verify only the touched closure,
+    :data:`ALWAYS_FULL` invariants run whole, and the rest are skipped
+    -- the caller owes a full sweep at sequence end.
+    """
     context = context or OperationContext()
     wanted = None if names is None else set(names)
     tier_set = set(tiers)
+    scoped_names: list[str] | None = None
+    if touched is not None:
+        scoped_names = touched_closure(schema, touched)
     violations: list[Violation] = []
     for inv in INVARIANTS:
         if inv.scope != "schema" or inv.tier not in tier_set:
             continue
         if wanted is not None and inv.name not in wanted:
             continue
-        violations.extend(
-            Violation(inv.name, message) for message in inv.check(schema, context)
-        )
+        if scoped_names is None:
+            messages = inv.check(schema, context)
+        else:
+            scoped = SCOPED_CHECKS.get(inv.name)
+            if scoped is not None:
+                messages = scoped(schema, context, scoped_names)
+            elif inv.name in ALWAYS_FULL:
+                messages = inv.check(schema, context)
+            else:
+                continue  # deferred to the caller's final full sweep
+        violations.extend(Violation(inv.name, message) for message in messages)
     return violations
 
 
@@ -134,10 +218,17 @@ def check_workspace(
     workspace: Workspace,
     tiers: Iterable[str] = (TIER_CHEAP, TIER_EXPENSIVE),
     names: Iterable[str] | None = None,
+    touched: Iterable[str] | None = None,
 ) -> list[Violation]:
-    """Run schema invariants on the workspace schema plus history checks."""
+    """Run schema invariants on the workspace schema plus history checks.
+
+    *touched* scopes the sweep exactly as in :func:`check_schema`;
+    workspace-level invariants without a scoped variant are skipped in
+    scoped mode except those in :data:`ALWAYS_FULL`.
+    """
     violations = check_schema(
-        workspace.schema, workspace.context, tiers=tiers, names=names
+        workspace.schema, workspace.context, tiers=tiers, names=names,
+        touched=touched,
     )
     wanted = None if names is None else set(names)
     tier_set = set(tiers)
@@ -145,6 +236,8 @@ def check_workspace(
         if inv.scope != "workspace" or inv.tier not in tier_set:
             continue
         if wanted is not None and inv.name not in wanted:
+            continue
+        if touched is not None and inv.name not in ALWAYS_FULL:
             continue
         violations.extend(
             Violation(inv.name, message) for message in inv.check(workspace)
@@ -301,34 +394,74 @@ def _check_incremental_validation(schema, context):
 # Index differentials (every indexed query == its scan_* reference)
 # ----------------------------------------------------------------------
 
-#: Above this many types the per-type differentials sample instead of
-#: sweeping exhaustively: each per-type probe calls an O(types) scan_*
-#: reference, so the exhaustive sweep is quadratic -- fine for catalog
-#: and test subjects, prohibitive on the 1k-10k-type fuzz profile.
-_DIFFERENTIAL_SAMPLE = 256
+#: Default for :func:`set_differential_stride`.  Above this many types
+#: the per-type differentials sample instead of sweeping exhaustively:
+#: each per-type probe calls an O(types) scan_* reference, so the
+#: exhaustive sweep is quadratic -- fine for catalog and test subjects,
+#: prohibitive on the 1k-10k-type fuzz profile.
+DIFFERENTIAL_STRIDE_DEFAULT = 256
+
+_differential_stride = DIFFERENTIAL_STRIDE_DEFAULT
+_sampling_events = 0
+
+
+def set_differential_stride(threshold: int | None) -> int:
+    """Set the per-type differential sampling threshold; return the old.
+
+    ``0`` or ``None`` disables sampling entirely (exhaustive per-type
+    probes at any size); the fuzzer CLI exposes this as
+    ``--differential-stride``.
+    """
+    global _differential_stride
+    previous = _differential_stride
+    _differential_stride = int(threshold) if threshold else 0
+    return previous
+
+
+def differential_stride() -> int:
+    """The active sampling threshold (0 means exhaustive)."""
+    return _differential_stride
+
+
+def consume_sampling_events() -> int:
+    """Drain and return the count of sampled (non-exhaustive) sweeps.
+
+    The fuzz runner reads this after each run to print a coverage note
+    -- no silent caps: when probes were sampled, the summary says so.
+    """
+    global _sampling_events
+    events, _sampling_events = _sampling_events, 0
+    return events
+
+
+def _stride_sample(names: list[str], phase: int) -> list[str]:
+    """*names*, or a deterministic stride sample past the threshold.
+
+    The stride phase rotates with *phase* (the schema generation), so
+    successive sweeps of a fuzz run cross different residues of the
+    declaration order while each individual sweep stays linear.  For a
+    fixed schema state the sample is deterministic -- replaying a
+    trace checks exactly the same types, which the shrinker relies on.
+    """
+    global _sampling_events
+    count = len(names)
+    threshold = _differential_stride
+    if not threshold or count <= threshold:
+        return names
+    _sampling_events += 1
+    stride = -(-count // threshold)
+    return names[phase % stride :: stride]
 
 
 def _sampled_type_names(schema) -> list[str]:
-    """All type names, or a deterministic stride sample at scale.
-
-    The stride phase rotates with the schema generation, so successive
-    sweeps of a fuzz run cross different residues of the declaration
-    order while each individual sweep stays linear.  For a fixed
-    schema state the sample is deterministic -- replaying a trace
-    checks exactly the same types, which the shrinker relies on.
-    """
-    names = schema.type_names()
-    count = len(names)
-    if count <= _DIFFERENTIAL_SAMPLE:
-        return names
-    stride = -(-count // _DIFFERENTIAL_SAMPLE)
-    return names[schema.generation % stride :: stride]
+    """All type names, or a deterministic stride sample at scale."""
+    return _stride_sample(schema.type_names(), schema.generation)
 
 
 @invariant(
     "index-generalization-vs-scan",
     "DESIGN 5b: indexed ISA queries equal the full-scan reference "
-    "(per-type probes sampled past _DIFFERENTIAL_SAMPLE types)",
+    "(per-type probes sampled past the differential stride threshold)",
 )
 def _check_index_generalization(schema, context):
     for name in _sampled_type_names(schema):
@@ -349,7 +482,7 @@ def _check_index_generalization(schema, context):
 @invariant(
     "index-aggregation-vs-scan",
     "DESIGN 5b: indexed part-of queries equal the full-scan reference "
-    "(per-type probes sampled past _DIFFERENTIAL_SAMPLE types)",
+    "(per-type probes sampled past the differential stride threshold)",
 )
 def _check_index_aggregation(schema, context):
     scanned_edges = index_module.scan_link_edges(
@@ -389,6 +522,16 @@ def _check_index_pairs(schema, context):
         schema
     ):
         yield "relationship_pairs(): index != scan"
+
+
+@invariant(
+    "columnar-vs-dict-adjacency",
+    "DESIGN 5i: the flat-array adjacency (ids, free list, parallel "
+    "columns) answers exactly as the retained dict reference spec",
+)
+def _check_columnar_adjacency(schema, context):
+    reference = DictAdjacency(schema)
+    yield from adjacency_differential(schema.index.adjacency, reference)
 
 
 # ----------------------------------------------------------------------
@@ -816,4 +959,248 @@ def _check_example_preservation(workspace):
         yield (
             "check_population disagrees after an undo/redo round trip "
             "of the plan"
+        )
+
+
+# ----------------------------------------------------------------------
+# Scoped (O(changed)) variants -- DESIGN 5i
+#
+# Each verifies its invariant's clause restricted to the touched
+# closure, never walking the whole schema.  Invariants without a
+# scoped variant are deferred to the caller's final full sweep (the
+# fuzzer's ``final_check``); ALWAYS_FULL members run whole regardless.
+# ----------------------------------------------------------------------
+
+
+def _scoped_rule_messages(
+    rule, schema: Schema, names: Iterable[str]
+) -> Iterator[str]:
+    """Per-interface validation *rule* over just the scoped *names*."""
+    for name in names:
+        interface = schema.interfaces.get(name)
+        if interface is None:
+            continue
+        for issue in rule(schema, interface):
+            if issue.severity == SEVERITY_ERROR:
+                yield str(issue)
+
+
+@scoped_invariant("dangling-types")
+def _scoped_dangling(schema, context, scoped):
+    yield from _scoped_rule_messages(dangling_type_issues, schema, scoped)
+
+
+@scoped_invariant("inverse-pairing")
+def _scoped_inverse_pairing(schema, context, scoped):
+    yield from _scoped_rule_messages(inverse_issues, schema, scoped)
+
+
+@scoped_invariant("hierarchy-one-to-many")
+def _scoped_one_to_many(schema, context, scoped):
+    yield from _scoped_rule_messages(cardinality_issues, schema, scoped)
+
+
+@scoped_invariant("keys-resolve")
+def _scoped_keys_resolve(schema, context, scoped):
+    yield from _scoped_rule_messages(key_issues, schema, scoped)
+
+
+@scoped_invariant("order-by-resolve")
+def _scoped_order_by_resolve(schema, context, scoped):
+    yield from _scoped_rule_messages(order_by_issues, schema, scoped)
+
+
+def _local_link_successors(schema: Schema, kind: RelationshipKind):
+    """Per-name successor function of a link graph (whole -> part).
+
+    Derived from the owning interface directly so a scoped cycle check
+    never materializes the whole edge list the way
+    ``part_of_successors`` does.
+    """
+    interfaces = schema.interfaces
+
+    def successors(name: str):
+        interface = interfaces.get(name)
+        if interface is None:
+            return ()
+        return tuple(
+            end.target_type
+            for end in interface.relationships_of_kind(kind)
+            if end.is_to_many
+        )
+
+    return successors
+
+
+@scoped_invariant("isa-acyclic")
+def _scoped_isa_acyclic(schema, context, scoped):
+    # A mutation can only create a cycle passing through a touched
+    # node, and every cycle is reachable from each of its members --
+    # DFS seeded at the scoped names finds it.
+    cycle = _find_cycle(scoped, isa_successors(schema))
+    if cycle is not None:
+        yield str(isa_cycle_issue(cycle))
+
+
+@scoped_invariant("part-of-acyclic")
+def _scoped_part_of_acyclic(schema, context, scoped):
+    successors = _local_link_successors(schema, RelationshipKind.PART_OF)
+    cycle = _find_cycle(scoped, successors)
+    if cycle is not None:
+        yield str(part_of_cycle_issue(cycle))
+
+
+@scoped_invariant("instance-of-acyclic")
+def _scoped_instance_of_acyclic(schema, context, scoped):
+    successors = _local_link_successors(schema, RelationshipKind.INSTANCE_OF)
+    cycle = _find_cycle(scoped, successors)
+    if cycle is not None:
+        yield str(instance_of_cycle_issue(cycle))
+
+
+@scoped_invariant("index-generalization-vs-scan")
+def _scoped_index_generalization(schema, context, scoped):
+    # Per-name probes only; the whole-schema generalization_roots()
+    # comparison is deferred to the final full sweep.  The subtype scan
+    # is batched: one pass over the schema builds the same
+    # name -> direct-subtypes lists ``scan_subtypes`` derives per call
+    # (declaration order), so the sweep costs O(types + probes), not
+    # O(probes x types).
+    sample = _stride_sample(scoped, schema.generation)
+    if not sample:
+        return
+    scanned_subtypes: dict[str, list[str]] = {}
+    for interface in schema:
+        for supertype in interface.supertypes:
+            scanned_subtypes.setdefault(supertype, []).append(interface.name)
+
+    def scan_descendants(name: str) -> set[str]:
+        result: set[str] = set()
+        frontier = list(scanned_subtypes.get(name, ()))
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(scanned_subtypes.get(current, ()))
+        return result
+
+    for name in sample:
+        indexed = schema.subtypes(name)
+        scanned = scanned_subtypes.get(name, [])
+        if indexed != scanned:
+            yield f"subtypes({name!r}): index {indexed!r} != scan {scanned!r}"
+        if schema.descendants(name) != scan_descendants(name):
+            yield f"descendants({name!r}): index != scan"
+        if schema.ancestors(name) != index_module.scan_ancestors(schema, name):
+            yield f"ancestors({name!r}): index != scan"
+
+
+@scoped_invariant("index-aggregation-vs-scan")
+def _scoped_index_aggregation(schema, context, scoped):
+    # ``scan_parts`` / ``scan_wholes`` rebuild the full edge list per
+    # call; build it once and fold both directions, preserving edge
+    # order, so every probe is then a dict lookup.
+    sample = _stride_sample(scoped, schema.generation)
+    if not sample:
+        return
+    edges = index_module.scan_link_edges(schema, RelationshipKind.PART_OF)
+    scanned_parts: dict[str, list[str]] = {}
+    scanned_wholes: dict[str, list[str]] = {}
+    for whole, part, _ in edges:
+        scanned_parts.setdefault(whole, []).append(part)
+        scanned_wholes.setdefault(part, []).append(whole)
+    for name in sample:
+        if schema.parts(name) != scanned_parts.get(name, []):
+            yield f"parts({name!r}): index != scan"
+        if schema.wholes(name) != scanned_wholes.get(name, []):
+            yield f"wholes({name!r}): index != scan"
+
+
+@scoped_invariant("incremental-vs-full-validation")
+def _scoped_incremental_validation(schema, context, scoped):
+    # Fold the cache's dirty set (O(dirty)), then recompute just the
+    # scoped interfaces' issue slots against the cached ones.
+    schema.validation.validate()
+    yield from schema.validation.recheck_interfaces(scoped)
+
+
+@scoped_invariant("columnar-vs-dict-adjacency")
+def _scoped_columnar_adjacency(schema, context, scoped):
+    # Row-level differential: each touched interface's columns must
+    # match its live definition, and its reverse-reference buckets must
+    # contain it.  The whole-store differential (plus free-list and
+    # refcount integrity) runs in the final full sweep.
+    adjacency = schema.index.adjacency
+    for name in scoped:
+        interface = schema.interfaces.get(name)
+        if interface is None:
+            continue
+        parents = adjacency.parents_of(name)
+        if parents != tuple(interface.supertypes):
+            yield (
+                f"parents_of({name!r}): columns {parents!r} != declared "
+                f"{tuple(interface.supertypes)!r}"
+            )
+        refs = frozenset(interface.referenced_type_names())
+        if adjacency.refs_of(name) != refs:
+            yield (
+                f"refs_of({name!r}): columns {sorted(adjacency.refs_of(name))!r}"
+                f" != derived {sorted(refs)!r}"
+            )
+        for target in refs:
+            if name not in adjacency.referencers_of(target):
+                yield (
+                    f"referencers_of({target!r}) is missing the live "
+                    f"referencer {name!r}"
+                )
+
+
+def _sub_schema(schema: Schema, names: Iterable[str], suffix: str) -> Schema:
+    """A fresh schema holding copies of just *names*, in declaration
+    order.  References leaving the slice dangle, which the printer,
+    parser, and mapper all accept -- dangling names are legal schema
+    states (DESIGN 5i)."""
+    order = schema.index.declaration_order()
+    sub = Schema(f"{schema.name}_{suffix}")
+    for name in sorted(names, key=order.__getitem__):
+        sub.add_interface(schema.interfaces[name].copy())
+    return sub
+
+
+@scoped_invariant("odl-round-trip")
+def _scoped_odl_round_trip(schema, context, scoped):
+    from repro.odl.parser import parse_schema
+    from repro.odl.printer import print_schema
+
+    sub = _sub_schema(schema, scoped, "odl_scoped")
+    text = print_schema(sub)
+    try:
+        parsed = parse_schema(text, name=sub.name)
+    except Exception as error:  # noqa: BLE001 - any escape is the finding
+        yield f"printed ODL of the touched closure does not re-parse: {error}"
+        return
+    if not schemas_equal(sub, parsed):
+        yield (
+            "printer -> parser round trip changed the touched closure "
+            "sub-schema"
+        )
+    elif print_schema(parsed) != text:
+        yield "printer -> parser -> printer is not idempotent on the closure"
+
+
+@scoped_invariant("name-equivalence-mapping")
+def _scoped_name_equivalence(schema, context, scoped):
+    sub = _sub_schema(schema, scoped, "map_scoped")
+    mapping = generate_mapping(sub, sub.copy(f"{sub.name}_verify"))
+    if mapping.added() or mapping.deleted():
+        yield (
+            "scoped self-mapping reports "
+            f"{len(mapping.added())} added / {len(mapping.deleted())} "
+            "deleted constructs"
+        )
+    if mapping.entries and mapping.reuse_ratio() != 1.0:
+        yield (
+            "scoped self-mapping reuse ratio is "
+            f"{mapping.reuse_ratio()}, not 1.0"
         )

@@ -9,19 +9,33 @@ the shrunk test is the bug report.
 The smoke configuration (``make fuzz-smoke``) keeps the sweep around
 half a minute; the acceptance configuration (``--seeds 25 --steps 200``)
 is the deeper soak the ROADMAP's verification contract calls for.
+
+Runs are declared as picklable :class:`RunSpec` values, so ``--jobs``
+can shard them over a ``multiprocessing`` pool: each worker rebuilds
+its subject from the spec, fuzzes (and shrinks) in isolation, and
+returns its full printed output, which the parent emits strictly in
+submission order -- byte-identical to a sequential sweep up to the
+first failure.
 """
 
 from __future__ import annotations
 
 import argparse
+import io
+import os
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from repro.catalog import SCHEMA_BUILDERS, load
 from repro.model.schema import Schema
 from repro.verify.fuzzer import FuzzReport, fuzz
-from repro.verify.invariants import check_schema, describe_registry
+from repro.verify.invariants import (
+    DIFFERENTIAL_STRIDE_DEFAULT,
+    check_schema,
+    describe_registry,
+    set_differential_stride,
+)
 from repro.verify.shrinker import emit_pytest, shrink
 from repro.workload.generator import WorkloadSpec, generate_schema
 
@@ -104,6 +118,112 @@ def large_subjects(seeds: int) -> list[tuple[Subject, int]]:
     ]
 
 
+@dataclass(frozen=True)
+class RunSpec:
+    """One (subject, seed) run, declaratively -- picklable, so a
+    ``--jobs`` worker process can rebuild the subject on its side.
+
+    ``family`` selects the builder: ``"catalog"`` (``name`` is the
+    catalog schema), ``"synthetic"`` or ``"large"`` (``types`` and
+    ``seed`` parameterize the workload generator).
+    """
+
+    family: str
+    name: str
+    seed: int
+    steps: int
+    check_every: int
+    cheap_every: int = 1
+    types: int = 0
+    scoped: bool = False
+    with_populations: bool = False
+    do_shrink: bool = True
+    differential_stride: int | None = None
+
+
+def subject_for(spec: RunSpec) -> Subject:
+    """Rebuild the spec's subject (deterministic in the spec alone)."""
+    if spec.family == "catalog":
+        name = spec.name
+        return Subject(name, f"load({name!r})", lambda: load(name))
+    if spec.family == "synthetic":
+        return generated_subject(spec.seed, spec.types)
+    if spec.family == "large":
+        return large_subject(spec.seed, spec.types)
+    raise ValueError(f"unknown run family {spec.family!r}")
+
+
+def execute_run(spec: RunSpec) -> tuple[str, FuzzReport | None]:
+    """One full run: build, baseline check, fuzz, shrink on failure.
+
+    Returns everything the run would have printed plus its report
+    (``None`` when the reference schema was dirty and the run was
+    skipped).  Workers call this; the sequential path calls it too, so
+    both produce identical output.
+    """
+    if spec.differential_stride is not None:
+        set_differential_stride(spec.differential_stride)
+    out = io.StringIO()
+    subject = subject_for(spec)
+    reference = subject.build()
+    baseline = check_schema(reference)
+    if baseline:
+        print(f"SKIP {subject.name}: reference schema is dirty", file=out)
+        for violation in baseline:
+            print(f"  {violation}", file=out)
+        return out.getvalue(), None
+    report = fuzz(
+        reference,
+        seed=spec.seed,
+        steps=spec.steps,
+        check_every=spec.check_every,
+        subject_name=subject.name,
+        cheap_every=spec.cheap_every,
+        with_populations=spec.with_populations,
+        scoped_checks=spec.scoped,
+    )
+    print(report.summary(), file=out)
+    if report.sampled_sweeps:
+        print(
+            f"  note: {report.sampled_sweeps} sweep(s) stride-sampled the "
+            "per-type index differentials instead of probing every type "
+            "(tune with --differential-stride; 0 = exhaustive)",
+            file=out,
+        )
+    if report.failure is not None:
+        print(report.failure.render(), file=out)
+        if spec.do_shrink:
+            result = shrink(
+                subject.build(),
+                report.trace,
+                report.failure,
+                with_populations=spec.with_populations,
+            )
+            print(result.summary(), file=out)
+            print("--- minimal reproducer ---", file=out)
+            print(
+                emit_pytest(
+                    subject.source,
+                    result.steps,
+                    result.failure,
+                    test_name=(
+                        f"test_fuzz_{subject.name}_seed{spec.seed}"
+                    ),
+                ),
+                file=out,
+            )
+    return out.getvalue(), report
+
+
+def _resolve_jobs(jobs: int | str | None) -> int:
+    """``--jobs`` value -> worker count (``auto``/``0`` = one per core)."""
+    if jobs in (None, 1):
+        return 1
+    if jobs in ("auto", 0, "0"):
+        return max(1, os.cpu_count() or 1)
+    return max(1, int(jobs))
+
+
 def run_campaign(
     seeds: int,
     steps: int,
@@ -115,6 +235,9 @@ def run_campaign(
     large_steps: int = 60,
     large_check_every: int = 30,
     with_populations: bool = False,
+    scoped_large: bool = True,
+    differential_stride: int | None = None,
+    jobs: int | str | None = 1,
     out=sys.stdout,
 ) -> list[FuzzReport]:
     """Run the sweep; prints one summary line per run, reproducers on
@@ -122,64 +245,77 @@ def run_campaign(
 
     ``large_seeds`` appends the large-schema profile: 1k-10k-type
     subjects fuzzed for ``large_steps`` steps with *both* invariant
-    tiers spaced ``large_check_every`` steps apart -- on these subjects
-    even the cheap tier is a full scan.
+    tiers spaced ``large_check_every`` steps apart.  With
+    ``scoped_large`` (the default) those mid-run sweeps run in
+    O(changed) scoped mode, so their cost tracks the steps between
+    sweeps rather than the schema; each run still ends with a full
+    sweep.  ``jobs`` > 1 shards the runs over a multiprocessing pool,
+    one seed-sharded run per task, output merged in submission order.
     """
-    runs = [
-        (subject, seed, steps, check_every, 1)
-        for subject, seed in campaign_subjects(seeds)
-    ]
-    runs.extend(
-        (subject, seed, large_steps, large_check_every, large_check_every)
+    catalog_names = list(SCHEMA_BUILDERS)
+    specs: list[RunSpec] = []
+    for seed in range(seeds):
+        shared = dict(
+            seed=seed,
+            steps=steps,
+            check_every=check_every,
+            cheap_every=1,
+            with_populations=with_populations,
+            do_shrink=do_shrink,
+            differential_stride=differential_stride,
+        )
+        specs.append(RunSpec(
+            family="catalog",
+            name=catalog_names[seed % len(catalog_names)],
+            **shared,
+        ))
+        synthetic = generated_subject(seed)
+        specs.append(RunSpec(
+            family="synthetic", name=synthetic.name, types=14, **shared,
+        ))
+    specs.extend(
+        RunSpec(
+            family="large",
+            name=subject.name,
+            seed=seed,
+            steps=large_steps,
+            check_every=large_check_every,
+            cheap_every=large_check_every,
+            types=LARGE_SIZES[seed % len(LARGE_SIZES)],
+            scoped=scoped_large,
+            with_populations=with_populations,
+            do_shrink=do_shrink,
+            differential_stride=differential_stride,
+        )
         for subject, seed in large_subjects(large_seeds)
     )
     if only_schema is not None:
-        runs = [run for run in runs if run[0].name == only_schema]
-        if not runs:
+        specs = [spec for spec in specs if spec.name == only_schema]
+        if not specs:
             raise SystemExit(f"unknown subject {only_schema!r}")
+    worker_count = _resolve_jobs(jobs)
     reports: list[FuzzReport] = []
-    for subject, seed, run_steps, run_check_every, run_cheap_every in runs:
-        reference = subject.build()
-        baseline = check_schema(reference)
-        if baseline:
-            print(f"SKIP {subject.name}: reference schema is dirty", file=out)
-            for violation in baseline:
-                print(f"  {violation}", file=out)
-            continue
-        report = fuzz(
-            reference,
-            seed=seed,
-            steps=run_steps,
-            check_every=run_check_every,
-            subject_name=subject.name,
-            cheap_every=run_cheap_every,
-            with_populations=with_populations,
-        )
-        reports.append(report)
-        print(report.summary(), file=out)
-        if report.failure is not None:
-            print(report.failure.render(), file=out)
-            if do_shrink:
-                result = shrink(
-                    subject.build(),
-                    report.trace,
-                    report.failure,
-                    with_populations=with_populations,
-                )
-                print(result.summary(), file=out)
-                print("--- minimal reproducer ---", file=out)
-                print(
-                    emit_pytest(
-                        subject.source,
-                        result.steps,
-                        result.failure,
-                        test_name=(
-                            f"test_fuzz_{subject.name}_seed{seed}"
-                        ),
-                    ),
-                    file=out,
-                )
-            if fail_fast:
+    if worker_count == 1 or len(specs) <= 1:
+        for spec in specs:
+            text, report = execute_run(spec)
+            out.write(text)
+            if report is None:
+                continue
+            reports.append(report)
+            if report.failure is not None and fail_fast:
+                break
+        return reports
+    import multiprocessing
+
+    with multiprocessing.Pool(min(worker_count, len(specs))) as pool:
+        results = pool.imap(execute_run, specs)
+        for text, report in results:
+            out.write(text)
+            if report is None:
+                continue
+            reports.append(report)
+            if report.failure is not None and fail_fast:
+                pool.terminate()
                 break
     return reports
 
@@ -237,6 +373,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--jobs", default="1",
+        help=(
+            "shard runs over N worker processes ('auto' or 0 = one per "
+            "core); output is merged in submission order (default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--differential-stride", type=int, default=None,
+        help=(
+            "per-type index differentials sample past this many types "
+            f"(default {DIFFERENTIAL_STRIDE_DEFAULT}; 0 probes every "
+            "type exhaustively); sampled sweeps are flagged in the run "
+            "summary"
+        ),
+    )
+    parser.add_argument(
+        "--full-sweeps-large", action="store_true",
+        help=(
+            "disable O(changed) scoped sweeps on the large profile and "
+            "run every mid-run sweep over the whole schema"
+        ),
+    )
+    parser.add_argument(
         "--no-shrink", action="store_true",
         help="report failures without delta-debugging them",
     )
@@ -252,6 +411,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if options.list_invariants:
         print(describe_registry())
         return 0
+    if options.differential_stride is not None:
+        set_differential_stride(options.differential_stride)
     reports = run_campaign(
         seeds=options.seeds,
         steps=options.steps,
@@ -263,14 +424,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         large_steps=options.large_steps,
         large_check_every=options.large_check_every,
         with_populations=options.with_populations,
+        scoped_large=not options.full_sweeps_large,
+        differential_stride=options.differential_stride,
+        jobs=options.jobs,
     )
     failures = [report for report in reports if not report.ok]
     accepted = sum(report.accepted for report in reports)
     rejected = sum(report.rejected for report in reports)
-    print(
+    scoped = sum(report.scoped_sweeps for report in reports)
+    sampled = sum(report.sampled_sweeps for report in reports)
+    line = (
         f"{len(reports)} runs, {accepted} operations accepted, "
         f"{rejected} rejected, {len(failures)} failing runs"
     )
+    if scoped:
+        line += f", {scoped} scoped sweeps"
+    if sampled:
+        line += (
+            f" [note: {sampled} sweeps stride-sampled the per-type "
+            "differentials; pass --differential-stride 0 for exhaustive]"
+        )
+    print(line)
     return 1 if failures else 0
 
 

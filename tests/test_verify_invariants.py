@@ -146,13 +146,13 @@ class TestDifferentialSampling:
 
     def test_large_schemas_sample_boundedly_and_deterministically(self):
         from repro.verify.invariants import (
-            _DIFFERENTIAL_SAMPLE,
+            DIFFERENTIAL_STRIDE_DEFAULT,
             _sampled_type_names,
         )
 
         schema = generate_schema(WorkloadSpec(types=1_000, seed=1))
         sample = _sampled_type_names(schema)
-        assert len(sample) <= _DIFFERENTIAL_SAMPLE
+        assert len(sample) <= DIFFERENTIAL_STRIDE_DEFAULT
         assert sample == _sampled_type_names(schema)
         assert set(sample) <= set(schema.type_names())
 

@@ -1,0 +1,207 @@
+"""Tests for O(changed) verification sweeps (DESIGN 5i).
+
+Scoped sweeps verify only the touched-interface closure the mutation
+spine reports; everything else is deferred to the caller's final full
+sweep.  These tests pin the closure computation, the detect / defer
+split, the configurable differential stride, the validation cache's
+per-interface recheck, and the seed-sharded runner specs.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.catalog import load
+from repro.model.interface import InterfaceDef
+from repro.verify.fuzzer import fuzz
+from repro.verify.invariants import (
+    ALWAYS_FULL,
+    DIFFERENTIAL_STRIDE_DEFAULT,
+    INVARIANTS,
+    SCOPED_CHECKS,
+    check_schema,
+    consume_sampling_events,
+    differential_stride,
+    set_differential_stride,
+    touched_closure,
+)
+from repro.verify.runner import RunSpec, execute_run, run_campaign
+from repro.workload.generator import WorkloadSpec, generate_schema
+
+
+class TestTouchedClosure:
+    def test_closure_adds_descendants_and_referencers(self):
+        schema = load("university")
+        closure = touched_closure(schema, {"Person"})
+        assert "Person" in closure
+        # Subtypes inherit the touched type's derived state ...
+        assert "Student" in closure
+        # ... and definitions referencing it can dangle or re-pair.
+        assert set(schema.index.adjacency.referencers_of("Person")) <= set(
+            closure
+        )
+
+    def test_closure_drops_undefined_names(self):
+        schema = load("university")
+        closure = touched_closure(schema, {"Person", "NoSuchType"})
+        assert "NoSuchType" not in closure
+
+    def test_closure_of_nothing_is_empty(self):
+        assert touched_closure(load("university"), ()) == []
+
+
+class TestScopedSweeps:
+    def test_registry_covers_the_split(self):
+        names = {inv.name for inv in INVARIANTS}
+        assert set(SCOPED_CHECKS) <= names
+        assert ALWAYS_FULL <= names
+        assert not ALWAYS_FULL & set(SCOPED_CHECKS)
+
+    def test_clean_schema_scoped_sweep_is_clean(self):
+        schema = load("university")
+        assert check_schema(schema, touched={"Person"}) == []
+
+    def test_violation_inside_the_closure_is_detected(self):
+        schema = load("university")
+        schema.get("Person").add_supertype("Ghost")
+        violations = check_schema(schema, touched={"Person"})
+        assert "dangling-types" in {v.invariant for v in violations}
+
+    def test_violation_outside_the_closure_is_deferred(self):
+        schema = load("university")
+        schema.get("Department").add_key(("no_such_attribute",))
+        # Undergraduate is unrelated to Department: the scoped sweep
+        # defers the broken key to the final full sweep ...
+        assert touched_closure(schema, {"Undergraduate"}) == ["Undergraduate"]
+        scoped = check_schema(
+            schema, touched={"Undergraduate"}, names=["keys-resolve"]
+        )
+        assert scoped == []
+        # ... which does report it.
+        full = check_schema(schema, names=["keys-resolve"])
+        assert "no_such_attribute" in str(full[0])
+
+    def test_isa_cycle_through_a_touched_type_is_detected(self):
+        schema = load("university")
+        schema.get("Person").add_supertype("Student")  # Student isa Person
+        violations = check_schema(schema, touched={"Person"})
+        assert "isa-acyclic" in {v.invariant for v in violations}
+
+
+class TestDifferentialStride:
+    def test_default_matches_the_documented_threshold(self):
+        assert differential_stride() == DIFFERENTIAL_STRIDE_DEFAULT == 256
+
+    def test_small_stride_samples_and_counts_events(self):
+        schema = generate_schema(WorkloadSpec(types=30, seed=1))
+        old = set_differential_stride(8)
+        try:
+            consume_sampling_events()
+            assert check_schema(
+                schema, names=["index-generalization-vs-scan"]
+            ) == []
+            assert consume_sampling_events() > 0
+        finally:
+            set_differential_stride(old)
+
+    def test_zero_means_exhaustive(self):
+        schema = generate_schema(WorkloadSpec(types=30, seed=1))
+        old = set_differential_stride(0)
+        try:
+            consume_sampling_events()
+            assert check_schema(
+                schema, names=["index-generalization-vs-scan"]
+            ) == []
+            assert consume_sampling_events() == 0
+        finally:
+            assert set_differential_stride(old) == 0
+
+    def test_consume_drains_the_counter(self):
+        consume_sampling_events()
+        assert consume_sampling_events() == 0
+
+
+class TestRecheckInterfaces:
+    def test_clean_cache_has_nothing_stale(self):
+        schema = load("university")
+        schema.validation.validate()
+        assert list(
+            schema.validation.recheck_interfaces(schema.type_names())
+        ) == []
+
+    def test_interface_added_behind_the_spine_is_flagged(self):
+        schema = load("university")
+        schema.validation.validate()
+        imposter = InterfaceDef("Imposter")
+        schema.interfaces["Imposter"] = imposter  # bypasses the spine
+        messages = list(schema.validation.recheck_interfaces(["Imposter"]))
+        assert messages
+        assert "no issue slots" in messages[0]
+
+    def test_interface_removed_behind_the_spine_is_flagged(self):
+        schema = load("university")
+        schema.validation.validate()
+        del schema.interfaces["Doctoral"]  # bypasses the spine
+        messages = list(schema.validation.recheck_interfaces(["Doctoral"]))
+        assert messages
+        assert "still holds issue slots" in messages[0]
+
+
+class TestScopedFuzz:
+    def test_scoped_run_is_clean_and_counts_sweeps(self):
+        report = fuzz(
+            load("university"), seed=5, steps=40, check_every=3,
+            scoped_checks=True,
+        )
+        assert report.ok, report.failure
+        assert report.scoped_sweeps > 0
+        assert f"scoped={report.scoped_sweeps}" in report.summary()
+
+    def test_full_mode_reports_no_scoped_sweeps(self):
+        report = fuzz(load("university"), seed=5, steps=20, check_every=4)
+        assert report.ok
+        assert report.scoped_sweeps == 0
+        assert "scoped=" not in report.summary()
+
+
+class TestRunnerSpecs:
+    def test_execute_run_round_trips_a_catalog_spec(self):
+        spec = RunSpec(
+            family="catalog", name="university", seed=0, steps=20,
+            check_every=4,
+        )
+        text, report = execute_run(spec)
+        assert report is not None and report.ok
+        assert "ok subject=university" in text
+
+    def test_execute_run_builds_large_subjects_scoped(self):
+        spec = RunSpec(
+            family="large", name="large_120_0", seed=0, steps=15,
+            check_every=5, cheap_every=5, types=120, scoped=True,
+        )
+        text, report = execute_run(spec)
+        assert report is not None and report.ok
+        assert report.scoped_sweeps > 0
+
+    def test_parallel_campaign_output_matches_sequential(self):
+        def run(jobs):
+            out = io.StringIO()
+            reports = run_campaign(
+                seeds=2, steps=12, check_every=4, jobs=jobs, out=out
+            )
+            return out.getvalue(), [r.summary() for r in reports]
+
+        sequential = run(1)
+        parallel = run(2)
+        assert parallel == sequential
+
+    def test_unknown_family_is_rejected(self):
+        from repro.verify.runner import subject_for
+
+        spec = RunSpec(
+            family="nope", name="x", seed=0, steps=1, check_every=1
+        )
+        with pytest.raises(ValueError):
+            subject_for(spec)
