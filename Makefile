@@ -35,7 +35,8 @@ bench-smoke:
 		benchmarks/test_bench_spine.py \
 		benchmarks/test_bench_plan.py \
 		benchmarks/test_bench_compact.py \
-		benchmarks/test_bench_columnar.py -q
+		benchmarks/test_bench_columnar.py \
+		benchmarks/test_bench_cow.py -q
 
 ## differential fuzzing soak: every invariant over catalog + generated
 ## schemas plus the large-schema profile (1k-10k types, deep ISA chains,

@@ -21,7 +21,8 @@ BENCH_* naming convention
 ``BENCH_PR<n>.json`` at the repository root holds the measurements a
 PR's headline claims rest on, frozen when that PR lands: ``BENCH_PR5``
 (validation/spine), ``BENCH_PR6`` (compact core), ``BENCH_PR8``
-(columnar core).  Earlier files are never rewritten -- they are the
+(columnar core), ``BENCH_PR9`` (copy-on-write forks).  Earlier files
+are never rewritten -- they are the
 baselines later PRs' floors assert against (CI compares the columnar
 compiled-plan point against ``BENCH_PR6.json``).  ``BENCH_JSON`` below
 names the file the *current* PR's sessions write; bump it when a new
@@ -39,7 +40,7 @@ import pytest
 
 REPORTS_DIR = Path(__file__).parent / "reports"
 #: The current PR's trajectory file (see the BENCH_* convention above).
-BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR8.json"
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_PR9.json"
 
 #: name -> {"median_seconds": float, "types": int | None} from hand-timed
 #: benches, merged with pytest-benchmark's own stats at session end.

@@ -124,9 +124,13 @@ def test_bench_index_scaling(report):
                     f"{family} at {size} interfaces: only {speedup:.1f}x "
                     "over the full-scan baseline (>= 5x required)"
                 )
-            elif SMOKE and family in ("descendants", "parts"):
+            elif SMOKE and size >= 60 and family in ("descendants", "parts"):
                 # reduced configuration: regressions that erase the win
-                # entirely should still trip the smoke run
+                # entirely should still trip the smoke run.  The
+                # 20-interface point is excluded: queries there run in
+                # single-digit microseconds, so the indexed-vs-scan
+                # ratio is timer-noise-dominated and flaked around the
+                # old floor on an idle machine.
                 assert speedup >= 1.5, (
                     f"{family} at {size} interfaces: {speedup:.1f}x; the "
                     "index no longer beats the scan in the smoke sweep"

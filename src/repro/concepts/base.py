@@ -90,15 +90,18 @@ class ConceptSchema:
     def project(self, schema: Schema) -> Schema:
         """Project this concept's member types out of *schema*.
 
-        Returns a fresh sub-schema holding copies of the member interfaces
-        (types no longer present in *schema* are skipped -- the concept
-        schema may have been extracted before a deletion).  Useful for
-        rendering and for exporting one point of view as ODL.
+        Returns a fresh sub-schema that *shares* the member interfaces
+        with *schema* copy-on-write (types no longer present in *schema*
+        are skipped -- the concept schema may have been extracted before
+        a deletion): adding a still-spined interface borrows it, and the
+        first mutation on either side privatises a copy into the
+        projection, so projecting never pays an eager interface copy.
+        Useful for rendering and for exporting one point of view as ODL.
         """
         projection = Schema(f"{schema.name}#{self.identifier}")
         for name in sorted(self.members):
             if name in schema:
-                projection.add_interface(schema.get(name).copy())
+                projection.add_interface(schema.get(name))
         return projection
 
     def describe(self) -> str:

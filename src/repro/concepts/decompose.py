@@ -149,6 +149,9 @@ def reconstruct(decomposition: Decomposition, name: str | None = None) -> Schema
         if wheel.focal in schema:
             _merge_interface(schema.get(wheel.focal), wheel.focal_interface)
         else:
+            # Stays an eager copy: the next line mutates ``supertypes``
+            # by direct assignment (no mutator, no CoW barrier), which
+            # would corrupt a shared wheel interface silently.
             contribution = wheel.focal_interface.copy()
             contribution.supertypes = []  # ISA comes from the hierarchies
             schema.add_interface(contribution)

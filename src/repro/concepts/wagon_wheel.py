@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.concepts.base import ConceptKind, ConceptSchema
 from repro.model.errors import SchemaError
-from repro.model.interface import InterfaceDef
+from repro.model.interface import InterfaceDef, _SnapshotClaim
 from repro.model.relationships import RelationshipKind
 from repro.model.schema import Schema
 
@@ -92,14 +92,19 @@ def extract_wagon_wheel(schema: Schema, focal: str) -> WagonWheel:
     members.update(supertype_rim)
     members.update(subtype_rim)
     members &= set(schema.type_names())
-    return WagonWheel(
+    # The wheel shares the live interface copy-on-write: a snapshot
+    # claim swaps in a private copy the moment the schema mutates the
+    # focal type, so extracting all N wheels costs no interface copies.
+    wheel = WagonWheel(
         anchor=focal,
         members=frozenset(members),
-        focal_interface=interface.copy(),
+        focal_interface=interface,
         spokes=spokes,
         supertype_rim=supertype_rim,
         subtype_rim=subtype_rim,
     )
+    interface.register_claim(_SnapshotClaim(wheel, "focal_interface"))
+    return wheel
 
 
 def extract_wagon_wheel_view(
@@ -119,8 +124,11 @@ def extract_wagon_wheel_view(
     if not view_name:
         raise SchemaError("a wagon wheel view needs a non-empty name")
     full = extract_wagon_wheel(schema, focal)
-    interface = full.focal_interface
-    assert interface is not None
+    assert full.focal_interface is not None
+    # The full wheel shares the live schema interface; the view narrows
+    # it destructively below, so it must work on a private copy (the
+    # copy is spineless and claim-free -- mutating it emits nowhere).
+    interface = full.focal_interface.copy()
     if spoke_paths is not None:
         unknown = set(spoke_paths) - set(interface.relationships)
         if unknown:

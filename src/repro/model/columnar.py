@@ -121,6 +121,15 @@ class NameTable:
     def names(self) -> Iterable[str]:
         return self._ids.keys()
 
+    def copy(self) -> "NameTable":
+        """An independent copy (fresh containers, same id assignment)."""
+        dup = NameTable.__new__(NameTable)
+        dup._ids = dict(self._ids)
+        dup._names = list(self._names)
+        dup._refs = list(self._refs)
+        dup._free = list(self._free)
+        return dup
+
 
 class ColumnarAdjacency:
     """Flat-array ISA / reverse-reference adjacency over one schema.
@@ -141,6 +150,16 @@ class ColumnarAdjacency:
     its owner pending so the reference columns re-derive lazily, and a
     lossy record marks the whole store dirty for a scan rebuild --
     exactly the protocol of the dict maps it replaces.
+
+    **Copy-on-write fork views (DESIGN.md 5j).**  :meth:`fork_view`
+    hands a CoW fork an overlay copy: the outer columns, name table,
+    and defined bits are copied (pointer-sized work per id, no schema
+    scan), while the inner ``array('i')`` rows stay shared with the
+    base.  The view privatises a row the first time it mutates it
+    (:meth:`_own`), and pins the base's :attr:`version` at fork time --
+    any later base mutation trips the pin in :meth:`ensure_fresh` and
+    the view falls back to its own scan rebuild, so in-place writes on
+    shared rows by either side are never observable across the fork.
     """
 
     __slots__ = (
@@ -154,6 +173,10 @@ class ColumnarAdjacency:
         "_pending",
         "_dirty",
         "rebuilds",
+        "version",
+        "_owned",
+        "_base",
+        "_base_version",
     )
 
     def __init__(self, schema: "Schema") -> None:
@@ -167,6 +190,15 @@ class ColumnarAdjacency:
         self._pending: set[str] = set()
         self._dirty = True
         self.rebuilds = 0
+        #: Bumped on every content-bearing record (and on mark_dirty);
+        #: fork views pin it to detect base divergence.
+        self.version = 0
+        #: Ids whose rows this fork view has privatised; None when this
+        #: store owns all its rows (the non-fork fast path).
+        self._owned: set[int] | None = None
+        #: The base store a fork view overlays, with its pinned version.
+        self._base: "ColumnarAdjacency | None" = None
+        self._base_version = 0
 
     # ------------------------------------------------------------------
     # Spine feed
@@ -175,7 +207,10 @@ class ColumnarAdjacency:
     def observe(self, record: MutationRecord) -> None:
         """Fold one spine record (the stream ``SchemaIndex`` consumes)."""
         kind = record.kind
-        if self._dirty or kind == "scope":
+        if kind == "scope":
+            return
+        self.version += 1
+        if self._dirty:
             return
         name = record.interface
         if name is None:
@@ -198,6 +233,7 @@ class ColumnarAdjacency:
     def mark_dirty(self) -> None:
         """Forget everything; the next query rebuilds from a scan."""
         self._dirty = True
+        self.version += 1
         self.table = NameTable()
         self._parents = []
         self._children = []
@@ -205,10 +241,31 @@ class ColumnarAdjacency:
         self._refs_in = []
         self._defined = bytearray()
         self._pending = set()
+        # A rebuild re-derives everything from this store's own schema,
+        # so a fork view stops overlaying its base and owns all rows.
+        self._base = None
+        self._owned = None
 
     # ------------------------------------------------------------------
     # Column maintenance
     # ------------------------------------------------------------------
+
+    def _own(self, ident: int) -> None:
+        """Privatise *ident*'s rows before an in-place mutation.
+
+        Fork views share inner ``array('i')`` rows with their base; the
+        first write to any of an id's rows copies all four so the base
+        never sees the edit.  Non-fork stores take the ``None`` fast
+        path.
+        """
+        owned = self._owned
+        if owned is None or ident in owned:
+            return
+        owned.add(ident)
+        for column in (self._parents, self._children, self._refs_out, self._refs_in):
+            row = column[ident]
+            if row is not None:
+                column[ident] = array("i", row)
 
     def _ensure_row(self, ident: int) -> None:
         grow = ident + 1 - len(self._parents)
@@ -231,6 +288,8 @@ class ColumnarAdjacency:
     def _link_parent(self, ident: int, parent: str) -> None:
         pid = self.table.acquire(parent)
         self._ensure_row(pid)
+        self._own(ident)
+        self._own(pid)
         row = self._parents[ident]
         if row is None:
             self._parents[ident] = array("i", (pid,))
@@ -245,9 +304,11 @@ class ColumnarAdjacency:
     def _unlink_parent(self, ident: int, parent: str) -> None:
         """Drop every occurrence of *parent* from *ident*'s parents."""
         pid = self.table.id_of(parent)
-        row = self._parents[ident]
-        if pid is None or row is None:
+        if pid is None or self._parents[ident] is None:
             return
+        self._own(ident)
+        self._own(pid)
+        row = self._parents[ident]
         occurrences = 0
         while True:
             try:
@@ -278,6 +339,7 @@ class ColumnarAdjacency:
         row = self._parents[ident]
         if row:
             for pid in row:
+                self._own(pid)
                 bucket = self._children[pid]
                 if bucket is not None and ident in bucket:
                     bucket.remove(ident)
@@ -309,6 +371,7 @@ class ColumnarAdjacency:
             old = self._parents[ident]
             released = list(old) if old else []
             for pid in released:
+                self._own(pid)
                 bucket = self._children[pid]
                 if bucket is not None and ident in bucket:
                     bucket.remove(ident)
@@ -326,6 +389,7 @@ class ColumnarAdjacency:
         released = list(row)
         self._refs_out[ident] = None
         for tid in released:
+            self._own(tid)
             bucket = self._refs_in[tid]
             if bucket is not None and ident in bucket:
                 bucket.remove(ident)
@@ -343,6 +407,7 @@ class ColumnarAdjacency:
             new_row.append(tid)
             new_ids.add(tid)
             if tid not in old_ids:
+                self._own(tid)
                 bucket = self._refs_in[tid]
                 if bucket is None:
                     self._refs_in[tid] = array("i", (ident,))
@@ -351,6 +416,7 @@ class ColumnarAdjacency:
         self._refs_out[ident] = new_row
         stale = [tid for tid in old_ids if tid not in new_ids]
         for tid in stale:
+            self._own(tid)
             bucket = self._refs_in[tid]
             if bucket is not None and ident in bucket:
                 bucket.remove(ident)
@@ -390,10 +456,47 @@ class ColumnarAdjacency:
 
     def ensure_fresh(self) -> bool:
         """Rebuild if dirty; True when a scan rebuild happened."""
+        base = self._base
+        if base is not None and base.version != self._base_version:
+            # The base mutated after the fork: shared rows may have been
+            # edited in place under us, so the overlay is unsound.  Drop
+            # it and rebuild from this store's own schema.
+            self.mark_dirty()
         if self._dirty:
             self._rebuild()
             return True
         return False
+
+    def fork_view(self, schema: "Schema") -> "ColumnarAdjacency":
+        """An overlay copy of this store for a CoW fork of the schema.
+
+        O(ids) pointer work: the name table, outer column lists, and
+        defined bits are copied; the inner ``array('i')`` rows are
+        shared and privatised lazily by :meth:`_own`.  The view pins
+        :attr:`version` so any later base mutation invalidates it
+        (see :meth:`ensure_fresh`); while the base stays unmutated the
+        fork answers queries with zero scan rebuilds.
+        """
+        self.ensure_fresh()
+        self._flush()
+        if self._dirty:  # _flush found the stream out of sync
+            self._rebuild()
+        dup = ColumnarAdjacency.__new__(ColumnarAdjacency)
+        dup._schema = schema
+        dup.table = self.table.copy()
+        dup._parents = list(self._parents)
+        dup._children = list(self._children)
+        dup._refs_out = list(self._refs_out)
+        dup._refs_in = list(self._refs_in)
+        dup._defined = bytearray(self._defined)
+        dup._pending = set()
+        dup._dirty = False
+        dup.rebuilds = 0
+        dup.version = 0
+        dup._owned = set()
+        dup._base = self
+        dup._base_version = self.version
+        return dup
 
     # ------------------------------------------------------------------
     # Queries

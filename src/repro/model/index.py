@@ -159,6 +159,20 @@ class SchemaIndex:
         self._clock.observe(record)
         self.adjacency.observe(record)
 
+    def adopt_base_adjacency(self, parent: "SchemaIndex") -> None:
+        """Overlay the parent's columnar store instead of rebuilding.
+
+        Called by ``Schema.fork`` right after the fork's fresh index is
+        wired: replaces the cold (dirty) columnar store with a CoW
+        overlay of the parent's, so the fork's first graph query costs
+        O(ids) pointer copies instead of an O(types) scan rebuild.  The
+        sharded dict caches stay cold -- they are already lazy and
+        per-family.  ``_observe`` looks ``self.adjacency`` up
+        dynamically, so swapping the store here keeps the spine
+        subscription intact.
+        """
+        self.adjacency = parent.adjacency.fork_view(self._schema)
+
     def _count_adjacency(self, rebuilt: bool) -> None:
         """Keep the hit/miss counters honest for columnar answers."""
         if rebuilt:

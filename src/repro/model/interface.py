@@ -19,6 +19,7 @@ other channel.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from sys import intern
 from typing import TYPE_CHECKING
@@ -48,6 +49,107 @@ _REL = {
 }
 
 
+# ----------------------------------------------------------------------
+# Copy-on-write claims (DESIGN.md 5j)
+#
+# A *claim* is a borrower of a live interface: something that holds a
+# reference to it and needs the contents as of claim time, but has not
+# paid for a copy.  The first mutation of the interface settles every
+# claim (see InterfaceDef._cow_barrier) by materialising the copy then,
+# against the still-unmutated state.  Claims are duck-typed: anything
+# with ``settle(original) -> bool`` works; a False return means the
+# borrower is dead and the claim can be pruned.
+# ----------------------------------------------------------------------
+
+
+class _PayloadClaim:
+    """An ``add_interface`` record payload borrowing the live interface.
+
+    ``Schema._adopt`` stores the adopted interface itself in the record
+    payload instead of an eager copy; settling swaps the live reference
+    for a copy of the pre-mutation state, so replay and delete-undo
+    still see the interface exactly as it was added.
+    """
+
+    __slots__ = ("_payload",)
+
+    def __init__(self, payload: dict) -> None:
+        self._payload = payload
+
+    def settle(self, original: "InterfaceDef") -> bool:
+        if self._payload.get("interface") is original:
+            self._payload["interface"] = original.copy()
+        return True
+
+
+class _CowAnchor:
+    """Weakly referenceable handle onto a slotted Schema.
+
+    ``Schema`` is a slots dataclass without a ``__weakref__`` slot (and
+    ``dataclass(weakref_slot=True)`` needs 3.12), so CoW shares weakly
+    reference this anchor instead.  The anchor and its schema form a
+    reference cycle, which the cycle collector reclaims together once
+    the schema is otherwise unreachable -- at that point every share's
+    weakref clears and the borrower is pruned.
+    """
+
+    __slots__ = ("schema", "__weakref__")
+
+    def __init__(self, schema) -> None:
+        self.schema = schema
+
+
+class _SchemaShare:
+    """A whole schema (CoW fork or projection) borrowing interfaces.
+
+    Held weakly (via the schema's :class:`_CowAnchor`): a dead fork must
+    neither be kept alive by its parent's spine nor make the parent pay
+    for copies nobody can observe.  Settling privatises the interface
+    into the borrowing schema -- the fork keeps a frozen copy of the
+    pre-mutation state, attached to its own spine, while the owner's
+    object changes underneath.
+    """
+
+    __slots__ = ("_ref",)
+
+    def __init__(self, anchor: _CowAnchor) -> None:
+        self._ref = weakref.ref(anchor)
+
+    def settle(self, original: "InterfaceDef") -> bool:
+        anchor = self._ref()
+        if anchor is None:
+            return False
+        schema = anchor.schema
+        if schema.interfaces.get(original.name) is original:
+            snap = original.copy()
+            schema.interfaces[original.name] = snap
+            snap._attach_spine(schema._log)
+        return True
+
+
+class _SnapshotClaim:
+    """A frozen holder (e.g. a WagonWheel) borrowing a live interface.
+
+    Settling replaces ``holder.<attr>`` with a copy of the pre-mutation
+    state via ``object.__setattr__`` (the holders are frozen
+    dataclasses), so the snapshot keeps the contents it was taken with.
+    """
+
+    __slots__ = ("_ref", "_attr")
+
+    def __init__(self, holder, attr: str) -> None:
+        self._ref = weakref.ref(holder)
+        self._attr = attr
+
+    def settle(self, original: "InterfaceDef") -> bool:
+        holder = self._ref()
+        if holder is None:
+            return False
+        if getattr(holder, self._attr, None) is original:
+            object.__setattr__(holder, self._attr, original.copy())
+        return True
+
+
 @dataclass(slots=True)
 class InterfaceDef:
     """One object type of a schema.
@@ -74,6 +176,12 @@ class InterfaceDef:
     # carry identity, not value, and must not take part in __eq__/repr.
     _spines: list["MutationLog"] = field(
         default_factory=list, init=False, repr=False, compare=False
+    )
+    # Copy-on-write claims directly against this interface (payload
+    # live-references, projection shares, concept snapshots); usually
+    # None so the per-mutation barrier costs one attribute load.
+    _claims: list | None = field(
+        default=None, init=False, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
@@ -121,11 +229,51 @@ class InterfaceDef:
             )
 
     # ------------------------------------------------------------------
+    # Copy-on-write barrier (DESIGN.md 5j)
+    # ------------------------------------------------------------------
+
+    def register_claim(self, claim) -> None:
+        """Register a CoW claim, settled on this interface's next mutation."""
+        if self._claims is None:
+            self._claims = [claim]
+        else:
+            self._claims.append(claim)
+
+    def _cow_barrier(self) -> None:
+        """Materialise every borrower before this interface changes.
+
+        The first statement of every mutator (AST-enforced by
+        ``tools/check_mutators.py``): per-interface claims freeze their
+        copy against the still-unmutated state, and schema-level borrows
+        (CoW forks) registered on the owning spines privatise the
+        interface into any live fork still sharing it.  Dead borrowers
+        are pruned; with no borrowers this is one attribute load per
+        spine.  The barrier runs before the mutator's own validation --
+        settling ahead of a rejected mutation is harmless (the copy is
+        identical to the shared original).
+        """
+        claims = self._claims
+        if claims is not None:
+            self._claims = None
+            for claim in claims:
+                claim.settle(self)
+        for log in self._spines:
+            borrows = log._cow_borrows
+            if borrows:
+                dead = [b for b in borrows if not b.settle(self)]
+                for borrow in dead:
+                    try:
+                        borrows.remove(borrow)
+                    except ValueError:
+                        pass
+
+    # ------------------------------------------------------------------
     # Type properties
     # ------------------------------------------------------------------
 
     def add_supertype(self, supertype: str, position: int | None = None) -> None:
         """Append *supertype* to the ISA list (or insert at *position*)."""
+        self._cow_barrier()
         if supertype == self.name:
             raise InvalidModelError(
                 f"interface {self.name!r} cannot be its own supertype"
@@ -147,6 +295,7 @@ class InterfaceDef:
 
     def remove_supertype(self, supertype: str) -> None:
         """Remove *supertype* from the ISA list."""
+        self._cow_barrier()
         try:
             self.supertypes.remove(supertype)
         except ValueError:
@@ -157,6 +306,7 @@ class InterfaceDef:
 
     def set_supertypes(self, supertypes: list[str]) -> None:
         """Replace the whole ISA list (``modify_supertype`` re-wiring)."""
+        self._cow_barrier()
         supertypes = [intern(name) for name in supertypes]
         if self.name in supertypes:
             raise InvalidModelError(
@@ -171,11 +321,13 @@ class InterfaceDef:
 
     def set_extent(self, extent: str | None) -> None:
         """Set or clear the extent name (spine-emitting mutator)."""
+        self._cow_barrier()
         self.extent = extent
         self._emit("set_extent", _EXTENT, {"extent": extent})
 
     def add_key(self, key: tuple[str, ...]) -> None:
         """Add a key (a tuple of attribute names)."""
+        self._cow_barrier()
         key = tuple(intern(part) for part in key)
         if not key:
             raise InvalidModelError("a key must name at least one attribute")
@@ -188,6 +340,7 @@ class InterfaceDef:
 
     def remove_key(self, key: tuple[str, ...]) -> None:
         """Remove a previously declared key."""
+        self._cow_barrier()
         key = tuple(key)
         try:
             self.keys.remove(key)
@@ -199,6 +352,7 @@ class InterfaceDef:
 
     def insert_key(self, key: tuple[str, ...], position: int) -> None:
         """Insert a key at *position* (undo of a key deletion)."""
+        self._cow_barrier()
         key = tuple(intern(part) for part in key)
         if not key:
             raise InvalidModelError("a key must name at least one attribute")
@@ -211,6 +365,7 @@ class InterfaceDef:
 
     def replace_key_at(self, position: int, key: tuple[str, ...]) -> tuple[str, ...]:
         """Swap the key at *position* for *key*, returning the old one."""
+        self._cow_barrier()
         key = tuple(intern(part) for part in key)
         if not key:
             raise InvalidModelError("a key must name at least one attribute")
@@ -238,12 +393,14 @@ class InterfaceDef:
 
     def add_attribute(self, attribute: Attribute) -> None:
         """Add an attribute; its name must be free in the property namespace."""
+        self._cow_barrier()
         self._check_property_name_free(attribute.name)
         self.attributes[intern(attribute.name)] = attribute
         self._emit("add_attribute", _ATTRS, {"attribute": attribute})
 
     def remove_attribute(self, name: str) -> Attribute:
         """Remove and return the attribute called *name*."""
+        self._cow_barrier()
         try:
             removed = self.attributes.pop(name)
         except KeyError:
@@ -264,6 +421,7 @@ class InterfaceDef:
 
     def replace_attribute(self, attribute: Attribute) -> Attribute:
         """Swap in a new value for an existing attribute, returning the old."""
+        self._cow_barrier()
         old = self.get_attribute(attribute.name)
         self.attributes[attribute.name] = attribute
         self._emit("replace_attribute", _ATTRS, {"attribute": attribute})
@@ -274,6 +432,7 @@ class InterfaceDef:
 
         *order* must be a permutation of the current attribute names.
         """
+        self._cow_barrier()
         self.attributes = self._reordered(
             self.attributes, order, "attribute"
         )
@@ -281,12 +440,14 @@ class InterfaceDef:
 
     def add_relationship(self, end: RelationshipEnd) -> None:
         """Add a relationship end; its path name must be free."""
+        self._cow_barrier()
         self._check_property_name_free(end.name)
         self.relationships[intern(end.name)] = end
         self._emit("add_relationship", _REL[end.kind], {"end": end})
 
     def remove_relationship(self, name: str) -> RelationshipEnd:
         """Remove and return the relationship end called *name*."""
+        self._cow_barrier()
         try:
             removed = self.relationships.pop(name)
         except KeyError:
@@ -309,6 +470,7 @@ class InterfaceDef:
 
     def replace_relationship(self, end: RelationshipEnd) -> RelationshipEnd:
         """Swap in a new value for an existing end, returning the old."""
+        self._cow_barrier()
         old = self.get_relationship(end.name)
         self.relationships[end.name] = end
         self._emit(
@@ -320,6 +482,7 @@ class InterfaceDef:
 
     def add_operation(self, operation: Operation) -> None:
         """Add an operation; its name must be free among operations."""
+        self._cow_barrier()
         if operation.name in self.operations:
             raise DuplicateNameError(
                 f"interface {self.name!r} already has operation "
@@ -330,6 +493,7 @@ class InterfaceDef:
 
     def remove_operation(self, name: str) -> Operation:
         """Remove and return the operation called *name*."""
+        self._cow_barrier()
         try:
             removed = self.operations.pop(name)
         except KeyError:
@@ -350,6 +514,7 @@ class InterfaceDef:
 
     def replace_operation(self, operation: Operation) -> Operation:
         """Swap in a new value for an existing operation, returning the old."""
+        self._cow_barrier()
         old = self.get_operation(operation.name)
         self.operations[operation.name] = operation
         self._emit("replace_operation", _OPS, {"operation": operation})
@@ -357,6 +522,7 @@ class InterfaceDef:
 
     def reorder_operations(self, order: list[str]) -> None:
         """Rebuild the operation dict in *order* (undo of a deletion)."""
+        self._cow_barrier()
         self.operations = self._reordered(
             self.operations, order, "operation"
         )

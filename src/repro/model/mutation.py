@@ -149,6 +149,7 @@ class MutationLog:
         "_records",
         "_subscribers",
         "_memos",
+        "_cow_borrows",
         "lossy",
         "origin",
         "origin_seq",
@@ -160,6 +161,11 @@ class MutationLog:
         self._records: list[MutationRecord] = []
         self._subscribers: list[Subscriber] = []
         self._memos: dict[str, tuple[int, object]] = {}
+        #: Live CoW forks borrowing interfaces owned by this spine's
+        #: schema (``interface._SchemaShare`` entries, held weakly).  The
+        #: per-mutator barrier settles them before any interface this
+        #: schema owns changes (see ``InterfaceDef._cow_barrier``).
+        self._cow_borrows: list = []
         #: True once a non-replayable record (out-of-band ``touch``) was
         #: emitted; replay and record-level diff then refuse the log.
         self.lossy = False
@@ -168,7 +174,11 @@ class MutationLog:
         #: Seq on the *parent* spine at fork time.
         self.origin_seq = 0
         #: Own seq right after fork population; records above it are the
-        #: fork's divergence suffix.
+        #: fork's divergence suffix.  A copy-on-write fork emits *no*
+        #: population records, so its ``base_seq`` stays 0 while
+        #: ``origin`` is set -- that combination marks a log whose
+        #: initial state is the origin prefix up to ``origin_seq``
+        #: rather than the empty schema.
         self.base_seq = 0
 
     # ------------------------------------------------------------------
@@ -282,25 +292,51 @@ class MutationLog:
 
     @property
     def replayable(self) -> bool:
-        """Whether :meth:`replay` can reproduce the schema exactly."""
-        return not self.lossy
+        """Whether :meth:`replay` can reproduce the schema exactly.
+
+        A copy-on-write fork (``base_seq == 0`` with an origin) carries
+        no population records; its replay starts from the origin's
+        prefix, so the whole chain of record-free forks must be
+        loss-free too.  An eagerly populated log only depends on its own
+        records.
+        """
+        log: "MutationLog | None" = self
+        while log is not None:
+            if log.lossy:
+                return False
+            if log.origin is None or log.base_seq != 0:
+                return True
+            log = log.origin
+        return True
 
     def replay(self, name: str = "replay") -> "Schema":
         """Rebuild the schema this log describes, from empty.
 
-        Replays every record through the ordinary mutators; the
-        ``spine-replay`` invariant asserts the result's fingerprint
+        Replays every record through the ordinary mutators -- for a
+        copy-on-write fork the origin chain's prefixes come first, since
+        the fork's own log starts at the shared state, not at empty.
+        The ``spine-replay`` invariant asserts the result's fingerprint
         equals the live schema's.  Raises :class:`ValueError` on a lossy
         log (an out-of-band ``Schema.touch()`` was recorded).
         """
-        if self.lossy:
+        if not self.replayable:
             raise ValueError("cannot replay a lossy mutation log")
         from repro.model.schema import Schema
 
         target = Schema(name)
-        for record in self._records:
-            _REPLAYERS[record.kind](target, record)
+        self._replay_prefix(target, self._seq)
         return target
+
+    def _replay_prefix(self, target: "Schema", upto: int) -> None:
+        """Replay this log's records with seq <= *upto* onto *target*.
+
+        Record-free forks first replay the origin prefix they branched
+        from; seqs are dense, so the prefix is a slice.
+        """
+        if self.origin is not None and self.base_seq == 0:
+            self.origin._replay_prefix(target, self.origin_seq)
+        for record in self._records[:upto]:
+            _REPLAYERS[record.kind](target, record)
 
 
 # ----------------------------------------------------------------------

@@ -30,7 +30,12 @@ from repro.model.errors import (
     UnknownTypeError,
 )
 from repro.model.index import SchemaIndex
-from repro.model.interface import InterfaceDef
+from repro.model.interface import (
+    InterfaceDef,
+    _CowAnchor,
+    _PayloadClaim,
+    _SchemaShare,
+)
 from repro.model.mutation import Aspect, DirtyJournal, MutationLog
 from repro.model.relationships import RelationshipEnd
 
@@ -66,6 +71,19 @@ class Schema:
     )
     _analysis_hits: int = field(init=False, repr=False, compare=False, default=0)
     _analysis_misses: int = field(init=False, repr=False, compare=False, default=0)
+    # Copy-on-write bookkeeping (DESIGN.md 5j).  ``_cow_sources`` names
+    # the ancestor spines whose interfaces this schema may still share;
+    # ``_cow_borrow`` is the one _SchemaShare registered on them;
+    # ``_cow_anchor`` the weakly referenceable handle shares hold.
+    _cow_sources: tuple = field(
+        init=False, repr=False, compare=False, default=()
+    )
+    _cow_borrow: "_SchemaShare | None" = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    _cow_anchor: "_CowAnchor | None" = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -118,14 +136,45 @@ class Schema:
             self._validation = ValidationCache(self)
         return self._validation
 
+    def _cow_share(self) -> _SchemaShare:
+        """This schema's one CoW share object (created lazily).
+
+        The same share serves every borrow this schema holds -- a claim
+        or spine registration settles per interface, so one weakly held
+        object is enough for any number of shared interfaces.
+        """
+        if self._cow_borrow is None:
+            if self._cow_anchor is None:
+                self._cow_anchor = _CowAnchor(self)
+            self._cow_borrow = _SchemaShare(self._cow_anchor)
+        return self._cow_borrow
+
     def _adopt(self, interface: InterfaceDef) -> None:
-        """Attach the spine and record the interface as schema content."""
-        interface._attach_spine(self._log)
+        """Take the interface as schema content and record the membership.
+
+        An interface nobody else owns is attached to this spine
+        (ownership); one already attached to another schema's spine is
+        *borrowed* copy-on-write -- the owner mutating it privatises a
+        frozen copy into this schema, and mutating it through this
+        schema goes via :meth:`edit`, which materialises first.
+
+        The membership record's payload carries the live interface, not
+        an eager copy; a :class:`~repro.model.interface._PayloadClaim`
+        freezes it to the as-added state on the interface's first
+        mutation, so replay and delete-undo stay exact while unmutated
+        adds cost nothing.
+        """
+        if interface._spines and self._log not in interface._spines:
+            interface.register_claim(self._cow_share())
+        else:
+            interface._attach_spine(self._log)
+        payload = {"interface": interface}
+        interface.register_claim(_PayloadClaim(payload))
         self._log.emit(
             "add_interface",
             interface=interface.name,
             aspects=_MEMBERSHIP,
-            payload={"interface": interface.copy()},
+            payload=payload,
         )
 
     def touch(self) -> None:
@@ -202,13 +251,21 @@ class Schema:
         self._adopt(interface)
 
     def remove_interface(self, name: str) -> InterfaceDef:
-        """Remove and return the interface called *name*."""
+        """Remove and return the interface called *name*.
+
+        The CoW barrier runs before the spine detaches: any fork still
+        sharing the object privatises its copy now, while the borrow
+        registrations on this spine can still reach it -- a detached
+        object re-adopted and mutated elsewhere would otherwise change
+        under the forks silently.
+        """
         try:
             removed = self.interfaces.pop(name)
         except KeyError:
             raise UnknownTypeError(
                 f"schema {self.name!r} does not define {name!r}"
             ) from None
+        removed._cow_barrier()
         removed._detach_spine(self._log)
         self._log.emit(
             "remove_interface", interface=name, aspects=_MEMBERSHIP
@@ -235,13 +292,50 @@ class Schema:
         )
 
     def get(self, name: str) -> InterfaceDef:
-        """Return the interface called *name* or raise ``UnknownTypeError``."""
+        """Return the interface called *name* or raise ``UnknownTypeError``.
+
+        A borrowed interface (shared copy-on-write after :meth:`fork`,
+        or a shared projection member) is materialised on fetch -- the
+        caller may mutate the result, and the mutation must land in
+        *this* schema, not the share's owner.  Owned interfaces return
+        in O(1); bulk read paths that never hand the object out
+        (iteration, the index, validation) use ``interfaces`` directly
+        and keep the share.  :meth:`edit` is the explicit-intent alias
+        mutating code uses.
+        """
         try:
-            return self.interfaces[name]
+            interface = self.interfaces[name]
         except KeyError:
             raise UnknownTypeError(
                 f"schema {self.name!r} does not define {name!r}"
             ) from None
+        if self._log in interface._spines:
+            return interface
+        return self._materialise(name, interface)
+
+    def _materialise(self, name: str, interface: InterfaceDef) -> InterfaceDef:
+        """Privatise a borrowed *interface* under *name* (the CoW fault).
+
+        The share is copied, re-keyed, and attached to this spine, so
+        later mutations land here and nowhere else.  Materialisation
+        changes no schema content, so no record is emitted; the first
+        real mutator call on the returned object emits as usual.
+        """
+        clone = interface.copy()
+        self.interfaces[name] = clone
+        clone._attach_spine(self._log)
+        return clone
+
+    def edit(self, name: str) -> InterfaceDef:
+        """Fetch *name* for mutation (explicit-intent alias of :meth:`get`).
+
+        Since :meth:`get` already materialises borrowed shares on fetch,
+        ``edit`` adds nothing today; mutating code calls it anyway to
+        mark the fetch as a write, which keeps the CoW fault sites
+        greppable and lets the two paths diverge again if reads ever
+        stop materialising.
+        """
+        return self.get(name)
 
     def __contains__(self, name: str) -> bool:
         return name in self.interfaces
@@ -431,18 +525,57 @@ class Schema:
         return duplicate
 
     def fork(self, name: str | None = None) -> "Schema":
-        """A structural copy whose spine records its lineage.
+        """A copy-on-write branch whose spine records its lineage.
 
-        The copy shares no mutable state with the original -- interface
-        containers are fresh, property values immutable -- but its
-        mutation log remembers the origin log and the seq it branched
-        at, so :func:`repro.analysis.diff.schema_diff` can later diff
-        the two from their divergence suffixes instead of a full
-        structural walk.
+        O(1)-ish in schema size: the fork *shares* every
+        :class:`InterfaceDef` object with this schema (one dict of
+        pointers, no interface copies, no population records) and its
+        adjacency index starts as an overlay view of this schema's
+        columns (no O(types) rebuild).  Divergence is paid per touched
+        interface: mutating the fork goes through :meth:`edit`, which
+        privatises the interface there, and mutating *this* schema runs
+        the CoW barrier, which privatises it into any live fork first
+        -- no write is ever visible across the boundary.
+
+        The fork's log remembers the origin log and the seq it branched
+        at (with ``base_seq`` 0, marking a record-free fork), so
+        :func:`repro.analysis.diff.schema_diff` diffs divergence
+        suffixes and :meth:`~repro.model.mutation.MutationLog.replay`
+        rebuilds through the origin prefix.  Forks are registered weakly
+        on every source spine; a fork that dies simply stops costing its
+        sources anything (:meth:`release_cow` drops the registration
+        eagerly for scratch forks).
         """
-        duplicate = self.copy(name)
+        duplicate = Schema(name or self.name)
+        duplicate.interfaces = dict(self.interfaces)
         duplicate._log.link_origin(self._log)
+        duplicate._cow_sources = (*self._cow_sources, self._log)
+        share = duplicate._cow_share()
+        for log in duplicate._cow_sources:
+            log._cow_borrows.append(share)
+        duplicate._index.adopt_base_adjacency(self._index)
         return duplicate
+
+    def release_cow(self) -> None:
+        """Withdraw this fork's borrow registrations from its sources.
+
+        The registrations are weak, so this is optional -- but a
+        short-lived scratch fork (propagation expansion) that releases
+        eagerly stops costing its sources per-mutation settle checks
+        right away instead of at the next garbage-collection cycle.
+        After release the schema must not be used again: interfaces it
+        still shares would silently reflect future source mutations.
+        """
+        borrow = self._cow_borrow
+        if borrow is None:
+            return
+        self._cow_borrow = None
+        for log in self._cow_sources:
+            try:
+                log._cow_borrows.remove(borrow)
+            except ValueError:
+                pass
+        self._cow_sources = ()
 
     def validate(self) -> None:
         """Raise :class:`~repro.model.errors.ValidationError` on problems.

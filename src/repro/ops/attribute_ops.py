@@ -118,12 +118,12 @@ class AddAttribute(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        schema.get(self.typename).add_attribute(
+        schema.edit(self.typename).add_attribute(
             Attribute(self.attribute_name, self.domain_type)
         )
 
         def undo() -> None:
-            schema.get(self.typename).remove_attribute(self.attribute_name)
+            schema.edit(self.typename).remove_attribute(self.attribute_name)
 
         return undo
 
@@ -193,12 +193,12 @@ class DeleteAttribute(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        interface = schema.get(self.typename)
+        interface = schema.edit(self.typename)
         position = list(interface.attributes).index(self.attribute_name)
         removed = interface.remove_attribute(self.attribute_name)
 
         def undo() -> None:
-            owner = schema.get(self.typename)
+            owner = schema.edit(self.typename)
             owner.add_attribute(removed)
             _restore_attribute_position(owner, self.attribute_name, position)
 
@@ -261,14 +261,14 @@ class ModifyAttribute(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        source = schema.get(self.typename)
+        source = schema.edit(self.typename)
         position = list(source.attributes).index(self.attribute_name)
         moved = source.remove_attribute(self.attribute_name)
-        schema.get(self.new_typename).add_attribute(moved)
+        schema.edit(self.new_typename).add_attribute(moved)
 
         def undo() -> None:
-            schema.get(self.new_typename).remove_attribute(self.attribute_name)
-            owner = schema.get(self.typename)
+            schema.edit(self.new_typename).remove_attribute(self.attribute_name)
+            owner = schema.edit(self.typename)
             owner.add_attribute(moved)
             _restore_attribute_position(owner, self.attribute_name, position)
 
@@ -322,12 +322,12 @@ class ModifyAttributeType(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        interface = schema.get(self.typename)
+        interface = schema.edit(self.typename)
         old = interface.get_attribute(self.attribute_name)
         interface.replace_attribute(old.with_type(self.new_type))
 
         def undo() -> None:
-            schema.get(self.typename).replace_attribute(old)
+            schema.edit(self.typename).replace_attribute(old)
 
         return undo
 
@@ -387,12 +387,12 @@ class ModifyAttributeSize(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        interface = schema.get(self.typename)
+        interface = schema.edit(self.typename)
         old = interface.get_attribute(self.attribute_name)
         interface.replace_attribute(old.with_size(self.new_size))
 
         def undo() -> None:
-            schema.get(self.typename).replace_attribute(old)
+            schema.edit(self.typename).replace_attribute(old)
 
         return undo
 

@@ -96,10 +96,10 @@ class AddOperation(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        schema.get(self.typename).add_operation(self._build())
+        schema.edit(self.typename).add_operation(self._build())
 
         def undo() -> None:
-            schema.get(self.typename).remove_operation(self.operation_name)
+            schema.edit(self.typename).remove_operation(self.operation_name)
 
         return undo
 
@@ -140,12 +140,12 @@ class DeleteOperation(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        interface = schema.get(self.typename)
+        interface = schema.edit(self.typename)
         position = list(interface.operations).index(self.operation_name)
         removed = interface.remove_operation(self.operation_name)
 
         def undo() -> None:
-            owner = schema.get(self.typename)
+            owner = schema.edit(self.typename)
             owner.add_operation(removed)
             _restore_operation_position(owner, self.operation_name, position)
 
@@ -203,14 +203,14 @@ class ModifyOperation(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        source = schema.get(self.typename)
+        source = schema.edit(self.typename)
         position = list(source.operations).index(self.operation_name)
         moved = source.remove_operation(self.operation_name)
-        schema.get(self.new_typename).add_operation(moved)
+        schema.edit(self.new_typename).add_operation(moved)
 
         def undo() -> None:
-            schema.get(self.new_typename).remove_operation(self.operation_name)
-            owner = schema.get(self.typename)
+            schema.edit(self.new_typename).remove_operation(self.operation_name)
+            owner = schema.edit(self.typename)
             owner.add_operation(moved)
             _restore_operation_position(owner, self.operation_name, position)
 
@@ -260,12 +260,12 @@ class ModifyOperationReturnType(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        interface = schema.get(self.typename)
+        interface = schema.edit(self.typename)
         old = interface.get_operation(self.operation_name)
         interface.replace_operation(old.with_return_type(self.new_return_type))
 
         def undo() -> None:
-            schema.get(self.typename).replace_operation(old)
+            schema.edit(self.typename).replace_operation(old)
 
         return undo
 
@@ -315,12 +315,12 @@ class ModifyOperationArgList(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        interface = schema.get(self.typename)
+        interface = schema.edit(self.typename)
         old = interface.get_operation(self.operation_name)
         interface.replace_operation(old.with_parameters(tuple(self.new_parameters)))
 
         def undo() -> None:
-            schema.get(self.typename).replace_operation(old)
+            schema.edit(self.typename).replace_operation(old)
 
         return undo
 
@@ -369,12 +369,12 @@ class ModifyOperationExceptionsRaised(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        interface = schema.get(self.typename)
+        interface = schema.edit(self.typename)
         old = interface.get_operation(self.operation_name)
         interface.replace_operation(old.with_exceptions(tuple(self.new_exceptions)))
 
         def undo() -> None:
-            schema.get(self.typename).replace_operation(old)
+            schema.edit(self.typename).replace_operation(old)
 
         return undo
 

@@ -275,8 +275,8 @@ class AddRelationshipBase(RelationshipOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        owner = schema.get(self.typename)
-        target_interface = schema.get(self.inverse_type)
+        owner = schema.edit(self.typename)
+        target_interface = schema.edit(self.inverse_type)
         end = self._build_end()
         owner.add_relationship(end)
         created_inverse = False
@@ -293,9 +293,9 @@ class AddRelationshipBase(RelationshipOperation):
             created_inverse = True
 
         def undo() -> None:
-            schema.get(self.typename).remove_relationship(self.traversal_path)
+            schema.edit(self.typename).remove_relationship(self.traversal_path)
             if created_inverse:
-                schema.get(self.inverse_type).remove_relationship(self.inverse_name)
+                schema.edit(self.inverse_type).remove_relationship(self.inverse_name)
 
         return undo
 
@@ -362,12 +362,12 @@ class DeleteRelationshipBase(RelationshipOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        owner = schema.get(self.typename)
+        owner = schema.edit(self.typename)
         end = owner.remove_relationship(self.traversal_path)
         inverse_owner: InterfaceDef | None = None
         inverse_end: RelationshipEnd | None = None
         if end.inverse_type in schema:
-            candidate_owner = schema.get(end.inverse_type)
+            candidate_owner = schema.edit(end.inverse_type)
             candidate = candidate_owner.relationships.get(end.inverse_name)
             if (
                 candidate is not None
@@ -378,9 +378,9 @@ class DeleteRelationshipBase(RelationshipOperation):
                 inverse_end = candidate_owner.remove_relationship(end.inverse_name)
 
         def undo() -> None:
-            schema.get(self.typename).add_relationship(end)
+            schema.edit(self.typename).add_relationship(end)
             if inverse_owner is not None and inverse_end is not None:
-                schema.get(inverse_owner.name).add_relationship(inverse_end)
+                schema.edit(inverse_owner.name).add_relationship(inverse_end)
 
         return undo
 
@@ -454,18 +454,18 @@ def retarget_end(
     if check_only:
         return None
 
-    owner = schema.get(owner_name)
+    owner = schema.edit(owner_name)
     new_end = end.with_target_type(new_target_name).with_inverse(
         new_target_name, end.inverse_name
     )
     owner.replace_relationship(new_end)
-    moved = old_target.remove_relationship(end.inverse_name)
-    new_target.add_relationship(moved)
+    moved = schema.edit(old_target_name).remove_relationship(end.inverse_name)
+    schema.edit(new_target_name).add_relationship(moved)
 
     def undo() -> None:
-        schema.get(owner_name).replace_relationship(end)
-        schema.get(new_target_name).remove_relationship(moved.name)
-        schema.get(old_target_name).add_relationship(moved)
+        schema.edit(owner_name).replace_relationship(end)
+        schema.edit(new_target_name).remove_relationship(moved.name)
+        schema.edit(old_target_name).add_relationship(moved)
 
     return undo
 
@@ -624,12 +624,12 @@ class ModifyCardinalityBase(RelationshipOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        owner = schema.get(self.typename)
+        owner = schema.edit(self.typename)
         end = owner.get_relationship(self.traversal_path)
         owner.replace_relationship(end.with_target(self.new_target))
 
         def undo() -> None:
-            schema.get(self.typename).replace_relationship(end)
+            schema.edit(self.typename).replace_relationship(end)
 
         return undo
 
@@ -679,12 +679,12 @@ class ModifyOrderByBase(RelationshipOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        owner = schema.get(self.typename)
+        owner = schema.edit(self.typename)
         end = owner.get_relationship(self.traversal_path)
         owner.replace_relationship(end.with_order_by(tuple(self.new_order_by)))
 
         def undo() -> None:
-            schema.get(self.typename).replace_relationship(end)
+            schema.edit(self.typename).replace_relationship(end)
 
         return undo
 

@@ -168,10 +168,10 @@ class AddSupertype(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        schema.get(self.typename).add_supertype(self.supertype)
+        schema.edit(self.typename).add_supertype(self.supertype)
 
         def undo() -> None:
-            schema.get(self.typename).remove_supertype(self.supertype)
+            schema.edit(self.typename).remove_supertype(self.supertype)
 
         return undo
 
@@ -219,12 +219,12 @@ class DeleteSupertype(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        interface = schema.get(self.typename)
+        interface = schema.edit(self.typename)
         position = interface.supertypes.index(self.supertype)
         interface.remove_supertype(self.supertype)
 
         def undo() -> None:
-            schema.get(self.typename).add_supertype(self.supertype, position)
+            schema.edit(self.typename).add_supertype(self.supertype, position)
 
         return undo
 
@@ -289,12 +289,12 @@ class ModifySupertype(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        interface = schema.get(self.typename)
+        interface = schema.edit(self.typename)
         previous = list(interface.supertypes)
         interface.set_supertypes(list(self.new_supertypes))
 
         def undo() -> None:
-            schema.get(self.typename).set_supertypes(previous)
+            schema.edit(self.typename).set_supertypes(previous)
 
         return undo
 
@@ -355,10 +355,10 @@ class AddExtentName(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        schema.get(self.typename).set_extent(self.extent_name)
+        schema.edit(self.typename).set_extent(self.extent_name)
 
         def undo() -> None:
-            schema.get(self.typename).set_extent(None)
+            schema.edit(self.typename).set_extent(None)
 
         return undo
 
@@ -398,10 +398,10 @@ class DeleteExtentName(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        schema.get(self.typename).set_extent(None)
+        schema.edit(self.typename).set_extent(None)
 
         def undo() -> None:
-            schema.get(self.typename).set_extent(self.extent_name)
+            schema.edit(self.typename).set_extent(self.extent_name)
 
         return undo
 
@@ -449,10 +449,10 @@ class ModifyExtentName(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        schema.get(self.typename).set_extent(self.new_extent_name)
+        schema.edit(self.typename).set_extent(self.new_extent_name)
 
         def undo() -> None:
-            schema.get(self.typename).set_extent(self.old_extent_name)
+            schema.edit(self.typename).set_extent(self.old_extent_name)
 
         return undo
 
@@ -500,10 +500,10 @@ class AddKeyList(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        schema.get(self.typename).add_key(self.key)
+        schema.edit(self.typename).add_key(self.key)
 
         def undo() -> None:
-            schema.get(self.typename).remove_key(self.key)
+            schema.edit(self.typename).remove_key(self.key)
 
         return undo
 
@@ -545,12 +545,12 @@ class DeleteKeyList(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        interface = schema.get(self.typename)
+        interface = schema.edit(self.typename)
         position = interface.keys.index(tuple(self.key))
         interface.remove_key(self.key)
 
         def undo() -> None:
-            schema.get(self.typename).insert_key(tuple(self.key), position)
+            schema.edit(self.typename).insert_key(tuple(self.key), position)
 
         return undo
 
@@ -595,12 +595,12 @@ class ModifyKeyList(SchemaOperation):
 
     def apply(self, schema: Schema, context: OperationContext = FREE_CONTEXT) -> Undo:
         self.validate(schema, context)
-        interface = schema.get(self.typename)
+        interface = schema.edit(self.typename)
         position = interface.keys.index(tuple(self.old_key))
         interface.replace_key_at(position, tuple(self.new_key))
 
         def undo() -> None:
-            schema.get(self.typename).replace_key_at(
+            schema.edit(self.typename).replace_key_at(
                 position, tuple(self.old_key)
             )
 

@@ -569,14 +569,22 @@ class Workspace:
         reproducing the state the snapshot bookmarked *with* a live undo
         history, while this workspace stays untouched.  When the replay
         cannot reproduce the state -- the schema was edited out-of-band
-        (its mutation log is lossy), so the op log alone no longer tells
-        the whole story -- the fork falls back to rewinding this
-        workspace to the snapshot, cloning, and replaying forward again;
-        the branch is then state-correct but starts with an empty undo
-        history, and a :class:`RuntimeWarning` says so.
+        (its mutation log is lossy), or this workspace is itself a fork
+        (a CoW child whose baseline is its parent's state, not the
+        reference, so the op log alone no longer tells the whole story)
+        -- the fork falls back to rewinding this workspace to the
+        snapshot, cloning, and replaying forward again; the branch is
+        then state-correct but starts with an empty undo history, and a
+        :class:`RuntimeWarning` says so.
         """
         if at is not None:
             self._check_snapshot(at)
+            if self.schema.log.origin is not None:
+                return self._fork_by_rewind(
+                    name, at,
+                    "this workspace is itself a fork; its baseline is "
+                    "its parent's state, not the reference",
+                )
             if self.schema.log.lossy:
                 return self._fork_by_rewind(
                     name, at,

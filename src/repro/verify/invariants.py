@@ -609,6 +609,69 @@ def _check_spine_subscribers(schema, context):
         )
 
 
+@invariant(
+    "cow-vs-eager-copy",
+    "DESIGN 5j: a copy-on-write fork is indistinguishable from the "
+    "eager-copy reference spec -- structurally equal when fresh, and "
+    "independently mutable in both directions after divergence",
+    tier=TIER_EXPENSIVE,
+)
+def _check_cow_vs_eager_copy(schema, context):
+    from repro.model.interface import InterfaceDef
+    from repro.model.types import ScalarType
+    from repro.ops.attribute_ops import AddAttribute
+
+    # Everything below runs on a private eager copy; the live fuzzed
+    # schema, its spine, and its undo history are never touched.
+    base = schema.copy(f"{schema.name}_cow_base")
+    eager = base.copy(f"{base.name}_eager")
+    fork = base.fork(f"{base.name}_fork")
+    if not schemas_equal(fork, eager):
+        yield "a fresh CoW fork differs structurally from an eager copy"
+        return
+    if fork.type_names() != eager.type_names():
+        yield "a fresh CoW fork does not preserve declaration order"
+    names = base.type_names()
+    if not names:
+        return
+    base_print = schema_fingerprint(base)
+
+    # Fork-side divergence: an op-level apply/undo/redo cycle plus a
+    # delete/re-add of the same type name (ident reuse in the columnar
+    # free list) must leave the base -- and its eager copy -- untouched.
+    victim = names[0]
+    operation = AddAttribute(victim, ScalarType("long"), "cow_probe")
+    undo = operation.apply(fork)
+    undo()
+    operation.apply(fork)
+    if "cow_probe" not in fork.get(victim).attributes:
+        yield "op-level undo/redo on a fork lost the redone attribute"
+    fork.remove_interface(victim)
+    fork.add_interface(InterfaceDef(victim))
+    if schema_fingerprint(base) != base_print:
+        yield (
+            f"fork-side writes (attribute probe, undo/redo, delete/"
+            f"re-add of {victim!r}) leaked into the base schema"
+        )
+    if not schemas_equal(base, eager):
+        yield (
+            "after fork-side divergence the base no longer equals its "
+            "eager copy"
+        )
+
+    # Base-side divergence: parent writes must not reach the fork.
+    victim = names[-1]
+    fork_print = schema_fingerprint(fork)
+    base.edit(victim).set_extent("cow_probe_extent")
+    base.remove_interface(victim)
+    base.add_interface(InterfaceDef(victim))
+    if schema_fingerprint(fork) != fork_print:
+        yield (
+            f"base-side writes (extent probe, delete/re-add of "
+            f"{victim!r}) leaked into the fork"
+        )
+
+
 # ----------------------------------------------------------------------
 # Round-trip invariants (expensive tier)
 # ----------------------------------------------------------------------

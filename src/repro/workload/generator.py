@@ -260,42 +260,48 @@ def generate_operations(
     primitive operations).
     """
     rng = random.Random(seed)
-    scratch = schema.copy("workload_scratch")
-    context = OperationContext(reference=schema)
-    operations: list[SchemaOperation] = []
-    attempts = 0
-    while len(operations) < count and attempts < count * 50:
-        attempts += 1
-        if rng.random() < _COMPOSITE_SHARE:
-            composite = random_composite(scratch, rng, len(operations))
-            if composite is None:
+    # A CoW fork, not an eager copy: only the types the generated stream
+    # actually touches materialise, so generation cost tracks *count*
+    # rather than schema size (the dominant cost at 100k types).
+    scratch = schema.fork("workload_scratch")
+    try:
+        context = OperationContext(reference=schema)
+        operations: list[SchemaOperation] = []
+        attempts = 0
+        while len(operations) < count and attempts < count * 50:
+            attempts += 1
+            if rng.random() < _COMPOSITE_SHARE:
+                composite = random_composite(scratch, rng, len(operations))
+                if composite is None:
+                    continue
+                try:
+                    plan = composite.expand_plan(scratch, context)
+                    applied: list[SchemaOperation] = []
+                    for operation in plan:
+                        for step in expand(scratch, operation, context):
+                            step.apply(scratch, context)
+                        applied.append(operation)
+                except Exception:
+                    continue
+                operations.extend(applied)
+                continue
+            operation = random_operation(scratch, rng, len(operations))
+            if operation is None:
                 continue
             try:
-                plan = composite.expand_plan(scratch, context)
-                applied: list[SchemaOperation] = []
-                for operation in plan:
-                    for step in expand(scratch, operation, context):
-                        step.apply(scratch, context)
-                    applied.append(operation)
+                for step in expand(scratch, operation, context):
+                    step.apply(scratch, context)
             except Exception:
                 continue
-            operations.extend(applied)
-            continue
-        operation = random_operation(scratch, rng, len(operations))
-        if operation is None:
-            continue
-        try:
-            for step in expand(scratch, operation, context):
-                step.apply(scratch, context)
-        except Exception:
-            continue
-        operations.append(operation)
-    if len(operations) < count:
-        raise RuntimeError(
-            f"could only generate {len(operations)} of {count} operations"
-        )
-    del operations[count:]
-    return operations
+            operations.append(operation)
+        if len(operations) < count:
+            raise RuntimeError(
+                f"could only generate {len(operations)} of {count} operations"
+            )
+        del operations[count:]
+        return operations
+    finally:
+        scratch.release_cow()
 
 
 #: Fraction of generation draws that attempt a composite operation.

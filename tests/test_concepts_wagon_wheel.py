@@ -25,9 +25,23 @@ class TestExtraction:
         }
         assert kinds["Course"] is RelationshipKind.INSTANCE_OF
 
-    def test_focal_interface_is_a_copy(self, university):
+    def test_focal_interface_is_cow_shared(self, university):
+        # The wheel shares the live interface copy-on-write: the schema
+        # mutating the focal type privatises the as-extracted state into
+        # the wheel first, so the wheel never sees later edits.
         wheel = extract_wagon_wheel(university, "Course_Offering")
-        wheel.focal_interface.remove_attribute("room")
+        assert wheel.focal_interface is university.get("Course_Offering")
+        university.edit("Course_Offering").remove_attribute("room")
+        assert wheel.focal_interface is not university.get("Course_Offering")
+        assert "room" in wheel.focal_interface.attributes
+        assert "room" not in university.get("Course_Offering").attributes
+
+    def test_focal_interface_copy_is_independent(self, university):
+        # Code that wants to mutate a wheel's interface takes a private
+        # copy first (``extract_wagon_wheel_view`` does exactly this).
+        wheel = extract_wagon_wheel(university, "Course_Offering")
+        private = wheel.focal_interface.copy()
+        private.remove_attribute("room")
         assert "room" in university.get("Course_Offering").attributes
 
     def test_members_are_distance_one(self, university):

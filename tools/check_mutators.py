@@ -12,6 +12,14 @@ or through other methods of the same class (fixpoint over ``self.``
 calls, so ``Schema.add_interface -> self._adopt -> self._log.emit``
 counts).
 
+Copy-on-write schemas (DESIGN.md 5j) add a second obligation on
+``InterfaceDef``: borrowers (forks, wagon wheels, payload freezes)
+settle at the *moment before* the first divergent write, so every
+public mutator must run ``self._cow_barrier()`` as its literal first
+statement (after the docstring).  A mutator that bypasses the fault
+hook would silently write through shared CoW state; the check makes
+that an error.
+
 It also checks the compiled-plan fast path:
 ``Workspace.apply_plan_compiled`` promises the same ``MutationRecord``
 stream as per-op application, which holds only if every mutation flows
@@ -51,6 +59,9 @@ MUTATOR_PREFIXES = (
 
 WORKSPACE_PATH = SRC.parent / "repository" / "workspace.py"
 COMPILED_ENTRY = "apply_plan_compiled"
+
+#: classes whose mutators must run the CoW fault hook first
+COW_BARRIER_TARGETS = {"interface.py": "InterfaceDef"}
 
 
 def _is_emit_call(node: ast.Call) -> bool:
@@ -144,6 +155,54 @@ def _call_name(call: ast.Call) -> str | None:
     return None
 
 
+def _starts_with_cow_barrier(function: ast.FunctionDef) -> bool:
+    """True when ``self._cow_barrier()`` is the first real statement."""
+    body = function.body
+    index = 0
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        index = 1  # skip the docstring
+    if index >= len(body):
+        return False
+    statement = body[index]
+    return (
+        isinstance(statement, ast.Expr)
+        and isinstance(statement.value, ast.Call)
+        and isinstance(statement.value.func, ast.Attribute)
+        and statement.value.func.attr == "_cow_barrier"
+        and isinstance(statement.value.func.value, ast.Name)
+        and statement.value.func.value.id == "self"
+    )
+
+
+def check_cow_barriers() -> list[str]:
+    """Every public InterfaceDef mutator faults CoW borrowers first.
+
+    The barrier must be the *first* statement: a mutator that validates,
+    raises, or -- worse -- writes before settling would let a fork or
+    snapshot observe (or miss) a half-applied change.
+    """
+    failures: list[str] = []
+    for filename, class_name in COW_BARRIER_TARGETS.items():
+        path = SRC / filename
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        methods = _methods_of(tree, class_name)
+        for name in sorted(methods):
+            if name.startswith("_") or not name.startswith(MUTATOR_PREFIXES):
+                continue
+            if not _starts_with_cow_barrier(methods[name]):
+                failures.append(
+                    f"{path}:{methods[name].lineno}: {class_name}.{name} "
+                    "does not run self._cow_barrier() as its first "
+                    "statement; the mutator bypasses the CoW fault hook"
+                )
+    return failures
+
+
 def check_compiled_plan(path: Path = WORKSPACE_PATH) -> list[str]:
     """The compiled-plan path mutates only through the sanctioned calls.
 
@@ -218,13 +277,22 @@ def main() -> int:
                     f"{class_name}.{name} mutates without emitting a "
                     "MutationRecord (self._emit / self._log.emit unreachable)"
                 )
+    cow_failures = check_cow_barriers()
     compiled_failures = check_compiled_plan()
-    if failures or compiled_failures:
+    if failures or cow_failures or compiled_failures:
         if failures:
             print("\n".join(failures), file=sys.stderr)
             print(
                 f"\n{len(failures)} silent mutator(s); every public mutator "
                 "must land a record on the mutation spine (DESIGN.md 5e).",
+                file=sys.stderr,
+            )
+        if cow_failures:
+            print("\n".join(cow_failures), file=sys.stderr)
+            print(
+                f"\n{len(cow_failures)} CoW bypass(es); every InterfaceDef "
+                "mutator must settle borrowers via self._cow_barrier() "
+                "before writing (DESIGN.md 5j).",
                 file=sys.stderr,
             )
         if compiled_failures:
@@ -237,8 +305,9 @@ def main() -> int:
             )
         return 1
     print(
-        f"check_mutators: {checked} public mutators all emit records; "
-        "compiled-plan path mutates only via expand_applying"
+        f"check_mutators: {checked} public mutators all emit records and "
+        "run the CoW barrier first; compiled-plan path mutates only via "
+        "expand_applying"
     )
     return 0
 
