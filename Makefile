@@ -1,19 +1,21 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke fuzz fuzz-smoke
+.PHONY: test lint lint-json bench bench-smoke fuzz fuzz-smoke
 
 ## tier-1 suite (unit + integration under tests/)
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
-## static checks: the spine-emission and effect-declaration AST checks
-## always run; ruff runs when installed (the sandbox image ships
-## without it) and is mandatory when REPRO_REQUIRE_RUFF=1 (CI sets it,
-## so a broken ruff install fails loudly there instead of skipping)
+## static checks: the contract-lint framework (spine emission, CoW
+## barriers, compiled-plan purity, effect signatures, read scopes,
+## reference-spec independence, instance-impact honesty, silent-write
+## detection -- see DESIGN.md 5k) always runs; ruff runs when installed
+## (the sandbox image ships without it) and is mandatory when
+## REPRO_REQUIRE_RUFF=1 (CI sets it, so a broken ruff install fails
+## loudly there instead of skipping)
 lint:
-	$(PYTHON) tools/check_mutators.py
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/check_effects.py
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.lint
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tests benchmarks tools; \
 	elif [ -n "$$REPRO_REQUIRE_RUFF" ]; then \
@@ -22,6 +24,11 @@ lint:
 	else \
 		echo "lint: ruff not installed; skipping style pass"; \
 	fi
+
+## contract-lint run with the machine-readable report CI archives
+lint-json:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.lint --json \
+		--output lint-report.json
 
 ## full benchmark sweep; reports land in benchmarks/reports/
 bench:

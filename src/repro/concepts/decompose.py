@@ -180,7 +180,7 @@ def _merge_interface(existing: InterfaceDef, incoming: InterfaceDef) -> None:
                 f"conflicting extents for {existing.name!r}: "
                 f"{existing.extent!r} vs {incoming.extent!r}"
             )
-        existing.extent = incoming.extent
+        existing.set_extent(incoming.extent)
     for key in incoming.keys:
         if key not in existing.keys:
             existing.add_key(key)

@@ -1,0 +1,19 @@
+"""Bundled contract passes; importing this package registers them all."""
+
+from repro.lint.passes import (  # noqa: F401  -- registration side effects
+    effects,
+    independence,
+    instance_impact,
+    read_scopes,
+    silent_writes,
+    spine,
+)
+
+__all__ = [
+    "effects",
+    "independence",
+    "instance_impact",
+    "read_scopes",
+    "silent_writes",
+    "spine",
+]

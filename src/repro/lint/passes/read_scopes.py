@@ -1,0 +1,374 @@
+"""Read-scope soundness: rules read only their declared ``RULE_SCOPES``.
+
+``ValidationCache`` derives its dirty closure from each rule's declared
+:class:`~repro.model.validation.RuleScope`: an operation touching aspect
+*A* re-runs only the rules whose scope lists *A*.  A rule whose body
+reads an attribute *outside* its declared aspects would keep serving
+cached issues after that attribute changed -- stale validation, the
+race-detector-shaped bug class for the cache layer.  This pass proves
+the containment statically:
+
+1. **Implementer discovery.**  A function in the validation module
+   *implements* rule ``r`` if an ``Issue("r", ...)`` construction is
+   statically reachable from it (within the module).  ``validate_schema``
+   dispatches through the ``STRUCTURAL_RULES`` tuple dynamically and so
+   implements nothing itself, which is exactly right: the cache never
+   re-runs it.
+2. **Read collection.**  From each implementer the pass walks the
+   transitive call closure (annotation-typed and universe-resolved
+   method calls over ``Schema`` / ``InterfaceDef`` included) and maps
+   every attribute *read* to aspects: ``supertypes`` -> ISA,
+   ``attributes`` -> ATTRS, ``keys`` -> KEYS, ``operations`` -> OPS,
+   ``extent`` -> EXTENT, and ``relationships`` to a *relationship-kind
+   context*: all three REL aspects by default, narrowed by literal
+   ``RelationshipKind.K`` call arguments (``scan_link_edges(schema,
+   RelationshipKind.PART_OF)`` reads only REL_PART_OF) and by
+   ``if end.kind is RelationshipKind.K: continue`` guards (the guarded
+   kind cannot flow past the guard).
+3. **Exhaustive cross-check.**  Every scope in ``RULE_SCOPES`` must
+   have at least one implementer (a rule the analysis cannot see is a
+   finding, not a silent skip), and every ``Issue`` id constructed in
+   the module must be declared in ``RULE_SCOPES``.
+
+CoW materialisation machinery (``copy``, ``_materialise``, claim
+settling) is opaque: it clones content verbatim without *depending* on
+it, so its reads cannot invalidate a rule's output.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.lint.callgraph import CallGraph, FuncRef
+from repro.lint.findings import Finding
+from repro.lint.loader import Codebase
+from repro.lint.registry import LintContext, register_pass
+
+VALIDATION_MODULE = "repro.model.validation"
+
+#: model attribute -> aspect value(s) a read of it depends on;
+#: ``None`` marks the relationship family, resolved per context.
+ATTR_ASPECTS: dict[str, frozenset[str] | None] = {
+    "supertypes": frozenset({"isa"}),
+    "attributes": frozenset({"attrs"}),
+    "keys": frozenset({"keys"}),
+    "operations": frozenset({"ops"}),
+    "extent": frozenset({"extent"}),
+    "relationships": None,
+}
+
+REL_ASPECTS = frozenset({"rel-association", "rel-part-of", "rel-instance-of"})
+
+#: RelationshipKind member name -> the one aspect it narrows to
+KIND_ASPECTS = {
+    "ASSOCIATION": "rel-association",
+    "PART_OF": "rel-part-of",
+    "INSTANCE_OF": "rel-instance-of",
+}
+
+#: content-neutral machinery the walk never descends into: CoW cloning
+#: and claim settling copy fields verbatim, they do not depend on them
+OPAQUE_METHODS = frozenset(
+    {
+        "copy",
+        "_materialise",
+        "_cow_barrier",
+        "_cow_share",
+        "register_claim",
+        "release_claim",
+        "_attach_spine",
+        "_detach_spine",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ScopedRead:
+    """One attribute read observed inside a rule's closure."""
+
+    attr: str
+    aspects: frozenset[str]
+    module: str
+    qualname: str
+    line: int
+
+
+def _kind_literal(node: ast.expr) -> str | None:
+    """``RelationshipKind.K`` -> aspect value of ``K``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "RelationshipKind"
+    ):
+        return KIND_ASPECTS.get(node.attr)
+    return None
+
+
+def _kind_guard_exclusions(node: ast.FunctionDef) -> frozenset[str]:
+    """Kinds a ``if x.kind is RelationshipKind.K: continue`` guard removes.
+
+    The guard pattern used throughout the model (skip one kind, process
+    the rest) means relationship ends of the guarded kind never flow
+    past the guard, so reads below it do not depend on that kind.
+    """
+    excluded: set[str] = set()
+    for child in ast.walk(node):
+        if not isinstance(child, ast.If):
+            continue
+        test = child.test
+        if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+            continue
+        if not isinstance(test.ops[0], (ast.Is, ast.Eq)):
+            continue
+        aspect = _kind_literal(test.comparators[0])
+        if aspect is None:
+            continue
+        if any(isinstance(stmt, ast.Continue) for stmt in child.body):
+            excluded.add(aspect)
+    return frozenset(excluded)
+
+
+def _call_kind_context(call: ast.Call) -> frozenset[str] | None:
+    """Aspect context a call's literal RelationshipKind arguments pin."""
+    kinds = {
+        aspect
+        for arg in [*call.args, *[kw.value for kw in call.keywords]]
+        if (aspect := _kind_literal(arg)) is not None
+    }
+    return frozenset(kinds) if kinds else None
+
+
+def collect_reads(
+    graph: CallGraph, root: FuncRef, rel_context: frozenset[str] = REL_ASPECTS
+) -> list[ScopedRead]:
+    """Every aspect-mapped attribute read in *root*'s call closure.
+
+    The walk is context-sensitive in the relationship kind: each
+    (function, context) pair is visited once, the context narrowing at
+    call sites that pass literal ``RelationshipKind`` members and inside
+    functions whose guards exclude kinds.
+    """
+    reads: list[ScopedRead] = []
+    seen: set[tuple[str, str, frozenset[str]]] = set()
+    frontier: list[tuple[FuncRef, frozenset[str]]] = [(root, rel_context)]
+    while frontier:
+        ref, context = frontier.pop()
+        state = (ref.module, ref.qualname, context)
+        if state in seen:
+            continue
+        seen.add(state)
+        effective = context - _kind_guard_exclusions(ref.node)
+        call_heads = {
+            id(child.func)
+            for child in ast.walk(ref.node)
+            if isinstance(child, ast.Call)
+        }
+        for child in ast.walk(ref.node):
+            if (
+                isinstance(child, ast.Attribute)
+                and isinstance(child.ctx, ast.Load)
+                and id(child) not in call_heads
+                and child.attr in ATTR_ASPECTS
+            ):
+                mapped = ATTR_ASPECTS[child.attr]
+                aspects = effective if mapped is None else mapped
+                if aspects:
+                    reads.append(
+                        ScopedRead(
+                            attr=child.attr,
+                            aspects=aspects,
+                            module=ref.module,
+                            qualname=ref.qualname,
+                            line=child.lineno,
+                        )
+                    )
+        for site in graph.callees(ref):
+            pinned = _call_kind_context(site.call)
+            callee_context = pinned if pinned is not None else effective
+            for target in site.targets:
+                frontier.append((target, callee_context))
+    return reads
+
+
+def _direct_issue_ids(node: ast.FunctionDef, issue_names: set[str]) -> set[str]:
+    """Rule ids of ``Issue("<id>", ...)`` constructions inside *node*."""
+    ids: set[str] = set()
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Name)
+            and child.func.id in issue_names
+            and child.args
+            and isinstance(child.args[0], ast.Constant)
+            and isinstance(child.args[0].value, str)
+        ):
+            ids.add(child.args[0].value)
+    return ids
+
+
+def rule_implementers(
+    codebase: Codebase, module_name: str
+) -> dict[str, list[str]]:
+    """rule id -> module functions from which its Issue is reachable."""
+    info = codebase.module(module_name)
+    if info is None:
+        return {}
+    issue_names = {"Issue"}
+    issue_names |= {
+        local
+        for local, (_, symbol) in info.imports.items()
+        if symbol == "Issue"
+    }
+    direct = {
+        name: _direct_issue_ids(node, issue_names)
+        for name, node in info.functions.items()
+    }
+    # propagate over intra-module bare-name calls to a fixpoint
+    callees: dict[str, set[str]] = {}
+    for name, node in info.functions.items():
+        called = {
+            child.func.id
+            for child in ast.walk(node)
+            if isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Name)
+            and child.func.id in info.functions
+        }
+        callees[name] = called
+    reachable = {name: set(ids) for name, ids in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name, called in callees.items():
+            for target in called:
+                extra = reachable[target] - reachable[name]
+                if extra:
+                    reachable[name] |= extra
+                    changed = True
+    implementers: dict[str, list[str]] = {}
+    for name in sorted(reachable):
+        for rule in reachable[name]:
+            implementers.setdefault(rule, []).append(name)
+    return implementers
+
+
+def check_rule_scopes(
+    codebase: Codebase,
+    scopes: Iterable[tuple[str, frozenset[str]]],
+    module_name: str = VALIDATION_MODULE,
+    *,
+    universe: tuple[str, ...] = ("Schema", "InterfaceDef"),
+) -> list[Finding]:
+    """Findings for *scopes* (``(rule id, declared aspect values)``).
+
+    Exposed with injectable scopes/module so fixture tests can mirror
+    the real wiring on synthetic trees.
+    """
+    findings: list[Finding] = []
+    info = codebase.module(module_name)
+    if info is None:
+        return [
+            Finding(
+                rule="read-scope",
+                path=module_name,
+                line=1,
+                symbol=module_name,
+                message=f"validation module {module_name!r} not found",
+            )
+        ]
+    graph = CallGraph(codebase, method_universe=universe, opaque=OPAQUE_METHODS)
+    implementers = rule_implementers(codebase, module_name)
+    declared_rules: set[str] = set()
+    for rule_id, declared in scopes:
+        declared_rules.add(rule_id)
+        names = implementers.get(rule_id, [])
+        if not names:
+            findings.append(
+                Finding(
+                    rule="read-scope",
+                    path=info.path,
+                    line=1,
+                    symbol=f"{module_name}:{rule_id}",
+                    message=(
+                        f"rule {rule_id!r} is declared in RULE_SCOPES but no "
+                        "function constructing its Issue was found; the pass "
+                        "cannot analyze it (is the rule wired dynamically?)"
+                    ),
+                )
+            )
+            continue
+        reported: set[tuple[str, str, int]] = set()
+        for name in names:
+            root = graph.function(module_name, name)
+            if root is None:
+                continue
+            for read in collect_reads(graph, root):
+                uncovered = read.aspects - declared
+                if not uncovered:
+                    continue
+                anchor = (read.qualname, read.attr, read.line)
+                if anchor in reported:
+                    continue
+                reported.add(anchor)
+                read_info = codebase.module(read.module)
+                findings.append(
+                    Finding(
+                        rule="read-scope",
+                        path=read_info.path if read_info else read.module,
+                        line=read.line,
+                        symbol=f"{module_name}:{rule_id}",
+                        message=(
+                            f"rule {rule_id!r} (via {name}) reads "
+                            f".{read.attr} in {read.module}:{read.qualname}, "
+                            "depending on aspect(s) "
+                            f"{{{', '.join(sorted(uncovered))}}} its "
+                            "RULE_SCOPES entry does not declare; "
+                            "ValidationCache would serve stale issues after "
+                            "such a touch"
+                        ),
+                    )
+                )
+    for rule_id in sorted(set(implementers) - declared_rules):
+        names = implementers[rule_id]
+        node = info.functions[names[0]]
+        findings.append(
+            Finding(
+                rule="read-scope",
+                path=info.path,
+                line=node.lineno,
+                symbol=f"{module_name}:{rule_id}",
+                message=(
+                    f"Issue id {rule_id!r} is constructed (in "
+                    f"{', '.join(names)}) but has no RULE_SCOPES entry; the "
+                    "cache cannot derive a dirty closure for it"
+                ),
+            )
+        )
+    return findings
+
+
+def _runtime_scopes() -> list[tuple[str, frozenset[str]]]:
+    from repro.model.validation import RULE_SCOPES
+
+    return [
+        (
+            scope.rule,
+            frozenset(aspect.value for aspect in scope.aspects),
+        )
+        for scope in RULE_SCOPES
+    ]
+
+
+@register_pass(
+    "read-scopes",
+    rules=("read-scope",),
+    contract=(
+        "every validation rule's transitive attribute reads stay within its "
+        "declared RULE_SCOPES aspects (no stale incremental validation), "
+        "with every registered rule analyzed and every constructed Issue id "
+        "registered"
+    ),
+)
+def run(context: LintContext) -> list[Finding]:
+    return check_rule_scopes(context.codebase, _runtime_scopes())

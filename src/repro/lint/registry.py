@@ -1,0 +1,104 @@
+"""Pass registration and the single-run driver.
+
+A pass is a named callable over a :class:`LintContext`; registering it
+declares the stable rule ids it may emit and the contract sentence the
+``--list`` output and DESIGN.md §5k table show.  ``run_passes`` executes
+every registered pass over one shared :class:`Codebase` load -- the
+whole point of the framework is that six contract checks cost one parse
+of the tree, not six.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.loader import Codebase
+
+
+@dataclass
+class LintContext:
+    """Everything a pass needs: the shared AST load + repo anchors."""
+
+    codebase: Codebase
+    src_root: Path  #: directory containing the ``repro`` package
+
+
+@dataclass(frozen=True)
+class LintPass:
+    pass_id: str
+    rules: tuple[str, ...]
+    contract: str  #: one-line statement of the contract the pass proves
+    run: Callable[[LintContext], list[Finding]] = field(compare=False)
+
+
+_PASSES: dict[str, LintPass] = {}
+
+
+def register_pass(
+    pass_id: str, rules: Iterable[str], contract: str
+) -> Callable[[Callable[[LintContext], list[Finding]]], Callable]:
+    """Decorator: register *func* as the pass named *pass_id*."""
+
+    def decorate(func: Callable[[LintContext], list[Finding]]) -> Callable:
+        if pass_id in _PASSES:
+            raise ValueError(f"duplicate lint pass {pass_id!r}")
+        _PASSES[pass_id] = LintPass(
+            pass_id=pass_id, rules=tuple(rules), contract=contract, run=func
+        )
+        return func
+
+    return decorate
+
+
+def all_passes() -> list[LintPass]:
+    """Every registered pass, importing the bundled ones on first use."""
+    import repro.lint.passes  # noqa: F401  -- registration side effect
+
+    return [_PASSES[name] for name in sorted(_PASSES)]
+
+
+def run_passes(
+    context: LintContext, only: Iterable[str] | None = None
+) -> tuple[list[Finding], list[dict[str, object]]]:
+    """Run passes (all, or the *only* subset) and collect findings.
+
+    Returns the findings plus a per-pass report ``[{id, findings,
+    contract}, ...]`` for the JSON output; a pass that raises is
+    converted into an ``error[lint-internal]`` finding rather than
+    aborting the run, so one broken pass cannot mask the others.
+    """
+    selected = all_passes()
+    if only is not None:
+        wanted = set(only)
+        unknown = wanted - {p.pass_id for p in selected}
+        if unknown:
+            raise KeyError(f"unknown pass(es): {sorted(unknown)}")
+        selected = [p for p in selected if p.pass_id in wanted]
+    findings: list[Finding] = []
+    reports: list[dict[str, object]] = []
+    for lint_pass in selected:
+        try:
+            produced = lint_pass.run(context)
+        except Exception as exc:  # pragma: no cover - defensive
+            produced = [
+                Finding(
+                    rule="lint-internal",
+                    path=str(context.src_root),
+                    line=1,
+                    symbol=lint_pass.pass_id,
+                    message=f"pass crashed: {exc!r}",
+                )
+            ]
+        findings.extend(produced)
+        reports.append(
+            {
+                "id": lint_pass.pass_id,
+                "contract": lint_pass.contract,
+                "rules": list(lint_pass.rules),
+                "findings": len(produced),
+            }
+        )
+    return findings, reports

@@ -1,0 +1,77 @@
+"""Shared backend for the thin ``tools/check_*.py`` shims.
+
+The legacy entry points survive for muscle memory and external scripts,
+but all analysis now lives in the registered lint passes; each shim
+boots ``sys.path`` (the one thing it cannot delegate) and calls
+:func:`run_shim`, which runs the matching pass subset through the
+framework and prints the unified finding report plus the legacy success
+line existing tests and workflows grep for.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.lint.findings import Baseline, render_text
+from repro.lint.loader import DEFAULT_SRC, Codebase
+from repro.lint.registry import LintContext, run_passes
+
+DEFAULT_BASELINE = DEFAULT_SRC.parent / "tools" / "lint_baseline.txt"
+
+#: shim name -> (pass ids, legacy success line builder)
+_SHIMS = {
+    "check_mutators": (
+        ("spine",),
+        lambda context: (
+            "check_mutators: {count} public mutators all emit records and "
+            "run the CoW barrier first; compiled-plan path mutates only via "
+            "expand_applying".format(count=_mutator_count(context))
+        ),
+    ),
+    "check_effects": (
+        ("effects",),
+        lambda context: (
+            "check_effects: {count} operation classes declare every "
+            "aspect their apply can mutate".format(count=_op_count())
+        ),
+    ),
+}
+
+
+def _mutator_count(context: LintContext) -> int:
+    from repro.lint.passes.spine import EMISSION_TARGETS, count_public_mutators
+
+    return sum(
+        count_public_mutators(context.codebase, module, klass)
+        for module, klass in EMISSION_TARGETS.items()
+    )
+
+
+def _op_count() -> int:
+    from repro.ops.registry import OPERATION_CLASSES
+
+    return len(OPERATION_CLASSES)
+
+
+def run_shim(name: str) -> int:
+    """Run the passes behind one legacy shim; 0 iff no new finding."""
+    passes, success_line = _SHIMS[name]
+    codebase = Codebase.load()
+    context = LintContext(codebase=codebase, src_root=DEFAULT_SRC)
+    findings, _reports = run_passes(context, only=passes)
+    baseline = Baseline.load(DEFAULT_BASELINE)
+    new, baselined, stale = baseline.split(findings)
+    if new or baseline.errors:
+        print(
+            render_text(new, baselined, stale, [], baseline.errors),
+            file=sys.stderr,
+        )
+        return 1
+    print(success_line(context))
+    return 0
+
+
+def bootstrap_path() -> Path:
+    """The ``src`` directory the shims insert on ``sys.path``."""
+    return DEFAULT_SRC

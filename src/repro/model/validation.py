@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
 from repro.model.errors import ValidationError
+from repro.model.index import scan_link_edges
 from repro.model.interface import InterfaceDef
 from repro.model.mutation import Aspect
 from repro.model.relationships import RelationshipKind
@@ -399,17 +400,32 @@ def isa_successors(schema: Schema) -> Callable[[str], Iterable[str]]:
 
 
 def part_of_successors(schema: Schema) -> Callable[[str], Iterable[str]]:
-    """Successor function of the aggregation graph (whole -> part)."""
+    """Successor function of the aggregation graph (whole -> part).
+
+    Built from the :func:`~repro.model.index.scan_link_edges` reference
+    scan, *not* ``schema.part_of_edges()``: the latter answers from
+    :class:`~repro.model.index.SchemaIndex`, and the reference
+    specification must stay independent of the caches it verifies
+    (the ``ref-independence`` lint pass enforces this).  The cache layer
+    keeps its own index-backed successor builders in
+    :mod:`repro.model.validation_cache`.
+    """
     edges: dict[str, list[str]] = {}
-    for whole, part, _ in schema.part_of_edges():
+    for whole, part, _ in scan_link_edges(schema, RelationshipKind.PART_OF):
         edges.setdefault(whole, []).append(part)
     return lambda n: edges.get(n, ())
 
 
 def instance_of_successors(schema: Schema) -> Callable[[str], Iterable[str]]:
-    """Successor function of the instance-of graph (generic -> instance)."""
+    """Successor function of the instance-of graph (generic -> instance).
+
+    Scan-based for the same independence reason as
+    :func:`part_of_successors`.
+    """
     edges: dict[str, list[str]] = {}
-    for generic, instance, _ in schema.instance_of_edges():
+    for generic, instance, _ in scan_link_edges(
+        schema, RelationshipKind.INSTANCE_OF
+    ):
         edges.setdefault(generic, []).append(instance)
     return lambda n: edges.get(n, ())
 

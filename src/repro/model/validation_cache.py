@@ -80,12 +80,10 @@ from repro.model.validation import (
     _find_cycle,
     component_roots,
     instance_of_cycle_issue,
-    instance_of_successors,
     isa_cycle_issue,
     isa_successors,
     multi_root_issue,
     part_of_cycle_issue,
-    part_of_successors,
 )
 
 if TYPE_CHECKING:
@@ -141,6 +139,33 @@ def _instance_of_adjacency(schema: "Schema", name: str) -> Iterable[str]:
     yield from index.generic_map().get(name, ())
 
 
+def _part_of_successors_fast(
+    schema: "Schema",
+) -> Callable[[str], Iterable[str]]:
+    """Index-backed twin of ``validation.part_of_successors``.
+
+    The reference spec builds its successor map from the
+    ``scan_link_edges`` full scan (it must stay cache-independent); the
+    cache is *allowed* to lean on :class:`SchemaIndex`, whose
+    ``part_of_edges`` caches the identical edge list, so the two
+    builders agree entry for entry.
+    """
+    edges: dict[str, list[str]] = {}
+    for whole, part, _ in schema.part_of_edges():
+        edges.setdefault(whole, []).append(part)
+    return lambda n: edges.get(n, ())
+
+
+def _instance_of_successors_fast(
+    schema: "Schema",
+) -> Callable[[str], Iterable[str]]:
+    """Index-backed twin of ``validation.instance_of_successors``."""
+    edges: dict[str, list[str]] = {}
+    for generic, instance, _ in schema.instance_of_edges():
+        edges.setdefault(generic, []).append(instance)
+    return lambda n: edges.get(n, ())
+
+
 _CYCLE_FAMILIES: tuple[_CycleFamily, ...] = (
     _CycleFamily(
         "isa", Aspect.ISA, isa_successors, isa_cycle_issue, _isa_adjacency
@@ -148,14 +173,14 @@ _CYCLE_FAMILIES: tuple[_CycleFamily, ...] = (
     _CycleFamily(
         "part-of",
         Aspect.REL_PART_OF,
-        part_of_successors,
+        _part_of_successors_fast,
         part_of_cycle_issue,
         _part_of_adjacency,
     ),
     _CycleFamily(
         "instance-of",
         Aspect.REL_INSTANCE_OF,
-        instance_of_successors,
+        _instance_of_successors_fast,
         instance_of_cycle_issue,
         _instance_of_adjacency,
     ),

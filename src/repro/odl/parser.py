@@ -117,7 +117,7 @@ def _parse_member(stream: TokenStream, interface: InterfaceDef) -> None:
         stream.advance()
         extent = stream.expect_ident().value
         stream.expect_punct(";")
-        interface.extent = extent
+        interface.set_extent(extent)
         return
     if stream.at_ident("key") or stream.at_ident("keys"):
         stream.advance()

@@ -92,7 +92,7 @@ def generate_schema(spec: WorkloadSpec, name: str | None = None) -> Schema:
     type_names = [f"Type{i:03d}" for i in range(spec.types)]
     for type_name in type_names:
         interface = InterfaceDef(type_name)
-        interface.extent = f"{type_name.lower()}_extent"
+        interface.set_extent(f"{type_name.lower()}_extent")
         for attr_index in range(spec.attributes_per_type):
             interface.add_attribute(
                 Attribute(f"attr{attr_index}", rng.choice(_SCALARS))

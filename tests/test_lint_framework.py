@@ -1,0 +1,226 @@
+"""Framework-level tests for ``repro.lint``.
+
+Covers the finding/baseline model (justification discipline, stale
+detection, line-independent matching) and the ``python -m repro.lint``
+CLI: zero non-baselined findings on the shipped tree, all six passes in
+one invocation, the JSON report shape, and a seeded violation in a
+copied tree failing the run via ``--root``.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.findings import Baseline, Finding
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+EXPECTED_PASSES = {
+    "spine", "effects", "read-scopes", "independence",
+    "instance-impact", "silent-writes",
+}
+
+
+def run_lint(*argv, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        capture_output=True, text=True, cwd=cwd,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+
+
+# ----------------------------------------------------------------------
+# finding / baseline model
+
+
+def _finding(rule="read-scope", symbol="repro.model.validation:key_issues"):
+    return Finding(
+        rule=rule, path="src/x.py", line=7, symbol=symbol, message="m"
+    )
+
+
+def test_finding_render_anchors_file_line_rule_symbol():
+    assert _finding().render() == (
+        "src/x.py:7: error[read-scope] "
+        "repro.model.validation:key_issues: m"
+    )
+
+
+def test_finding_rejects_unknown_severity():
+    with pytest.raises(ValueError):
+        Finding(
+            rule="r", path="p", line=1, symbol="s", message="m",
+            severity="fatal",
+        )
+
+
+def test_baseline_requires_justification(tmp_path):
+    path = tmp_path / "baseline.txt"
+    path.write_text(
+        "# comment lines and blanks are fine\n"
+        "\n"
+        "read-scope repro.model.validation:key_issues\n",
+        encoding="utf-8",
+    )
+    baseline = Baseline.load(path)
+    assert baseline.entries == {}
+    assert len(baseline.errors) == 1
+    assert "justification" in baseline.errors[0]
+
+
+def test_baseline_rejects_malformed_key_and_empty_justification(tmp_path):
+    path = tmp_path / "baseline.txt"
+    path.write_text(
+        "read-scope -- key has only one token\n"
+        "read-scope repro.model.validation:key_issues --   \n",
+        encoding="utf-8",
+    )
+    baseline = Baseline.load(path)
+    assert baseline.entries == {}
+    assert len(baseline.errors) == 2
+
+
+def test_baseline_split_matches_on_rule_and_symbol_not_line(tmp_path):
+    path = tmp_path / "baseline.txt"
+    path.write_text(
+        "read-scope repro.model.validation:key_issues -- grandfathered\n"
+        "silent-write repro.gone:removed -- stale entry\n",
+        encoding="utf-8",
+    )
+    baseline = Baseline.load(path)
+    assert baseline.errors == []
+    moved = Finding(
+        rule="read-scope", path="src/x.py", line=999,
+        symbol="repro.model.validation:key_issues", message="m",
+    )
+    fresh = _finding(rule="cow-barrier", symbol="repro.model.interface:X.y")
+    new, baselined, stale = baseline.split([moved, fresh])
+    assert baselined == [moved]  # line moved, key still matches
+    assert new == [fresh]
+    assert stale == ["silent-write repro.gone:removed"]
+
+
+def test_shipped_baseline_entries_all_carry_justifications():
+    baseline = Baseline.load(REPO_ROOT / "tools" / "lint_baseline.txt")
+    assert baseline.errors == []
+    for key, justification in baseline.entries.items():
+        assert justification, f"baseline entry {key!r} lacks a justification"
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+def test_cli_shipped_tree_is_clean():
+    result = run_lint()
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 error(s)" in result.stdout
+
+
+def test_cli_list_names_all_six_passes():
+    result = run_lint("--list")
+    assert result.returncode == 0
+    listed = {
+        line.split()[0]
+        for line in result.stdout.splitlines()
+        if line and not line.startswith(" ")
+    }
+    assert listed == EXPECTED_PASSES
+
+
+def test_cli_json_report_shape(tmp_path):
+    out = tmp_path / "lint-report.json"
+    result = run_lint("--json", "--output", str(out))
+    assert result.returncode == 0, result.stdout + result.stderr
+    report = json.loads(result.stdout)
+    assert report == json.loads(out.read_text(encoding="utf-8"))
+    assert report["findings"] == []
+    assert report["summary"]["errors"] == 0
+    assert {p["id"] for p in report["passes"]} == EXPECTED_PASSES
+    # the three grandfathered silent-writes surface as baselined entries
+    assert report["summary"]["baselined"] == len(report["baselined"]) == 3
+    assert all(f["rule"] == "silent-write" for f in report["baselined"])
+
+
+def test_cli_single_pass_selection():
+    result = run_lint("--pass", "spine")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 error(s)" in result.stdout
+    assert "baselined" in result.stdout
+
+
+def test_cli_unknown_pass_is_usage_error():
+    result = run_lint("--pass", "nonesuch")
+    assert result.returncode == 2
+    assert "nonesuch" in result.stderr
+
+
+def test_cli_missing_root_is_load_error(tmp_path):
+    result = run_lint("--root", str(tmp_path / "nowhere"))
+    assert result.returncode == 2
+    assert "cannot load" in result.stderr
+
+
+def test_cli_malformed_baseline_fails_the_run(tmp_path):
+    bad = tmp_path / "baseline.txt"
+    bad.write_text("read-scope some:symbol\n", encoding="utf-8")
+    result = run_lint("--baseline", str(bad), "--pass", "spine")
+    assert result.returncode == 1
+    assert "justification" in result.stdout
+
+
+@pytest.fixture()
+def seeded_tree(tmp_path):
+    """Copy of the source tree with a read-scope widening seeded in."""
+    root = tmp_path / "seeded"
+    shutil.copytree(SRC / "repro", root / "repro")
+    validation = root / "repro" / "model" / "validation.py"
+    with validation.open("a", encoding="utf-8") as fh:
+        fh.write(
+            "\n\n"
+            "def isa_cycle_extra(schema, interface):\n"
+            "    for key in interface.keys:\n"
+            '        yield Issue("isa-cycle", SEVERITY_ERROR, '
+            'interface.name, "seeded widening")\n'
+        )
+    return root
+
+
+def test_cli_seeded_read_scope_widening_fails_the_run(seeded_tree):
+    """A rule reading outside its declared RULE_SCOPES aspects exits 1."""
+    result = run_lint(
+        "--root", str(seeded_tree), "--pass", "read-scopes", "--json"
+    )
+    assert result.returncode == 1, result.stdout + result.stderr
+    report = json.loads(result.stdout)
+    rules = {f["rule"] for f in report["findings"]}
+    assert rules == {"read-scope"}
+    seeded = [
+        f for f in report["findings"]
+        if "isa_cycle_extra" in f["message"]
+    ]
+    assert seeded, report["findings"]
+    assert "keys" in seeded[0]["message"]
+    assert seeded[0]["path"].endswith("validation.py")
+    assert seeded[0]["line"] > 0
+
+
+def test_cli_seeded_cow_violation_fails_the_run(tmp_path):
+    """Dropping a _cow_barrier() from a public mutator exits 1."""
+    root = tmp_path / "seeded"
+    shutil.copytree(SRC / "repro", root / "repro")
+    interface = root / "repro" / "model" / "interface.py"
+    text = interface.read_text(encoding="utf-8")
+    assert text.count("self._cow_barrier()") > 1
+    interface.write_text(
+        text.replace("self._cow_barrier()", "pass", 1), encoding="utf-8"
+    )
+    result = run_lint("--root", str(root), "--pass", "spine", "--json")
+    assert result.returncode == 1, result.stdout + result.stderr
+    report = json.loads(result.stdout)
+    assert any(f["rule"] == "cow-barrier" for f in report["findings"])

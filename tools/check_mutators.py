@@ -1,315 +1,36 @@
 #!/usr/bin/env python
-"""Static check: every public mutator lands a record on the spine.
+"""Thin shim over the ``spine`` lint pass (see ``repro.lint``).
 
-The mutation spine only works as a single source of change truth if no
-mutator forgets to emit -- exactly the per-layer-hook bug class the
-refactor deleted.  This script parses ``interface.py`` and ``schema.py``
-with the stdlib ``ast`` and asserts that every public mutator method
-(``add_*`` / ``remove_*`` / ``replace_*`` / ``set_*`` / ``insert_*`` /
-``reorder_*`` / ``touch*``) on :class:`InterfaceDef` / :class:`Schema`
-reaches a ``self._emit(...)`` or ``self._log.emit(...)`` call, directly
-or through other methods of the same class (fixpoint over ``self.``
-calls, so ``Schema.add_interface -> self._adopt -> self._log.emit``
-counts).
+The spine-emission / CoW-barrier / compiled-plan checks this script
+used to implement inline now live in
+:mod:`repro.lint.passes.spine`, sharing the framework's AST load and
+call-graph resolver with every other contract pass.  The entry point
+survives so ``python tools/check_mutators.py`` keeps working; prefer
+``python -m repro.lint`` (or ``make lint``), which runs all passes in
+one invocation.
 
-Copy-on-write schemas (DESIGN.md 5j) add a second obligation on
-``InterfaceDef``: borrowers (forks, wagon wheels, payload freezes)
-settle at the *moment before* the first divergent write, so every
-public mutator must run ``self._cow_barrier()`` as its literal first
-statement (after the docstring).  A mutator that bypasses the fault
-hook would silently write through shared CoW state; the check makes
-that an error.
-
-It also checks the compiled-plan fast path:
-``Workspace.apply_plan_compiled`` promises the same ``MutationRecord``
-stream as per-op application, which holds only if every mutation flows
-through ``expand_applying`` (the ops' own ``step.apply``) followed by
-``self._note_scopes``.  The check asserts both calls are present and
-that neither the method nor any ``Workspace`` helper reachable from it
-calls a mutator-prefixed method or writes model containers directly --
-either would put records on the spine the per-op path does not (or,
-worse, mutate without a record at all).
-
-Run via ``make lint`` and CI; exits 1 listing every silent mutator.
+The re-exported helpers (``emission_findings``, ``cow_findings``,
+``compiled_plan_findings``) operate on a shared
+:class:`~repro.lint.loader.Codebase`; ``tests/test_check_mutators.py``
+drives them over fixture snippets.
 """
 
-from __future__ import annotations
-
-import ast
 import sys
 from pathlib import Path
 
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro" / "model"
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-#: file -> class whose mutators must emit
-TARGETS = {
-    "interface.py": "InterfaceDef",
-    "schema.py": "Schema",
-}
-
-MUTATOR_PREFIXES = (
-    "add_",
-    "remove_",
-    "replace_",
-    "set_",
-    "insert_",
-    "reorder_",
-    "touch",
+from repro.lint.passes.spine import (  # noqa: E402,F401  -- re-exports
+    MUTATOR_PREFIXES,
+    compiled_plan_findings,
+    cow_findings,
+    emission_findings,
 )
-
-WORKSPACE_PATH = SRC.parent / "repository" / "workspace.py"
-COMPILED_ENTRY = "apply_plan_compiled"
-
-#: classes whose mutators must run the CoW fault hook first
-COW_BARRIER_TARGETS = {"interface.py": "InterfaceDef"}
-
-
-def _is_emit_call(node: ast.Call) -> bool:
-    """True for ``self._emit(...)`` or ``self._log.emit(...)``."""
-    func = node.func
-    if not isinstance(func, ast.Attribute):
-        return False
-    if func.attr == "_emit":
-        return isinstance(func.value, ast.Name) and func.value.id == "self"
-    if func.attr == "emit":
-        inner = func.value
-        return (
-            isinstance(inner, ast.Attribute)
-            and inner.attr == "_log"
-            and isinstance(inner.value, ast.Name)
-            and inner.value.id == "self"
-        )
-    return False
-
-
-def _self_calls(function: ast.FunctionDef) -> set[str]:
-    """Names of other ``self.method(...)`` calls inside *function*."""
-    names: set[str] = set()
-    for node in ast.walk(function):
-        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-            target = node.func
-            if isinstance(target.value, ast.Name) and target.value.id == "self":
-                names.add(target.attr)
-    return names
-
-
-def _methods_of(tree: ast.Module, class_name: str) -> dict[str, ast.FunctionDef]:
-    for node in tree.body:
-        if isinstance(node, ast.ClassDef) and node.name == class_name:
-            return {
-                item.name: item
-                for item in node.body
-                if isinstance(item, ast.FunctionDef)
-            }
-    raise SystemExit(f"class {class_name} not found")
-
-
-def _emitting_methods(methods: dict[str, ast.FunctionDef]) -> set[str]:
-    """Fixpoint: methods that reach an emit call through ``self.``."""
-    emitting = {
-        name
-        for name, function in methods.items()
-        if any(
-            isinstance(node, ast.Call) and _is_emit_call(node)
-            for node in ast.walk(function)
-        )
-    }
-    changed = True
-    while changed:
-        changed = False
-        for name, function in methods.items():
-            if name in emitting:
-                continue
-            if _self_calls(function) & emitting:
-                emitting.add(name)
-                changed = True
-    return emitting
-
-
-def _reachable_methods(
-    methods: dict[str, ast.FunctionDef], entry: str
-) -> dict[str, ast.FunctionDef]:
-    """*entry* plus every same-class method reachable via ``self.``."""
-    frontier = [entry]
-    reached: dict[str, ast.FunctionDef] = {}
-    while frontier:
-        name = frontier.pop()
-        if name in reached or name not in methods:
-            continue
-        reached[name] = methods[name]
-        frontier.extend(_self_calls(methods[name]))
-    return reached
-
-
-def _calls_in(function: ast.FunctionDef) -> list[ast.Call]:
-    return [
-        node for node in ast.walk(function) if isinstance(node, ast.Call)
-    ]
-
-
-def _call_name(call: ast.Call) -> str | None:
-    if isinstance(call.func, ast.Name):
-        return call.func.id
-    if isinstance(call.func, ast.Attribute):
-        return call.func.attr
-    return None
-
-
-def _starts_with_cow_barrier(function: ast.FunctionDef) -> bool:
-    """True when ``self._cow_barrier()`` is the first real statement."""
-    body = function.body
-    index = 0
-    if (
-        body
-        and isinstance(body[0], ast.Expr)
-        and isinstance(body[0].value, ast.Constant)
-        and isinstance(body[0].value.value, str)
-    ):
-        index = 1  # skip the docstring
-    if index >= len(body):
-        return False
-    statement = body[index]
-    return (
-        isinstance(statement, ast.Expr)
-        and isinstance(statement.value, ast.Call)
-        and isinstance(statement.value.func, ast.Attribute)
-        and statement.value.func.attr == "_cow_barrier"
-        and isinstance(statement.value.func.value, ast.Name)
-        and statement.value.func.value.id == "self"
-    )
-
-
-def check_cow_barriers() -> list[str]:
-    """Every public InterfaceDef mutator faults CoW borrowers first.
-
-    The barrier must be the *first* statement: a mutator that validates,
-    raises, or -- worse -- writes before settling would let a fork or
-    snapshot observe (or miss) a half-applied change.
-    """
-    failures: list[str] = []
-    for filename, class_name in COW_BARRIER_TARGETS.items():
-        path = SRC / filename
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-        methods = _methods_of(tree, class_name)
-        for name in sorted(methods):
-            if name.startswith("_") or not name.startswith(MUTATOR_PREFIXES):
-                continue
-            if not _starts_with_cow_barrier(methods[name]):
-                failures.append(
-                    f"{path}:{methods[name].lineno}: {class_name}.{name} "
-                    "does not run self._cow_barrier() as its first "
-                    "statement; the mutator bypasses the CoW fault hook"
-                )
-    return failures
-
-
-def check_compiled_plan(path: Path = WORKSPACE_PATH) -> list[str]:
-    """The compiled-plan path mutates only through the sanctioned calls.
-
-    ``apply_plan_compiled`` must reach ``expand_applying`` (every
-    mutation is a ``step.apply`` inside it, emitting the same records
-    the per-op path emits) and ``self._note_scopes`` (the same per-step
-    scope notes).  Conversely, no method reachable from it may call a
-    mutator-prefixed method or store/delete through a subscript -- any
-    such channel would skew the record stream away from per-op parity.
-    """
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    methods = _methods_of(tree, "Workspace")
-    if COMPILED_ENTRY not in methods:
-        return [f"{path}: Workspace.{COMPILED_ENTRY} not found"]
-    entry = methods[COMPILED_ENTRY]
-    failures: list[str] = []
-    called = {_call_name(call) for call in _calls_in(entry)}
-    for required in ("expand_applying", "_note_scopes"):
-        if required not in called:
-            failures.append(
-                f"{path}:{entry.lineno}: Workspace.{COMPILED_ENTRY} no "
-                f"longer calls {required}; the compiled pass must mutate "
-                "through expand_applying and note each step's scope"
-            )
-    for name, function in sorted(_reachable_methods(
-        methods, COMPILED_ENTRY
-    ).items()):
-        for call in _calls_in(function):
-            target = _call_name(call)
-            if target is not None and target.startswith(MUTATOR_PREFIXES):
-                failures.append(
-                    f"{path}:{call.lineno}: Workspace.{name} (reachable "
-                    f"from {COMPILED_ENTRY}) calls mutator {target!r}; "
-                    "compiled plans must mutate only via expand_applying"
-                )
-        for node in ast.walk(function):
-            targets: list[ast.expr] = []
-            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
-                targets = (
-                    node.targets
-                    if isinstance(node, ast.Assign)
-                    else [node.target]
-                )
-            elif isinstance(node, ast.Delete):
-                targets = list(node.targets)
-            for target in targets:
-                if isinstance(target, ast.Subscript):
-                    failures.append(
-                        f"{path}:{node.lineno}: Workspace.{name} "
-                        f"(reachable from {COMPILED_ENTRY}) writes a "
-                        "container by subscript; compiled plans must not "
-                        "mutate model state outside expand_applying"
-                    )
-    return failures
+from repro.lint.shims import run_shim  # noqa: E402
 
 
 def main() -> int:
-    failures: list[str] = []
-    checked = 0
-    for filename, class_name in TARGETS.items():
-        path = SRC / filename
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-        methods = _methods_of(tree, class_name)
-        emitting = _emitting_methods(methods)
-        for name in sorted(methods):
-            if name.startswith("_") or not name.startswith(MUTATOR_PREFIXES):
-                continue
-            checked += 1
-            if name not in emitting:
-                failures.append(
-                    f"{path}:{methods[name].lineno}: "
-                    f"{class_name}.{name} mutates without emitting a "
-                    "MutationRecord (self._emit / self._log.emit unreachable)"
-                )
-    cow_failures = check_cow_barriers()
-    compiled_failures = check_compiled_plan()
-    if failures or cow_failures or compiled_failures:
-        if failures:
-            print("\n".join(failures), file=sys.stderr)
-            print(
-                f"\n{len(failures)} silent mutator(s); every public mutator "
-                "must land a record on the mutation spine (DESIGN.md 5e).",
-                file=sys.stderr,
-            )
-        if cow_failures:
-            print("\n".join(cow_failures), file=sys.stderr)
-            print(
-                f"\n{len(cow_failures)} CoW bypass(es); every InterfaceDef "
-                "mutator must settle borrowers via self._cow_barrier() "
-                "before writing (DESIGN.md 5j).",
-                file=sys.stderr,
-            )
-        if compiled_failures:
-            print("\n".join(compiled_failures), file=sys.stderr)
-            print(
-                f"\n{len(compiled_failures)} compiled-plan violation(s); "
-                "apply_plan_compiled must emit the per-op record stream "
-                "(DESIGN.md 5g).",
-                file=sys.stderr,
-            )
-        return 1
-    print(
-        f"check_mutators: {checked} public mutators all emit records and "
-        "run the CoW barrier first; compiled-plan path mutates only via "
-        "expand_applying"
-    )
-    return 0
+    return run_shim("check_mutators")
 
 
 if __name__ == "__main__":
